@@ -1,0 +1,37 @@
+//! Ablation — TopKC's chunk size C at a fixed bit budget (b=2, BERT task).
+//!
+//! The trade-off the paper's C choices (64 and 128) balance: larger C
+//! spends less of the budget on the norm round (16/C bits) so more
+//! coordinates fit (`J' = d(b/16 − 1/C)` grows), but selection gets coarser
+//! (whole chunks, less locality resolution). Expect a U-shaped vNMSE curve.
+
+use gcs_bench::{header, measured_only};
+use gcs_core::schemes::topkc::TopKC;
+use gcs_ddp::{Task, ThroughputModel, Trainer};
+use gcs_gpusim::Precision;
+
+fn main() {
+    header(
+        "Ablation: chunk size",
+        "TopKC vNMSE and throughput vs C at b=2 (BERT)",
+    );
+    let task = Task::Bert;
+    let cfg = task.trainer_config();
+    let tm = ThroughputModel::paper_testbed();
+    let profile = task.profile();
+    let mut best: Option<(usize, f64)> = None;
+    for c in [16usize, 32, 64, 128, 256, 512] {
+        let mut model = task.build_model(cfg.seed);
+        let mut scheme = TopKC::with_bits(2.0, c, cfg.n_workers, true);
+        let v = Trainer::new(cfg.clone()).measure_vnmse(model.as_mut(), &mut scheme, 20);
+        let thr = tm.rounds_per_sec(&scheme, &profile, Precision::Tf32);
+        measured_only(&format!("C={c:<4} vNMSE"), v);
+        measured_only(&format!("C={c:<4} rounds/s"), thr);
+        if best.map(|(_, bv)| v < bv).unwrap_or(true) {
+            best = Some((c, v));
+        }
+    }
+    if let Some((c, v)) = best {
+        println!("\nbest vNMSE at C={c} ({v:.4}); paper picks C=64 for b=2");
+    }
+}

@@ -1,0 +1,33 @@
+//! Ablation — error feedback on vs off for the biased compressors.
+//!
+//! The paper applies EF to both TopK and TopKC (§3.1.3) following \[29\];
+//! this ablation shows why: without EF, aggressive sparsification stalls at
+//! a worse final metric on the language task.
+
+use gcs_bench::{expect, header, measured_only};
+use gcs_core::schemes::{topk::TopK, topkc::TopKC};
+use gcs_ddp::{Task, Trainer};
+
+fn main() {
+    header("Ablation: error feedback", "final metric with EF on vs off");
+    let task = Task::Bert;
+    let mut cfg = task.trainer_config();
+    cfg.max_rounds = 250;
+    let b = 0.5; // aggressive budget: EF matters most here
+    let run = |scheme: &mut dyn gcs_core::scheme::CompressionScheme| {
+        let mut model = task.build_model(cfg.seed);
+        Trainer::new(cfg.clone())
+            .train(model.as_mut(), scheme, 0.2)
+            .final_metric
+    };
+    let topk_ef = run(&mut TopK::with_bits(b, cfg.n_workers, true));
+    let topk_no = run(&mut TopK::with_bits(b, cfg.n_workers, false));
+    let topkc_ef = run(&mut TopKC::with_bits(b, 128, cfg.n_workers, true));
+    let topkc_no = run(&mut TopKC::with_bits(b, 128, cfg.n_workers, false));
+    measured_only("TopK  b=0.5, EF on  (final ppl)", topk_ef);
+    measured_only("TopK  b=0.5, EF off (final ppl)", topk_no);
+    measured_only("TopKC b=0.5, EF on  (final ppl)", topkc_ef);
+    measured_only("TopKC b=0.5, EF off (final ppl)", topkc_no);
+    expect("EF improves TopK's final perplexity", topk_ef < topk_no);
+    expect("EF improves TopKC's final perplexity", topkc_ef < topkc_no);
+}

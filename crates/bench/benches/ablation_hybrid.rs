@@ -1,0 +1,72 @@
+//! Ablation — TopKC-Q (the §3.1.2 generalization: chunk consensus +
+//! quantized payload) vs plain TopKC and THC at equal bit budgets.
+//!
+//! The hybrid trades per-coordinate precision (q bits instead of FP16) for
+//! ~16/q × more aggregated coordinates. Expectation: it wins at aggressive
+//! budgets (coverage-starved) and loses its edge at generous budgets
+//! (precision-starved).
+
+use gcs_bench::{expect, header, measured_only};
+use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::schemes::thc::Thc;
+use gcs_core::schemes::topkc::TopKC;
+use gcs_core::schemes::topkc_q::TopKCQ;
+use gcs_core::synthetic::GradientModel;
+use gcs_ddp::ThroughputModel;
+use gcs_gpusim::{DeviceSpec, ModelProfile, Precision};
+use gcs_tensor::rng::SharedSeed;
+use gcs_tensor::vector::{mean, vnmse};
+
+fn measure(scheme: &mut dyn CompressionScheme) -> f64 {
+    let m = GradientModel::bert_like(1 << 17);
+    let mut sum = 0.0;
+    let rounds = 4;
+    for r in 0..rounds {
+        let grads = m.generate(4, SharedSeed::new(600 + r));
+        let exact = mean(&grads);
+        let out = scheme.aggregate_round(&grads, &RoundContext::new(66, r));
+        sum += vnmse(&out.mean_estimate, &exact);
+    }
+    sum / rounds as f64
+}
+
+fn main() {
+    header(
+        "Ablation: hybrid TopKC-Q",
+        "chunk consensus + q-bit payload vs TopKC (FP16) and THC, equal b",
+    );
+    let tm = ThroughputModel::paper_testbed();
+    let profile = ModelProfile::bert_large();
+    let device = DeviceSpec::a100();
+    let mut q_wins_tight = false;
+    for b in [0.5f64, 1.0, 2.0, 4.0] {
+        println!("\nb = {b}:");
+        let c = if b < 1.0 { 128 } else { 64 };
+        let mut plain = TopKC::with_bits(b, c, 4, false);
+        let mut hybrid = TopKCQ::with_bits(b, c, 4, 4);
+        let e_plain = measure(&mut plain);
+        let e_hybrid = measure(&mut hybrid);
+        measured_only("  TopKC  (FP16 values) vNMSE", e_plain);
+        measured_only("  TopKC-Q (4-bit values) vNMSE", e_hybrid);
+        measured_only(
+            "  TopKC   rounds/s",
+            tm.rounds_per_sec(&plain, &profile, Precision::Tf32),
+        );
+        measured_only(
+            "  TopKC-Q rounds/s",
+            tm.rounds_per_sec(&hybrid, &profile, Precision::Tf32),
+        );
+        if b <= 1.0 && e_hybrid < e_plain {
+            q_wins_tight = true;
+        }
+        if b >= 4.0 {
+            // Dense-enough budgets: THC quantizes everything.
+            let mut thc = Thc::improved(4, &device, 4);
+            measured_only("  THC-Sat q=4 (all coords) vNMSE", measure(&mut thc));
+        }
+    }
+    expect(
+        "the hybrid wins at tight budgets (coverage beats precision)",
+        q_wins_tight,
+    );
+}

@@ -1,0 +1,67 @@
+//! Ablation — TopK index encoding (the paper's footnote 2): 32-bit absolute
+//! indices vs 16-bit delta encoding with gap padding.
+//!
+//! Delta encoding fits 1.5× more coordinates into the same budget (48 → 32
+//! bits/entry) and therefore lowers vNMSE — but its sort + sequential scan
+//! is GPU-unfriendly, so the round rate drops, and the TTA gain is
+//! marginal-to-negative: exactly the footnote's "this does not seem to be
+//! how TopK is implemented in practice".
+
+use gcs_bench::{expect, header, measured_only};
+use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::schemes::topk::TopK;
+use gcs_core::synthetic::GradientModel;
+use gcs_ddp::ThroughputModel;
+use gcs_gpusim::{ModelProfile, Precision};
+use gcs_tensor::rng::SharedSeed;
+use gcs_tensor::vector::{mean, vnmse};
+
+fn measure(scheme: &mut dyn CompressionScheme) -> f64 {
+    let m = GradientModel::bert_like(1 << 17);
+    let mut sum = 0.0;
+    let rounds = 4;
+    for r in 0..rounds {
+        let grads = m.generate(4, SharedSeed::new(800 + r));
+        let exact = mean(&grads);
+        sum += vnmse(
+            &scheme
+                .aggregate_round(&grads, &RoundContext::new(88, r))
+                .mean_estimate,
+            &exact,
+        );
+    }
+    sum / rounds as f64
+}
+
+fn main() {
+    header(
+        "Ablation: TopK index encoding",
+        "32-bit absolute vs 16-bit delta indices (footnote 2)",
+    );
+    let tm = ThroughputModel::paper_testbed();
+    let profile = ModelProfile::bert_large();
+    for b in [0.5f64, 2.0] {
+        println!("\nb = {b}:");
+        let mut abs = TopK::with_bits(b, 4, false);
+        let mut delta = TopK::with_bits(b, 4, false).with_delta_indices();
+        let d = profile.params;
+        measured_only("  absolute K/d %", abs.k_for(d as usize) as f64 / d as f64 * 100.0);
+        measured_only("  delta    K/d %", delta.k_for(d as usize) as f64 / d as f64 * 100.0);
+        let e_abs = measure(&mut abs);
+        let e_delta = measure(&mut delta);
+        measured_only("  absolute vNMSE", e_abs);
+        measured_only("  delta    vNMSE", e_delta);
+        let r_abs = tm.rounds_per_sec(&abs, &profile, Precision::Tf32);
+        let r_delta = tm.rounds_per_sec(&delta, &profile, Precision::Tf32);
+        measured_only("  absolute rounds/s", r_abs);
+        measured_only("  delta    rounds/s", r_delta);
+        expect(
+            "delta lowers vNMSE (more coordinates per bit)",
+            e_delta < e_abs,
+        );
+        expect(
+            "but delta's extra compute erodes the round rate",
+            r_delta < r_abs,
+        );
+    }
+}

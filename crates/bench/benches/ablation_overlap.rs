@@ -1,0 +1,72 @@
+//! Ablation — serialized vs pipelined (bucketed, comm/compute-overlapping)
+//! step time. The Espresso \[60\] / CUPCAKE \[62\] dimension of Table 1.
+//!
+//! Expected shapes: (1) pipelining accelerates everything, the baselines
+//! most (their only overhead is comm, which hides well); (2) compression's
+//! apparent advantage over FP16 shrinks under overlap; (3) compute-heavy
+//! compression (PowerSGD r=64) benefits least.
+
+use gcs_bench::{expect, header, measured_only};
+use gcs_core::schemes::baseline::PrecisionBaseline;
+use gcs_core::schemes::powersgd::PowerSgd;
+use gcs_core::schemes::thc::Thc;
+use gcs_core::schemes::topkc::TopKC;
+use gcs_ddp::{PipelineModel, ThroughputModel};
+use gcs_gpusim::{DeviceSpec, ModelProfile, Precision};
+
+fn main() {
+    header(
+        "Ablation: comm/compute overlap",
+        "serialized vs pipelined rounds/s (BERT-large)",
+    );
+    let tm = ThroughputModel::paper_testbed();
+    let pm = PipelineModel::paper_testbed();
+    let m = ModelProfile::bert_large();
+    let device = DeviceSpec::a100();
+
+    let schemes: Vec<(String, Box<dyn gcs_core::scheme::CompressionScheme>)> = vec![
+        ("FP16 baseline".into(), Box::new(PrecisionBaseline::fp16())),
+        ("FP32 baseline".into(), Box::new(PrecisionBaseline::fp32())),
+        ("TopKC b=2".into(), Box::new(TopKC::paper_config(2.0, 4))),
+        ("THC-Sat q=4".into(), Box::new(Thc::improved(4, &device, 4))),
+        (
+            "PowerSGD r=64".into(),
+            Box::new(PowerSgd::new(64, vec![(64, 64)], 4).with_cost_shapes(m.layer_shapes.clone())),
+        ),
+    ];
+    let mut serial = Vec::new();
+    let mut piped = Vec::new();
+    for (label, scheme) in &schemes {
+        let s = tm.rounds_per_sec(scheme.as_ref(), &m, Precision::Tf32);
+        let p = pm.rounds_per_sec(scheme.as_ref(), &m, Precision::Tf32);
+        let step = pm.step(scheme.as_ref(), &m, Precision::Tf32);
+        measured_only(&format!("{label:<16} serialized rounds/s"), s);
+        measured_only(&format!("{label:<16} pipelined  rounds/s"), p);
+        measured_only(
+            &format!("{label:<16} comm hidden (ms)"),
+            step.overlapped * 1e3,
+        );
+        serial.push(s);
+        piped.push(p);
+    }
+    expect(
+        "pipelining accelerates every scheme",
+        serial.iter().zip(&piped).all(|(s, p)| p >= s),
+    );
+    let serial_gain = serial[2] / serial[0];
+    let pipe_gain = piped[2] / piped[0];
+    expect(
+        &format!(
+            "TopKC's edge over FP16 shrinks under overlap ({serial_gain:.2}x -> {pipe_gain:.2}x)"
+        ),
+        pipe_gain < serial_gain,
+    );
+    let psgd_speedup = piped[4] / serial[4];
+    let fp32_speedup = piped[1] / serial[1];
+    expect(
+        &format!(
+            "compute-bound PowerSGD gains least from overlap ({psgd_speedup:.2}x vs FP32's {fp32_speedup:.2}x)"
+        ),
+        psgd_speedup < fp32_speedup,
+    );
+}

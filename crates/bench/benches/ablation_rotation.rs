@@ -1,0 +1,74 @@
+//! Ablation — partial-rotation block size vs GPU shared memory.
+//!
+//! The paper picks the largest `l'` with `2^{l'}` fitting in shared memory.
+//! This sweep shows why: rotation cost is flat while blocks fit in one
+//! kernel pass (any `l' <= 13` on the A100), then jumps as more global-
+//! memory passes are needed; quantization error improves only mildly beyond
+//! moderate block sizes.
+
+use gcs_bench::{expect, header, measured_only};
+use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::schemes::thc::{Thc, ThcAggregation};
+use gcs_gpusim::{ops, DeviceSpec};
+use gcs_tensor::hadamard::RotationMode;
+use gcs_tensor::vector::{mean, vnmse};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    header(
+        "Ablation: rotation block size",
+        "THC cost and error vs partial-rotation l'",
+    );
+    let device = DeviceSpec::a100();
+    let d_paper: u64 = 1 << 29; // BERT-scale padded dimension
+    println!(
+        "A100 shared memory fits 2^{} f32 values per block\n",
+        device.shared_mem_block_log2()
+    );
+
+    // Error side: measured on heavy-tailed synthetic gradients.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let d = 1 << 14;
+    let grads: Vec<Vec<f32>> = (0..4)
+        .map(|_| {
+            (0..d)
+                .map(|_| {
+                    let u: f32 = rng.gen_range(-1.0..1.0);
+                    u * u * u * 3.0 // heavy-ish tail
+                })
+                .collect()
+        })
+        .collect();
+    let exact = mean(&grads);
+
+    let mut cost_at_shared = 0.0;
+    let mut cost_above_shared = 0.0;
+    for l in [6usize, 8, 10, 13, 16, 20, 29] {
+        let mode = if l >= 29 {
+            RotationMode::Full
+        } else {
+            RotationMode::Partial { block_log2: l }
+        };
+        let kernel_cost = ops::fwht(d_paper, mode.iterations(d_paper as usize), &device);
+        let secs = 2.0 * kernel_cost.seconds(&device);
+        let mut scheme = Thc::new(4, mode, ThcAggregation::Saturating, 4);
+        let mut err = 0.0;
+        for r in 0..5 {
+            let out = scheme.aggregate_round(&grads, &RoundContext::new(5, r));
+            err += vnmse(&out.mean_estimate, &exact);
+        }
+        err /= 5.0;
+        measured_only(&format!("l'={l:<3} rotation ms (paper-scale d)"), secs * 1e3);
+        measured_only(&format!("l'={l:<3} vNMSE (q=4, synthetic)"), err);
+        if l == 13 {
+            cost_at_shared = secs;
+        }
+        if l == 16 {
+            cost_above_shared = secs;
+        }
+    }
+    expect(
+        "rotation cost jumps once blocks exceed shared memory (l'=16 vs 13)",
+        cost_above_shared > 1.5 * cost_at_shared,
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 1 — TTA (rolling averaged) of TopKC vs TopK vs the FP16/FP32
+//! baselines, on both tasks.
+//!
+//! Reproduction protocol (see DESIGN.md): convergence is *measured* by
+//! training the mini models under the real compression operators; the time
+//! axis is *modelled* at paper scale via the calibrated throughput model.
+//! Expected shapes: FP16 dominates FP32; TopKC's curves dominate TopK's;
+//! b=0.5 trades final accuracy for speed (visibly worse converged metric
+//! than b=8 on the language task).
+//!
+//! Set `QUICK=1` to shrink the run for smoke testing.
+
+use gcs_bench::{expect, header, print_curves_csv, print_tta_summary, write_curves_csv};
+use gcs_core::metrics::TtaCurve;
+use gcs_ddp::{experiments::figure1_plans, Task, Trainer};
+
+fn run_task(task: Task, quick: bool) -> Vec<TtaCurve> {
+    let mut cfg = task.trainer_config();
+    if quick {
+        cfg.max_rounds = 80;
+    }
+    let mut curves = Vec::new();
+    for mut plan in figure1_plans(task, cfg.n_workers) {
+        let mut model = task.build_model(cfg.seed);
+        let trainer = Trainer::new(cfg.clone());
+        let log = trainer.train(model.as_mut(), plan.scheme.as_mut(), plan.step_seconds);
+        let mut smoothed = log.curve.rolling_average(task.rolling_window());
+        smoothed.label = plan.label.clone();
+        eprintln!(
+            "  {}: {} rounds, step {:.3}s, vNMSE {:.4}, final {:.4}",
+            plan.label, log.rounds, plan.step_seconds, log.mean_vnmse, log.final_metric
+        );
+        curves.push(smoothed);
+    }
+    curves
+}
+
+fn find<'a>(curves: &'a [TtaCurve], tag: &str) -> &'a TtaCurve {
+    curves
+        .iter()
+        .find(|c| c.label.contains(tag))
+        .unwrap_or_else(|| panic!("missing curve {tag}"))
+}
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    header(
+        "Figure 1",
+        "TTA of TopKC vs TopK vs FP16/FP32 baselines (both tasks)",
+    );
+    for task in [Task::Bert, Task::Vgg] {
+        println!("\n### task: {task:?}");
+        let curves = run_task(task, quick);
+        let (targets, name): (Vec<f64>, &str) = match task {
+            Task::Bert => (vec![60.0, 30.0, 24.0], "perplexity"),
+            Task::Vgg => (vec![0.5, 0.7, 0.85], "top-1 accuracy"),
+        };
+        print_tta_summary(&curves, &targets, name);
+        print_curves_csv(&curves);
+        write_curves_csv(&format!("figure1_{task:?}"), &curves);
+
+        // Shape expectations.
+        let fp16 = find(&curves, "FP16");
+        let fp32 = find(&curves, "FP32");
+        let mid_target = targets[1];
+        let tta = |c: &TtaCurve| c.time_to_target(mid_target).unwrap_or(f64::INFINITY);
+        expect("FP16 baseline reaches the mid target before FP32", tta(fp16) <= tta(fp32));
+        for b in ["0.5", "2", "8"] {
+            let topk = find(&curves, &format!("TopK(b={b}"));
+            let topkc = find(&curves, &format!("TopKC(b={b}"));
+            expect(
+                &format!("TopKC b={b} reaches the mid target no later than TopK"),
+                tta(topkc) <= tta(topk) * 1.05,
+            );
+        }
+        if task == Task::Bert && !quick {
+            let low = find(&curves, "TopKC(b=0.5");
+            let high = find(&curves, "TopKC(b=8");
+            let worse_final = match task {
+                Task::Bert => low.best_metric() >= high.best_metric(),
+                Task::Vgg => low.best_metric() <= high.best_metric(),
+            };
+            expect(
+                "b=0.5 converges to a worse final metric than b=8 (throughput is misleading)",
+                worse_final,
+            );
+        }
+    }
+}

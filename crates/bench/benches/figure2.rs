@@ -1,0 +1,78 @@
+//! Figure 2 — TTA of THC's simple all-reduce adaptation (widened, b=8, q=4)
+//! vs THC with saturation + partial rotation (b=q=4 and b=q=2).
+//!
+//! Expected shapes: saturation+partial-rotation at q=4 converges faster than
+//! the widened baseline to the same final metric (pure throughput win, no
+//! accuracy cost); q=2 has the highest throughput but visibly degraded
+//! convergence on the language task — the paper's "throughput alone is
+//! misleading" exhibit.
+//!
+//! Set `QUICK=1` to shrink the run.
+
+use gcs_bench::{expect, header, print_curves_csv, print_tta_summary, write_curves_csv};
+use gcs_core::metrics::TtaCurve;
+use gcs_ddp::{experiments::figure2_plans, Task, Trainer};
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    header(
+        "Figure 2",
+        "TTA of THC widened vs THC + saturation + partial rotation",
+    );
+    for task in [Task::Bert, Task::Vgg] {
+        println!("\n### task: {task:?}");
+        let mut cfg = task.trainer_config();
+        if quick {
+            cfg.max_rounds = 80;
+        }
+        let mut curves: Vec<TtaCurve> = Vec::new();
+        for mut plan in figure2_plans(task, cfg.n_workers) {
+            let mut model = task.build_model(cfg.seed);
+            let log = Trainer::new(cfg.clone()).train(
+                model.as_mut(),
+                plan.scheme.as_mut(),
+                plan.step_seconds,
+            );
+            let mut smoothed = log.curve.rolling_average(task.rolling_window());
+            smoothed.label = plan.label.clone();
+            eprintln!(
+                "  {}: step {:.3}s, vNMSE {:.4}, final {:.4}",
+                plan.label, plan.step_seconds, log.mean_vnmse, log.final_metric
+            );
+            curves.push(smoothed);
+        }
+        let (targets, name): (Vec<f64>, &str) = match task {
+            Task::Bert => (vec![60.0, 30.0, 24.0], "perplexity"),
+            Task::Vgg => (vec![0.5, 0.7, 0.85], "top-1 accuracy"),
+        };
+        print_tta_summary(&curves, &targets, name);
+        print_curves_csv(&curves);
+        write_curves_csv(&format!("figure2_{task:?}"), &curves);
+
+        let find = |tag: &str| {
+            curves
+                .iter()
+                .find(|c| c.label.contains(tag))
+                .unwrap_or_else(|| panic!("missing curve {tag}"))
+        };
+        let widened = find("THC-Wide(q=4");
+        let sat4 = find("THC-Sat(q=4");
+        let sat2 = find("THC-Sat(q=2");
+        let mid = targets[1];
+        let tta = |c: &TtaCurve| c.time_to_target(mid).unwrap_or(f64::INFINITY);
+        expect(
+            "saturation + partial rotation (q=4) reaches the mid target before widened THC",
+            tta(sat4) <= tta(widened),
+        );
+        if task == Task::Bert && !quick {
+            let final_gap = match sat2.best_metric().zip(sat4.best_metric()) {
+                Some((m2, m4)) => m2 > m4, // perplexity: higher is worse
+                None => false,
+            };
+            expect(
+                "q=2 converges to a worse perplexity than q=4 despite higher throughput",
+                final_gap,
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 3 — TTA of PowerSGD across ranks r ∈ {1, 4, 16, 64}.
+//!
+//! Expected shapes: r=1 has the fastest steps but converges slower / lower
+//! (especially on the vision task); moderate ranks (4–16) give the best
+//! TTA; r=4 clearly beats the FP32 baseline but offers only modest gains
+//! over FP16 — the paper's baseline-choice exhibit.
+//!
+//! Set `QUICK=1` to shrink the run.
+
+use gcs_bench::{expect, header, print_curves_csv, print_tta_summary, write_curves_csv};
+use gcs_core::metrics::TtaCurve;
+use gcs_ddp::{experiments::figure3_plans, Task, Trainer};
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    header("Figure 3", "TTA of PowerSGD, varying the matrix rank r");
+    for task in [Task::Bert, Task::Vgg] {
+        println!("\n### task: {task:?}");
+        let mut cfg = task.trainer_config();
+        if quick {
+            cfg.max_rounds = 80;
+        }
+        let probe = task.build_model(cfg.seed);
+        let shapes = probe.matrix_shapes();
+        drop(probe);
+        let mut curves: Vec<TtaCurve> = Vec::new();
+        for mut plan in figure3_plans(task, cfg.n_workers, &shapes) {
+            let mut model = task.build_model(cfg.seed);
+            let log = Trainer::new(cfg.clone()).train(
+                model.as_mut(),
+                plan.scheme.as_mut(),
+                plan.step_seconds,
+            );
+            let mut smoothed = log.curve.rolling_average(task.rolling_window());
+            smoothed.label = plan.label.clone();
+            eprintln!(
+                "  {}: step {:.3}s, vNMSE {:.4}, final {:.4}",
+                plan.label, plan.step_seconds, log.mean_vnmse, log.final_metric
+            );
+            curves.push(smoothed);
+        }
+        let (targets, name): (Vec<f64>, &str) = match task {
+            Task::Bert => (vec![60.0, 30.0, 24.0], "perplexity"),
+            Task::Vgg => (vec![0.5, 0.7, 0.85], "top-1 accuracy"),
+        };
+        print_tta_summary(&curves, &targets, name);
+        print_curves_csv(&curves);
+        write_curves_csv(&format!("figure3_{task:?}"), &curves);
+
+        let find = |tag: &str| {
+            curves
+                .iter()
+                .find(|c| c.label.contains(tag))
+                .unwrap_or_else(|| panic!("missing curve {tag}"))
+        };
+        let mid = targets[1];
+        let tta = |c: &TtaCurve| c.time_to_target(mid).unwrap_or(f64::INFINITY);
+        let r4 = find("PowerSGD(r=4)");
+        let fp32 = find("FP32");
+        let fp16 = find("FP16");
+        expect("PowerSGD r=4 beats the FP32 baseline on TTA", tta(r4) <= tta(fp32));
+        let gain_vs_fp32 = tta(fp32) / tta(r4);
+        let gain_vs_fp16 = tta(fp16) / tta(r4);
+        expect(
+            "the apparent gain shrinks against the stronger FP16 baseline",
+            gain_vs_fp16 < gain_vs_fp32,
+        );
+        if task == Task::Vgg && !quick {
+            let r1 = find("PowerSGD(r=1)");
+            let r16 = find("PowerSGD(r=16)");
+            let worse = r1.best_metric().unwrap_or(0.0) <= r16.best_metric().unwrap_or(0.0);
+            expect("r=1 converges to a lower accuracy than r=16 on the vision task", worse);
+        }
+    }
+}

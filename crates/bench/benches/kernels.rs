@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the compression kernels themselves.
+//!
+//! These measure our *functional* Rust implementations (not the GPU cost
+//! model): useful for catching algorithmic regressions and for verifying
+//! asymptotic claims — e.g. that partial rotation does the same work as full
+//! rotation per element but fewer stages, and that TopKC's selection over
+//! `d/C` chunk norms is far cheaper than TopK's over `d` values.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_collectives::{ring_all_reduce, F32Sum};
+use gcs_tensor::hadamard::{fwht, fwht_iterations};
+use gcs_tensor::matrix::{orthonormalize_columns, Matrix};
+use gcs_tensor::vector::top_k_indices;
+use rand::{Rng, SeedableRng};
+
+fn data(d: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_fwht(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fwht");
+    let d = 1 << 16;
+    g.bench_function(BenchmarkId::new("full", d), |b| {
+        let v = data(d, 1);
+        b.iter(|| {
+            let mut x = v.clone();
+            fwht(black_box(&mut x));
+            x
+        })
+    });
+    g.bench_function(BenchmarkId::new("partial_l8", d), |b| {
+        let v = data(d, 1);
+        b.iter(|| {
+            let mut x = v.clone();
+            fwht_iterations(black_box(&mut x), 8);
+            x
+        })
+    });
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selection");
+    let d = 1 << 16;
+    let v = data(d, 2);
+    g.bench_function("topk_over_d", |b| {
+        b.iter(|| top_k_indices(black_box(&v), d / 100))
+    });
+    // TopKC's equivalent: norms of 64-sized chunks, then top-k over d/64.
+    g.bench_function("topkc_chunk_norms_and_select", |b| {
+        b.iter(|| {
+            let norms: Vec<f32> = v
+                .chunks(64)
+                .map(gcs_tensor::vector::squared_norm)
+                .collect();
+            top_k_indices(black_box(&norms), norms.len() / 100)
+        })
+    });
+    g.finish();
+}
+
+fn bench_gram_schmidt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gram_schmidt");
+    for r in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("rows512", r), &r, |b, &r| {
+            let m0 = Matrix::from_vec(512, r, data(512 * r, 3));
+            b.iter(|| {
+                let mut m = m0.clone();
+                orthonormalize_columns(black_box(&mut m));
+                m
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ring_all_reduce(c: &mut Criterion) {
+    c.bench_function("ring_all_reduce_4x65536_f32", |b| {
+        let bufs: Vec<Vec<f32>> = (0..4).map(|w| data(1 << 16, w as u64)).collect();
+        b.iter(|| {
+            let mut bb = bufs.clone();
+            ring_all_reduce(black_box(&mut bb), &F32Sum, 4.0);
+            bb
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fwht,
+    bench_selection,
+    bench_gram_schmidt,
+    bench_ring_all_reduce
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 2 — throughput (rounds/second) of uncompressed baselines, varying
+//! training precision {TF32, FP32} × communication precision {FP16, FP32}.
+//!
+//! This is the calibration anchor of the whole suite: the cost models'
+//! constants were chosen so these eight cells land near the paper, and every
+//! other throughput table is derived from the same constants.
+
+use gcs_bench::{expect, header, paper_vs};
+use gcs_ddp::ThroughputModel;
+use gcs_gpusim::{ModelProfile, Precision};
+
+fn main() {
+    header(
+        "Table 2",
+        "Baseline throughput (rounds/s), train precision x comm precision",
+    );
+    let tm = ThroughputModel::paper_testbed();
+    let tasks = [
+        (
+            ModelProfile::bert_large(),
+            [
+                ("TF32+FP16", Precision::Tf32, 16.0, 3.32),
+                ("TF32+FP32", Precision::Tf32, 32.0, 2.44),
+                ("FP32+FP16", Precision::Fp32, 16.0, 3.17),
+                ("FP32+FP32", Precision::Fp32, 32.0, 2.36),
+            ],
+        ),
+        (
+            ModelProfile::vgg19(),
+            [
+                ("TF32+FP16", Precision::Tf32, 16.0, 9.31),
+                ("TF32+FP32", Precision::Tf32, 32.0, 6.59),
+                ("FP32+FP16", Precision::Fp32, 16.0, 8.73),
+                ("FP32+FP32", Precision::Fp32, 32.0, 6.37),
+            ],
+        ),
+    ];
+    for (model, cells) in tasks {
+        println!("\n{} ({} params):", model.name, model.params);
+        let mut fp16_beats_fp32 = true;
+        let mut prev = f64::INFINITY;
+        for (label, train, bits, paper) in cells {
+            let ours = tm.baseline_rounds_per_sec(&model, train, bits);
+            paper_vs(&format!("  {} {label}", model.name), paper, ours);
+            // Within a train precision, FP16 comm must beat FP32 comm.
+            if bits == 32.0 {
+                fp16_beats_fp32 &= prev > ours;
+            }
+            prev = ours;
+        }
+        expect(
+            "FP16 communication strictly beats FP32 at both training precisions",
+            fp16_beats_fp32,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 5 — throughput (rounds/s) of TopK (all-gather) vs TopKC
+//! (all-reduce) at equal bits-per-coordinate, both tasks.
+//!
+//! Expected shape: TopKC wins everywhere; the gap widens as b grows because
+//! all-gather traffic scales with `n·b` while all-reduce stays at `~2b`.
+
+use gcs_bench::{expect, header, paper_vs};
+use gcs_core::schemes::{topk::TopK, topkc::TopKC};
+use gcs_ddp::ThroughputModel;
+use gcs_gpusim::{ModelProfile, Precision};
+
+fn main() {
+    header(
+        "Table 5",
+        "Throughput (rounds/s): TopK (all-gather) vs TopKC (all-reduce)",
+    );
+    let tm = ThroughputModel::paper_testbed();
+    let n = 4;
+    let tasks = [
+        (
+            ModelProfile::bert_large(),
+            [(0.5, 5.53, 6.06), (2.0, 3.87, 6.02), (8.0, 2.50, 4.78)],
+        ),
+        (
+            ModelProfile::vgg19(),
+            [(0.5, 21.5, 24.9), (2.0, 13.9, 22.2), (8.0, 7.60, 15.2)],
+        ),
+    ];
+    for (model, cells) in tasks {
+        println!("\n{}:", model.name);
+        let mut topkc_always_wins = true;
+        for (b, paper_topk, paper_topkc) in cells {
+            let topk = TopK::with_bits(b, n, true);
+            let topkc = TopKC::paper_config(b, n);
+            let r_topk = tm.rounds_per_sec(&topk, &model, Precision::Tf32);
+            let r_topkc = tm.rounds_per_sec(&topkc, &model, Precision::Tf32);
+            paper_vs(&format!("  TopK  b={b}"), paper_topk, r_topk);
+            paper_vs(&format!("  TopKC b={b}"), paper_topkc, r_topkc);
+            topkc_always_wins &= r_topkc > r_topk;
+        }
+        expect("TopKC outperforms TopK at every b", topkc_always_wins);
+    }
+}

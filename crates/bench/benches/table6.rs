@@ -1,0 +1,39 @@
+//! Table 6 — TopK's compression overhead: the percentage of step time spent
+//! in the computationally heavy components (selection + rearrangement).
+//!
+//! Expected shape: a material fraction (paper: ~8–13%) across bit budgets,
+//! versus TopKC's negligible overhead printed alongside for contrast.
+
+use gcs_bench::{expect, header, measured_only, paper_vs};
+use gcs_core::schemes::{topk::TopK, topkc::TopKC};
+use gcs_ddp::ThroughputModel;
+use gcs_gpusim::{ModelProfile, Precision};
+
+fn main() {
+    header(
+        "Table 6",
+        "TopK compression overhead (% of training step time)",
+    );
+    let tm = ThroughputModel::paper_testbed();
+    let n = 4;
+    let tasks = [
+        (ModelProfile::bert_large(), [(0.5, 9.7), (2.0, 12.5), (8.0, 8.7)]),
+        (ModelProfile::vgg19(), [(0.5, 11.9), (2.0, 12.1), (8.0, 8.2)]),
+    ];
+    for (model, cells) in tasks {
+        println!("\n{}:", model.name);
+        let mut topkc_negligible = true;
+        for (b, paper_pct) in cells {
+            let topk = TopK::with_bits(b, n, true);
+            let frac = tm.step(&topk, &model, Precision::Tf32).compression_fraction();
+            paper_vs(&format!("  TopK  b={b} overhead %"), paper_pct, frac * 100.0);
+            let topkc = TopKC::paper_config(b, n);
+            let frac_c = tm
+                .step(&topkc, &model, Precision::Tf32)
+                .compression_fraction();
+            measured_only(&format!("  TopKC b={b} overhead %"), frac_c * 100.0);
+            topkc_negligible &= frac_c < frac;
+        }
+        expect("TopKC's compute overhead is below TopK's at every b", topkc_negligible);
+    }
+}

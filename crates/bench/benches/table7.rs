@@ -1,0 +1,72 @@
+//! Table 7 — vNMSE of aggregated gradients: TopK vs TopKC at equal
+//! bits-per-coordinate (BERT task).
+//!
+//! Expected shape: TopKC's error is lower at every b because the index-free
+//! encoding lets it aggregate more coordinates (`J' > K`) for the same
+//! budget, and spatial locality makes chunk selection nearly as good as
+//! exact top-k selection.
+//!
+//! Primary source: the BERT-calibrated synthetic gradient model (the Zipf
+//! exponent is fitted to the paper's *TopK* row only; the TopKC row is then
+//! a prediction). Supplementary: live BertMini gradients (ordering only).
+
+use gcs_bench::{expect, header, measured_only, paper_vs};
+use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::schemes::{topk::TopK, topkc::TopKC};
+use gcs_core::synthetic::GradientModel;
+use gcs_ddp::{Task, Trainer};
+use gcs_tensor::rng::SharedSeed;
+use gcs_tensor::vector::{mean, vnmse};
+
+fn synthetic_vnmse(scheme: &mut dyn CompressionScheme, rounds: u64) -> f64 {
+    let model = GradientModel::bert_like(1 << 18);
+    let mut sum = 0.0;
+    for r in 0..rounds {
+        let grads = model.generate(4, SharedSeed::new(7000 + r));
+        let exact = mean(&grads);
+        let out = scheme.aggregate_round(&grads, &RoundContext::new(77, r));
+        sum += vnmse(&out.mean_estimate, &exact);
+    }
+    sum / rounds as f64
+}
+
+fn main() {
+    header("Table 7", "vNMSE of aggregated gradients: TopK vs TopKC (BERT)");
+    let paper = [
+        (0.5, 0.303, 0.273),
+        (2.0, 0.185, 0.142),
+        (8.0, 0.0865, 0.0280),
+    ];
+
+    println!("primary: BERT-calibrated synthetic gradients");
+    let mut topkc_wins = true;
+    for (b, p_topk, p_topkc) in paper {
+        let c = if b < 1.0 { 128 } else { 64 };
+        let mut topk = TopK::with_bits(b, 4, false);
+        let mut topkc = TopKC::with_bits(b, c, 4, false);
+        let v_topk = synthetic_vnmse(&mut topk, 5);
+        let v_topkc = synthetic_vnmse(&mut topkc, 5);
+        paper_vs(&format!("TopK  b={b}"), p_topk, v_topk);
+        paper_vs(&format!("TopKC b={b}"), p_topkc, v_topkc);
+        topkc_wins &= v_topkc < v_topk;
+    }
+    expect("TopKC has lower vNMSE than TopK at every b", topkc_wins);
+
+    println!("\nsupplementary: live BertMini training gradients");
+    let task = Task::Bert;
+    let cfg = task.trainer_config();
+    for (b, _, _) in paper {
+        let c = if b < 1.0 { 128 } else { 64 };
+        let trainer = Trainer::new(cfg.clone());
+        let mut model = task.build_model(cfg.seed);
+        let mut topk = TopK::with_bits(b, cfg.n_workers, false);
+        let v_topk = trainer.measure_vnmse(model.as_mut(), &mut topk, 25);
+        let mut model = task.build_model(cfg.seed);
+        let mut topkc = TopKC::with_bits(b, c, cfg.n_workers, false);
+        let v_topkc = trainer.measure_vnmse(model.as_mut(), &mut topkc, 25);
+        measured_only(&format!("TopK  b={b} (live)"), v_topk);
+        measured_only(&format!("TopKC b={b} (live)"), v_topkc);
+    }
+    println!("(live mini-model gradients are far more concentrated than BERT-large's;");
+    println!(" absolute levels differ, see EXPERIMENTS.md)");
+}

@@ -1,0 +1,45 @@
+//! Table 8 — THC throughput: saturation at b=q ∈ {2,4} under
+//! {full, partial, no} rotation, vs the widened baseline (b=8, q=4).
+//!
+//! Expected shapes: (1) less rotation → higher throughput (partial recovers
+//! most of no-rotation's speed); (2) saturation at b=q=4 clearly beats the
+//! b=8 widened baseline (half the traffic).
+
+use gcs_bench::{expect, header, paper_vs};
+use gcs_ddp::{experiments::table8_schemes, ThroughputModel};
+use gcs_gpusim::{ModelProfile, Precision};
+
+fn main() {
+    header(
+        "Table 8",
+        "THC throughput (rounds/s): rotation modes x saturation vs widened",
+    );
+    let tm = ThroughputModel::paper_testbed();
+    // Paper rows in the same order as experiments::table8_schemes():
+    // Sat q=2 (full, partial, none), Sat q=4 (full, partial, none), BL b=8.
+    let paper_bert = [5.59, 5.75, 5.84, 5.37, 5.47, 5.54, 4.32];
+    let paper_vgg = [19.9, 21.5, 22.7, 18.4, 19.4, 20.3, 14.2];
+    for (model, paper) in [
+        (ModelProfile::bert_large(), paper_bert),
+        (ModelProfile::vgg19(), paper_vgg),
+    ] {
+        println!("\n{}:", model.name);
+        let schemes = table8_schemes(4);
+        let mut rates = Vec::new();
+        for ((label, scheme), p) in schemes.iter().zip(paper) {
+            let r = tm.rounds_per_sec(scheme, &model, Precision::Tf32);
+            paper_vs(&format!("  {label}"), p, r);
+            rates.push(r);
+        }
+        // Shape checks.
+        expect(
+            "no rotation > partial > full rotation (q=4)",
+            rates[5] > rates[4] && rates[4] > rates[3],
+        );
+        expect(
+            "saturation (b=q=4) beats the widened baseline (b=8)",
+            rates[3] > rates[6],
+        );
+        expect("q=2 is faster than q=4 at matching rotation", rates[0] > rates[3]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 9 — PowerSGD bits-per-coordinate and throughput vs rank r.
+//!
+//! Expected shapes: (1) b stays far below even 1 bit/coordinate while
+//! (2) throughput *drops* steeply with r — because Gram–Schmidt
+//! orthogonalization, not communication, is the bottleneck. The
+//! orthogonalization share of step time is printed to mirror the paper's
+//! profiling claim (39.7% / 47.4% at r=64).
+
+use gcs_bench::{expect, header, measured_only, paper_vs};
+use gcs_core::scheme::CompressionScheme;
+use gcs_core::schemes::powersgd::PowerSgd;
+use gcs_ddp::ThroughputModel;
+use gcs_gpusim::{ops, DeviceSpec, ModelProfile, Precision};
+
+fn main() {
+    header("Table 9", "PowerSGD bits/coordinate and throughput vs rank");
+    let tm = ThroughputModel::paper_testbed();
+    let device = DeviceSpec::a100();
+    let cells_bert = [(1u32, 0.0797, 5.49), (4, 0.217, 4.89), (16, 0.764, 4.01), (64, 2.95, 3.03)];
+    let cells_vgg = [(1u32, 0.0242, 21.0), (4, 0.0872, 19.8), (16, 0.339, 15.2), (64, 1.36, 11.0)];
+    for (model, cells, paper_gs_pct) in [
+        (ModelProfile::bert_large(), cells_bert, 39.7),
+        (ModelProfile::vgg19(), cells_vgg, 47.4),
+    ] {
+        println!("\n{}:", model.name);
+        let mut rates = Vec::new();
+        for (r, paper_b, paper_thr) in cells {
+            let scheme = PowerSgd::new(r, vec![(64, 64)], 4)
+                .with_cost_shapes(model.layer_shapes.clone());
+            let b = scheme.nominal_bits_per_coord(model.params);
+            let thr = tm.rounds_per_sec(&scheme, &model, Precision::Tf32);
+            paper_vs(&format!("  r={r:<3} bits/coord"), paper_b, b);
+            paper_vs(&format!("  r={r:<3} rounds/s  "), paper_thr, thr);
+            rates.push(thr);
+        }
+        // Orthogonalization share at r=64.
+        let gs_frac = ops::powersgd_gs_fraction(&model.layer_shapes, 64, &device);
+        let step = tm.step(
+            &PowerSgd::new(64, vec![(64, 64)], 4).with_cost_shapes(model.layer_shapes.clone()),
+            &model,
+            Precision::Tf32,
+        );
+        let gs_share_of_step =
+            gs_frac * step.compression / step.total() * 100.0 / (step.compression / step.total());
+        let gs_of_total = {
+            let gs: f64 = model
+                .layer_shapes
+                .iter()
+                .map(|&(rows, _)| ops::gram_schmidt(rows, 64, &device))
+                .sum();
+            gs / step.total() * 100.0
+        };
+        let _ = gs_share_of_step;
+        paper_vs("  r=64 orthogonalization % of step", paper_gs_pct, gs_of_total);
+        measured_only("  r=64 comm % of step", step.communication / step.total() * 100.0);
+        expect(
+            "throughput falls monotonically with rank",
+            rates.windows(2).all(|w| w[0] > w[1]),
+        );
+        expect(
+            "communication share stays small even at r=64 (compute-bound)",
+            step.communication / step.total() < 0.25,
+        );
+    }
+}

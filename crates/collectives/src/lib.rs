@@ -1,0 +1,37 @@
+//! # gcs-collectives
+//!
+//! Data-moving collective communication, the substrate NCCL provides on the
+//! paper's testbed.
+//!
+//! Unlike `gcs-netsim` (which models *time*), this crate moves *actual
+//! bytes*: the compression schemes run their aggregation through these
+//! collectives so that all-reduce compatibility — the paper's central design
+//! constraint (§2.1) — is enforced by construction, not by assumption. A
+//! scheme that would need decompress/recompress at intermediate hops simply
+//! cannot be expressed through [`ops`]'s reduction interface.
+//!
+//! * [`reduce`] — reduction operators: exact f32 sum, FP16-precision sum
+//!   (NCCL `ncclFloat16` semantics), and the saturating / wrapping / widened
+//!   q-bit integer sums that THC-style quantization needs.
+//! * [`ops`] — the collective algorithms themselves (ring all-reduce as
+//!   reduce-scatter + all-gather, binomial-tree all-reduce, all-gather,
+//!   reduce-scatter, broadcast, parameter-server), implemented generically
+//!   over element type and reduction operator, with exact per-worker
+//!   traffic accounting.
+//! * [`transport`] — message-passing execution: a crossbeam-channel
+//!   [`transport::ThreadedCluster`] runs one thread per worker; integration
+//!   tests assert the threaded ring all-reduce is bit-identical to the
+//!   sequential reference.
+
+pub mod advanced;
+pub mod ops;
+pub mod reduce;
+pub mod transport;
+
+pub use advanced::{double_tree_all_reduce, hierarchical_ring_all_reduce};
+pub use ops::{
+    all_gather, broadcast, parameter_server, reduce_scatter, ring_all_reduce, tree_all_reduce,
+    Traffic,
+};
+pub use reduce::{F16Sum, F32Max, F32Sum, ReduceOp, SaturatingIntSum, WideIntSum, WrappingIntSum};
+pub use transport::{threaded_ring_all_reduce, ThreadedCluster, WorkerLinks};

@@ -1,0 +1,457 @@
+//! The collective algorithms, operating on real data.
+//!
+//! Each function takes one buffer per worker and performs the collective by
+//! actually moving (cloning) data between buffers in the algorithm's
+//! step/segment structure, applying a [`ReduceOp`] at intermediate hops —
+//! so non-associativity effects (FP16 rounding order, saturation at partial
+//! aggregates) appear exactly where a real deployment would produce them.
+//!
+//! Every operation returns a [`Traffic`] record with exact per-worker byte
+//! counts; the timing layer (`gcs-netsim`) turns those into seconds.
+
+use crate::reduce::ReduceOp;
+
+/// Exact communication accounting for one collective invocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Bytes sent by each worker.
+    pub sent: Vec<u64>,
+    /// Bytes received by each worker.
+    pub received: Vec<u64>,
+    /// Number of synchronous communication steps.
+    pub steps: u32,
+}
+
+impl Traffic {
+    fn new(n: usize) -> Traffic {
+        Traffic {
+            sent: vec![0; n],
+            received: vec![0; n],
+            steps: 0,
+        }
+    }
+
+    fn record(&mut self, from: usize, to: usize, bytes: u64) {
+        self.sent[from] += bytes;
+        self.received[to] += bytes;
+    }
+
+    /// The heaviest single worker's sent bytes (the bandwidth bottleneck).
+    pub fn max_sent(&self) -> u64 {
+        self.sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total bytes crossing the network.
+    pub fn total(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Merges another collective's traffic (sequential composition).
+    ///
+    /// # Panics
+    /// Panics if worker counts differ.
+    pub fn merge(&mut self, other: &Traffic) {
+        assert_eq!(self.sent.len(), other.sent.len(), "Traffic::merge: n mismatch");
+        for (a, b) in self.sent.iter_mut().zip(&other.sent) {
+            *a += b;
+        }
+        for (a, b) in self.received.iter_mut().zip(&other.received) {
+            *a += b;
+        }
+        self.steps += other.steps;
+    }
+}
+
+fn segment_bounds(len: usize, n: usize, seg: usize) -> (usize, usize) {
+    // Segments as even as possible: first (len % n) segments get one extra.
+    let base = len / n;
+    let extra = len % n;
+    let start = seg * base + seg.min(extra);
+    let size = base + usize::from(seg < extra);
+    (start, start + size)
+}
+
+/// Ring all-reduce: reduce-scatter followed by all-gather, `2(n−1)` steps.
+///
+/// On return every worker's buffer holds the identical reduction of all
+/// inputs. The reduction order for segment `s` is fixed by the ring
+/// (worker `s+1, s+2, …` folding into the running partial), so
+/// non-associative operators give deterministic, realistic results.
+///
+/// # Panics
+/// Panics if buffers have unequal lengths or `bufs` is empty.
+pub fn ring_all_reduce<T: Clone>(
+    bufs: &mut [Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+) -> Traffic {
+    let n = bufs.len();
+    assert!(n > 0, "ring_all_reduce: no workers");
+    let len = bufs[0].len();
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "ring_all_reduce: ragged buffers"
+    );
+    let mut traffic = Traffic::new(n);
+    if n == 1 || len == 0 {
+        return traffic;
+    }
+
+    // Reduce-scatter: at step k, worker i sends segment (i - k) to i+1,
+    // which folds it into its own copy. After n-1 steps worker i owns the
+    // full reduction of segment (i + 1) mod n.
+    for k in 0..n - 1 {
+        // Capture the sends before mutating (simultaneous steps).
+        let mut pending: Vec<(usize, usize, Vec<T>)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let seg = (i + n - k) % n;
+            let (lo, hi) = segment_bounds(len, n, seg);
+            let dst = (i + 1) % n;
+            pending.push((dst, seg, bufs[i][lo..hi].to_vec()));
+            traffic.record(i, dst, ((hi - lo) as f64 * bytes_per_elem).ceil() as u64);
+        }
+        for (dst, seg, data) in pending {
+            let (lo, hi) = segment_bounds(len, n, seg);
+            op.reduce_slice(&mut bufs[dst][lo..hi], &data);
+        }
+        traffic.steps += 1;
+    }
+
+    // All-gather: worker i owns segment (i+1); circulate finished segments.
+    for k in 0..n - 1 {
+        let mut pending: Vec<(usize, usize, Vec<T>)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let seg = (i + 1 + n - k) % n;
+            let (lo, hi) = segment_bounds(len, n, seg);
+            let dst = (i + 1) % n;
+            pending.push((dst, seg, bufs[i][lo..hi].to_vec()));
+            traffic.record(i, dst, ((hi - lo) as f64 * bytes_per_elem).ceil() as u64);
+        }
+        for (dst, seg, data) in pending {
+            let (lo, hi) = segment_bounds(len, n, seg);
+            bufs[dst][lo..hi].clone_from_slice(&data);
+        }
+        traffic.steps += 1;
+    }
+    traffic
+}
+
+/// Tree (recursive-halving/doubling style) all-reduce for any `n`: reduce
+/// to worker 0 up a binomial tree, then broadcast down. `2·ceil(log2 n)`
+/// steps; `2×` the payload on the busiest link.
+///
+/// # Panics
+/// Panics on ragged or empty input.
+pub fn tree_all_reduce<T: Clone>(
+    bufs: &mut [Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+) -> Traffic {
+    let n = bufs.len();
+    assert!(n > 0, "tree_all_reduce: no workers");
+    let len = bufs[0].len();
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "tree_all_reduce: ragged buffers"
+    );
+    let mut traffic = Traffic::new(n);
+    if n == 1 || len == 0 {
+        return traffic;
+    }
+    let payload = (len as f64 * bytes_per_elem).ceil() as u64;
+
+    // Reduce up: at distance d, workers with (i % 2d == d) send to i - d.
+    let mut d = 1;
+    while d < n {
+        for i in 0..n {
+            if i % (2 * d) == d {
+                let dst = i - d;
+                let data = bufs[i].clone();
+                op.reduce_slice(&mut bufs[dst], &data);
+                traffic.record(i, dst, payload);
+            }
+        }
+        traffic.steps += 1;
+        d *= 2;
+    }
+    // Broadcast down, mirroring the reduce tree.
+    while d > 1 {
+        d /= 2;
+        for i in 0..n {
+            if i % (2 * d) == d {
+                let src = i - d;
+                bufs[i] = bufs[src].clone();
+                traffic.record(src, i, payload);
+            }
+        }
+        traffic.steps += 1;
+    }
+    traffic
+}
+
+/// All-gather: returns each worker's concatenated view `[w0 | w1 | …]`
+/// (identical across workers, so a single copy is returned), plus traffic:
+/// every worker sends its payload to all `n−1` peers.
+///
+/// # Panics
+/// Panics if `inputs` is empty. Ragged inputs are allowed (TopK payload
+/// sizes can differ per worker after ties).
+pub fn all_gather<T: Clone>(inputs: &[Vec<T>], bytes_per_elem: f64) -> (Vec<T>, Traffic) {
+    let n = inputs.len();
+    assert!(n > 0, "all_gather: no workers");
+    let mut traffic = Traffic::new(n);
+    let mut out = Vec::with_capacity(inputs.iter().map(Vec::len).sum());
+    for (i, inp) in inputs.iter().enumerate() {
+        let bytes = (inp.len() as f64 * bytes_per_elem).ceil() as u64;
+        for j in 0..n {
+            if j != i {
+                traffic.record(i, j, bytes);
+            }
+        }
+        out.extend(inp.iter().cloned());
+    }
+    traffic.steps = (n - 1) as u32;
+    (out, traffic)
+}
+
+/// Reduce-scatter: worker `i` ends with segment `i` of the reduction.
+/// Returns the per-worker segments; `(n−1)/n` of the payload crosses each
+/// link.
+///
+/// # Panics
+/// Panics on ragged or empty input.
+pub fn reduce_scatter<T: Clone>(
+    bufs: &[Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+) -> (Vec<Vec<T>>, Traffic) {
+    let n = bufs.len();
+    assert!(n > 0, "reduce_scatter: no workers");
+    let len = bufs[0].len();
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "reduce_scatter: ragged buffers"
+    );
+    let mut traffic = Traffic::new(n);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (lo, hi) = segment_bounds(len, n, i);
+        let mut acc = bufs[i][lo..hi].to_vec();
+        for j in 1..n {
+            let src = (i + j) % n;
+            op.reduce_slice(&mut acc, &bufs[src][lo..hi]);
+            traffic.record(src, i, ((hi - lo) as f64 * bytes_per_elem).ceil() as u64);
+        }
+        out.push(acc);
+    }
+    traffic.steps = (n - 1) as u32;
+    (out, traffic)
+}
+
+/// One-to-all broadcast from `root`.
+///
+/// # Panics
+/// Panics if `root >= n`.
+pub fn broadcast<T: Clone>(
+    bufs: &mut [Vec<T>],
+    root: usize,
+    bytes_per_elem: f64,
+) -> Traffic {
+    let n = bufs.len();
+    assert!(root < n, "broadcast: root {root} out of range");
+    let mut traffic = Traffic::new(n);
+    let data = bufs[root].clone();
+    let bytes = (data.len() as f64 * bytes_per_elem).ceil() as u64;
+    for (i, buf) in bufs.iter_mut().enumerate() {
+        if i != root {
+            *buf = data.clone();
+            traffic.record(root, i, bytes);
+        }
+    }
+    traffic.steps = 1;
+    traffic
+}
+
+/// Centralized parameter-server aggregation: all workers push to a PS
+/// (node outside the worker set), which reduces **in full precision head
+/// room** (the PS can allocate wider accumulators, §3.2.1) and pushes the
+/// result back. Returns the reduced vector.
+///
+/// # Panics
+/// Panics on ragged or empty input.
+pub fn parameter_server<T: Clone>(
+    bufs: &[Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+) -> (Vec<T>, Traffic) {
+    let n = bufs.len();
+    assert!(n > 0, "parameter_server: no workers");
+    let len = bufs[0].len();
+    assert!(
+        bufs.iter().all(|b| b.len() == len),
+        "parameter_server: ragged buffers"
+    );
+    let mut traffic = Traffic::new(n);
+    let bytes = (len as f64 * bytes_per_elem).ceil() as u64;
+    let mut acc = bufs[0].clone();
+    for (i, b) in bufs.iter().enumerate().skip(1) {
+        op.reduce_slice(&mut acc, b);
+        let _ = i;
+    }
+    // Push: every worker's send. Pull: every worker's receive. We count the
+    // PS-side congestion in the timing model, not here.
+    for i in 0..n {
+        traffic.sent[i] += bytes;
+        traffic.received[i] += bytes;
+    }
+    traffic.steps = 2;
+    (acc, traffic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{F32Sum, SaturatingIntSum};
+
+    fn worker_bufs(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|w| (0..len).map(|i| (w * len + i) as f32 * 0.01 - 1.0).collect())
+            .collect()
+    }
+
+    fn exact_sum(bufs: &[Vec<f32>]) -> Vec<f32> {
+        let mut out = vec![0.0f32; bufs[0].len()];
+        for b in bufs {
+            for (o, x) in out.iter_mut().zip(b) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ring_all_reduce_computes_the_sum() {
+        for n in [1usize, 2, 3, 4, 7] {
+            for len in [0usize, 1, 5, 64, 97] {
+                let mut bufs = worker_bufs(n, len);
+                let expect = exact_sum(&bufs);
+                ring_all_reduce(&mut bufs, &F32Sum, 4.0);
+                for b in &bufs {
+                    for (x, e) in b.iter().zip(&expect) {
+                        assert!((x - e).abs() < 1e-4, "n={n} len={len}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_traffic_matches_closed_form() {
+        let n = 4;
+        let len = 100;
+        let mut bufs = worker_bufs(n, len);
+        let t = ring_all_reduce(&mut bufs, &F32Sum, 4.0);
+        assert_eq!(t.steps, 2 * (n as u32 - 1));
+        // Each worker sends ~2(n-1)/n * len elements * 4 bytes.
+        let expect = (2.0 * (n as f64 - 1.0) / n as f64 * len as f64 * 4.0) as u64;
+        for &s in &t.sent {
+            assert!((s as i64 - expect as i64).unsigned_abs() <= 8, "{s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn tree_all_reduce_matches_ring_result() {
+        for n in [2usize, 3, 4, 5, 8] {
+            let mut a = worker_bufs(n, 33);
+            let mut b = a.clone();
+            ring_all_reduce(&mut a, &F32Sum, 4.0);
+            tree_all_reduce(&mut b, &F32Sum, 4.0);
+            for (x, y) in a[0].iter().zip(&b[0]) {
+                assert!((x - y).abs() < 1e-4);
+            }
+            // All workers identical after tree all-reduce.
+            for w in &b {
+                assert_eq!(w, &b[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates_and_counts() {
+        let inputs = vec![vec![1i32, 2], vec![3], vec![4, 5, 6]];
+        let (out, t) = all_gather(&inputs, 4.0);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(t.sent, vec![16, 8, 24]); // payload * (n-1)
+        assert_eq!(t.received[0], 4 + 12);
+    }
+
+    #[test]
+    fn reduce_scatter_segments_sum() {
+        let bufs = worker_bufs(3, 10);
+        let expect = exact_sum(&bufs);
+        let (segs, t) = reduce_scatter(&bufs, &F32Sum, 4.0);
+        let flat: Vec<f32> = segs.concat();
+        for (x, e) in flat.iter().zip(&expect) {
+            assert!((x - e).abs() < 1e-4);
+        }
+        assert_eq!(t.steps, 2);
+    }
+
+    #[test]
+    fn broadcast_copies_root() {
+        let mut bufs = vec![vec![0.0f32; 4], vec![1.0; 4], vec![2.0; 4]];
+        let t = broadcast(&mut bufs, 1, 4.0);
+        for b in &bufs {
+            assert_eq!(b, &vec![1.0; 4]);
+        }
+        assert_eq!(t.sent[1], 32);
+    }
+
+    #[test]
+    fn parameter_server_reduces() {
+        let bufs = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let (out, t) = parameter_server(&bufs, &F32Sum, 4.0);
+        assert_eq!(out, vec![4.0, 6.0]);
+        assert_eq!(t.sent, vec![8, 8]);
+    }
+
+    #[test]
+    fn saturating_ring_all_reduce_stays_in_range() {
+        // Four workers each contribute +6 in 4-bit lanes: the exact sum (24)
+        // saturates at 7 somewhere along the ring — and every worker agrees
+        // on the final (clamped) value.
+        let op = SaturatingIntSum::new(4);
+        let mut bufs: Vec<Vec<i32>> = (0..4).map(|_| vec![6i32; 8]).collect();
+        ring_all_reduce(&mut bufs, &op, 0.5);
+        for b in &bufs {
+            assert_eq!(b, &vec![7i32; 8]);
+        }
+    }
+
+    #[test]
+    fn ring_with_uneven_segments() {
+        // len=5, n=4: segments of 2,1,1,1.
+        let mut bufs = worker_bufs(4, 5);
+        let expect = exact_sum(&bufs);
+        ring_all_reduce(&mut bufs, &F32Sum, 4.0);
+        for (x, e) in bufs[2].iter().zip(&expect) {
+            assert!((x - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn traffic_merge_accumulates() {
+        let mut a = Traffic::new(2);
+        a.record(0, 1, 10);
+        a.steps = 1;
+        let mut b = Traffic::new(2);
+        b.record(1, 0, 5);
+        b.steps = 2;
+        a.merge(&b);
+        assert_eq!(a.sent, vec![10, 5]);
+        assert_eq!(a.received, vec![5, 10]);
+        assert_eq!(a.steps, 3);
+        assert_eq!(a.total(), 15);
+        assert_eq!(a.max_sent(), 10);
+    }
+}

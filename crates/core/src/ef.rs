@@ -1,0 +1,152 @@
+//! Error feedback (EF) — the memory mechanism that makes biased compressors
+//! converge.
+//!
+//! EF \[29, 44\] keeps, per worker, the residual between what the worker
+//! wanted to send and what the compressor actually delivered, and adds it
+//! back before the next compression. For TopK-style sparsifiers this is what
+//! guarantees every coordinate is eventually transmitted; for PowerSGD it is
+//! part of the algorithm's definition. The paper applies EF to both TopK and
+//! TopKC (§3.1.3).
+//!
+//! The helper here is deliberately dumb: schemes call
+//! [`ErrorFeedback::corrected`] to get `gradient + memory` and
+//! [`ErrorFeedback::update`] with the contribution that actually made it
+//! onto the wire. The *telescoping invariant* —
+//! `memory_{t+1} = corrected_t − sent_t`, so the cumulative sent stream
+//! equals the cumulative gradient stream minus the current memory — is
+//! property-tested.
+
+/// Per-worker error-feedback memories.
+#[derive(Clone, Debug)]
+pub struct ErrorFeedback {
+    memories: Vec<Vec<f32>>,
+    enabled: bool,
+}
+
+impl ErrorFeedback {
+    /// Creates EF state for `n_workers` workers; memories are lazily sized
+    /// on first use.
+    pub fn new(n_workers: usize, enabled: bool) -> ErrorFeedback {
+        ErrorFeedback {
+            memories: vec![Vec::new(); n_workers],
+            enabled,
+        }
+    }
+
+    /// Whether EF is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of workers this EF state tracks.
+    pub fn n_workers(&self) -> usize {
+        self.memories.len()
+    }
+
+    /// Returns `gradient + memory[worker]` (or a plain copy when disabled).
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range or the gradient length changed
+    /// between rounds.
+    pub fn corrected(&mut self, worker: usize, gradient: &[f32]) -> Vec<f32> {
+        let mem = &mut self.memories[worker];
+        if mem.is_empty() {
+            mem.resize(gradient.len(), 0.0);
+        }
+        assert_eq!(
+            mem.len(),
+            gradient.len(),
+            "ErrorFeedback: gradient dimension changed"
+        );
+        if !self.enabled {
+            return gradient.to_vec();
+        }
+        gradient.iter().zip(mem.iter()).map(|(g, m)| g + m).collect()
+    }
+
+    /// Records what was actually sent: `memory[worker] = corrected − sent`.
+    /// No-op when disabled.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn update(&mut self, worker: usize, corrected: &[f32], sent: &[f32]) {
+        if !self.enabled {
+            return;
+        }
+        assert_eq!(corrected.len(), sent.len(), "ErrorFeedback: length mismatch");
+        let mem = &mut self.memories[worker];
+        mem.clear();
+        mem.extend(corrected.iter().zip(sent).map(|(c, s)| c - s));
+    }
+
+    /// Current memory L2 norm for `worker` (diagnostics).
+    pub fn memory_norm(&self, worker: usize) -> f32 {
+        gcs_tensor::vector::norm(&self.memories[worker])
+    }
+
+    /// Clears all memories.
+    pub fn reset(&mut self) {
+        for m in &mut self.memories {
+            m.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telescoping_invariant() {
+        // Over T rounds of a "send only the first coordinate" compressor,
+        // cumulative sent = cumulative gradients - final memory.
+        let mut ef = ErrorFeedback::new(1, true);
+        let grads = [vec![1.0f32, 0.5], vec![0.2, 0.4], vec![-0.3, 0.1]];
+        let mut cum_sent = vec![0.0f32; 2];
+        let mut cum_grad = vec![0.0f32; 2];
+        for g in &grads {
+            let corrected = ef.corrected(0, g);
+            let sent = vec![corrected[0], 0.0]; // biased compressor
+            ef.update(0, &corrected, &sent);
+            for i in 0..2 {
+                cum_sent[i] += sent[i];
+                cum_grad[i] += g[i];
+            }
+        }
+        // Coordinate 0 is always fully sent; coordinate 1 accumulates.
+        assert!((cum_sent[0] - cum_grad[0]).abs() < 1e-6);
+        assert!((cum_grad[1] - ef.memories[0][1] - cum_sent[1]).abs() < 1e-6);
+        assert!(ef.memory_norm(0) > 0.0);
+    }
+
+    #[test]
+    fn disabled_ef_is_identity() {
+        let mut ef = ErrorFeedback::new(2, false);
+        let g = vec![1.0f32, 2.0];
+        let c = ef.corrected(1, &g);
+        assert_eq!(c, g);
+        ef.update(1, &c, &[0.0, 0.0]);
+        let c2 = ef.corrected(1, &g);
+        assert_eq!(c2, g); // nothing remembered
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut ef = ErrorFeedback::new(1, true);
+        let g = vec![1.0f32];
+        let c = ef.corrected(0, &g);
+        ef.update(0, &c, &[0.0]);
+        assert!(ef.memory_norm(0) > 0.0);
+        ef.reset();
+        let c = ef.corrected(0, &g);
+        assert_eq!(c, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension changed")]
+    fn dimension_change_is_detected() {
+        let mut ef = ErrorFeedback::new(1, true);
+        ef.corrected(0, &[1.0, 2.0]);
+        ef.corrected(0, &[1.0]);
+    }
+}

@@ -1,0 +1,420 @@
+//! The paper's evaluation framework: TTA curves, vNMSE, early stopping, and
+//! the utility score.
+//!
+//! §2.2's argument, made executable:
+//!
+//! * **TTA is a curve, not a point.** [`TtaCurve`] stores (time, metric)
+//!   points; [`TtaCurve::time_to_target`] answers "how long to reach
+//!   accuracy X" for *any* X, and [`compare`] reports crossovers between two
+//!   schemes instead of a single winner.
+//! * **Rolling averages** smooth the raw evaluation series exactly as the
+//!   paper does for its figures (0.3 epochs for BERT, 10 for VGG).
+//! * **Early stopping** uses Prechelt's GL criterion \[39\], the paper's cited
+//!   convergence standard.
+//! * **Utility** is TTA improvement over the *FP16* baseline — the paper's
+//!   headline definition (§1): a scheme whose TTA merely beats FP32 has not
+//!   demonstrated utility.
+//! * **vNMSE** (re-exported from `gcs-tensor`) is the cheap proxy for
+//!   parameter tuning.
+
+pub use gcs_tensor::vector::vnmse;
+
+/// Whether larger metric values are better (accuracy) or worse (perplexity,
+/// loss).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Higher is better (e.g. top-1 accuracy).
+    HigherIsBetter,
+    /// Lower is better (e.g. perplexity).
+    LowerIsBetter,
+}
+
+impl Direction {
+    /// True if `a` is at least as good as `b`.
+    pub fn at_least_as_good(self, a: f64, b: f64) -> bool {
+        match self {
+            Direction::HigherIsBetter => a >= b,
+            Direction::LowerIsBetter => a <= b,
+        }
+    }
+
+    /// The better of two values.
+    pub fn better(self, a: f64, b: f64) -> f64 {
+        if self.at_least_as_good(a, b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+/// A time-to-accuracy curve: the fundamental end-to-end evaluation object.
+#[derive(Clone, Debug)]
+pub struct TtaCurve {
+    /// (wall-clock seconds, metric value), time strictly increasing.
+    pub points: Vec<(f64, f64)>,
+    /// Metric direction.
+    pub direction: Direction,
+    /// Label for reports.
+    pub label: String,
+}
+
+impl TtaCurve {
+    /// Creates an empty curve.
+    pub fn new(label: impl Into<String>, direction: Direction) -> TtaCurve {
+        TtaCurve {
+            points: Vec::new(),
+            direction,
+            label: label.into(),
+        }
+    }
+
+    /// Appends an evaluation point.
+    ///
+    /// # Panics
+    /// Panics if `time` does not increase.
+    pub fn push(&mut self, time: f64, metric: f64) {
+        if let Some(&(t, _)) = self.points.last() {
+            assert!(time > t, "TtaCurve: time must increase ({time} after {t})");
+        }
+        self.points.push((time, metric));
+    }
+
+    /// Returns a new curve whose metric is the rolling average over a
+    /// window of `window` points (the paper smooths over 3750 rounds for
+    /// BERT, 7810 for VGG before plotting).
+    pub fn rolling_average(&self, window: usize) -> TtaCurve {
+        let window = window.max(1);
+        let mut out = TtaCurve::new(self.label.clone(), self.direction);
+        let mut sum = 0.0;
+        let mut buf: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+        for &(t, m) in &self.points {
+            buf.push_back(m);
+            sum += m;
+            if buf.len() > window {
+                sum -= buf.pop_front().unwrap();
+            }
+            out.points.push((t, sum / buf.len() as f64));
+        }
+        out
+    }
+
+    /// Earliest time at which the (already smoothed) metric reaches
+    /// `target`; `None` if it never does — the paper's point that not every
+    /// scheme can meet every accuracy target.
+    pub fn time_to_target(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(_, m)| self.direction.at_least_as_good(m, target))
+            .map(|&(t, _)| t)
+    }
+
+    /// The best metric value achieved anywhere on the curve.
+    pub fn best_metric(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, m)| m)
+            .reduce(|a, b| self.direction.better(a, b))
+    }
+
+    /// The final (last-point) metric.
+    pub fn final_metric(&self) -> Option<f64> {
+        self.points.last().map(|&(_, m)| m)
+    }
+
+    /// Total trained time.
+    pub fn total_time(&self) -> f64 {
+        self.points.last().map(|&(t, _)| t).unwrap_or(0.0)
+    }
+}
+
+impl TtaCurve {
+    /// Serializes the curve as CSV lines `label,time,metric` (no header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for &(t, m) in &self.points {
+            out.push_str(&format!("{},{t},{m}\n", self.label));
+        }
+        out
+    }
+
+    /// Parses a curve from [`TtaCurve::to_csv`] output (all lines must
+    /// share one label).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn from_csv(csv: &str, direction: Direction) -> Result<TtaCurve, String> {
+        let mut curve: Option<TtaCurve> = None;
+        for (lineno, line) in csv.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ',');
+            let label = parts.next().ok_or_else(|| format!("line {lineno}: empty"))?;
+            let t: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing time"))?
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {lineno}: bad time: {e}"))?;
+            let m: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing metric"))?
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {lineno}: bad metric: {e}"))?;
+            let c = curve.get_or_insert_with(|| TtaCurve::new(label, direction));
+            if c.label != label {
+                return Err(format!("line {lineno}: label changed mid-file"));
+            }
+            c.push(t, m);
+        }
+        curve.ok_or_else(|| "empty csv".to_string())
+    }
+}
+
+/// The utility of `scheme` relative to `baseline` at a given `target`:
+/// `baseline_TTA / scheme_TTA` (>1 means the scheme is useful). Returns:
+///
+/// * `None` if the *baseline* never reaches the target (the target is
+///   unreasonable);
+/// * `Some(0.0)` if the baseline reaches it but the scheme never does — the
+///   compression destroyed final accuracy, the failure mode §2.2 warns
+///   about;
+/// * `Some(ratio)` otherwise.
+pub fn utility(scheme: &TtaCurve, baseline: &TtaCurve, target: f64) -> Option<f64> {
+    let base = baseline.time_to_target(target)?;
+    match scheme.time_to_target(target) {
+        Some(t) if t > 0.0 => Some(base / t),
+        Some(_) => Some(f64::INFINITY),
+        None => Some(0.0),
+    }
+}
+
+/// A crossover-aware comparison of two TTA curves over a grid of targets
+/// between the weaker and stronger curve's best metric. Returns, per
+/// target, which curve wins — making the paper's "curves can intersect"
+/// point (§2.2) directly visible.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// (target metric, winner label, tta_a, tta_b).
+    pub rows: Vec<(f64, String, Option<f64>, Option<f64>)>,
+}
+
+/// Compares two curves on `targets`.
+pub fn compare(a: &TtaCurve, b: &TtaCurve, targets: &[f64]) -> Comparison {
+    let mut rows = Vec::new();
+    for &target in targets {
+        let ta = a.time_to_target(target);
+        let tb = b.time_to_target(target);
+        let winner = match (ta, tb) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    a.label.clone()
+                } else {
+                    b.label.clone()
+                }
+            }
+            (Some(_), None) => a.label.clone(),
+            (None, Some(_)) => b.label.clone(),
+            (None, None) => "neither".to_string(),
+        };
+        rows.push((target, winner, ta, tb));
+    }
+    Comparison { rows }
+}
+
+/// Early stopping via Prechelt's GL (generalization loss) criterion \[39\]:
+/// stop when the validation loss exceeds the best seen so far by more than
+/// `alpha` percent for `patience` consecutive evaluations.
+///
+/// Metrics with [`Direction::HigherIsBetter`] are internally negated.
+#[derive(Clone, Debug)]
+pub struct EarlyStopping {
+    alpha: f64,
+    patience: usize,
+    direction: Direction,
+    best: Option<f64>,
+    strikes: usize,
+    min_evals: usize,
+    seen: usize,
+}
+
+impl EarlyStopping {
+    /// Creates the stopper. `alpha` is the GL threshold in percent (Prechelt
+    /// suggests ~5); `patience` the consecutive violations required;
+    /// `min_evals` a warm-up before stopping is allowed.
+    pub fn new(alpha: f64, patience: usize, min_evals: usize, direction: Direction) -> EarlyStopping {
+        EarlyStopping {
+            alpha,
+            patience: patience.max(1),
+            direction,
+            best: None,
+            strikes: 0,
+            min_evals,
+            seen: 0,
+        }
+    }
+
+    /// Feeds one validation metric; returns true when training should stop.
+    pub fn observe(&mut self, metric: f64) -> bool {
+        // Convert to a loss (lower is better, positive).
+        let loss = match self.direction {
+            Direction::LowerIsBetter => metric,
+            Direction::HigherIsBetter => 1.0 - metric,
+        };
+        self.seen += 1;
+        let best = self.best.get_or_insert(loss);
+        if loss < *best {
+            *best = loss;
+            self.strikes = 0;
+            return false;
+        }
+        let gl = if *best > 0.0 {
+            100.0 * (loss / *best - 1.0)
+        } else {
+            100.0 * loss
+        };
+        if gl > self.alpha {
+            self.strikes += 1;
+        } else {
+            self.strikes = 0;
+        }
+        self.seen >= self.min_evals && self.strikes >= self.patience
+    }
+
+    /// Best (lowest) internal loss seen so far.
+    pub fn best_loss(&self) -> Option<f64> {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(f64, f64)], dir: Direction) -> TtaCurve {
+        let mut c = TtaCurve::new("c", dir);
+        for &(t, m) in points {
+            c.push(t, m);
+        }
+        c
+    }
+
+    #[test]
+    fn time_to_target_interpolates_forward() {
+        let c = curve(
+            &[(1.0, 0.2), (2.0, 0.5), (3.0, 0.7)],
+            Direction::HigherIsBetter,
+        );
+        assert_eq!(c.time_to_target(0.5), Some(2.0));
+        assert_eq!(c.time_to_target(0.6), Some(3.0));
+        assert_eq!(c.time_to_target(0.9), None);
+        assert_eq!(c.best_metric(), Some(0.7));
+    }
+
+    #[test]
+    fn perplexity_direction() {
+        let c = curve(
+            &[(1.0, 9.0), (2.0, 6.0), (3.0, 5.0)],
+            Direction::LowerIsBetter,
+        );
+        assert_eq!(c.time_to_target(6.0), Some(2.0));
+        assert_eq!(c.time_to_target(4.0), None);
+        assert_eq!(c.best_metric(), Some(5.0));
+    }
+
+    #[test]
+    fn rolling_average_smooths() {
+        let c = curve(
+            &[(1.0, 0.0), (2.0, 1.0), (3.0, 0.0), (4.0, 1.0)],
+            Direction::HigherIsBetter,
+        );
+        let r = c.rolling_average(2);
+        assert_eq!(r.points[0].1, 0.0);
+        assert_eq!(r.points[1].1, 0.5);
+        assert_eq!(r.points[2].1, 0.5);
+        // Window of 1 is identity.
+        let id = c.rolling_average(1);
+        assert_eq!(id.points, c.points);
+    }
+
+    #[test]
+    fn utility_ratios() {
+        let fast = curve(&[(1.0, 0.5), (2.0, 0.9)], Direction::HigherIsBetter);
+        let slow = curve(&[(2.0, 0.5), (4.0, 0.9)], Direction::HigherIsBetter);
+        // fast reaches 0.9 at t=2, slow at t=4: utility of fast vs slow = 2.
+        assert_eq!(utility(&fast, &slow, 0.9), Some(2.0));
+        // A scheme that never converges has utility 0.
+        let broken = curve(&[(1.0, 0.3), (2.0, 0.3)], Direction::HigherIsBetter);
+        assert_eq!(utility(&broken, &slow, 0.9), Some(0.0));
+        // Unreachable target: None.
+        assert_eq!(utility(&fast, &slow, 0.99), None);
+    }
+
+    #[test]
+    fn comparison_reports_crossovers() {
+        // a converges fast to 0.6; b converges slower but higher (0.9):
+        // the canonical crossing-curves example from §2.2.
+        let a = curve(&[(1.0, 0.6), (10.0, 0.61)], Direction::HigherIsBetter);
+        let b = curve(&[(2.0, 0.3), (5.0, 0.9)], Direction::HigherIsBetter);
+        let cmp = compare(&a, &b, &[0.5, 0.8]);
+        assert_eq!(cmp.rows[0].1, "c"); // both labelled "c"... use labels:
+        let mut a = a;
+        a.label = "A".into();
+        let mut b = b;
+        b.label = "B".into();
+        let cmp = compare(&a, &b, &[0.5, 0.8]);
+        assert_eq!(cmp.rows[0].1, "A"); // low target: fast converger wins
+        assert_eq!(cmp.rows[1].1, "B"); // high target: only B gets there
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut c = TtaCurve::new("scheme-x", Direction::LowerIsBetter);
+        c.push(1.5, 30.0);
+        c.push(3.0, 12.25);
+        let csv = c.to_csv();
+        let back = TtaCurve::from_csv(&csv, Direction::LowerIsBetter).unwrap();
+        assert_eq!(back.label, "scheme-x");
+        assert_eq!(back.points, c.points);
+        assert!(TtaCurve::from_csv("", Direction::LowerIsBetter).is_err());
+        assert!(TtaCurve::from_csv("a,1,nope", Direction::LowerIsBetter).is_err());
+    }
+
+    #[test]
+    fn early_stopping_stops_on_plateau() {
+        let mut es = EarlyStopping::new(5.0, 2, 3, Direction::LowerIsBetter);
+        assert!(!es.observe(10.0));
+        assert!(!es.observe(8.0));
+        assert!(!es.observe(9.0)); // 12.5% worse: strike 1
+        assert!(es.observe(9.5)); // strike 2 -> stop
+        assert_eq!(es.best_loss(), Some(8.0));
+    }
+
+    #[test]
+    fn early_stopping_resets_on_improvement() {
+        let mut es = EarlyStopping::new(5.0, 2, 0, Direction::LowerIsBetter);
+        assert!(!es.observe(10.0));
+        assert!(!es.observe(11.0)); // strike 1
+        assert!(!es.observe(9.0)); // new best: strikes reset
+        assert!(!es.observe(10.0)); // strike 1 again
+        assert!(es.observe(10.0)); // strike 2
+    }
+
+    #[test]
+    fn early_stopping_accuracy_direction() {
+        let mut es = EarlyStopping::new(5.0, 1, 0, Direction::HigherIsBetter);
+        assert!(!es.observe(0.5));
+        assert!(!es.observe(0.8));
+        assert!(es.observe(0.5)); // loss 0.5 vs best 0.2: way past 5%
+    }
+
+    #[test]
+    #[should_panic(expected = "time must increase")]
+    fn non_monotone_time_rejected() {
+        let mut c = TtaCurve::new("x", Direction::HigherIsBetter);
+        c.push(1.0, 0.1);
+        c.push(1.0, 0.2);
+    }
+}

@@ -1,0 +1,31 @@
+//! The compression schemes of the case study (§3) plus literature
+//! baselines.
+//!
+//! | module | scheme | family | aggregation |
+//! |---|---|---|---|
+//! | [`baseline`] | FP32 / FP16 | none | ring all-reduce |
+//! | [`topk`] | TopK \[12, 51\] | sparsification | all-gather |
+//! | [`topkc`] | **TopKC** (ours, §3.1.2) | sparsification | ring all-reduce |
+//! | [`thc`] | THC \[34\] + **saturation/partial rotation** (§3.2.2) | quantization | ring all-reduce |
+//! | [`powersgd`] | PowerSGD \[57\] | low-rank | ring all-reduce |
+//! | [`topkc_q`] | **TopKC-Q** (extension, §3.1.2's generalization note) | sparsification + quantization | ring all-reduce |
+//! | [`sketch`] | FetchSGD-style linear sketching (extension) | sketching | ring all-reduce |
+//! | [`literature`] | QSGD, TernGrad, signSGD+EF, RandomK, DRIVE | various | various |
+
+pub mod baseline;
+pub mod literature;
+pub mod powersgd;
+pub mod sketch;
+pub mod thc;
+pub mod topk;
+pub mod topkc;
+pub mod topkc_q;
+
+pub use baseline::{CommPrecision, PrecisionBaseline};
+pub use literature::{Drive, Qsgd, RandomK, SignSgdEf, TernGrad};
+pub use powersgd::PowerSgd;
+pub use thc::{Thc, ThcAggregation};
+pub use topk::TopK;
+pub use topkc::TopKC;
+pub use sketch::SketchScheme;
+pub use topkc_q::TopKCQ;

@@ -1,0 +1,504 @@
+//! THC-style stochastic quantization with the paper's two improvements:
+//! **partial rotation** and **saturation-based aggregation** (§3.2).
+//!
+//! Pipeline per round:
+//!
+//! 1. Pad the gradient to `2^l` and apply a Randomized Hadamard Transform —
+//!    fully (`l` iterations), partially (`l' = log2(shared-memory block)`
+//!    iterations ≡ independent per-block rotations), or not at all.
+//! 2. Agree on per-block symmetric scales: each worker's per-block max
+//!    magnitude is max-all-reduced (tiny payload), so every worker uses the
+//!    *same* quantization grid — a precondition for summing lanes at
+//!    intermediate hops.
+//! 3. Stochastically round each coordinate to a signed `q`-bit lane
+//!    (unbiased).
+//! 4. Aggregate lanes with a ring all-reduce whose reduction is either
+//!    the paper's **`Sat(·,·)`** operator at `b = q` bits (§3.2.2), or THC's
+//!    original "simple adaptation": widen to `b > q` bits so sums cannot
+//!    overflow — more traffic, still `n`-limited.
+//! 5. Rescale, inverse-rotate, truncate.
+//!
+//! Why saturation is safe *after rotation*: the RHT spreads each gradient
+//! into approximately Gaussian coordinates concentrated near zero, and
+//! opposite-signed contributions cancel during summation, so clamping at
+//! `±(2^{b−1}−1)` rarely triggers (§3.2.2). Without rotation the raw
+//! gradient's heavy tail saturates far more often — tests below check
+//! exactly this.
+
+use crate::scheme::{AggregationOutcome, CommEvent, CompressionScheme, RoundContext};
+use gcs_collectives::{ring_all_reduce, F32Max, SaturatingIntSum, WideIntSum};
+use gcs_gpusim::{ops, DeviceSpec};
+use gcs_netsim::Collective;
+use gcs_tensor::hadamard::{padded_len, rht_forward, rht_inverse, RotationMode};
+use gcs_tensor::half::F16;
+use gcs_tensor::rng::{worker_rng, SharedSeed, Stream};
+use rand::Rng;
+
+/// How quantized lanes are aggregated across workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThcAggregation {
+    /// The paper's saturation operator at `b = q` bits — no widening.
+    Saturating,
+    /// THC's simple adaptation: widen lanes to `b > q` bits so the exact sum
+    /// fits. `b` must satisfy `b >= q + ceil(log2 n)`.
+    Widened {
+        /// Communication bits per lane.
+        b: u32,
+    },
+}
+
+/// THC quantization scheme.
+#[derive(Clone, Debug)]
+pub struct Thc {
+    q: u32,
+    rotation: RotationMode,
+    aggregation: ThcAggregation,
+    n_workers: usize,
+}
+
+impl Thc {
+    /// Creates THC with `q`-bit quantization.
+    ///
+    /// # Panics
+    /// Panics if `q < 2` or a widened config has `b < q`.
+    pub fn new(
+        q: u32,
+        rotation: RotationMode,
+        aggregation: ThcAggregation,
+        n_workers: usize,
+    ) -> Thc {
+        assert!((2..=16).contains(&q), "Thc: q={q} out of range");
+        if let ThcAggregation::Widened { b } = aggregation {
+            assert!(b >= q, "Thc: widened b={b} must be >= q={q}");
+        }
+        Thc {
+            q,
+            rotation,
+            aggregation,
+            n_workers,
+        }
+    }
+
+    /// The paper's improved configuration: partial rotation sized to the
+    /// device's shared memory + saturation at `b = q`.
+    pub fn improved(q: u32, device: &DeviceSpec, n_workers: usize) -> Thc {
+        Thc::new(
+            q,
+            RotationMode::Partial {
+                block_log2: device.shared_mem_block_log2(),
+            },
+            ThcAggregation::Saturating,
+            n_workers,
+        )
+    }
+
+    /// The baseline THC adaptation from §3.2.1: full rotation, widened to
+    /// `b = q + 4` (the paper's Table 8 baseline uses q=4, b=8).
+    pub fn baseline(q: u32, n_workers: usize) -> Thc {
+        Thc::new(
+            q,
+            RotationMode::Full,
+            ThcAggregation::Widened { b: q + 4 },
+            n_workers,
+        )
+    }
+
+    /// Communication bits per lane.
+    pub fn wire_bits(&self) -> u32 {
+        match self.aggregation {
+            ThcAggregation::Saturating => self.q,
+            ThcAggregation::Widened { b } => b,
+        }
+    }
+
+    fn qmax(&self) -> i32 {
+        (1i32 << (self.q - 1)) - 1
+    }
+
+    /// The widening THC's simple adaptation needs to make the exact sum of
+    /// this cluster's `n` workers overflow-free: `q + ceil(log2 n)` bits.
+    /// The paper's point (§3.2.2) is that this grows with `n` while
+    /// saturation stays at `b = q`.
+    pub fn overflow_free_bits(&self) -> u32 {
+        self.q + (self.n_workers.max(1) as f64).log2().ceil() as u32
+    }
+
+    /// Functional padded length for a gradient of `d` coordinates.
+    ///
+    /// Full rotation genuinely needs the next power of two; partial rotation
+    /// only needs a multiple of the block size (the paper's observation that
+    /// partial rotation ≡ independent per-block rotations); no rotation
+    /// needs no padding. Production systems rotate per-bucket, so padding
+    /// overhead is negligible there — the *cost* accounting below therefore
+    /// uses `d` directly (see `EXPERIMENTS.md`).
+    fn padded_for(&self, d: usize) -> usize {
+        match self.rotation {
+            RotationMode::Full => padded_len(d.max(1)),
+            RotationMode::Partial { block_log2 } => {
+                let block = 1usize << block_log2;
+                d.max(1).div_ceil(block) * block
+            }
+            RotationMode::None => d.max(1),
+        }
+    }
+
+    /// Scale-metadata block length for a padded vector.
+    fn block_len_for(&self, padded: usize) -> usize {
+        match self.rotation {
+            RotationMode::Full => padded,
+            RotationMode::Partial { block_log2 } => (1usize << block_log2).min(padded.max(1)),
+            RotationMode::None => padded,
+        }
+    }
+
+    /// Scale metadata blocks for a padded vector.
+    fn scale_blocks(&self, padded: usize) -> usize {
+        padded.max(1).div_ceil(self.block_len_for(padded))
+    }
+
+    /// Applies the rotation in place (vector length must be a multiple of
+    /// the block length; full rotation requires a power of two).
+    fn rotate(&self, v: &mut [f32], seed: SharedSeed, inverse: bool) {
+        match self.rotation {
+            RotationMode::None => {}
+            RotationMode::Full => {
+                let l = if v.len() <= 1 {
+                    0
+                } else {
+                    v.len().trailing_zeros() as usize
+                };
+                if inverse {
+                    rht_inverse(v, l, seed);
+                } else {
+                    rht_forward(v, l, seed);
+                }
+            }
+            RotationMode::Partial { block_log2 } => {
+                let block = (1usize << block_log2).min(v.len().max(1));
+                if inverse {
+                    for chunk in v.chunks_mut(block) {
+                        gcs_tensor::hadamard::fwht(chunk);
+                    }
+                    gcs_tensor::hadamard::rademacher_diagonal(v, seed);
+                } else {
+                    gcs_tensor::hadamard::rademacher_diagonal(v, seed);
+                    for chunk in v.chunks_mut(block) {
+                        gcs_tensor::hadamard::fwht(chunk);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CompressionScheme for Thc {
+    fn name(&self) -> String {
+        let rot = match self.rotation {
+            RotationMode::Full => "full-rot",
+            RotationMode::Partial { .. } => "partial-rot",
+            RotationMode::None => "no-rot",
+        };
+        match self.aggregation {
+            ThcAggregation::Saturating => format!("THC-Sat(q={}, {rot})", self.q),
+            ThcAggregation::Widened { b } => format!("THC-Wide(q={}, b={b}, {rot})", self.q),
+        }
+    }
+
+    fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let n = grads.len();
+        let d = grads[0].len();
+        let padded = self.padded_for(d);
+        let seed = SharedSeed::derive(ctx.experiment_seed, ctx.round, Stream::RhtSigns);
+        let qmax = self.qmax();
+
+        // Rotate.
+        let rotated: Vec<Vec<f32>> = grads
+            .iter()
+            .map(|g| {
+                let mut v = g.clone();
+                v.resize(padded, 0.0);
+                self.rotate(&mut v, seed, false);
+                v
+            })
+            .collect();
+
+        // Agree on per-block scales (max |value| across workers), rounded
+        // to FP16 for the wire.
+        let blocks = self.scale_blocks(padded);
+        let block_len = self.block_len_for(padded);
+        let mut scale_bufs: Vec<Vec<f32>> = rotated
+            .iter()
+            .map(|v| {
+                v.chunks(block_len)
+                    .map(|c| {
+                        let m = c.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+                        F16::from_f32(m).to_f32()
+                    })
+                    .collect()
+            })
+            .collect();
+        let scale_traffic = ring_all_reduce(&mut scale_bufs, &F32Max, 2.0);
+        let scales = scale_bufs.into_iter().next().expect("no workers");
+
+        // Quantize each worker's rotated gradient to signed q-bit lanes with
+        // unbiased stochastic rounding (private randomness).
+        let mut lane_bufs: Vec<Vec<i32>> = Vec::with_capacity(n);
+        for (w, v) in rotated.iter().enumerate() {
+            let mut rng = worker_rng(ctx.experiment_seed ^ 0x74c0u64, w, ctx.round);
+            let lanes: Vec<i32> = v
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    let s = scales[i / block_len];
+                    if s <= 0.0 {
+                        return 0;
+                    }
+                    let y = (x / s) * qmax as f32;
+                    let lo = y.floor();
+                    let frac = y - lo;
+                    let up: bool = rng.gen::<f32>() < frac;
+                    ((lo as i32) + i32::from(up)).clamp(-qmax, qmax)
+                })
+                .collect();
+            lane_bufs.push(lanes);
+        }
+
+        // Aggregate lanes.
+        let wire_bits = self.wire_bits();
+        let lane_traffic = match self.aggregation {
+            ThcAggregation::Saturating => {
+                ring_all_reduce(&mut lane_bufs, &SaturatingIntSum::new(self.q), self.q as f64 / 8.0)
+            }
+            ThcAggregation::Widened { b } => {
+                ring_all_reduce(&mut lane_bufs, &WideIntSum, b as f64 / 8.0)
+            }
+        };
+
+        // Decode: rescale, inverse rotation, truncate, divide by n.
+        let mut est: Vec<f32> = lane_bufs[0]
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l as f32 * scales[i / block_len] / qmax as f32)
+            .collect();
+        self.rotate(&mut est, seed, true);
+        est.truncate(d);
+        gcs_tensor::vector::scale(&mut est, 1.0 / n as f32);
+
+        let mut traffic = scale_traffic;
+        traffic.merge(&lane_traffic);
+        AggregationOutcome {
+            mean_estimate: est,
+            comm: vec![
+                CommEvent {
+                    collective: Collective::RingAllReduce,
+                    payload_bytes: blocks as f64 * 2.0,
+                },
+                CommEvent {
+                    collective: Collective::RingAllReduce,
+                    payload_bytes: padded as f64 * wire_bits as f64 / 8.0,
+                },
+            ],
+            traffic,
+        }
+    }
+
+    fn all_reduce_compatible(&self) -> bool {
+        true
+    }
+
+    fn nominal_bits_per_coord(&self, d: u64) -> f64 {
+        // Production deployments rotate per bucket, so padding adds <1
+        // block per bucket — negligible at paper scale. Account with `d`.
+        let block = self.block_len_for(self.padded_for(d as usize)) as u64;
+        let blocks = d.max(1).div_ceil(block);
+        (d as f64 * self.wire_bits() as f64 + blocks as f64 * 16.0) / d as f64
+    }
+
+    fn comm_events(&self, d: u64) -> Vec<CommEvent> {
+        let block = self.block_len_for(self.padded_for(d as usize)) as u64;
+        let blocks = d.max(1).div_ceil(block);
+        vec![
+            CommEvent {
+                collective: Collective::RingAllReduce,
+                payload_bytes: blocks as f64 * 2.0,
+            },
+            CommEvent {
+                collective: Collective::RingAllReduce,
+                payload_bytes: d as f64 * self.wire_bits() as f64 / 8.0,
+            },
+        ]
+    }
+
+    fn compute_seconds(&self, d: u64, device: &DeviceSpec) -> f64 {
+        // `iterations` relative to the full-vector padding: Full runs
+        // log2(d) stages (multi-pass), Partial exactly its block stages
+        // (single pass).
+        let pow2 = padded_len(d.max(1) as usize);
+        let iters = self.rotation.iterations(pow2);
+        // Forward rotation + quantize on the send side; dequantize + inverse
+        // rotation on the receive side.
+        2.0 * ops::fwht(d, iters, device).seconds(device)
+            + ops::quantize(d, self.q).seconds(device)
+            + ops::dequantize(d, self.q).seconds(device)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_tensor::vector::{mean, vnmse};
+    use rand::SeedableRng;
+
+    fn ctx(round: u64) -> RoundContext {
+        RoundContext::new(99, round)
+    }
+
+    fn gaussian_grads(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        // Box-Muller-ish: sum of uniforms.
+                        let s: f32 = (0..6).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
+                        s * 0.5
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn high_precision_quantization_is_accurate() {
+        let grads = gaussian_grads(4, 200, 3);
+        let exact = mean(&grads);
+        let mut s = Thc::new(8, RotationMode::Full, ThcAggregation::Widened { b: 12 }, 4);
+        let out = s.aggregate_round(&grads, &ctx(0));
+        let err = vnmse(&out.mean_estimate, &exact);
+        assert!(err < 5e-3, "q=8 widened vNMSE = {err}");
+    }
+
+    #[test]
+    fn saturation_close_to_widened_after_rotation() {
+        // §3.2.2's claim: post-RHT, saturation adds little error vs the
+        // widened (exact-sum) aggregation at the same q.
+        let grads = gaussian_grads(4, 512, 5);
+        let exact = mean(&grads);
+        let mut sat = Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
+        let mut wide = Thc::new(4, RotationMode::Full, ThcAggregation::Widened { b: 8 }, 4);
+        let e_sat = vnmse(&sat.aggregate_round(&grads, &ctx(0)).mean_estimate, &exact);
+        let e_wide = vnmse(&wide.aggregate_round(&grads, &ctx(0)).mean_estimate, &exact);
+        assert!(
+            e_sat < 2.0 * e_wide + 1e-3,
+            "saturation error {e_sat} should be near widened error {e_wide}"
+        );
+    }
+
+    #[test]
+    fn rotation_helps_spiky_gradients() {
+        // One giant coordinate: without rotation the global scale is huge
+        // and everything else quantizes to noise; rotation spreads it.
+        let mut grads = gaussian_grads(2, 1024, 7);
+        for g in &mut grads {
+            g[100] = 50.0;
+        }
+        let exact = mean(&grads);
+        let mut rotated = Thc::new(4, RotationMode::Full, ThcAggregation::Widened { b: 8 }, 2);
+        let mut unrotated = Thc::new(4, RotationMode::None, ThcAggregation::Widened { b: 8 }, 2);
+        let e_rot = vnmse(
+            &rotated.aggregate_round(&grads, &ctx(0)).mean_estimate,
+            &exact,
+        );
+        let e_none = vnmse(
+            &unrotated.aggregate_round(&grads, &ctx(0)).mean_estimate,
+            &exact,
+        );
+        assert!(
+            e_rot < e_none,
+            "rotation should reduce error: rot={e_rot} none={e_none}"
+        );
+    }
+
+    #[test]
+    fn partial_rotation_between_none_and_full() {
+        let mut grads = gaussian_grads(2, 2048, 11);
+        for g in &mut grads {
+            g[5] = 30.0;
+        }
+        let exact = mean(&grads);
+        let mut err = std::collections::BTreeMap::new();
+        for (name, mode) in [
+            ("full", RotationMode::Full),
+            ("partial", RotationMode::Partial { block_log2: 6 }),
+            ("none", RotationMode::None),
+        ] {
+            let mut s = Thc::new(4, mode, ThcAggregation::Widened { b: 8 }, 2);
+            // Average a few rounds to tame stochastic-rounding noise.
+            let mut e = 0.0;
+            for r in 0..5 {
+                e += vnmse(&s.aggregate_round(&grads, &ctx(r)).mean_estimate, &exact);
+            }
+            err.insert(name, e / 5.0);
+        }
+        assert!(err["partial"] <= err["none"] * 1.1, "{err:?}");
+        // Partial localizes the spike's damage to one block.
+        assert!(err["partial"] < 10.0 * err["full"] + 1e-3, "{err:?}");
+    }
+
+    #[test]
+    fn quantization_is_unbiased() {
+        // Averaging the estimate over many rounds converges to the truth.
+        let grads = vec![vec![0.37f32; 64]];
+        let mut s = Thc::new(3, RotationMode::None, ThcAggregation::Widened { b: 8 }, 1);
+        let mut acc = vec![0.0f64; 64];
+        let rounds = 400;
+        for r in 0..rounds {
+            let out = s.aggregate_round(&grads, &ctx(r));
+            for (a, &x) in acc.iter_mut().zip(&out.mean_estimate) {
+                *a += x as f64;
+            }
+        }
+        let avg = acc[0] / rounds as f64;
+        assert!(
+            (avg - 0.37).abs() < 0.01,
+            "stochastic rounding is biased: {avg}"
+        );
+    }
+
+    #[test]
+    fn saturation_saves_half_the_traffic_of_b8() {
+        let grads = gaussian_grads(4, 256, 13);
+        let mut sat = Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
+        let mut wide = Thc::new(4, RotationMode::Full, ThcAggregation::Widened { b: 8 }, 4);
+        let t_sat = sat.aggregate_round(&grads, &ctx(0)).traffic.total();
+        let t_wide = wide.aggregate_round(&grads, &ctx(0)).traffic.total();
+        // The lane payload halves; scale metadata is shared.
+        assert!(
+            (t_wide as f64) > 1.7 * (t_sat as f64),
+            "wide={t_wide} sat={t_sat}"
+        );
+    }
+
+    #[test]
+    fn bits_per_coord_accounting() {
+        let s = Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
+        // d = 4096 (already a power of two): b = 4 + 16/4096.
+        let b = s.nominal_bits_per_coord(4096);
+        assert!((b - 4.004).abs() < 0.01, "b = {b}");
+        let wide = Thc::baseline(4, 4);
+        assert!((wide.nominal_bits_per_coord(4096) - 8.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn many_workers_stress_saturation() {
+        // The paper's caveat: larger n increases overflow probability. At
+        // n = 32 and q = 2 the saturated aggregate should show real error.
+        let grads = gaussian_grads(32, 256, 17);
+        let exact = mean(&grads);
+        let mut s = Thc::new(2, RotationMode::Full, ThcAggregation::Saturating, 32);
+        let e = vnmse(&s.aggregate_round(&grads, &ctx(0)).mean_estimate, &exact);
+        assert!(e > 0.01, "expected visible saturation error, got {e}");
+    }
+}

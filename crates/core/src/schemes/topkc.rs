@@ -1,0 +1,413 @@
+//! **TopKC** — TopK Chunked, the paper's all-reduce-compatible sparsifier
+//! (§3.1.2).
+//!
+//! The insight: spend a *cheap consensus round* so every worker aggregates
+//! the **same** coordinates, which makes the main round a plain (FP16)
+//! all-reduce:
+//!
+//! 1. Partition the gradient into fixed chunks of size `C`. Each worker
+//!    computes per-chunk squared L2 norms; a small FP16 all-reduce sums them
+//!    (`16/C` bits per coordinate).
+//! 2. Every worker locally picks the same top-`J` chunks by aggregated
+//!    norm (deterministic tie-breaks), then the selected `J' = J·C`
+//!    coordinates are summed with an FP16 ring all-reduce.
+//!
+//! Total `b = 16(J'/d + 1/C)` bits per coordinate. Chunk norms are computed
+//! with one sequential pass (fast), and the top-k runs over `d/C` values
+//! instead of `d` (§3.1.2's computational win).
+//!
+//! TopKC works because of **spatial locality** — large coordinates cluster
+//! (Table 4). The `permute` flag enables the paper's ablation: a shared
+//! random permutation destroys locality and with it most of TopKC's
+//! advantage.
+
+use crate::ef::ErrorFeedback;
+use crate::scheme::{AggregationOutcome, CommEvent, CompressionScheme, RoundContext};
+use gcs_collectives::{ring_all_reduce, F16Sum};
+use gcs_gpusim::{ops, DeviceSpec};
+use gcs_netsim::Collective;
+use gcs_tensor::half::F16;
+use gcs_tensor::rng::{shared_permutation, SharedSeed, Stream};
+
+/// TopK Chunked sparsification.
+#[derive(Clone, Debug)]
+pub struct TopKC {
+    chunk: usize,
+    bits: f64,
+    permute: bool,
+    ef: ErrorFeedback,
+}
+
+impl TopKC {
+    /// Creates TopKC targeting `bits` bits/coordinate with chunk size
+    /// `chunk`. The paper uses `C = 64` for `b ∈ {2, 8}` and `C = 128` for
+    /// `b = 0.5`.
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`, or if `bits <= 16/chunk` (the norm round
+    /// alone would exceed the budget).
+    pub fn with_bits(bits: f64, chunk: usize, n_workers: usize, error_feedback: bool) -> TopKC {
+        assert!(chunk > 0, "TopKC: chunk must be positive");
+        assert!(
+            bits > 16.0 / chunk as f64,
+            "TopKC: bits budget {bits} cannot cover the norm round (16/C = {})",
+            16.0 / chunk as f64
+        );
+        TopKC {
+            chunk,
+            bits,
+            permute: false,
+            ef: ErrorFeedback::new(n_workers, error_feedback),
+        }
+    }
+
+    /// The paper's chunk-size choice for a given bit budget.
+    pub fn paper_config(bits: f64, n_workers: usize) -> TopKC {
+        let chunk = if bits < 1.0 { 128 } else { 64 };
+        TopKC::with_bits(bits, chunk, n_workers, true)
+    }
+
+    /// Enables the random-permutation ablation (Table 4): a shared
+    /// permutation is applied before chunking, destroying spatial locality.
+    pub fn with_permutation(mut self) -> TopKC {
+        self.permute = true;
+        self
+    }
+
+    /// Number of top chunks `J` selected for a gradient of dimension `d`.
+    pub fn j_for(&self, d: usize) -> usize {
+        let chunks = d.div_ceil(self.chunk);
+        let j_prime = d as f64 * (self.bits / 16.0 - 1.0 / self.chunk as f64);
+        ((j_prime / self.chunk as f64).round() as usize).clamp(1, chunks)
+    }
+
+    /// Total selected coordinates `J' = J·C` at dimension `d`.
+    pub fn j_prime_for(&self, d: usize) -> usize {
+        (self.j_for(d) * self.chunk).min(d)
+    }
+
+    /// Chunk size `C`.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+}
+
+impl CompressionScheme for TopKC {
+    fn name(&self) -> String {
+        if self.permute {
+            format!("TopKC-Perm(b={}, C={})", self.bits, self.chunk)
+        } else {
+            format!("TopKC(b={}, C={})", self.bits, self.chunk)
+        }
+    }
+
+    fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let n = grads.len();
+        let d = grads[0].len();
+        let chunks = d.div_ceil(self.chunk);
+        let j = self.j_for(d);
+
+        // Optional shared permutation (locality-destroying ablation). All
+        // workers derive the same permutation from shared randomness.
+        let perm = if self.permute {
+            Some(shared_permutation(
+                d,
+                SharedSeed::derive(ctx.experiment_seed, ctx.round, Stream::Permutation),
+            ))
+        } else {
+            None
+        };
+
+        // Stage 0: EF-corrected (and permuted) local gradients.
+        let mut corrected: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for (w, g) in grads.iter().enumerate() {
+            let c = self.ef.corrected(w, g);
+            let c = match &perm {
+                Some(p) => {
+                    let mut v = vec![0.0f32; d];
+                    for (i, &pi) in p.iter().enumerate() {
+                        v[pi] = c[i];
+                    }
+                    v
+                }
+                None => c,
+            };
+            corrected.push(c);
+        }
+
+        // Stage 1: per-chunk squared norms, all-reduced in FP16.
+        let mut norm_bufs: Vec<Vec<F16>> = corrected
+            .iter()
+            .map(|c| {
+                c.chunks(self.chunk)
+                    .map(|ch| F16::from_f32(gcs_tensor::vector::squared_norm(ch)))
+                    .collect()
+            })
+            .collect();
+        let norm_traffic = ring_all_reduce(&mut norm_bufs, &F16Sum, 2.0);
+        let agg_norms: Vec<f32> = norm_bufs[0].iter().map(|x| x.to_f32()).collect();
+        debug_assert_eq!(agg_norms.len(), chunks);
+
+        // Stage 2: consensus top-J chunks (identical on every worker).
+        let top_chunks = gcs_tensor::vector::top_k_indices(&agg_norms, j);
+        let mut selected = top_chunks.clone();
+        selected.sort_unstable();
+
+        // Stage 3: FP16 all-reduce over the selected chunks' values.
+        let mut value_bufs: Vec<Vec<F16>> = corrected
+            .iter()
+            .map(|c| {
+                let mut buf = Vec::with_capacity(j * self.chunk);
+                for &p in &selected {
+                    let lo = p * self.chunk;
+                    let hi = (lo + self.chunk).min(d);
+                    buf.extend(c[lo..hi].iter().map(|&v| F16::from_f32(v)));
+                }
+                buf
+            })
+            .collect();
+        let value_traffic = ring_all_reduce(&mut value_bufs, &F16Sum, 2.0);
+
+        // Scatter back into dense coordinates (undoing the permutation).
+        let mut mean = vec![0.0f32; d];
+        {
+            let summed = &value_bufs[0];
+            let mut cursor = 0usize;
+            for &p in &selected {
+                let lo = p * self.chunk;
+                let hi = (lo + self.chunk).min(d);
+                for pos in lo..hi {
+                    mean[pos] = summed[cursor].to_f32() / n as f32;
+                    cursor += 1;
+                }
+            }
+        }
+        if let Some(p) = &perm {
+            let mut unperm = vec![0.0f32; d];
+            for (i, &pi) in p.iter().enumerate() {
+                unperm[i] = mean[pi];
+            }
+            mean = unperm;
+        }
+
+        // EF update: what each worker contributed (its own FP16-rounded
+        // values in the selected chunks), in the *original* coordinate
+        // order.
+        for (w, c) in corrected.iter().enumerate() {
+            let mut sent = vec![0.0f32; d];
+            for &p in &selected {
+                let lo = p * self.chunk;
+                let hi = (lo + self.chunk).min(d);
+                for pos in lo..hi {
+                    sent[pos] = F16::from_f32(c[pos]).to_f32();
+                }
+            }
+            let (corr_orig, sent_orig) = match &perm {
+                Some(pvec) => {
+                    let mut co = vec![0.0f32; d];
+                    let mut so = vec![0.0f32; d];
+                    for (i, &pi) in pvec.iter().enumerate() {
+                        co[i] = c[pi];
+                        so[i] = sent[pi];
+                    }
+                    (co, so)
+                }
+                None => (c.clone(), sent),
+            };
+            self.ef.update(w, &corr_orig, &sent_orig);
+        }
+
+        let mut traffic = norm_traffic;
+        traffic.merge(&value_traffic);
+        let j_prime = selected
+            .iter()
+            .map(|&p| (p * self.chunk + self.chunk).min(d) - p * self.chunk)
+            .sum::<usize>();
+        AggregationOutcome {
+            mean_estimate: mean,
+            comm: vec![
+                CommEvent {
+                    collective: Collective::RingAllReduce,
+                    payload_bytes: chunks as f64 * 2.0,
+                },
+                CommEvent {
+                    collective: Collective::RingAllReduce,
+                    payload_bytes: j_prime as f64 * 2.0,
+                },
+            ],
+            traffic,
+        }
+    }
+
+    fn all_reduce_compatible(&self) -> bool {
+        true
+    }
+
+    fn nominal_bits_per_coord(&self, d: u64) -> f64 {
+        let d = d as usize;
+        16.0 * (self.j_prime_for(d) as f64 / d as f64 + 1.0 / self.chunk as f64)
+    }
+
+    fn comm_events(&self, d: u64) -> Vec<CommEvent> {
+        let d = d as usize;
+        vec![
+            CommEvent {
+                collective: Collective::RingAllReduce,
+                payload_bytes: d.div_ceil(self.chunk) as f64 * 2.0,
+            },
+            CommEvent {
+                collective: Collective::RingAllReduce,
+                payload_bytes: self.j_prime_for(d) as f64 * 2.0,
+            },
+        ]
+    }
+
+    fn compute_seconds(&self, d: u64, device: &DeviceSpec) -> f64 {
+        let chunks = (d as usize).div_ceil(self.chunk) as u64;
+        let j_prime = self.j_prime_for(d as usize) as u64;
+        // Norms pass + tiny top-k over chunk norms + gather/scatter of the
+        // selected coordinates (sequential within chunks -> streaming).
+        ops::chunk_norms(d, self.chunk).seconds(device)
+            + ops::topk_select(chunks, self.j_for(d as usize) as u64).seconds(device)
+            + 2.0 * ops::elementwise(j_prime, 8.0, 1.0).seconds(device)
+    }
+
+    fn reset(&mut self) {
+        self.ef.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_tensor::vector::{mean, vnmse};
+
+    fn ctx(round: u64) -> RoundContext {
+        RoundContext::new(42, round)
+    }
+
+    /// Gradients with strong spatial locality: energy concentrated in one
+    /// contiguous region.
+    fn local_grads(n: usize, d: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|w| {
+                (0..d)
+                    .map(|i| {
+                        let hot = i >= d / 4 && i < d / 4 + d / 8;
+                        let base = ((w * d + i) as f32 * 0.37).sin();
+                        if hot {
+                            base * 10.0
+                        } else {
+                            base * 0.1
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_budget_recovers_mean() {
+        // b = 16 + 16/C: every chunk selected.
+        let grads = local_grads(3, 64);
+        let mut s = TopKC::with_bits(18.0, 8, 3, false);
+        let out = s.aggregate_round(&grads, &ctx(0));
+        let exact = mean(&grads);
+        assert!(vnmse(&out.mean_estimate, &exact) < 1e-4);
+    }
+
+    #[test]
+    fn all_workers_agree_and_consensus_chunks_cover_hot_region() {
+        let d = 256;
+        let grads = local_grads(4, d);
+        let mut s = TopKC::with_bits(4.0, 16, 4, false);
+        let out = s.aggregate_round(&grads, &ctx(0));
+        // The hot region [d/4, d/4 + d/8) must be covered.
+        let hot = d / 4..(d / 4 + d / 8);
+        for i in hot {
+            assert!(
+                out.mean_estimate[i] != 0.0,
+                "hot coordinate {i} was not aggregated"
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_hurts_on_local_gradients() {
+        // Table 4's ablation: with locality, TopKC beats its permuted self.
+        let grads = local_grads(4, 512);
+        let exact = mean(&grads);
+        let mut plain = TopKC::with_bits(2.0, 32, 4, false);
+        let mut permuted = TopKC::with_bits(2.0, 32, 4, false).with_permutation();
+        let e_plain = vnmse(
+            &plain.aggregate_round(&grads, &ctx(0)).mean_estimate,
+            &exact,
+        );
+        let e_perm = vnmse(
+            &permuted.aggregate_round(&grads, &ctx(0)).mean_estimate,
+            &exact,
+        );
+        assert!(
+            e_perm > 1.5 * e_plain,
+            "permuted {e_perm} should be clearly worse than plain {e_plain}"
+        );
+    }
+
+    #[test]
+    fn bits_accounting() {
+        // d = 6400, C = 64, b = 2: J' = 6400*(2/16 - 1/64) = 700 -> J = 11.
+        let s = TopKC::with_bits(2.0, 64, 2, false);
+        assert_eq!(s.j_for(6400), 11);
+        let b = s.nominal_bits_per_coord(6400);
+        assert!((b - 2.0).abs() < 0.1, "b = {b}");
+    }
+
+    #[test]
+    fn comm_uses_allreduce_only() {
+        let grads = local_grads(2, 128);
+        let mut s = TopKC::with_bits(4.0, 16, 2, false);
+        let out = s.aggregate_round(&grads, &ctx(0));
+        assert!(out
+            .comm
+            .iter()
+            .all(|e| e.collective == Collective::RingAllReduce));
+        assert!(s.all_reduce_compatible());
+    }
+
+    #[test]
+    fn error_feedback_flushes_cold_chunks() {
+        // Constant gradient outside the selected chunks: EF must eventually
+        // promote the cold chunk.
+        let d = 64;
+        let mut grads = vec![vec![0.4f32; d]];
+        for i in 0..8 {
+            grads[0][i] = 2.0; // chunk 0 is hot
+        }
+        let mut s = TopKC::with_bits(3.0, 8, 1, true); // J = 1 chunk of 8
+        let mut cold_seen = false;
+        for round in 0..25 {
+            let out = s.aggregate_round(&grads, &ctx(round));
+            if out.mean_estimate[d - 1] != 0.0 {
+                cold_seen = true;
+                break;
+            }
+        }
+        assert!(cold_seen, "EF never promoted a cold chunk");
+    }
+
+    #[test]
+    fn ragged_last_chunk_handled() {
+        let d = 70; // 70 = 8*8 + 6: last chunk short
+        let grads = vec![(0..d).map(|i| i as f32 * 0.01).collect::<Vec<f32>>()];
+        let mut s = TopKC::with_bits(18.5, 8, 1, false); // select everything
+        let out = s.aggregate_round(&grads, &ctx(0));
+        let exact = mean(&grads);
+        assert!(vnmse(&out.mean_estimate, &exact) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover the norm round")]
+    fn rejects_impossible_budget() {
+        TopKC::with_bits(0.1, 64, 2, false);
+    }
+}

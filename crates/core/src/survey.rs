@@ -1,0 +1,178 @@
+//! Table 1: the paper's assessment of eight prior gradient-compression
+//! systems, encoded as data so the bench harness can regenerate the table.
+
+/// Tri-state assessment cell: yes, no, or not applicable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cell {
+    /// Criterion satisfied (✓).
+    Yes,
+    /// Criterion not satisfied (✗).
+    No,
+    /// Criterion not applicable (N/A).
+    NotApplicable,
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Yes => write!(f, "yes"),
+            Cell::No => write!(f, "no"),
+            Cell::NotApplicable => write!(f, "N/A"),
+        }
+    }
+}
+
+/// One prior system's row in Table 1.
+#[derive(Clone, Debug)]
+pub struct SystemAssessment {
+    /// Citation tag used by the paper.
+    pub reference: &'static str,
+    /// Short name of the system/paper.
+    pub name: &'static str,
+    /// Compared with the stronger FP16 baseline?
+    pub fp16_baseline: Cell,
+    /// Considered compression error in system design?
+    pub considers_error: Cell,
+    /// End-to-end evaluation coverage: (tasks with E2E evaluation, total).
+    pub e2e_tasks: (u32, u32),
+    /// Did higher throughput translate to better TTA in their results?
+    pub throughput_implies_tta: Cell,
+    /// All-reduce compatibility for the new compression algorithm?
+    pub allreduce_compatible: Cell,
+}
+
+/// The eight systems the paper assesses, in column order (\[11\] \[14\] \[23\]
+/// \[30\] \[32\] \[34\] \[60\] \[62\]).
+pub fn table1() -> Vec<SystemAssessment> {
+    use Cell::*;
+    vec![
+        SystemAssessment {
+            reference: "[11]",
+            name: "Agarwal et al. (utility study)",
+            fp16_baseline: No,
+            considers_error: NotApplicable,
+            e2e_tasks: (0, 3),
+            throughput_implies_tta: NotApplicable,
+            allreduce_compatible: NotApplicable,
+        },
+        SystemAssessment {
+            reference: "[14]",
+            name: "HiPress",
+            fp16_baseline: No,
+            considers_error: No,
+            e2e_tasks: (2, 8),
+            throughput_implies_tta: Yes,
+            allreduce_compatible: NotApplicable,
+        },
+        SystemAssessment {
+            reference: "[23]",
+            name: "OmniReduce",
+            fp16_baseline: No,
+            considers_error: Yes,
+            e2e_tasks: (1, 6),
+            throughput_implies_tta: Yes,
+            allreduce_compatible: No,
+        },
+        SystemAssessment {
+            reference: "[30]",
+            name: "Parallax",
+            fp16_baseline: No,
+            considers_error: NotApplicable,
+            e2e_tasks: (3, 4),
+            throughput_implies_tta: Yes,
+            allreduce_compatible: Yes,
+        },
+        SystemAssessment {
+            reference: "[32]",
+            name: "Lossless homomorphic compression",
+            fp16_baseline: No,
+            considers_error: Yes,
+            e2e_tasks: (4, 4),
+            throughput_implies_tta: No,
+            allreduce_compatible: Yes,
+        },
+        SystemAssessment {
+            reference: "[34]",
+            name: "THC",
+            fp16_baseline: No,
+            considers_error: Yes,
+            e2e_tasks: (3, 7),
+            throughput_implies_tta: Yes,
+            allreduce_compatible: No,
+        },
+        SystemAssessment {
+            reference: "[60]",
+            name: "Espresso",
+            fp16_baseline: No,
+            considers_error: No,
+            e2e_tasks: (4, 4),
+            throughput_implies_tta: Yes,
+            allreduce_compatible: NotApplicable,
+        },
+        SystemAssessment {
+            reference: "[62]",
+            name: "CUPCAKE",
+            fp16_baseline: No,
+            considers_error: No,
+            e2e_tasks: (3, 3),
+            throughput_implies_tta: No,
+            allreduce_compatible: No,
+        },
+    ]
+}
+
+/// Renders Table 1 as aligned text (the bench target prints this).
+pub fn render_table1() -> String {
+    let rows = table1();
+    let mut out = String::new();
+    out.push_str(
+        "system                            | FP16 base | considers err | E2E tasks | thr->TTA | all-reduce\n",
+    );
+    out.push_str(
+        "----------------------------------+-----------+---------------+-----------+----------+-----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>4} | {:>9} | {:>13} | {:>6}/{:<2} | {:>8} | {:>10}\n",
+            r.name,
+            r.reference,
+            r.fp16_baseline.to_string(),
+            r.considers_error.to_string(),
+            r.e2e_tasks.0,
+            r.e2e_tasks.1,
+            r.throughput_implies_tta.to_string(),
+            r.allreduce_compatible.to_string(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_systems_and_no_fp16_baselines() {
+        let t = table1();
+        assert_eq!(t.len(), 8);
+        // Table 1's first row: no prior system compares against FP16 —
+        // the paper's headline evaluation gap.
+        assert!(t.iter().all(|s| s.fp16_baseline == Cell::No));
+    }
+
+    #[test]
+    fn e2e_coverage_is_partial_overall() {
+        let t = table1();
+        let covered: u32 = t.iter().map(|s| s.e2e_tasks.0).sum();
+        let total: u32 = t.iter().map(|s| s.e2e_tasks.1).sum();
+        assert!(covered < total, "the table should show incomplete coverage");
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let s = render_table1();
+        assert_eq!(s.lines().count(), 10);
+        assert!(s.contains("THC"));
+        assert!(s.contains("CUPCAKE"));
+    }
+}

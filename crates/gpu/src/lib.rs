@@ -1,0 +1,33 @@
+//! # gcs-gpusim
+//!
+//! A roofline-style GPU cost model for distributed-training workloads.
+//!
+//! The paper's testbed measures wall-clock throughput on NVIDIA A100s; this
+//! crate replaces the hardware with an analytic model. The design premise —
+//! borne out by the paper's own profiling — is that every computational
+//! overhead it identifies is explained by one of three effects:
+//!
+//! 1. **Memory-bound passes.** Elementwise kernels (quantize, chunk norms,
+//!    scatter/gather) move `O(d)` bytes through HBM at the achievable memory
+//!    bandwidth.
+//! 2. **Locality penalties.** TopK selection and the cross-block stages of a
+//!    large FWHT make non-coalesced / global-memory accesses
+//!    (§3.1.1, §3.2.1); we charge a configurable penalty multiplier.
+//! 3. **Serialization.** Gram–Schmidt orthogonalization proceeds column by
+//!    column; each column costs a fixed launch/reduction latency regardless
+//!    of width (§3.3). This is why PowerSGD's throughput collapses as the
+//!    rank grows even though its flop count stays negligible.
+//!
+//! Model forward/backward times are *calibrated constants* (derived from the
+//! paper's Table 2, see [`model`]) rather than first-principles flop counts:
+//! the goal is that baseline round rates land near the paper's, so that every
+//! derived table reproduces the right *shape*.
+
+pub mod device;
+pub mod kernel;
+pub mod model;
+pub mod ops;
+
+pub use device::{DeviceSpec, Precision};
+pub use kernel::KernelCost;
+pub use model::{ModelProfile, TrainPrecision};

@@ -1,0 +1,214 @@
+//! Cost builders for the kernels gradient compression executes.
+//!
+//! Each function returns a [`KernelCost`] (or a composed time) describing a
+//! concrete GPU operation on a gradient of `d` coordinates. These encode the
+//! paper's computational-overhead findings:
+//!
+//! * [`topk_select`] — radix-select plus compaction; **non-coalesced**
+//!   (§3.1.1: "non-consecutive memory accesses with poor locality").
+//! * [`fwht`] — multi-stage butterfly; the first
+//!   [`DeviceSpec::shared_mem_block_log2`] stages run inside shared memory in
+//!   one kernel, every further group of stages is another **global-memory**
+//!   pass (§3.2.1). Partial rotation stops after the first pass, which is
+//!   exactly why it is cheap (§3.2.2).
+//! * [`gram_schmidt`] — per-column serialized steps plus low-occupancy math
+//!   (§3.3's "overwhelmingly expensive matrix orthogonalization").
+
+use crate::device::{DeviceSpec, Precision};
+use crate::kernel::KernelCost;
+
+/// One streaming elementwise pass over `d` f32 values with `rw` bytes moved
+/// per element (e.g. 8.0 for read+write) and `flops_per_elem` operations.
+pub fn elementwise(d: u64, rw_bytes_per_elem: f64, flops_per_elem: f64) -> KernelCost {
+    KernelCost::streaming(d as f64 * flops_per_elem, d as f64 * rw_bytes_per_elem)
+}
+
+/// Squared-L2 chunk norms: one read pass over the gradient plus a small
+/// write of `d / chunk` norms. This is TopKC's cheap first stage —
+/// sequential access, so it runs at full bandwidth (§3.1.2).
+pub fn chunk_norms(d: u64, chunk: usize) -> KernelCost {
+    let norms = d / chunk.max(1) as u64;
+    KernelCost::streaming(2.0 * d as f64, 4.0 * (d + norms) as f64)
+}
+
+/// TopK selection over `d` values followed by compaction of `k`
+/// (index, value) pairs.
+///
+/// GPU top-k implementations (radix select) make several data-dependent
+/// passes; the compaction writes are scattered. We charge `passes` read
+/// passes (non-coalesced) plus the pair write-out. This is the "major
+/// bottleneck" of TopK (§3.1.1, Table 6).
+pub fn topk_select(d: u64, k: u64) -> KernelCost {
+    let passes = 4.0; // histogram + two refinement passes + compaction, as in radix top-k
+    KernelCost {
+        flops: 2.0 * d as f64,
+        bytes: passes * 4.0 * d as f64 + 8.0 * k as f64,
+        coalesced: false,
+        serial_steps: passes,
+        precision: Some(Precision::Fp32),
+    }
+}
+
+/// Gathering `k` selected coordinates into a dense send buffer (or
+/// scatter-adding them back after aggregation): data-dependent addresses.
+pub fn sparse_gather_scatter(k: u64) -> KernelCost {
+    KernelCost::scattered(k as f64, 12.0 * k as f64)
+}
+
+/// The fast Walsh–Hadamard transform over a padded vector of `2^l` elements,
+/// running `iters <= l` butterfly stages.
+///
+/// The first `min(iters, shared_log2)` stages execute inside shared memory:
+/// one coalesced read+write pass. Every further group of `shared_log2`
+/// stages requires another pass with strided (non-coalesced) global-memory
+/// access. `iters = 0` costs nothing.
+pub fn fwht(padded: u64, iters: usize, device: &DeviceSpec) -> KernelCost {
+    if iters == 0 || padded <= 1 {
+        return KernelCost::zero();
+    }
+    let shared_log2 = device.shared_mem_block_log2().max(1);
+    let passes = iters.div_ceil(shared_log2);
+    let per_pass_bytes = 8.0 * padded as f64; // read + write each element
+    let flops = 2.0 * padded as f64 * iters as f64;
+    // First pass is coalesced; later passes stride across blocks. We fold the
+    // penalty in manually so one KernelCost can describe the whole transform.
+    let global_passes = passes.saturating_sub(1) as f64;
+    let effective_bytes =
+        per_pass_bytes * (1.0 + global_passes * device.non_coalesced_penalty / 2.0);
+    KernelCost {
+        flops,
+        bytes: effective_bytes,
+        coalesced: true, // penalty already folded into bytes
+        serial_steps: passes as f64,
+        precision: Some(Precision::Fp32),
+    }
+}
+
+/// Stochastic quantization of `d` values to q-bit integers: a min/max
+/// reduction pass plus a fused quantize-and-pack pass.
+pub fn quantize(d: u64, q: u32) -> KernelCost {
+    let read = 4.0 * d as f64; // min/max pass
+    let quant = 4.0 * d as f64 + (q as f64 / 8.0) * d as f64; // read f32, write q bits
+    KernelCost::streaming(6.0 * d as f64, read + quant)
+}
+
+/// Dequantization (unpack + scale) of `d` values from q-bit integers.
+pub fn dequantize(d: u64, q: u32) -> KernelCost {
+    KernelCost::streaming(2.0 * d as f64, (q as f64 / 8.0) * d as f64 + 4.0 * d as f64)
+}
+
+/// Dense matmul `m×k * k×n` at the given precision.
+pub fn matmul(m: u64, k: u64, n: u64, precision: Precision) -> KernelCost {
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let bytes = 4.0 * (m * k + k * n + m * n) as f64;
+    KernelCost {
+        flops,
+        bytes,
+        coalesced: true,
+        serial_steps: 1.0,
+        precision: Some(precision),
+    }
+}
+
+/// Modified Gram–Schmidt orthogonalization of an `rows×r` matrix.
+///
+/// The algorithm is inherently serial over columns: column `c` must wait for
+/// columns `0..c`. Each column performs `c` projections + 1 normalization —
+/// skinny reductions that run at low occupancy. We charge:
+///
+/// * `r` serialized steps (launch/reduction latency each), and
+/// * `2 · rows · r²` flops at the device's low-occupancy rate.
+pub fn gram_schmidt(rows: u64, r: u32, device: &DeviceSpec) -> f64 {
+    let serial = r as f64 * device.serial_step_latency;
+    let flops = 2.0 * rows as f64 * (r as f64) * (r as f64);
+    serial + flops / device.low_occupancy_flops
+}
+
+/// Total PowerSGD compression compute for one round over a set of layer
+/// matrices `shapes = [(rows, cols)...]`, target rank `r`:
+/// `P = M Q` (matmul), Gram–Schmidt on `P`, `Q = Mᵀ P̂` (matmul), plus the
+/// final decompression matmul `P̂ Qᵀ` applied into the gradient buffer.
+pub fn powersgd_round(shapes: &[(u64, u64)], r: u32, device: &DeviceSpec) -> f64 {
+    let mut total = 0.0;
+    for &(rows, cols) in shapes {
+        let rr = r as u64;
+        total += matmul(rows, cols, rr, Precision::Fp32).seconds(device);
+        total += gram_schmidt(rows, r, device);
+        total += matmul(cols, rows, rr, Precision::Fp32).seconds(device);
+        total += matmul(rows, rr, cols, Precision::Fp32).seconds(device);
+    }
+    total
+}
+
+/// Gram–Schmidt share of a PowerSGD round (for the paper's §3.3 profiling
+/// claim that orthogonalization dominates at large ranks).
+pub fn powersgd_gs_fraction(shapes: &[(u64, u64)], r: u32, device: &DeviceSpec) -> f64 {
+    let gs: f64 = shapes
+        .iter()
+        .map(|&(rows, _)| gram_schmidt(rows, r, device))
+        .sum();
+    gs / powersgd_round(shapes, r, device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100() -> DeviceSpec {
+        DeviceSpec::a100()
+    }
+
+    #[test]
+    fn fwht_partial_is_one_pass_full_is_more() {
+        let d = a100();
+        let padded = 1u64 << 29; // BERT-scale padding
+        let partial = fwht(padded, d.shared_mem_block_log2(), &d);
+        let full = fwht(padded, 29, &d);
+        assert_eq!(partial.serial_steps, 1.0);
+        assert!(full.serial_steps >= 3.0);
+        assert!(full.seconds(&d) > 2.0 * partial.seconds(&d));
+        assert_eq!(fwht(padded, 0, &d).seconds(&d), 0.0);
+    }
+
+    #[test]
+    fn topk_select_is_slower_than_a_streaming_pass() {
+        let d = a100();
+        let streaming = elementwise(1 << 28, 8.0, 2.0).seconds(&d);
+        let select = topk_select(1 << 28, 1 << 20).seconds(&d);
+        assert!(select > 2.0 * streaming);
+    }
+
+    #[test]
+    fn gram_schmidt_grows_superlinearly_in_rank() {
+        let d = a100();
+        let t1 = gram_schmidt(20_000, 1, &d);
+        let t64 = gram_schmidt(20_000, 64, &d);
+        // Between linear (64x) and quadratic (4096x).
+        assert!(t64 > 32.0 * t1, "t1={t1} t64={t64}");
+    }
+
+    #[test]
+    fn powersgd_gs_dominates_at_high_rank() {
+        let d = a100();
+        // BERT-like: ~390 matrices averaging ~650 rows.
+        let shapes: Vec<(u64, u64)> = (0..390).map(|_| (650u64, 1024u64)).collect();
+        let frac64 = powersgd_gs_fraction(&shapes, 64, &d);
+        let frac1 = powersgd_gs_fraction(&shapes, 1, &d);
+        assert!(frac64 > 0.25, "frac64 = {frac64}");
+        assert!(frac64 > frac1);
+    }
+
+    #[test]
+    fn quantize_cheaper_at_fewer_bits() {
+        let d = a100();
+        assert!(quantize(1 << 28, 2).seconds(&d) < quantize(1 << 28, 8).seconds(&d));
+    }
+
+    #[test]
+    fn chunk_norms_is_a_single_cheap_pass() {
+        let d = a100();
+        let t = chunk_norms(345_000_000, 64).seconds(&d);
+        // One read of 1.38 GB at 1.3 TB/s: ~1.1 ms.
+        assert!(t < 2.5e-3, "t = {t}");
+    }
+}

@@ -1,0 +1,334 @@
+//! Single-head self-attention with full hand-written backprop.
+//!
+//! Included so the substrate can express transformer-shaped models (the
+//! paper's BERT-large workload class), not just MLPs: attention's gradient
+//! structure — Q/K/V projection matrices whose rows light up for attended
+//! positions — is part of what makes transformer gradients chunk-friendly.
+//! The backward pass is finite-difference checked like every other layer.
+
+use crate::layers::{Layer, ParamSegment};
+
+/// Single-head scaled dot-product self-attention over a sequence.
+///
+/// Input: `[batch × (seq · dim)]` (concatenated token embeddings);
+/// output: same shape. Parameters: square Q/K/V/O projections (`dim×dim`
+/// each, no biases).
+pub struct SelfAttention {
+    seq: usize,
+    dim: usize,
+    /// `[Wq | Wk | Wv | Wo]`, each `dim × dim` row-major.
+    theta: Vec<f32>,
+    grad: Vec<f32>,
+    // Forward caches.
+    cached_input: Vec<f32>,
+    cached_q: Vec<f32>,
+    cached_k: Vec<f32>,
+    cached_v: Vec<f32>,
+    cached_attn: Vec<f32>,
+    cached_ctx: Vec<f32>,
+}
+
+impl SelfAttention {
+    /// Creates the layer for sequences of `seq` tokens of `dim` features.
+    pub fn new(seq: usize, dim: usize, rng: &mut impl rand::Rng) -> SelfAttention {
+        let bound = (3.0 / dim as f32).sqrt();
+        let theta: Vec<f32> = (0..4 * dim * dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        SelfAttention {
+            seq,
+            dim,
+            grad: vec![0.0; theta.len()],
+            theta,
+            cached_input: Vec::new(),
+            cached_q: Vec::new(),
+            cached_k: Vec::new(),
+            cached_v: Vec::new(),
+            cached_attn: Vec::new(),
+            cached_ctx: Vec::new(),
+        }
+    }
+
+    fn w(&self, which: usize) -> &[f32] {
+        let dd = self.dim * self.dim;
+        &self.theta[which * dd..(which + 1) * dd]
+    }
+
+    /// `out[t] = W x[t]` for every token (x: [seq×dim]).
+    fn project(&self, which: usize, x: &[f32], out: &mut [f32]) {
+        let d = self.dim;
+        let w = self.w(which);
+        for t in 0..self.seq {
+            let xi = &x[t * d..(t + 1) * d];
+            let oi = &mut out[t * d..(t + 1) * d];
+            for r in 0..d {
+                let row = &w[r * d..(r + 1) * d];
+                oi[r] = row.iter().zip(xi).map(|(a, b)| a * b).sum();
+            }
+        }
+    }
+
+    /// Accumulates `dW += dy[t] ⊗ x[t]` and `dx[t] += Wᵀ dy[t]`.
+    fn project_backward(
+        &mut self,
+        which: usize,
+        x: &[f32],
+        dy: &[f32],
+        dx: &mut [f32],
+    ) {
+        let d = self.dim;
+        let dd = d * d;
+        for t in 0..self.seq {
+            let xi = &x[t * d..(t + 1) * d];
+            let dyi = &dy[t * d..(t + 1) * d];
+            for r in 0..d {
+                let g = dyi[r];
+                if g == 0.0 {
+                    continue;
+                }
+                for c in 0..d {
+                    self.grad[which * dd + r * d + c] += g * xi[c];
+                    dx[t * d + c] += g * self.theta[which * dd + r * d + c];
+                }
+            }
+        }
+    }
+}
+
+impl Layer for SelfAttention {
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let (s, d) = (self.seq, self.dim);
+        let sample = s * d;
+        assert_eq!(input.len(), batch * sample, "SelfAttention: bad input");
+        self.cached_input = input.to_vec();
+        self.cached_q = vec![0.0; batch * sample];
+        self.cached_k = vec![0.0; batch * sample];
+        self.cached_v = vec![0.0; batch * sample];
+        self.cached_attn = vec![0.0; batch * s * s];
+        self.cached_ctx = vec![0.0; batch * sample];
+        let mut out = vec![0.0f32; batch * sample];
+        let scale = 1.0 / (d as f32).sqrt();
+        for b in 0..batch {
+            let x = &input[b * sample..(b + 1) * sample];
+            let (q, k, v) = (
+                &mut self.cached_q[b * sample..(b + 1) * sample].to_vec(),
+                &mut self.cached_k[b * sample..(b + 1) * sample].to_vec(),
+                &mut self.cached_v[b * sample..(b + 1) * sample].to_vec(),
+            );
+            self.project(0, x, q);
+            self.project(1, x, k);
+            self.project(2, x, v);
+            self.cached_q[b * sample..(b + 1) * sample].copy_from_slice(q);
+            self.cached_k[b * sample..(b + 1) * sample].copy_from_slice(k);
+            self.cached_v[b * sample..(b + 1) * sample].copy_from_slice(v);
+            // Attention weights: softmax over keys per query.
+            for i in 0..s {
+                let qi = &q[i * d..(i + 1) * d];
+                let mut logits = vec![0.0f32; s];
+                for (j, l) in logits.iter_mut().enumerate() {
+                    let kj = &k[j * d..(j + 1) * d];
+                    *l = qi.iter().zip(kj).map(|(a, c)| a * c).sum::<f32>() * scale;
+                }
+                let max = logits.iter().fold(f32::NEG_INFINITY, |a, &x| a.max(x));
+                let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+                let sum: f32 = exps.iter().sum();
+                for (j, e) in exps.iter().enumerate() {
+                    self.cached_attn[(b * s + i) * s + j] = e / sum;
+                }
+            }
+            // Context: ctx[i] = Σ_j a[i][j] v[j]; output = Wo ctx.
+            let mut ctx = vec![0.0f32; sample];
+            for i in 0..s {
+                for j in 0..s {
+                    let a = self.cached_attn[(b * s + i) * s + j];
+                    for c in 0..d {
+                        ctx[i * d + c] += a * v[j * d + c];
+                    }
+                }
+            }
+            self.cached_ctx[b * sample..(b + 1) * sample].copy_from_slice(&ctx);
+            let mut o = vec![0.0f32; sample];
+            self.project(3, &ctx, &mut o);
+            out[b * sample..(b + 1) * sample].copy_from_slice(&o);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        let (s, d) = (self.seq, self.dim);
+        let sample = s * d;
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut grad_in = vec![0.0f32; batch * sample];
+        for b in 0..batch {
+            let x = self.cached_input[b * sample..(b + 1) * sample].to_vec();
+            let q = self.cached_q[b * sample..(b + 1) * sample].to_vec();
+            let k = self.cached_k[b * sample..(b + 1) * sample].to_vec();
+            let v = self.cached_v[b * sample..(b + 1) * sample].to_vec();
+            let ctx = self.cached_ctx[b * sample..(b + 1) * sample].to_vec();
+            let dy = &grad_out[b * sample..(b + 1) * sample];
+
+            // Through Wo.
+            let mut dctx = vec![0.0f32; sample];
+            self.project_backward(3, &ctx, dy, &mut dctx);
+
+            // Through the attention mix: dV and dA.
+            let mut dv = vec![0.0f32; sample];
+            let mut da = vec![0.0f32; s * s];
+            for i in 0..s {
+                for j in 0..s {
+                    let a = self.cached_attn[(b * s + i) * s + j];
+                    let mut dot = 0.0f32;
+                    for c in 0..d {
+                        dv[j * d + c] += a * dctx[i * d + c];
+                        dot += dctx[i * d + c] * v[j * d + c];
+                    }
+                    da[i * s + j] = dot;
+                }
+            }
+            // Softmax backward per query row.
+            let mut dlogits = vec![0.0f32; s * s];
+            for i in 0..s {
+                let arow = &self.cached_attn[(b * s + i) * s..(b * s + i + 1) * s];
+                let darow = &da[i * s..(i + 1) * s];
+                let inner: f32 = arow.iter().zip(darow).map(|(a, g)| a * g).sum();
+                for j in 0..s {
+                    dlogits[i * s + j] = arow[j] * (darow[j] - inner);
+                }
+            }
+            // Through Q·Kᵀ.
+            let mut dq = vec![0.0f32; sample];
+            let mut dk = vec![0.0f32; sample];
+            for i in 0..s {
+                for j in 0..s {
+                    let g = dlogits[i * s + j] * scale;
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for c in 0..d {
+                        dq[i * d + c] += g * k[j * d + c];
+                        dk[j * d + c] += g * q[i * d + c];
+                    }
+                }
+            }
+            // Through the Q/K/V projections into dX.
+            let mut dx = vec![0.0f32; sample];
+            self.project_backward(0, &x, &dq, &mut dx);
+            self.project_backward(1, &x, &dk, &mut dx);
+            self.project_backward(2, &x, &dv, &mut dx);
+            grad_in[b * sample..(b + 1) * sample].copy_from_slice(&dx);
+        }
+        grad_in
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.theta
+    }
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.theta
+    }
+    fn grads(&self) -> &[f32] {
+        &self.grad
+    }
+    fn zero_grads(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+    fn out_dim(&self, in_dim: usize) -> usize {
+        in_dim
+    }
+    fn layout(&self) -> Vec<ParamSegment> {
+        (0..4)
+            .map(|_| ParamSegment::Matrix {
+                rows: self.dim,
+                cols: self.dim,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_and_attention_rows_sum_to_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut layer = SelfAttention::new(3, 4, &mut rng);
+        let input: Vec<f32> = (0..2 * 12).map(|i| (i as f32 * 0.3).sin()).collect();
+        let out = layer.forward(&input, 2);
+        assert_eq!(out.len(), 24);
+        for b in 0..2 {
+            for i in 0..3 {
+                let row_sum: f32 = (0..3)
+                    .map(|j| layer.cached_attn[(b * 3 + i) * 3 + j])
+                    .sum();
+                assert!((row_sum - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_gradient_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut layer = SelfAttention::new(3, 4, &mut rng);
+        let input: Vec<f32> = (0..12).map(|i| (i as f32 * 0.7).cos()).collect();
+        // Loss = 0.5 sum(out^2).
+        let out = layer.forward(&input, 1);
+        layer.zero_grads();
+        let _ = layer.backward(&out, 1);
+        let analytic = layer.grads().to_vec();
+        let eps = 1e-3f32;
+        let n = layer.params().len();
+        for pi in (0..n).step_by(7) {
+            let orig = layer.params()[pi];
+            layer.params_mut()[pi] = orig + eps;
+            let lp: f32 = layer.forward(&input, 1).iter().map(|x| 0.5 * x * x).sum();
+            layer.params_mut()[pi] = orig - eps;
+            let lm: f32 = layer.forward(&input, 1).iter().map(|x| 0.5 * x * x).sum();
+            layer.params_mut()[pi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = analytic[pi].abs().max(numeric.abs()).max(0.5);
+            assert!(
+                (analytic[pi] - numeric).abs() / denom < 3e-2,
+                "param {pi}: analytic {} vs numeric {numeric}",
+                analytic[pi]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut layer = SelfAttention::new(2, 3, &mut rng);
+        let input: Vec<f32> = (0..6).map(|i| (i as f32 * 1.1).sin()).collect();
+        let out = layer.forward(&input, 1);
+        layer.zero_grads();
+        let gin = layer.backward(&out, 1);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut ip = input.clone();
+            ip[i] += eps;
+            let lp: f32 = layer.forward(&ip, 1).iter().map(|x| 0.5 * x * x).sum();
+            let mut im = input.clone();
+            im[i] -= eps;
+            let lm: f32 = layer.forward(&im, 1).iter().map(|x| 0.5 * x * x).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let denom = gin[i].abs().max(numeric.abs()).max(0.5);
+            assert!(
+                (gin[i] - numeric).abs() / denom < 3e-2,
+                "input {i}: {} vs {numeric}",
+                gin[i]
+            );
+        }
+    }
+
+    #[test]
+    fn layout_exposes_four_square_matrices() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let layer = SelfAttention::new(4, 8, &mut rng);
+        let layout = layer.layout();
+        assert_eq!(layout.len(), 4);
+        let total: usize = layout.iter().map(|s| s.len()).sum();
+        assert_eq!(total, layer.params().len());
+    }
+}

@@ -1,0 +1,907 @@
+//! Neural-network layers with flat parameter/gradient storage.
+//!
+//! Every layer stores its parameters and gradients as contiguous `f32`
+//! slices, and a [`Sequential`] concatenates them — so a whole model's
+//! gradient is one flat vector, exactly the view PyTorch DDP's flat buckets
+//! give a gradient-compression hook. All `forward`/`backward` methods work
+//! on `[batch × features]` row-major activations.
+//!
+//! Correctness is guarded by finite-difference gradient checks in the test
+//! module (the strongest test a hand-written backprop can have).
+
+/// A differentiable layer.
+pub trait Layer {
+    /// Forward pass over a batch; caches whatever backward needs.
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32>;
+
+    /// Backward pass: consumes `d(loss)/d(output)`, **accumulates** into the
+    /// parameter gradients, and returns `d(loss)/d(input)`.
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32>;
+
+    /// Flat view of this layer's parameters.
+    fn params(&self) -> &[f32];
+
+    /// Mutable flat view of this layer's parameters.
+    fn params_mut(&mut self) -> &mut [f32];
+
+    /// Flat view of accumulated parameter gradients.
+    fn grads(&self) -> &[f32];
+
+    /// Zeroes the accumulated gradients.
+    fn zero_grads(&mut self);
+
+    /// Output features per sample given input features per sample.
+    fn out_dim(&self, in_dim: usize) -> usize;
+
+    /// The layer's flat-parameter layout (matrix vs vector segments), used
+    /// by low-rank compression to find weight matrices. Defaults to one
+    /// opaque vector segment.
+    fn layout(&self) -> Vec<ParamSegment> {
+        if self.params().is_empty() {
+            Vec::new()
+        } else {
+            vec![ParamSegment::Vector {
+                len: self.params().len(),
+            }]
+        }
+    }
+}
+
+/// Fully connected layer `y = x W^T + b`, weights stored `[out × in]`.
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// `[weights (out*in) | bias (out)]`
+    theta: Vec<f32>,
+    grad: Vec<f32>,
+    cached_input: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-uniform initialization.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl rand::Rng) -> Dense {
+        let bound = (6.0 / in_dim as f32).sqrt();
+        let mut theta = Vec::with_capacity(out_dim * in_dim + out_dim);
+        for _ in 0..out_dim * in_dim {
+            theta.push(rng.gen_range(-bound..bound));
+        }
+        theta.extend(std::iter::repeat(0.0).take(out_dim));
+        Dense {
+            in_dim,
+            out_dim,
+            grad: vec![0.0; theta.len()],
+            theta,
+            cached_input: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.in_dim, "Dense: bad input size");
+        self.cached_input = input.to_vec();
+        let (w, b) = self.theta.split_at(self.out_dim * self.in_dim);
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        for s in 0..batch {
+            let x = &input[s * self.in_dim..(s + 1) * self.in_dim];
+            let y = &mut out[s * self.out_dim..(s + 1) * self.out_dim];
+            for (o, yo) in y.iter_mut().enumerate() {
+                let row = &w[o * self.in_dim..(o + 1) * self.in_dim];
+                *yo = b[o] + row.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f32>();
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(grad_out.len(), batch * self.out_dim, "Dense: bad grad size");
+        let wlen = self.out_dim * self.in_dim;
+        let mut grad_in = vec![0.0f32; batch * self.in_dim];
+        for s in 0..batch {
+            let x = &self.cached_input[s * self.in_dim..(s + 1) * self.in_dim];
+            let gy = &grad_out[s * self.out_dim..(s + 1) * self.out_dim];
+            let gx = &mut grad_in[s * self.in_dim..(s + 1) * self.in_dim];
+            for (o, &g) in gy.iter().enumerate() {
+                let wrow = o * self.in_dim;
+                // dW[o][i] += g * x[i]; dx[i] += g * W[o][i]
+                for i in 0..self.in_dim {
+                    self.grad[wrow + i] += g * x[i];
+                    gx[i] += g * self.theta[wrow + i];
+                }
+                self.grad[wlen + o] += g;
+            }
+        }
+        grad_in
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.theta
+    }
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.theta
+    }
+    fn grads(&self) -> &[f32] {
+        &self.grad
+    }
+    fn zero_grads(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+    fn out_dim(&self, _in: usize) -> usize {
+        self.out_dim
+    }
+    fn layout(&self) -> Vec<ParamSegment> {
+        vec![
+            ParamSegment::Matrix {
+                rows: self.out_dim,
+                cols: self.in_dim,
+            },
+            ParamSegment::Vector { len: self.out_dim },
+        ]
+    }
+}
+
+/// Element-wise ReLU.
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU.
+    pub fn new() -> Relu {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &[f32], _batch: usize) -> Vec<f32> {
+        self.mask = input.iter().map(|&x| x > 0.0).collect();
+        input.iter().map(|&x| x.max(0.0)).collect()
+    }
+    fn backward(&mut self, grad_out: &[f32], _batch: usize) -> Vec<f32> {
+        grad_out
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect()
+    }
+    fn params(&self) -> &[f32] {
+        &[]
+    }
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut []
+    }
+    fn grads(&self) -> &[f32] {
+        &[]
+    }
+    fn zero_grads(&mut self) {}
+    fn out_dim(&self, in_dim: usize) -> usize {
+        in_dim
+    }
+}
+
+/// 3×3 same-padding convolution over `[C, H, W]` feature maps.
+pub struct Conv3x3 {
+    in_ch: usize,
+    out_ch: usize,
+    h: usize,
+    w: usize,
+    /// `[weights (out*in*9) | bias (out)]`
+    theta: Vec<f32>,
+    grad: Vec<f32>,
+    cached_input: Vec<f32>,
+}
+
+impl Conv3x3 {
+    /// Creates the conv layer for `h × w` maps.
+    pub fn new(in_ch: usize, out_ch: usize, h: usize, w: usize, rng: &mut impl rand::Rng) -> Conv3x3 {
+        let fan_in = in_ch * 9;
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let wlen = out_ch * in_ch * 9;
+        let mut theta = Vec::with_capacity(wlen + out_ch);
+        for _ in 0..wlen {
+            theta.push(rng.gen_range(-bound..bound));
+        }
+        theta.extend(std::iter::repeat(0.0).take(out_ch));
+        Conv3x3 {
+            in_ch,
+            out_ch,
+            h,
+            w,
+            grad: vec![0.0; theta.len()],
+            theta,
+            cached_input: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, c: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.in_ch + c) * 3 + ky) * 3 + kx
+    }
+}
+
+impl Layer for Conv3x3 {
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let (h, w) = (self.h, self.w);
+        let in_sz = self.in_ch * h * w;
+        assert_eq!(input.len(), batch * in_sz, "Conv3x3: bad input size");
+        self.cached_input = input.to_vec();
+        let wlen = self.out_ch * self.in_ch * 9;
+        let mut out = vec![0.0f32; batch * self.out_ch * h * w];
+        for s in 0..batch {
+            let xin = &input[s * in_sz..(s + 1) * in_sz];
+            for o in 0..self.out_ch {
+                let bias = self.theta[wlen + o];
+                for y in 0..h {
+                    for x in 0..w {
+                        let mut acc = bias;
+                        for c in 0..self.in_ch {
+                            for ky in 0..3usize {
+                                let sy = y + ky;
+                                if sy < 1 || sy > h {
+                                    continue;
+                                }
+                                let sy = sy - 1;
+                                for kx in 0..3usize {
+                                    let sx = x + kx;
+                                    if sx < 1 || sx > w {
+                                        continue;
+                                    }
+                                    let sx = sx - 1;
+                                    acc += self.theta[self.widx(o, c, ky, kx)]
+                                        * xin[(c * h + sy) * w + sx];
+                                }
+                            }
+                        }
+                        out[((s * self.out_ch + o) * h + y) * w + x] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        let (h, w) = (self.h, self.w);
+        let in_sz = self.in_ch * h * w;
+        let out_sz = self.out_ch * h * w;
+        assert_eq!(grad_out.len(), batch * out_sz, "Conv3x3: bad grad size");
+        let wlen = self.out_ch * self.in_ch * 9;
+        let mut grad_in = vec![0.0f32; batch * in_sz];
+        for s in 0..batch {
+            let xin = &self.cached_input[s * in_sz..(s + 1) * in_sz];
+            let gout = &grad_out[s * out_sz..(s + 1) * out_sz];
+            for o in 0..self.out_ch {
+                for y in 0..h {
+                    for x in 0..w {
+                        let g = gout[(o * h + y) * w + x];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad[wlen + o] += g;
+                        for c in 0..self.in_ch {
+                            for ky in 0..3usize {
+                                let sy = y + ky;
+                                if sy < 1 || sy > h {
+                                    continue;
+                                }
+                                let sy = sy - 1;
+                                for kx in 0..3usize {
+                                    let sx = x + kx;
+                                    if sx < 1 || sx > w {
+                                        continue;
+                                    }
+                                    let sx = sx - 1;
+                                    let wi = self.widx(o, c, ky, kx);
+                                    self.grad[wi] += g * xin[(c * h + sy) * w + sx];
+                                    grad_in[s * in_sz + (c * h + sy) * w + sx] +=
+                                        g * self.theta[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.theta
+    }
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.theta
+    }
+    fn grads(&self) -> &[f32] {
+        &self.grad
+    }
+    fn zero_grads(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+    fn out_dim(&self, _in: usize) -> usize {
+        self.out_ch * self.h * self.w
+    }
+    fn layout(&self) -> Vec<ParamSegment> {
+        vec![
+            ParamSegment::Matrix {
+                rows: self.out_ch,
+                cols: self.in_ch * 9,
+            },
+            ParamSegment::Vector { len: self.out_ch },
+        ]
+    }
+}
+
+/// 2×2 max pooling with stride 2 over `[C, H, W]` maps.
+pub struct MaxPool2 {
+    ch: usize,
+    h: usize,
+    w: usize,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2 {
+    /// Creates the pool for `ch` channels of `h × w` maps (`h`, `w` even).
+    ///
+    /// # Panics
+    /// Panics if `h` or `w` is odd.
+    pub fn new(ch: usize, h: usize, w: usize) -> MaxPool2 {
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2: dims must be even");
+        MaxPool2 {
+            ch,
+            h,
+            w,
+            argmax: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let (h, w) = (self.h, self.w);
+        let (oh, ow) = (h / 2, w / 2);
+        let in_sz = self.ch * h * w;
+        assert_eq!(input.len(), batch * in_sz, "MaxPool2: bad input size");
+        let mut out = vec![0.0f32; batch * self.ch * oh * ow];
+        self.argmax = vec![0usize; out.len()];
+        for s in 0..batch {
+            for c in 0..self.ch {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = s * in_sz + (c * h + 2 * y + dy) * w + 2 * x + dx;
+                                if input[idx] > best {
+                                    best = input[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = ((s * self.ch + c) * oh + y) * ow + x;
+                        out[oidx] = best;
+                        self.argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        let in_sz = self.ch * self.h * self.w;
+        let mut grad_in = vec![0.0f32; batch * in_sz];
+        for (oidx, &g) in grad_out.iter().enumerate() {
+            grad_in[self.argmax[oidx]] += g;
+        }
+        grad_in
+    }
+
+    fn params(&self) -> &[f32] {
+        &[]
+    }
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut []
+    }
+    fn grads(&self) -> &[f32] {
+        &[]
+    }
+    fn zero_grads(&mut self) {}
+    fn out_dim(&self, in_dim: usize) -> usize {
+        in_dim / 4
+    }
+}
+
+/// Parameter-free layer normalization over each sample's feature vector:
+/// `y = (x − μ) / √(σ² + ε)`.
+///
+/// Besides being standard in transformer stacks, LayerNorm equalizes
+/// activation scales — which is what gives BERT-style models their
+/// *uniformly* hot gradient rows (all entries of a frequent token's
+/// embedding/output row carry comparable gradient magnitude). That row-level
+/// uniformity is the gradient structure TopKC's chunk selection exploits.
+#[derive(Default)]
+pub struct LayerNorm {
+    cached_xhat: Vec<f32>,
+    cached_inv_std: Vec<f32>,
+    features: usize,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over `features`-dimensional samples.
+    pub fn new(features: usize) -> LayerNorm {
+        LayerNorm {
+            cached_xhat: Vec::new(),
+            cached_inv_std: Vec::new(),
+            features,
+        }
+    }
+
+    const EPS: f32 = 1e-5;
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let f = self.features;
+        assert_eq!(input.len(), batch * f, "LayerNorm: bad input size");
+        let mut out = vec![0.0f32; input.len()];
+        self.cached_xhat = vec![0.0; input.len()];
+        self.cached_inv_std = vec![0.0; batch];
+        for s in 0..batch {
+            let x = &input[s * f..(s + 1) * f];
+            let mean = x.iter().sum::<f32>() / f as f32;
+            let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / f as f32;
+            let inv = 1.0 / (var + Self::EPS).sqrt();
+            self.cached_inv_std[s] = inv;
+            for i in 0..f {
+                let xhat = (x[i] - mean) * inv;
+                self.cached_xhat[s * f + i] = xhat;
+                out[s * f + i] = xhat;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        let f = self.features;
+        let mut grad_in = vec![0.0f32; grad_out.len()];
+        for s in 0..batch {
+            let g = &grad_out[s * f..(s + 1) * f];
+            let xhat = &self.cached_xhat[s * f..(s + 1) * f];
+            let inv = self.cached_inv_std[s];
+            let mean_g = g.iter().sum::<f32>() / f as f32;
+            let mean_gx = g.iter().zip(xhat).map(|(a, b)| a * b).sum::<f32>() / f as f32;
+            for i in 0..f {
+                grad_in[s * f + i] = inv * (g[i] - mean_g - xhat[i] * mean_gx);
+            }
+        }
+        grad_in
+    }
+
+    fn params(&self) -> &[f32] {
+        &[]
+    }
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut []
+    }
+    fn grads(&self) -> &[f32] {
+        &[]
+    }
+    fn zero_grads(&mut self) {}
+    fn out_dim(&self, in_dim: usize) -> usize {
+        in_dim
+    }
+}
+
+/// Token embedding lookup: input is a batch of `ctx` token ids (as f32),
+/// output is the concatenated embeddings `[batch × ctx·dim]`.
+pub struct Embedding {
+    vocab: usize,
+    dim: usize,
+    ctx: usize,
+    theta: Vec<f32>,
+    grad: Vec<f32>,
+    cached_ids: Vec<usize>,
+}
+
+impl Embedding {
+    /// Creates an embedding table for `vocab` tokens of `dim` dimensions,
+    /// consuming `ctx` tokens per sample.
+    pub fn new(vocab: usize, dim: usize, ctx: usize, rng: &mut impl rand::Rng) -> Embedding {
+        let theta: Vec<f32> = (0..vocab * dim).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        Embedding {
+            vocab,
+            dim,
+            ctx,
+            grad: vec![0.0; theta.len()],
+            theta,
+            cached_ids: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.ctx, "Embedding: bad input size");
+        self.cached_ids = input
+            .iter()
+            .map(|&t| {
+                let id = t as usize;
+                assert!(id < self.vocab, "Embedding: token {id} out of vocab");
+                id
+            })
+            .collect();
+        let mut out = vec![0.0f32; batch * self.ctx * self.dim];
+        for (slot, &id) in self.cached_ids.iter().enumerate() {
+            out[slot * self.dim..(slot + 1) * self.dim]
+                .copy_from_slice(&self.theta[id * self.dim..(id + 1) * self.dim]);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32], _batch: usize) -> Vec<f32> {
+        for (slot, &id) in self.cached_ids.iter().enumerate() {
+            let g = &grad_out[slot * self.dim..(slot + 1) * self.dim];
+            for (gi, gv) in self.grad[id * self.dim..(id + 1) * self.dim]
+                .iter_mut()
+                .zip(g)
+            {
+                *gi += gv;
+            }
+        }
+        // Token ids have no gradient.
+        vec![0.0; self.cached_ids.len()]
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.theta
+    }
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.theta
+    }
+    fn grads(&self) -> &[f32] {
+        &self.grad
+    }
+    fn zero_grads(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+    fn out_dim(&self, _in: usize) -> usize {
+        self.ctx * self.dim
+    }
+    fn layout(&self) -> Vec<ParamSegment> {
+        vec![ParamSegment::Matrix {
+            rows: self.vocab,
+            cols: self.dim,
+        }]
+    }
+}
+
+/// A sequential stack of layers with flat parameter/gradient access.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Builds from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Sequential {
+        Sequential { layers }
+    }
+
+    /// Forward through all layers.
+    pub fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+        let mut act = input.to_vec();
+        for l in &mut self.layers {
+            act = l.forward(&act, batch);
+        }
+        act
+    }
+
+    /// Backward through all layers (after a forward pass).
+    pub fn backward(&mut self, grad_out: &[f32], batch: usize) {
+        let mut g = grad_out.to_vec();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g, batch);
+        }
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.params().len()).sum()
+    }
+
+    /// Copies all parameters into one flat vector.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(l.params());
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "set_flat_params: size");
+        let mut off = 0;
+        for l in &mut self.layers {
+            let p = l.params_mut();
+            p.copy_from_slice(&flat[off..off + p.len()]);
+            off += p.len();
+        }
+    }
+
+    /// Copies all gradients into one flat vector.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(l.grads());
+        }
+        out
+    }
+
+    /// Adds `delta` to the parameters (`params += delta`).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn apply_flat_delta(&mut self, delta: &[f32]) {
+        assert_eq!(delta.len(), self.param_count(), "apply_flat_delta: size");
+        let mut off = 0;
+        for l in &mut self.layers {
+            let p = l.params_mut();
+            for (pi, &di) in p.iter_mut().zip(&delta[off..]) {
+                *pi += di;
+            }
+            off += p.len();
+        }
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// Per-layer parameter shapes as `(rows, cols)` for low-rank schemes:
+    /// weight matrices only (dense `[out, in]`, conv `[out, in·9]`,
+    /// embedding `[vocab, dim]`); biases excluded.
+    pub fn matrix_shapes(&self) -> Vec<(usize, usize)> {
+        // The flat layout interleaves weights and biases per layer; callers
+        // that need exact offsets should use `param_layout`.
+        self.param_layout()
+            .into_iter()
+            .filter_map(|seg| match seg {
+                ParamSegment::Matrix { rows, cols } => Some((rows, cols)),
+                ParamSegment::Vector { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The exact flat-parameter layout: a sequence of matrix and vector
+    /// segments whose sizes sum to `param_count()`.
+    pub fn param_layout(&self) -> Vec<ParamSegment> {
+        let mut segs = Vec::new();
+        for l in &self.layers {
+            for s in l.layout() {
+                segs.push(s);
+            }
+        }
+        segs
+    }
+}
+
+/// One contiguous segment of the flat parameter vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamSegment {
+    /// A weight matrix of `rows × cols` values.
+    Matrix {
+        /// Output dimension.
+        rows: usize,
+        /// Input dimension.
+        cols: usize,
+    },
+    /// A non-matrix parameter (bias etc.) of `len` values.
+    Vector {
+        /// Number of values.
+        len: usize,
+    },
+}
+
+impl ParamSegment {
+    /// Values in this segment.
+    pub fn len(&self) -> usize {
+        match *self {
+            ParamSegment::Matrix { rows, cols } => rows * cols,
+            ParamSegment::Vector { len } => len,
+        }
+    }
+
+    /// True if the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check for a layer + squared-error loss.
+    fn grad_check(layer: &mut dyn Layer, input: &[f32], batch: usize, tol: f32) {
+        // Loss = 0.5 * sum(out^2); dLoss/dout = out.
+        let out = layer.forward(input, batch);
+        layer.zero_grads();
+        let _ = layer.backward(&out, batch);
+        let analytic = layer.grads().to_vec();
+        let eps = 1e-3f32;
+        let n_params = layer.params().len();
+        for pi in (0..n_params).step_by((n_params / 24).max(1)) {
+            let orig = layer.params()[pi];
+            layer.params_mut()[pi] = orig + eps;
+            let lp: f32 = layer.forward(input, batch).iter().map(|x| 0.5 * x * x).sum();
+            layer.params_mut()[pi] = orig - eps;
+            let lm: f32 = layer.forward(input, batch).iter().map(|x| 0.5 * x * x).sum();
+            layer.params_mut()[pi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[pi];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            assert!(
+                (a - numeric).abs() / denom < tol,
+                "param {pi}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut r = rng();
+        let mut layer = Dense::new(5, 4, &mut r);
+        let input: Vec<f32> = (0..10).map(|i| (i as f32 * 0.7).sin()).collect();
+        grad_check(&mut layer, &input, 2, 2e-2);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut r = rng();
+        let mut layer = Conv3x3::new(2, 3, 4, 4, &mut r);
+        let input: Vec<f32> = (0..2 * 2 * 16).map(|i| (i as f32 * 0.31).cos()).collect();
+        grad_check(&mut layer, &input, 2, 2e-2);
+    }
+
+    #[test]
+    fn embedding_gradient_check() {
+        let mut r = rng();
+        let mut layer = Embedding::new(7, 3, 4, &mut r);
+        let input = vec![0.0f32, 3.0, 6.0, 1.0, 2.0, 2.0, 5.0, 4.0];
+        grad_check(&mut layer, &input, 2, 2e-2);
+    }
+
+    #[test]
+    fn layernorm_normalizes_and_gradient_checks() {
+        let mut l = LayerNorm::new(4);
+        let out = l.forward(&[1.0, 2.0, 3.0, 4.0], 1);
+        let mean: f32 = out.iter().sum::<f32>() / 4.0;
+        let var: f32 = out.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5 && (var - 1.0).abs() < 1e-3);
+
+        // Input-gradient finite-difference check under loss = 0.5*sum((y*w)^2)
+        // with asymmetric weights (plain sum-of-squares has zero gradient
+        // through a normalizer by construction).
+        let input = vec![0.5f32, -1.0, 2.0, 0.3];
+        let w = [1.0f32, 2.0, -1.0, 0.5];
+        let loss = |l: &mut LayerNorm, x: &[f32]| -> f32 {
+            l.forward(x, 1)
+                .iter()
+                .zip(&w)
+                .map(|(y, wi)| 0.5 * (y * wi) * (y * wi))
+                .sum()
+        };
+        let y = l.forward(&input, 1);
+        let gy: Vec<f32> = y.iter().zip(&w).map(|(yi, wi)| yi * wi * wi).collect();
+        let gin = l.backward(&gy, 1);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = input.clone();
+            xp[i] += eps;
+            let mut xm = input.clone();
+            xm[i] -= eps;
+            let numeric = (loss(&mut l, &xp) - loss(&mut l, &xm)) / (2.0 * eps);
+            assert!(
+                (gin[i] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "input {i}: {} vs {numeric}",
+                gin[i]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut l = Relu::new();
+        let out = l.forward(&[-1.0, 2.0, 0.0, 3.0], 1);
+        assert_eq!(out, vec![0.0, 2.0, 0.0, 3.0]);
+        let gin = l.backward(&[1.0, 1.0, 1.0, 1.0], 1);
+        assert_eq!(gin, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut l = MaxPool2::new(1, 2, 2);
+        let out = l.forward(&[1.0, 5.0, 2.0, 3.0], 1);
+        assert_eq!(out, vec![5.0]);
+        let gin = l.backward(&[7.0], 1);
+        assert_eq!(gin, vec![0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_input_gradient_check() {
+        // Check d(loss)/d(input) too, via finite differences on the input.
+        let mut r = rng();
+        let mut layer = Dense::new(4, 3, &mut r);
+        let input: Vec<f32> = (0..4).map(|i| (i as f32 * 0.9).sin()).collect();
+        let out = layer.forward(&input, 1);
+        layer.zero_grads();
+        let gin = layer.backward(&out, 1);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut ip = input.clone();
+            ip[i] += eps;
+            let lp: f32 = layer.forward(&ip, 1).iter().map(|x| 0.5 * x * x).sum();
+            let mut im = input.clone();
+            im[i] -= eps;
+            let lm: f32 = layer.forward(&im, 1).iter().map(|x| 0.5 * x * x).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (gin[i] - numeric).abs() / numeric.abs().max(1.0) < 2e-2,
+                "input {i}: {} vs {numeric}",
+                gin[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_flat_round_trip() {
+        let mut r = rng();
+        let mut seq = Sequential::new(vec![
+            Box::new(Dense::new(6, 5, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(5, 2, &mut r)),
+        ]);
+        let p = seq.flat_params();
+        assert_eq!(p.len(), 6 * 5 + 5 + 5 * 2 + 2);
+        let mut p2 = p.clone();
+        p2[0] = 42.0;
+        seq.set_flat_params(&p2);
+        assert_eq!(seq.flat_params()[0], 42.0);
+        seq.apply_flat_delta(&vec![1.0; p.len()]);
+        assert_eq!(seq.flat_params()[0], 43.0);
+    }
+
+    #[test]
+    fn sequential_trains_a_linear_map() {
+        // One dense layer can fit y = 2x exactly with SGD on MSE.
+        let mut r = rng();
+        let mut seq = Sequential::new(vec![Box::new(Dense::new(1, 1, &mut r))]);
+        for _ in 0..300 {
+            let x = vec![0.5f32, -1.0, 2.0];
+            let y = seq.forward(&x, 3);
+            let target: Vec<f32> = x.iter().map(|v| 2.0 * v).collect();
+            let grad: Vec<f32> = y.iter().zip(&target).map(|(a, b)| a - b).collect();
+            seq.zero_grads();
+            seq.backward(&grad, 3);
+            let g = seq.flat_grads();
+            let delta: Vec<f32> = g.iter().map(|v| -0.05 * v).collect();
+            seq.apply_flat_delta(&delta);
+        }
+        let out = seq.forward(&[1.0], 1);
+        assert!((out[0] - 2.0).abs() < 0.05, "learned {}", out[0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gcs-nn
+//!
+//! A from-scratch neural-network substrate: enough of a deep-learning
+//! framework to train real models whose gradients the compression schemes
+//! can chew on.
+//!
+//! The paper trains BERT-large and VGG19; at CPU scale we train shape-
+//! preserving miniatures (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`models::VggMini`] — a small conv net classifying synthetic images
+//!   with genuine spatial structure (top-1 accuracy metric).
+//! * [`models::BertMini`] — a next-token language model over synthetic
+//!   Markov text (perplexity metric).
+//!
+//! Layers expose parameters and gradients as **flat slices** so the whole
+//! model's gradient concatenates into one vector — exactly the view a
+//! gradient-compression system has of a model. Backprop correctness is
+//! finite-difference checked in the layer tests.
+
+pub mod attention;
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod optim;
+
+pub use attention::SelfAttention;
+pub use data::{Batch, ImageDataset, TextDataset};
+pub use layers::{Layer, LayerNorm, ParamSegment, Sequential};
+pub use models::{BertMini, Model, TransformerMini, VggMini};
+pub use optim::{Adam, LrSchedule, Sgd};

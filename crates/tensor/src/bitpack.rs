@@ -1,0 +1,326 @@
+//! `q`-bit packed integer vectors — the wire format of quantized gradients.
+//!
+//! THC communicates each coordinate as a `q`-bit integer (§3.2.1). For
+//! all-reduce, intermediate hops must *sum* these lanes, and the sum of `n`
+//! worker values can overflow `q` bits. The paper contrasts two remedies:
+//!
+//! * **Widening** (THC's "simple adaptation"): communicate `b > q` bits so
+//!   sums fit — extra traffic, still not scalable in `n`.
+//! * **Saturation** (the paper's proposal): keep `b = q` and clamp the lane
+//!   sum to `[-(2^{b-1}-1), 2^{b-1}-1]` — no extra traffic; safe in practice
+//!   because post-RHT coordinates concentrate near zero and partially cancel.
+//!
+//! [`PackedIntVec`] stores signed lanes in two's complement inside a `u64`
+//! backing array and implements both lane-wise reductions, plus the exact
+//! byte accounting the throughput models need.
+
+/// A fixed-width signed integer vector, bit-packed `q` bits per lane.
+///
+/// Lanes are two's-complement `q`-bit integers in `[-2^{q-1}, 2^{q-1}-1]`.
+/// `q` may be 1..=32. Lanes may straddle `u64` word boundaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedIntVec {
+    q: u32,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedIntVec {
+    /// Creates a zeroed vector of `len` lanes of `q` bits each.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= q <= 32`.
+    pub fn zeros(q: u32, len: usize) -> PackedIntVec {
+        assert!((1..=32).contains(&q), "PackedIntVec: q={q} out of range");
+        let bits = (len as u64) * (q as u64);
+        let words = vec![0u64; bits.div_ceil(64) as usize];
+        PackedIntVec { q, len, words }
+    }
+
+    /// Packs a slice of signed values.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any value is outside the `q`-bit signed
+    /// range; release builds truncate.
+    pub fn from_signed(q: u32, values: &[i32]) -> PackedIntVec {
+        let mut v = PackedIntVec::zeros(q, values.len());
+        for (i, &x) in values.iter().enumerate() {
+            v.set(i, x);
+        }
+        v
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lane width in bits.
+    pub fn lane_bits(&self) -> u32 {
+        self.q
+    }
+
+    /// The smallest representable lane value, `-2^{q-1}`.
+    pub fn lane_min(&self) -> i32 {
+        if self.q == 32 {
+            i32::MIN
+        } else {
+            -(1i32 << (self.q - 1))
+        }
+    }
+
+    /// The largest representable lane value, `2^{q-1} - 1`.
+    pub fn lane_max(&self) -> i32 {
+        if self.q == 32 {
+            i32::MAX
+        } else {
+            (1i32 << (self.q - 1)) - 1
+        }
+    }
+
+    /// Exact payload size in bits (what goes on the wire).
+    pub fn size_bits(&self) -> u64 {
+        (self.len as u64) * (self.q as u64)
+    }
+
+    /// Payload size in bytes, rounded up.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bits().div_ceil(8)
+    }
+
+    /// Reads lane `i` as a sign-extended i32.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> i32 {
+        assert!(i < self.len, "PackedIntVec::get: index {i} out of bounds");
+        let raw = self.get_raw(i);
+        // Sign-extend from q bits.
+        let shift = 32 - self.q;
+        (((raw as u32) << shift) as i32) >> shift
+    }
+
+    /// Writes lane `i` from an i32 (debug-asserted to fit; truncated in
+    /// release).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: i32) {
+        assert!(i < self.len, "PackedIntVec::set: index {i} out of bounds");
+        debug_assert!(
+            value >= self.lane_min() && value <= self.lane_max(),
+            "value {value} does not fit in {} signed bits",
+            self.q
+        );
+        let mask = self.lane_mask();
+        self.set_raw(i, (value as u64) & mask);
+    }
+
+    fn lane_mask(&self) -> u64 {
+        if self.q == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.q) - 1
+        }
+    }
+
+    fn get_raw(&self, i: usize) -> u64 {
+        let q = self.q as u64;
+        let bit = i as u64 * q;
+        let word = (bit / 64) as usize;
+        let off = bit % 64;
+        let mask = self.lane_mask();
+        if off + q <= 64 {
+            (self.words[word] >> off) & mask
+        } else {
+            let lo = self.words[word] >> off;
+            let hi = self.words[word + 1] << (64 - off);
+            (lo | hi) & mask
+        }
+    }
+
+    fn set_raw(&mut self, i: usize, raw: u64) {
+        let q = self.q as u64;
+        let bit = i as u64 * q;
+        let word = (bit / 64) as usize;
+        let off = bit % 64;
+        let mask = self.lane_mask();
+        let raw = raw & mask;
+        if off + q <= 64 {
+            self.words[word] &= !(mask << off);
+            self.words[word] |= raw << off;
+        } else {
+            let lo_bits = 64 - off;
+            self.words[word] &= !(mask << off);
+            self.words[word] |= raw << off;
+            let hi_mask = mask >> lo_bits;
+            self.words[word + 1] &= !hi_mask;
+            self.words[word + 1] |= raw >> lo_bits;
+        }
+    }
+
+    /// Unpacks all lanes into a `Vec<i32>`.
+    pub fn to_signed_vec(&self) -> Vec<i32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Lane-wise **saturating** addition: the paper's `Sat(x, y) =
+    /// min(2^{b-1}−1, max(−2^{b-1}+1, x+y))` operator (§3.2.2).
+    ///
+    /// Note the *symmetric* clamp at `−2^{b-1}+1` (not `−2^{b-1}`), matching
+    /// the paper's definition exactly.
+    ///
+    /// # Panics
+    /// Panics if lane widths or lengths differ.
+    pub fn add_saturating(&mut self, other: &PackedIntVec) {
+        assert_eq!(self.q, other.q, "add_saturating: lane width mismatch");
+        assert_eq!(self.len, other.len, "add_saturating: length mismatch");
+        let hi = self.lane_max();
+        let lo = -hi; // symmetric clamp per the paper
+        for i in 0..self.len {
+            let s = (self.get(i) + other.get(i)).clamp(lo, hi);
+            self.set(i, s);
+        }
+    }
+
+    /// Lane-wise **wrapping** addition (mod `2^q`): what naive integer
+    /// all-reduce would do, included so tests and ablations can demonstrate
+    /// the overflow corruption that motivates saturation/widening.
+    ///
+    /// # Panics
+    /// Panics if lane widths or lengths differ.
+    pub fn add_wrapping(&mut self, other: &PackedIntVec) {
+        assert_eq!(self.q, other.q, "add_wrapping: lane width mismatch");
+        assert_eq!(self.len, other.len, "add_wrapping: length mismatch");
+        let mask = self.lane_mask();
+        for i in 0..self.len {
+            let s = (self.get_raw(i).wrapping_add(other.get_raw(i))) & mask;
+            self.set_raw(i, s);
+        }
+    }
+
+    /// Re-packs this vector into wider `new_q`-bit lanes (values preserved).
+    ///
+    /// This is THC's "simple adaptation": quantize at `q` bits but
+    /// communicate at `b = new_q > q` bits so aggregation cannot overflow.
+    ///
+    /// # Panics
+    /// Panics if `new_q < q`.
+    pub fn widen(&self, new_q: u32) -> PackedIntVec {
+        assert!(new_q >= self.q, "widen: {} -> {new_q} would narrow", self.q);
+        let mut out = PackedIntVec::zeros(new_q, self.len);
+        for i in 0..self.len {
+            out.set(i, self.get(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        for q in [1u32, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32] {
+            let mut v = PackedIntVec::zeros(q, 100);
+            let lo = v.lane_min();
+            let hi = v.lane_max();
+            let vals: Vec<i32> = (0..100)
+                .map(|i| {
+                    let span = (hi as i64 - lo as i64) as i64;
+                    (lo as i64 + (i as i64 * 7919) % (span + 1)) as i32
+                })
+                .collect();
+            for (i, &x) in vals.iter().enumerate() {
+                v.set(i, x);
+            }
+            assert_eq!(v.to_signed_vec(), vals, "q={q}");
+        }
+    }
+
+    #[test]
+    fn lanes_straddle_word_boundaries() {
+        // q=7: lane 9 spans bits 63..70, crossing the first u64.
+        let mut v = PackedIntVec::zeros(7, 20);
+        v.set(9, -64);
+        v.set(8, 63);
+        v.set(10, -1);
+        assert_eq!(v.get(9), -64);
+        assert_eq!(v.get(8), 63);
+        assert_eq!(v.get(10), -1);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let v = PackedIntVec::zeros(4, 1000);
+        assert_eq!(v.size_bits(), 4000);
+        assert_eq!(v.size_bytes(), 500);
+        let v = PackedIntVec::zeros(3, 5);
+        assert_eq!(v.size_bits(), 15);
+        assert_eq!(v.size_bytes(), 2);
+    }
+
+    #[test]
+    fn saturating_add_clamps_symmetrically() {
+        // q=4: lanes in [-8, 7]; Sat clamps to [-7, 7].
+        let a = PackedIntVec::from_signed(4, &[7, -7, 3, -3]);
+        let b = PackedIntVec::from_signed(4, &[5, -5, -1, 1]);
+        let mut s = a.clone();
+        s.add_saturating(&b);
+        assert_eq!(s.to_signed_vec(), vec![7, -7, 2, -2]);
+    }
+
+    #[test]
+    fn wrapping_add_corrupts_on_overflow() {
+        // Demonstrates why naive integer all-reduce is wrong: 7 + 5 wraps to
+        // -4 in 4-bit lanes.
+        let a = PackedIntVec::from_signed(4, &[7]);
+        let b = PackedIntVec::from_signed(4, &[5]);
+        let mut s = a.clone();
+        s.add_wrapping(&b);
+        assert_eq!(s.get(0), -4);
+    }
+
+    #[test]
+    fn cancellation_avoids_saturation() {
+        // Positive and negative contributions cancel — the property the
+        // paper's saturation argument relies on after RHT.
+        let a = PackedIntVec::from_signed(4, &[6]);
+        let b = PackedIntVec::from_signed(4, &[-5]);
+        let mut s = a.clone();
+        s.add_saturating(&b);
+        assert_eq!(s.get(0), 1);
+    }
+
+    #[test]
+    fn widen_preserves_values_and_grows_size() {
+        let a = PackedIntVec::from_signed(4, &[-8, 7, 0, -1]);
+        let w = a.widen(8);
+        assert_eq!(w.to_signed_vec(), vec![-8, 7, 0, -1]);
+        assert_eq!(w.size_bits(), 32);
+        // Wider lanes no longer saturate at the same sums.
+        let mut s = w.clone();
+        s.add_saturating(&w);
+        assert_eq!(s.to_signed_vec(), vec![-16, 14, 0, -2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        PackedIntVec::zeros(4, 3).get(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width mismatch")]
+    fn mixed_width_add_panics() {
+        let mut a = PackedIntVec::zeros(4, 2);
+        let b = PackedIntVec::zeros(8, 2);
+        a.add_saturating(&b);
+    }
+}

@@ -1,0 +1,262 @@
+//! The (randomized) fast Walsh–Hadamard transform, full and **partial**.
+//!
+//! THC (§3.2) rotates gradients with a Randomized Hadamard Transform before
+//! stochastic quantization: the rotation concentrates coordinates around zero
+//! (approximately `N(0, ||∇||²/d)` entries), shrinking the `[min, max]`
+//! quantization range and thereby the quantization error.
+//!
+//! The paper's *partial rotation* (§3.2.2) observes that stopping the
+//! butterfly recursion after `l' ≤ l` of the `l = log2(d)` iterations is
+//! mathematically equivalent to splitting the vector into `2^l'`-sized blocks
+//! and rotating each block independently — and if `2^l'` elements fit in GPU
+//! shared memory, the whole transform runs in one fast kernel. Ranges are then
+//! computed per block, so an outlier only degrades precision locally.
+//!
+//! The transform here is normalized (`H/√2` butterflies), making it an
+//! involution: applying it twice returns the input. The *randomized* variant
+//! conjugates with a seeded Rademacher diagonal, which all workers derive from
+//! shared randomness so rotation/derotation agree across the cluster.
+
+use crate::rng::SharedSeed;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// In-place normalized fast Walsh–Hadamard transform on a power-of-two
+/// length slice.
+///
+/// Each butterfly computes `(a+b)/√2, (a−b)/√2`, so the transform is
+/// orthonormal and self-inverse.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two (zero length is allowed).
+pub fn fwht(data: &mut [f32]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "fwht: length {n} not a power of two");
+    fwht_iterations(data, n.trailing_zeros() as usize);
+}
+
+/// Runs only the first `iters` butterfly stages of the FWHT on `data`.
+///
+/// After `iters` stages, element `i` has interacted exactly with the elements
+/// whose index differs in the low `iters` bits — i.e. the transform is the
+/// full FWHT applied independently to each aligned block of `2^iters`
+/// elements. This is the paper's *partial rotation*.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two or `iters > log2(len)`.
+pub fn fwht_iterations(data: &mut [f32], iters: usize) {
+    let n = data.len();
+    if n <= 1 || iters == 0 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "fwht: length {n} not a power of two");
+    let max_iters = n.trailing_zeros() as usize;
+    assert!(
+        iters <= max_iters,
+        "fwht_iterations: {iters} iterations exceed log2({n}) = {max_iters}"
+    );
+    let inv_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
+    let mut h = 1usize;
+    for _ in 0..iters {
+        let mut i = 0;
+        while i < n {
+            for j in i..i + h {
+                let a = data[j];
+                let b = data[j + h];
+                data[j] = (a + b) * inv_sqrt2;
+                data[j + h] = (a - b) * inv_sqrt2;
+            }
+            i += h * 2;
+        }
+        h *= 2;
+    }
+}
+
+/// Returns the smallest power of two that is `>= len`.
+pub fn padded_len(len: usize) -> usize {
+    len.next_power_of_two()
+}
+
+/// Applies a seeded Rademacher (±1) diagonal in place.
+///
+/// The signs are derived from `seed`, so every worker flips the same signs —
+/// the "shared randomness" THC assumes. Applying the same diagonal twice is a
+/// no-op, which makes the randomized transform below an involution too.
+pub fn rademacher_diagonal(data: &mut [f32], seed: SharedSeed) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.value());
+    // Draw 64 sign bits at a time.
+    let mut i = 0;
+    while i < data.len() {
+        let bits: u64 = rng.gen();
+        let take = 64.min(data.len() - i);
+        for j in 0..take {
+            if (bits >> j) & 1 == 1 {
+                data[i + j] = -data[i + j];
+            }
+        }
+        i += take;
+    }
+}
+
+/// The randomized Hadamard transform: Rademacher diagonal followed by the
+/// first `iters` FWHT stages (`iters = log2(len)` gives the full RHT).
+pub fn rht_forward(data: &mut [f32], iters: usize, seed: SharedSeed) {
+    rademacher_diagonal(data, seed);
+    fwht_iterations(data, iters);
+}
+
+/// Inverse of [`rht_forward`]: FWHT stages (self-inverse) then the same
+/// diagonal.
+pub fn rht_inverse(data: &mut [f32], iters: usize, seed: SharedSeed) {
+    fwht_iterations(data, iters);
+    rademacher_diagonal(data, seed);
+}
+
+/// Describes how much of the transform to run — the paper's three settings in
+/// Table 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RotationMode {
+    /// Full RHT: `l = log2(d_padded)` iterations; touches global memory for
+    /// large `d`.
+    Full,
+    /// Partial rotation with blocks of `2^l'` elements, `l'` chosen so a
+    /// block fits in shared memory (`block_log2 = l'`).
+    Partial {
+        /// log2 of the block size; a block of `2^block_log2` f32 values must
+        /// fit in GPU shared memory for the single-kernel argument to hold.
+        block_log2: usize,
+    },
+    /// No rotation at all (quantize raw gradients).
+    None,
+}
+
+impl RotationMode {
+    /// Number of butterfly iterations to run for a padded vector of length
+    /// `padded` (a power of two).
+    pub fn iterations(self, padded: usize) -> usize {
+        let l = if padded <= 1 {
+            0
+        } else {
+            padded.trailing_zeros() as usize
+        };
+        match self {
+            RotationMode::Full => l,
+            RotationMode::Partial { block_log2 } => block_log2.min(l),
+            RotationMode::None => 0,
+        }
+    }
+
+    /// The effective block size over which values mix (and over which THC
+    /// computes per-block `[min,max]` ranges).
+    pub fn block_len(self, padded: usize) -> usize {
+        1usize << self.iterations(padded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::squared_norm;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fwht_is_involution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let orig: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut v = orig.clone();
+        fwht(&mut v);
+        fwht(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fwht_preserves_norm() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut v: Vec<f32> = (0..256).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let before = squared_norm(&v);
+        fwht(&mut v);
+        let after = squared_norm(&v);
+        assert!((before - after).abs() / before < 1e-4);
+    }
+
+    #[test]
+    fn fwht_known_small() {
+        // H2 * [1, 0] = [1/√2, 1/√2]
+        let mut v = vec![1.0, 0.0];
+        fwht(&mut v);
+        let s = std::f32::consts::FRAC_1_SQRT_2;
+        assert!((v[0] - s).abs() < 1e-6 && (v[1] - s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_equals_blockwise_full() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let orig: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Partial with block_log2 = 4 (blocks of 16)...
+        let mut partial = orig.clone();
+        fwht_iterations(&mut partial, 4);
+        // ...equals running the full FWHT on each 16-block separately.
+        let mut blockwise = orig.clone();
+        for chunk in blockwise.chunks_mut(16) {
+            fwht(chunk);
+        }
+        for (a, b) in partial.iter().zip(&blockwise) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rht_round_trips() {
+        let seed = SharedSeed::new(42);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let orig: Vec<f32> = (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for iters in [0usize, 3, 7] {
+            let mut v = orig.clone();
+            rht_forward(&mut v, iters, seed);
+            rht_inverse(&mut v, iters, seed);
+            for (a, b) in v.iter().zip(&orig) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn rht_shrinks_value_range_of_spiky_vectors() {
+        // A vector with one huge coordinate: rotation spreads its energy,
+        // shrinking max-min — the whole point of RHT for quantization.
+        let mut v = vec![0.01f32; 1024];
+        v[17] = 100.0;
+        let (lo, hi) = crate::vector::min_max(&v);
+        let range_before = hi - lo;
+        rht_forward(&mut v, 10, SharedSeed::new(3));
+        let (lo, hi) = crate::vector::min_max(&v);
+        let range_after = hi - lo;
+        assert!(
+            range_after < range_before / 4.0,
+            "range {range_before} -> {range_after}"
+        );
+    }
+
+    #[test]
+    fn rotation_mode_iterations() {
+        assert_eq!(RotationMode::Full.iterations(1024), 10);
+        assert_eq!(RotationMode::Partial { block_log2: 6 }.iterations(1024), 6);
+        // Partial never exceeds the full length.
+        assert_eq!(RotationMode::Partial { block_log2: 20 }.iterations(64), 6);
+        assert_eq!(RotationMode::None.iterations(1024), 0);
+        assert_eq!(RotationMode::Partial { block_log2: 6 }.block_len(1024), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn fwht_rejects_non_power_of_two() {
+        let mut v = vec![0.0; 48];
+        fwht(&mut v);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gcs-tensor
+//!
+//! Tensor substrate for the gradient-compression utility suite.
+//!
+//! This crate provides everything the compression schemes and the neural-network
+//! substrate need that would normally come from a GPU math library:
+//!
+//! * [`half`] — software IEEE-754 binary16 ([`half::F16`]), bfloat16
+//!   ([`half::Bf16`]) and NVIDIA TF32 rounding, with round-to-nearest-even
+//!   semantics. Gradient *communication* precision is modelled bit-exactly.
+//! * [`vector`] — flat `f32` vector kernels (norms, dot, axpy, reductions).
+//! * [`matrix`] — a small row-major dense [`matrix::Matrix`] with matmul and the
+//!   modified Gram–Schmidt orthogonalization that PowerSGD depends on.
+//! * [`hadamard`] — the (randomized) fast Walsh–Hadamard transform, both the
+//!   full `O(d log d)` rotation and the *partial rotation* of the paper
+//!   (§3.2.2): blockwise transforms sized to fit GPU shared memory.
+//! * [`bitpack`] — `q`-bit packed integer vectors with wrapping and
+//!   *saturating* lane arithmetic, the wire format of THC-style quantization.
+//! * [`sketch`] — linear count-sketches (the all-reduce-compatible
+//!   structure behind FetchSGD-style compression).
+//! * [`rng`] — deterministic seeding utilities, including the shared-randomness
+//!   streams that all workers must agree on (RHT sign diagonals, stochastic
+//!   rounding).
+//!
+//! Everything here is deterministic given seeds and plain Rust; the goal is
+//! bit-reproducible experiments, not raw speed.
+
+pub mod bitpack;
+pub mod hadamard;
+pub mod half;
+pub mod matrix;
+pub mod rng;
+pub mod sketch;
+pub mod vector;
+
+pub use crate::half::{Bf16, F16};
+pub use bitpack::PackedIntVec;
+pub use matrix::Matrix;

@@ -1,0 +1,220 @@
+//! Flat `f32` vector kernels.
+//!
+//! These are the primitive operations the compression schemes are built from:
+//! norms (chunk scoring in TopKC), dot products, scaled accumulation (error
+//! feedback), and top-k index selection. Each is a straightforward sequential
+//! loop — the *cost* of the corresponding GPU kernel is modelled separately in
+//! `gcs-gpusim`, keeping functional behaviour and performance modelling
+//! decoupled.
+
+/// Returns the squared L2 norm of `v`.
+pub fn squared_norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// Returns the L2 norm of `v`.
+pub fn norm(v: &[f32]) -> f32 {
+    squared_norm(v).sqrt()
+}
+
+/// Returns the dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (the BLAS `axpy`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `v` in place by `alpha`.
+pub fn scale(v: &mut [f32], alpha: f32) {
+    for x in v.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Element-wise sum of `b` into `a`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// Element-wise subtraction of `b` from `a`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sub_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "sub_assign: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x -= y;
+    }
+}
+
+/// Returns the element-wise mean of `n` equal-length vectors.
+///
+/// # Panics
+/// Panics if `vectors` is empty or lengths differ.
+pub fn mean(vectors: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "mean: no vectors");
+    let d = vectors[0].len();
+    let mut out = vec![0.0f32; d];
+    for v in vectors {
+        add_assign(&mut out, v);
+    }
+    scale(&mut out, 1.0 / vectors.len() as f32);
+    out
+}
+
+/// Returns the maximum and minimum of a slice as `(min, max)`.
+///
+/// Returns `(0.0, 0.0)` for an empty slice (the quantizers treat an empty
+/// range as "all values identical", which degenerates gracefully).
+pub fn min_max(v: &[f32]) -> (f32, f32) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &x in v {
+        if x < min {
+            min = x;
+        }
+        if x > max {
+            max = x;
+        }
+    }
+    if v.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+/// Indices of the `k` elements of `v` with the largest absolute value, in
+/// descending order of |value| (ties broken by lower index first).
+///
+/// This is the local TopK selection of sparsification schemes (§3.1.1). The
+/// implementation is a partial selection via `select_nth_unstable_by`
+/// (average O(d)), followed by a sort of the selected `k` — matching the
+/// asymptotics of GPU radix-select implementations.
+pub fn top_k_indices(v: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(v.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    let cmp = |&a: &usize, &b: &usize| {
+        let (ma, mb) = (v[a].abs(), v[b].abs());
+        mb.partial_cmp(&ma)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    };
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
+    idx
+}
+
+/// The vector-normalized mean squared error between an estimate and the true
+/// vector: `||est - truth||^2 / ||truth||^2`.
+///
+/// This is the paper's cheap convergence proxy (§2.2, Tables 4 and 7), used
+/// on the *aggregated* gradient: `truth` is the exact average of the workers'
+/// gradients and `est` is what the compression scheme delivered.
+///
+/// Returns 0 when both vectors are zero, and infinity when the truth is zero
+/// but the estimate is not.
+pub fn vnmse(est: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(est.len(), truth.len(), "vnmse: length mismatch");
+    let mut err = 0.0f64;
+    let mut denom = 0.0f64;
+    for (e, t) in est.iter().zip(truth) {
+        let diff = (*e as f64) - (*t as f64);
+        err += diff * diff;
+        denom += (*t as f64) * (*t as f64);
+    }
+    if denom == 0.0 {
+        if err == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        err / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_and_dot() {
+        let v = [3.0, 4.0];
+        assert_eq!(squared_norm(&v), 25.0);
+        assert_eq!(norm(&v), 5.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let m = mean(&[vec![1.0, 2.0], vec![3.0, 6.0]]);
+        assert_eq!(m, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn min_max_basics() {
+        assert_eq!(min_max(&[2.0, -5.0, 3.0]), (-5.0, 3.0));
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+        assert_eq!(min_max(&[7.0]), (7.0, 7.0));
+    }
+
+    #[test]
+    fn top_k_selects_largest_magnitudes() {
+        let v = [0.1, -5.0, 3.0, -0.2, 4.0];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 4]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+        // k >= len returns everything sorted by magnitude.
+        assert_eq!(top_k_indices(&v, 10), vec![1, 4, 2, 3, 0]);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_stable_by_index() {
+        let v = [1.0, -1.0, 1.0];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn vnmse_basics() {
+        let truth = [1.0, 0.0, -1.0];
+        assert_eq!(vnmse(&truth, &truth), 0.0);
+        // est = 0 gives vNMSE = 1 (all signal lost).
+        assert!((vnmse(&[0.0, 0.0, 0.0], &truth) - 1.0).abs() < 1e-12);
+        assert_eq!(vnmse(&[0.0], &[0.0]), 0.0);
+        assert_eq!(vnmse(&[1.0], &[0.0]), f64::INFINITY);
+    }
+}

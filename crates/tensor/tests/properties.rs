@@ -1,0 +1,218 @@
+//! Property-based tests for the tensor substrate's core invariants.
+
+use gcs_tensor::bitpack::PackedIntVec;
+use gcs_tensor::hadamard::{fwht, fwht_iterations, rht_forward, rht_inverse};
+use gcs_tensor::half::{tf32_round, F16};
+use gcs_tensor::matrix::{orthonormalize_columns, Matrix};
+use gcs_tensor::rng::{invert_permutation, shared_permutation, SharedSeed};
+use gcs_tensor::vector::{squared_norm, top_k_indices, vnmse};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Keep within the binary16 normal range for round-trip error bounds.
+    prop_oneof![
+        (-60000.0f32..60000.0),
+        (-1.0f32..1.0),
+        (-1e-3f32..1e-3),
+        Just(0.0f32),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn f16_round_trip_error_is_bounded(x in finite_f32()) {
+        let rt = F16::from_f32(x).to_f32();
+        if x == 0.0 {
+            prop_assert_eq!(rt, 0.0);
+        } else if x.abs() >= 6.2e-5 {
+            // Normal binary16 range: relative error <= 2^-11.
+            let rel = ((rt - x) / x).abs();
+            prop_assert!(rel <= 2.0f32.powi(-11), "x={} rt={} rel={}", x, rt, rel);
+        } else {
+            // Subnormal range: absolute error <= half the subnormal spacing.
+            prop_assert!((rt - x).abs() <= 2.0f32.powi(-25), "x={} rt={}", x, rt);
+        }
+    }
+
+    #[test]
+    fn f16_conversion_is_monotonic(a in finite_f32(), b in finite_f32()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    #[test]
+    fn tf32_is_idempotent_and_no_less_precise_than_f16(x in finite_f32()) {
+        let t = tf32_round(x);
+        prop_assert_eq!(tf32_round(t), t);
+        if x != 0.0 {
+            let tf_err = (t - x).abs();
+            let f16_err = (F16::from_f32(x).to_f32() - x).abs();
+            prop_assert!(tf_err <= f16_err + f32::EPSILON * x.abs());
+        }
+    }
+
+    #[test]
+    fn fwht_is_involution_and_isometry(
+        data in prop::collection::vec(-10.0f32..10.0, 1..200),
+    ) {
+        let padded = data.len().next_power_of_two();
+        let mut v = data.clone();
+        v.resize(padded, 0.0);
+        let orig = v.clone();
+        let before = squared_norm(&v);
+        fwht(&mut v);
+        let mid = squared_norm(&v);
+        prop_assert!((before - mid).abs() <= 1e-3 * before.max(1.0));
+        fwht(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rht_round_trips_for_any_iteration_count(
+        data in prop::collection::vec(-5.0f32..5.0, 1..128),
+        seed in any::<u64>(),
+        iters_frac in 0.0f64..=1.0,
+    ) {
+        let padded = data.len().next_power_of_two();
+        let l = padded.trailing_zeros() as usize;
+        let iters = ((l as f64) * iters_frac).round() as usize;
+        let mut v = data.clone();
+        v.resize(padded, 0.0);
+        let orig = v.clone();
+        let seed = SharedSeed::new(seed);
+        rht_forward(&mut v, iters, seed);
+        rht_inverse(&mut v, iters, seed);
+        for (a, b) in v.iter().zip(&orig) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn partial_fwht_only_mixes_within_blocks(
+        block_log2 in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Impulse response: a single 1 at position p only spreads within its
+        // aligned 2^block_log2 block.
+        let n = 64usize;
+        let mut rng_val = seed as usize % n;
+        let mut v = vec![0.0f32; n];
+        v[rng_val] = 1.0;
+        fwht_iterations(&mut v, block_log2);
+        let block = 1usize << block_log2;
+        let start = (rng_val / block) * block;
+        for (i, &x) in v.iter().enumerate() {
+            if i < start || i >= start + block {
+                prop_assert_eq!(x, 0.0, "leaked to index {}", i);
+            }
+        }
+        rng_val = rng_val.wrapping_add(1); // silence unused warnings
+        let _ = rng_val;
+    }
+
+    #[test]
+    fn packed_int_round_trip(
+        q in 1u32..=16,
+        values in prop::collection::vec(any::<i32>(), 0..100),
+    ) {
+        let hi = if q == 32 { i32::MAX } else { (1i32 << (q - 1)) - 1 };
+        let lo = -hi - 1;
+        let clamped: Vec<i32> = values.iter().map(|&v| v.clamp(lo, hi)).collect();
+        let packed = PackedIntVec::from_signed(q, &clamped);
+        prop_assert_eq!(packed.to_signed_vec(), clamped);
+    }
+
+    #[test]
+    fn saturating_add_is_commutative_and_bounded(
+        q in 2u32..=8,
+        pairs in prop::collection::vec((any::<i16>(), any::<i16>()), 1..50),
+    ) {
+        let hi = (1i32 << (q - 1)) - 1;
+        let a: Vec<i32> = pairs.iter().map(|p| (p.0 as i32).clamp(-hi, hi)).collect();
+        let b: Vec<i32> = pairs.iter().map(|p| (p.1 as i32).clamp(-hi, hi)).collect();
+        let pa = PackedIntVec::from_signed(q, &a);
+        let pb = PackedIntVec::from_signed(q, &b);
+        let mut ab = pa.clone();
+        ab.add_saturating(&pb);
+        let mut ba = pb.clone();
+        ba.add_saturating(&pa);
+        prop_assert_eq!(ab.to_signed_vec(), ba.to_signed_vec());
+        for v in ab.to_signed_vec() {
+            prop_assert!(v.abs() <= hi);
+        }
+    }
+
+    #[test]
+    fn widening_then_adding_never_saturates_for_two_workers(
+        values in prop::collection::vec(-7i32..=7, 1..40),
+    ) {
+        // q=4 payloads widened to b=8 can absorb any 2-worker sum exactly.
+        let p = PackedIntVec::from_signed(4, &values);
+        let mut wide = p.widen(8);
+        wide.add_saturating(&p.widen(8));
+        let expect: Vec<i32> = values.iter().map(|v| v * 2).collect();
+        prop_assert_eq!(wide.to_signed_vec(), expect);
+    }
+
+    #[test]
+    fn top_k_returns_a_true_top_set(
+        values in prop::collection::vec(-100.0f32..100.0, 1..60),
+        k in 0usize..60,
+    ) {
+        let k = k.min(values.len());
+        let idx = top_k_indices(&values, k);
+        prop_assert_eq!(idx.len(), k);
+        // Every selected magnitude >= every unselected magnitude.
+        let selected: std::collections::HashSet<usize> = idx.iter().copied().collect();
+        let min_sel = idx.iter().map(|&i| values[i].abs()).fold(f32::INFINITY, f32::min);
+        for (i, v) in values.iter().enumerate() {
+            if !selected.contains(&i) {
+                prop_assert!(v.abs() <= min_sel + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_orthonormal_for_random_tall_matrices(
+        rows in 2usize..12,
+        cols in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cols = cols.min(rows);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut m = Matrix::from_vec(rows, cols, data);
+        orthonormalize_columns(&mut m);
+        for c1 in 0..cols {
+            for c2 in 0..cols {
+                let mut d = 0.0f32;
+                for r in 0..rows {
+                    d += m.get(r, c1) * m.get(r, c2);
+                }
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                prop_assert!((d - expect).abs() < 1e-3, "col{} . col{} = {}", c1, c2, d);
+            }
+        }
+    }
+
+    #[test]
+    fn permutations_invert(n in 1usize..200, seed in any::<u64>()) {
+        let p = shared_permutation(n, SharedSeed::new(seed));
+        let inv = invert_permutation(&p);
+        for i in 0..n {
+            prop_assert_eq!(p[inv[i]], i);
+        }
+    }
+
+    #[test]
+    fn vnmse_of_scaled_estimate((s, ) in ((0.0f32..2.0), )) {
+        // vNMSE(s * truth, truth) = (s - 1)^2 exactly.
+        let truth = vec![1.0f32, -2.0, 3.0, 0.5];
+        let est: Vec<f32> = truth.iter().map(|t| t * s).collect();
+        let expect = ((s - 1.0) as f64).powi(2);
+        prop_assert!((vnmse(&est, &truth) - expect).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,53 @@
+//! Network-side planning: which collective, which compression, at which
+//! cluster size? Uses the alpha-beta models and the flow-level simulator to
+//! quantify §2.1's scalability argument.
+//!
+//! Run with `cargo run --release --example cluster_planning`.
+
+use gradient_utility::netsim::flowsim::{
+    all_gather_flows, ps_push_flows, ring_all_reduce_phases, Network,
+};
+use gradient_utility::netsim::{ClusterSpec, Collective};
+
+fn main() {
+    let payload = 345e6 * 2.0; // FP16 BERT-large gradient, bytes
+
+    println!("closed-form collective seconds for a {:.0} MB payload:", payload / 1e6);
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "workers", "ring AR", "tree AR", "all-gather", "param serv"
+    );
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        let c = ClusterSpec::scaled(n);
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            n,
+            c.collective_seconds(Collective::RingAllReduce, payload),
+            c.collective_seconds(Collective::TreeAllReduce, payload),
+            c.collective_seconds(Collective::AllGather, payload),
+            c.collective_seconds(Collective::ParameterServer, payload),
+        );
+    }
+
+    println!("\nflow-level cross-check at n=8 (10 GB/s full-duplex links, 1 GB):");
+    let n = 8;
+    let net = Network::homogeneous(n, 10e9);
+    let ring = net.simulate_phases(&ring_all_reduce_phases(n, 1e9));
+    let ag = net.simulate(&all_gather_flows(n, 1e9));
+    let ps = net.simulate(&ps_push_flows(n - 1, 1e9));
+    println!("  ring all-reduce:  {ring:.3} s ({} synchronised phases)", 2 * (n - 1));
+    println!("  all-gather:       {:.3} s (every ingress carries n-1 payloads)", ag.makespan);
+    println!(
+        "  PS push only:     {:.3} s (incast: {}x a single flow)",
+        ps.makespan,
+        (ps.makespan / (1e9 / 10e9)).round()
+    );
+
+    println!("\nand with a 4x beefier parameter server NIC:");
+    let beefy = Network::homogeneous(n, 10e9).with_node_capacity(0, 40e9, 40e9);
+    let ps2 = beefy.simulate(&ps_push_flows(n - 1, 1e9));
+    println!(
+        "  PS push only:     {:.3} s — better, but the ring still needs no special node",
+        ps2.makespan
+    );
+}

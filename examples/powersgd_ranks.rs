@@ -1,0 +1,57 @@
+//! PowerSGD rank study (§3.3): extreme compression ratios, orthogonalization
+//! cost, and why rank choice is a TTA decision, not a throughput decision.
+//!
+//! Run with `cargo run --release --example powersgd_ranks`.
+
+use gradient_utility::core::scheme::CompressionScheme;
+use gradient_utility::core::schemes::powersgd::PowerSgd;
+use gradient_utility::ddp::experiments::Task;
+use gradient_utility::ddp::{ThroughputModel, Trainer};
+use gradient_utility::gpusim::{ops, DeviceSpec, Precision};
+
+fn main() {
+    let task = Task::Vgg;
+    let mut cfg = task.trainer_config();
+    cfg.max_rounds = 300;
+    let tm = ThroughputModel::paper_testbed();
+    let profile = task.profile();
+    let device = DeviceSpec::a100();
+
+    let probe = task.build_model(cfg.seed);
+    let shapes = probe.matrix_shapes();
+    drop(probe);
+
+    println!(
+        "{:<6} {:>10} {:>9} {:>8} {:>10} {:>10}",
+        "rank", "bits/coord", "rounds/s", "GS %", "final acc", "t(acc=0.7)"
+    );
+    for r in [1u32, 4, 16, 64] {
+        let mut scheme =
+            PowerSgd::new(r, shapes.clone(), cfg.n_workers).with_cost_shapes(profile.layer_shapes.clone());
+        let step = tm.step(&scheme, &profile, Precision::Tf32);
+        let gs: f64 = profile
+            .layer_shapes
+            .iter()
+            .map(|&(rows, _)| ops::gram_schmidt(rows, r, &device))
+            .sum();
+        let mut model = task.build_model(cfg.seed);
+        let log = Trainer::new(cfg.clone()).train(model.as_mut(), &mut scheme, step.total());
+        let tta = log
+            .curve
+            .rolling_average(task.rolling_window())
+            .time_to_target(0.7);
+        println!(
+            "{:<6} {:>10.3} {:>9.2} {:>7.1}% {:>10.3} {:>10}",
+            r,
+            scheme.nominal_bits_per_coord(profile.params),
+            step.rounds_per_sec(),
+            gs / step.total() * 100.0,
+            log.final_metric,
+            tta.map(|t| format!("{t:.0}s")).unwrap_or_else(|| "never".into()),
+        );
+    }
+    println!("\nReading guide: bits/coordinate stays tiny at every rank — PowerSGD's");
+    println!("bottleneck is the Gram-Schmidt column, which grows with rank and");
+    println!("eats the throughput. Rank 1 is fastest per round but can converge");
+    println!("slower/lower: pick the rank by the TTA column.");
+}

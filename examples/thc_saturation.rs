@@ -1,0 +1,68 @@
+//! THC quantization on the image-classification task: the cost of widening
+//! vs the (near-)free lunch of saturation + partial rotation (§3.2).
+//!
+//! Demonstrates three things end to end:
+//!  1. saturating aggregation at b=q=4 matches the widened b=8 adaptation's
+//!     accuracy while halving the payload;
+//!  2. partial rotation preserves quantization quality at a fraction of the
+//!     full RHT's cost;
+//!  3. b=q=2's extra throughput does NOT buy better time-to-accuracy.
+//!
+//! Run with `cargo run --release --example thc_saturation`.
+
+use gradient_utility::core::scheme::CompressionScheme;
+use gradient_utility::core::schemes::thc::{Thc, ThcAggregation};
+use gradient_utility::ddp::experiments::Task;
+use gradient_utility::ddp::{ThroughputModel, Trainer};
+use gradient_utility::gpusim::{DeviceSpec, Precision};
+use gradient_utility::tensor::hadamard::RotationMode;
+
+fn main() {
+    let task = Task::Vgg;
+    let mut cfg = task.trainer_config();
+    cfg.max_rounds = 300;
+    let tm = ThroughputModel::paper_testbed();
+    let profile = task.profile();
+    let device = DeviceSpec::a100();
+
+    let variants: Vec<(&str, Thc)> = vec![
+        ("widened (b=8, q=4, full rot)", Thc::baseline(4, cfg.n_workers)),
+        (
+            "saturation (b=q=4, partial rot)",
+            Thc::improved(4, &device, cfg.n_workers),
+        ),
+        (
+            "saturation (b=q=4, no rot)",
+            Thc::new(4, RotationMode::None, ThcAggregation::Saturating, cfg.n_workers),
+        ),
+        (
+            "saturation (b=q=2, partial rot)",
+            Thc::improved(2, &device, cfg.n_workers),
+        ),
+    ];
+
+    println!("{:<34} {:>8} {:>9} {:>9} {:>10} {:>10}", "variant", "b", "rounds/s", "vNMSE", "final acc", "t(acc=0.8)");
+    for (label, mut scheme) in variants {
+        let step = tm.step(&scheme, &profile, Precision::Tf32).total();
+        let rps = 1.0 / step;
+        let b = scheme.nominal_bits_per_coord(profile.params);
+        let mut model = task.build_model(cfg.seed);
+        let log = Trainer::new(cfg.clone()).train(model.as_mut(), &mut scheme, step);
+        let tta = log
+            .curve
+            .rolling_average(task.rolling_window())
+            .time_to_target(0.8);
+        println!(
+            "{:<34} {:>8.3} {:>9.2} {:>9.4} {:>10.3} {:>10}",
+            label,
+            b,
+            rps,
+            log.mean_vnmse,
+            log.final_metric,
+            tta.map(|t| format!("{t:.0}s")).unwrap_or_else(|| "never".into()),
+        );
+    }
+    println!("\nReading guide: the b=q=2 row has the best rounds/s column and the");
+    println!("worst TTA column — the paper's core point that throughput alone is");
+    println!("not an end-to-end metric.");
+}

@@ -1,0 +1,59 @@
+//! Compressed distributed training of a real (miniature) transformer:
+//! embedding → self-attention → LayerNorm → FFN, trained under TopKC and
+//! THC with the simulated paper-scale clock.
+//!
+//! Run with `cargo run --release --example transformer_compression`.
+
+use gradient_utility::core::scheme::CompressionScheme;
+use gradient_utility::core::schemes::baseline::PrecisionBaseline;
+use gradient_utility::core::schemes::thc::Thc;
+use gradient_utility::core::schemes::topkc::TopKC;
+use gradient_utility::ddp::experiments::Task;
+use gradient_utility::ddp::{ThroughputModel, Trainer, TrainerConfig};
+use gradient_utility::gpusim::{DeviceSpec, Precision};
+use gradient_utility::nn::{Model, TransformerMini};
+
+fn main() {
+    let n_workers = 4;
+    let cfg = TrainerConfig {
+        n_workers,
+        batch_per_worker: 8,
+        seed: 5,
+        max_rounds: 250,
+        eval_every: 10,
+        lr: 0.05,
+        momentum: 0.9,
+        ..Task::Bert.trainer_config()
+    };
+    let tm = ThroughputModel::paper_testbed();
+    let profile = Task::Bert.profile();
+    let device = DeviceSpec::a100();
+
+    let schemes: Vec<Box<dyn CompressionScheme>> = vec![
+        Box::new(PrecisionBaseline::fp16()),
+        Box::new(TopKC::paper_config(2.0, n_workers)),
+        Box::new(Thc::improved(4, &device, n_workers)),
+    ];
+
+    println!("TransformerMini (attention + LayerNorm + FFN), 4-worker DDP:\n");
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>12}",
+        "scheme", "b", "step(ms)", "vNMSE", "final ppl"
+    );
+    for mut scheme in schemes {
+        let mut model = TransformerMini::new(cfg.seed);
+        let step = tm.step(scheme.as_ref(), &profile, Precision::Tf32).total();
+        let log = Trainer::new(cfg.clone()).train(&mut model, scheme.as_mut(), step);
+        println!(
+            "{:<28} {:>8.2} {:>10.0} {:>10.4} {:>12.2}",
+            scheme.name(),
+            scheme.nominal_bits_per_coord(model.param_count() as u64),
+            step * 1e3,
+            log.mean_vnmse,
+            log.final_metric,
+        );
+    }
+    println!("\nAll three reach similar perplexity; the compressed rounds tick the");
+    println!("simulated clock faster — which is the whole argument for measuring");
+    println!("TTA rather than per-round quality alone.");
+}

@@ -1,0 +1,83 @@
+//! End-to-end TTA comparison on the language-modelling task: the paper's
+//! Figure-1 protocol at example scale.
+//!
+//! Trains the BertMini model to convergence under four aggregation schemes
+//! (FP16 and FP32 baselines, TopK, TopKC), with the simulated clock running
+//! at BERT-large/4xA100 speed, then prints the TTA table and each scheme's
+//! utility relative to the FP16 baseline.
+//!
+//! Run with `cargo run --release --example tta_language_model`.
+
+use gradient_utility::core::metrics::{utility, Direction, TtaCurve};
+use gradient_utility::core::schemes::baseline::PrecisionBaseline;
+use gradient_utility::core::schemes::topk::TopK;
+use gradient_utility::core::schemes::topkc::TopKC;
+use gradient_utility::ddp::experiments::Task;
+use gradient_utility::ddp::{ThroughputModel, Trainer};
+use gradient_utility::gpusim::Precision;
+
+fn main() {
+    let task = Task::Bert;
+    let mut cfg = task.trainer_config();
+    cfg.max_rounds = 400; // example-sized run; the bench uses the full budget
+    let tm = ThroughputModel::paper_testbed();
+    let profile = task.profile();
+
+    let schemes: Vec<Box<dyn gradient_utility::core::scheme::CompressionScheme>> = vec![
+        Box::new(PrecisionBaseline::fp16()),
+        Box::new(PrecisionBaseline::fp32()),
+        Box::new(TopK::with_bits(2.0, cfg.n_workers, true)),
+        Box::new(TopKC::paper_config(2.0, cfg.n_workers)),
+    ];
+
+    let mut curves: Vec<TtaCurve> = Vec::new();
+    for mut scheme in schemes {
+        let step = tm.step(scheme.as_ref(), &profile, Precision::Tf32).total();
+        let mut model = task.build_model(cfg.seed);
+        let log = Trainer::new(cfg.clone()).train(model.as_mut(), scheme.as_mut(), step);
+        println!(
+            "{:<24} step {:.0} ms | mean vNMSE {:.4} | final perplexity {:.2}",
+            scheme.name(),
+            step * 1e3,
+            log.mean_vnmse,
+            log.final_metric
+        );
+        let mut smoothed = log.curve.rolling_average(task.rolling_window());
+        smoothed.label = scheme.name();
+        curves.push(smoothed);
+    }
+
+    println!("\ntime to perplexity target (simulated seconds at paper scale):");
+    print!("{:<24}", "scheme");
+    let targets = [120.0, 60.0, 35.0];
+    for t in targets {
+        print!("  ppl<={t:<6}");
+    }
+    println!();
+    for c in &curves {
+        print!("{:<24}", c.label);
+        for t in targets {
+            match c.time_to_target(t) {
+                Some(s) => print!("  {s:<9.0}"),
+                None => print!("  {:<9}", "never"),
+            }
+        }
+        println!();
+    }
+
+    let fp16 = curves
+        .iter()
+        .find(|c| c.label.contains("FP16"))
+        .expect("fp16 curve");
+    println!("\nutility vs the FP16 baseline (>1 = genuinely useful):");
+    for c in &curves {
+        if c.label.contains("FP16") {
+            continue;
+        }
+        match utility(c, fp16, 35.0) {
+            Some(u) => println!("  {:<24} {u:.2}x", c.label),
+            None => println!("  {:<24} (target unreachable for the baseline)", c.label),
+        }
+    }
+    debug_assert!(fp16.direction == Direction::LowerIsBetter);
+}

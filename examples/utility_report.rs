@@ -1,0 +1,71 @@
+//! The paper's thesis as a single artifact: a **utility report** that
+//! evaluates a zoo of compression schemes the way §2.2 prescribes —
+//! TTA curves against the FP16 baseline, with throughput and compression
+//! ratio shown only as the misleading proxies they are.
+//!
+//! Run with `cargo run --release --example utility_report`.
+
+use gradient_utility::core::metrics::{utility, TtaCurve};
+use gradient_utility::core::scheme::CompressionScheme;
+use gradient_utility::core::schemes::baseline::PrecisionBaseline;
+use gradient_utility::core::schemes::literature::RandomK;
+use gradient_utility::core::schemes::thc::Thc;
+use gradient_utility::core::schemes::topk::TopK;
+use gradient_utility::core::schemes::topkc::TopKC;
+use gradient_utility::ddp::experiments::Task;
+use gradient_utility::ddp::{ThroughputModel, Trainer};
+use gradient_utility::gpusim::{DeviceSpec, Precision};
+
+fn main() {
+    let task = Task::Bert;
+    let mut cfg = task.trainer_config();
+    cfg.max_rounds = 400;
+    let tm = ThroughputModel::paper_testbed();
+    let profile = task.profile();
+    let device = DeviceSpec::a100();
+    let target = 40.0; // perplexity
+
+    let schemes: Vec<Box<dyn CompressionScheme>> = vec![
+        Box::new(PrecisionBaseline::fp16()),
+        Box::new(PrecisionBaseline::fp32()),
+        Box::new(TopK::with_bits(2.0, cfg.n_workers, true)),
+        Box::new(TopKC::paper_config(2.0, cfg.n_workers)),
+        Box::new(Thc::improved(4, &device, cfg.n_workers)),
+        Box::new(RandomK::with_bits(2.0, cfg.n_workers)),
+    ];
+
+    let mut rows: Vec<(String, f64, f64, Option<f64>, TtaCurve)> = Vec::new();
+    for mut scheme in schemes {
+        let step = tm.step(scheme.as_ref(), &profile, Precision::Tf32);
+        let b = scheme.nominal_bits_per_coord(profile.params);
+        let mut model = task.build_model(cfg.seed);
+        let log = Trainer::new(cfg.clone()).train(model.as_mut(), scheme.as_mut(), step.total());
+        let curve = log.curve.rolling_average(task.rolling_window());
+        rows.push((scheme.name(), b, step.rounds_per_sec(), curve.time_to_target(target), curve));
+    }
+
+    let fp16_curve = rows[0].4.clone();
+    println!("# Utility report — {} task, target perplexity {target}\n", "BERT-like");
+    println!(
+        "| scheme | compression ratio vs FP32 | rounds/s | TTA (s) | **utility vs FP16** |"
+    );
+    println!("|---|---|---|---|---|");
+    for (name, b, rps, tta, curve) in &rows {
+        let u = utility(curve, &fp16_curve, target);
+        println!(
+            "| {name} | {:.1}x | {rps:.2} | {} | {} |",
+            32.0 / b,
+            tta.map(|t| format!("{t:.0}")).unwrap_or_else(|| "never".into()),
+            match u {
+                Some(u) if *name == rows[0].0 => format!("{u:.2}x (baseline)"),
+                Some(u) => format!("**{u:.2}x**"),
+                None => "n/a".into(),
+            }
+        );
+    }
+    println!();
+    println!("Reading guide: RandomK has a fine compression ratio and throughput,");
+    println!("and the worst utility — selection quality, not ratio, is what");
+    println!("converts bandwidth savings into training time. A scheme is only");
+    println!("worth deploying if the last column exceeds 1.0.");
+}

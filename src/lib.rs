@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the full gradient-compression utility suite.
+//!
+//! See the README for a tour. The heavy lifting lives in the `gcs-*` crates;
+//! this crate exists so that examples and integration tests have a single
+//! dependency surface.
+
+pub use gcs_collectives as collectives;
+pub use gcs_core as core;
+pub use gcs_ddp as ddp;
+pub use gcs_gpusim as gpusim;
+pub use gcs_netsim as netsim;
+pub use gcs_nn as nn;
+pub use gcs_tensor as tensor;

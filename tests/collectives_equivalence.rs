@@ -1,0 +1,119 @@
+//! Cross-crate integration: the threaded (crossbeam) collectives, the
+//! sequential reference collectives, and the network timing layer must
+//! agree with each other.
+
+use gradient_utility::collectives::{
+    all_gather, parameter_server, reduce_scatter, ring_all_reduce, threaded_ring_all_reduce,
+    tree_all_reduce, F16Sum, F32Sum, SaturatingIntSum,
+};
+use gradient_utility::netsim::flowsim::{ring_all_reduce_phases, Network};
+use gradient_utility::netsim::{ClusterSpec, Collective};
+use gradient_utility::tensor::half::{decode_f16, encode_f16};
+
+fn grads(n: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|w| (0..len).map(|i| ((w * len + i) as f32 * 0.173).sin()).collect())
+        .collect()
+}
+
+#[test]
+fn threaded_ring_is_bit_identical_to_sequential_for_f32() {
+    for n in [2usize, 3, 5, 8] {
+        let bufs = grads(n, 101);
+        let mut seq = bufs.clone();
+        ring_all_reduce(&mut seq, &F32Sum, 4.0);
+        let (thr, _) = threaded_ring_all_reduce(bufs, F32Sum, 4.0);
+        assert_eq!(thr, seq, "n={n}");
+    }
+}
+
+#[test]
+fn threaded_ring_is_bit_identical_for_non_associative_f16() {
+    // FP16 summation is order-sensitive; the threaded path must follow the
+    // exact same order as the reference.
+    for n in [2usize, 4, 7] {
+        let bufs: Vec<_> = grads(n, 64).iter().map(|g| encode_f16(g)).collect();
+        let mut seq = bufs.clone();
+        ring_all_reduce(&mut seq, &F16Sum, 2.0);
+        let (thr, _) = threaded_ring_all_reduce(bufs, F16Sum, 2.0);
+        for (a, b) in thr.iter().zip(&seq) {
+            assert_eq!(decode_f16(a), decode_f16(b), "n={n}");
+        }
+    }
+}
+
+#[test]
+fn threaded_ring_matches_for_saturating_lanes() {
+    let bufs: Vec<Vec<i32>> = (0..4).map(|w| vec![(w as i32) * 3 - 4; 33]).collect();
+    let op = SaturatingIntSum::new(4);
+    let mut seq = bufs.clone();
+    ring_all_reduce(&mut seq, &op, 0.5);
+    let (thr, _) = threaded_ring_all_reduce(bufs, op, 0.5);
+    assert_eq!(thr, seq);
+}
+
+#[test]
+fn all_collectives_compute_the_same_sum() {
+    let bufs = grads(5, 47);
+    let mut expect = vec![0.0f32; 47];
+    for b in &bufs {
+        for (e, x) in expect.iter_mut().zip(b) {
+            *e += x;
+        }
+    }
+    let mut ring = bufs.clone();
+    ring_all_reduce(&mut ring, &F32Sum, 4.0);
+    let mut tree = bufs.clone();
+    tree_all_reduce(&mut tree, &F32Sum, 4.0);
+    let (ps, _) = parameter_server(&bufs, &F32Sum, 4.0);
+    let (segs, _) = reduce_scatter(&bufs, &F32Sum, 4.0);
+    let rs: Vec<f32> = segs.concat();
+    for i in 0..47 {
+        for got in [ring[0][i], tree[0][i], ps[i], rs[i]] {
+            assert!((got - expect[i]).abs() < 1e-4, "coord {i}: {got} vs {}", expect[i]);
+        }
+    }
+}
+
+#[test]
+fn measured_ring_traffic_matches_the_timing_models_wire_bytes() {
+    // The data-moving layer and the closed-form timing layer must agree on
+    // wire volume, or throughput tables would diverge from the functional
+    // system.
+    let n = 4;
+    let len = 1000usize;
+    let mut bufs = grads(n, len);
+    let traffic = ring_all_reduce(&mut bufs, &F32Sum, 4.0);
+    let payload = (len * 4) as f64;
+    let expected_per_worker = 2.0 * payload * (n as f64 - 1.0) / n as f64;
+    for &sent in &traffic.sent {
+        let dev = (sent as f64 - expected_per_worker).abs() / expected_per_worker;
+        assert!(dev < 0.01, "sent {sent} vs {expected_per_worker}");
+    }
+    // And the flow simulator agrees with the alpha-beta closed form.
+    let bw = 9.53e9;
+    let net = Network::homogeneous(n, bw);
+    let flow_t = net.simulate_phases(&ring_all_reduce_phases(n, payload));
+    let cluster = ClusterSpec {
+        alpha: 0.0,
+        ..ClusterSpec::paper_testbed()
+    };
+    let model_t = cluster.collective_seconds(Collective::RingAllReduce, payload);
+    assert!(
+        (flow_t - model_t).abs() / model_t < 0.01,
+        "flowsim {flow_t} vs model {model_t}"
+    );
+}
+
+#[test]
+fn all_gather_total_traffic_scales_quadratically() {
+    let per = |n: usize| {
+        let inputs: Vec<Vec<f32>> = grads(n, 100);
+        all_gather(&inputs, 4.0).1.total()
+    };
+    let t4 = per(4);
+    let t8 = per(8);
+    // n(n-1) scaling: 8 workers => 56/12 of 4 workers.
+    let ratio = t8 as f64 / t4 as f64;
+    assert!((ratio - 56.0 / 12.0).abs() < 0.05, "ratio = {ratio}");
+}

@@ -1,0 +1,179 @@
+//! Fast end-to-end checks of the paper's headline claims, spanning the
+//! full stack (schemes + collectives + cost models + metrics). The bench
+//! targets produce the full tables; these tests pin the *shapes* in CI.
+
+use gradient_utility::core::metrics::{compare, utility, Direction, TtaCurve};
+use gradient_utility::core::scheme::{CompressionScheme, RoundContext};
+use gradient_utility::core::schemes::baseline::PrecisionBaseline;
+use gradient_utility::core::schemes::thc::{Thc, ThcAggregation};
+use gradient_utility::core::schemes::topk::TopK;
+use gradient_utility::core::schemes::topkc::TopKC;
+use gradient_utility::core::synthetic::GradientModel;
+use gradient_utility::ddp::ThroughputModel;
+use gradient_utility::gpusim::{DeviceSpec, ModelProfile, Precision};
+use gradient_utility::tensor::hadamard::RotationMode;
+use gradient_utility::tensor::rng::SharedSeed;
+use gradient_utility::tensor::vector::{mean, vnmse};
+
+fn synthetic_vnmse(scheme: &mut dyn CompressionScheme, rounds: u64) -> f64 {
+    let model = GradientModel::bert_like(1 << 16);
+    let mut sum = 0.0;
+    for r in 0..rounds {
+        let grads = model.generate(4, SharedSeed::new(900 + r));
+        let exact = mean(&grads);
+        let out = scheme.aggregate_round(&grads, &RoundContext::new(9, r));
+        sum += vnmse(&out.mean_estimate, &exact);
+    }
+    sum / rounds as f64
+}
+
+#[test]
+fn claim_fp16_is_the_stronger_baseline() {
+    // Table 2 + §2.2: FP16 communication is faster at negligible accuracy
+    // cost, for both tasks and both training precisions.
+    let tm = ThroughputModel::paper_testbed();
+    for model in [ModelProfile::bert_large(), ModelProfile::vgg19()] {
+        for train in [Precision::Tf32, Precision::Fp32] {
+            let fp16 = tm.baseline_rounds_per_sec(&model, train, 16.0);
+            let fp32 = tm.baseline_rounds_per_sec(&model, train, 32.0);
+            assert!(fp16 > 1.25 * fp32, "{}: {fp16} vs {fp32}", model.name);
+        }
+    }
+    // Accuracy side: FP16 aggregation error is negligible.
+    let g = GradientModel::bert_like(4096).generate(4, SharedSeed::new(1));
+    let exact = mean(&g);
+    let mut fp16 = PrecisionBaseline::fp16();
+    let err = vnmse(
+        &fp16.aggregate_round(&g, &RoundContext::new(1, 0)).mean_estimate,
+        &exact,
+    );
+    assert!(err < 1e-4, "fp16 vNMSE = {err}");
+}
+
+#[test]
+fn claim_topkc_dominates_topk() {
+    // §3.1: better throughput (all-reduce), better vNMSE (J' > K +
+    // locality) at every bit budget.
+    let tm = ThroughputModel::paper_testbed();
+    let profile = ModelProfile::bert_large();
+    for b in [0.5, 2.0, 8.0] {
+        let c = if b < 1.0 { 128 } else { 64 };
+        let topk = TopK::with_bits(b, 4, false);
+        let topkc = TopKC::with_bits(b, c, 4, false);
+        assert!(
+            tm.rounds_per_sec(&topkc, &profile, Precision::Tf32)
+                > tm.rounds_per_sec(&topk, &profile, Precision::Tf32),
+            "throughput shape broken at b={b}"
+        );
+        let mut topk = topk;
+        let mut topkc = topkc;
+        assert!(
+            synthetic_vnmse(&mut topkc, 3) < synthetic_vnmse(&mut topk, 3),
+            "vNMSE shape broken at b={b}"
+        );
+    }
+}
+
+#[test]
+fn claim_saturation_halves_traffic_without_degrading_error() {
+    // Saturation's headroom comes from cross-worker cancellation, which
+    // requires realistically *noisy* per-worker gradients (the paper trains
+    // with per-worker batch 4, where sampling noise dominates the shared
+    // signal). Highly correlated workers would saturate — see
+    // `claim_saturation_degrades_with_worker_correlation` below.
+    let model = GradientModel {
+        worker_noise: 4.0,
+        ..GradientModel::bert_like(1 << 14)
+    };
+    let g = model.generate(4, SharedSeed::new(3));
+    let exact = mean(&g);
+    let mut sat = Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
+    let mut wide = Thc::baseline(4, 4);
+    let out_sat = sat.aggregate_round(&g, &RoundContext::new(2, 0));
+    let out_wide = wide.aggregate_round(&g, &RoundContext::new(2, 0));
+    assert!(out_wide.traffic.total() as f64 > 1.7 * out_sat.traffic.total() as f64);
+    let e_sat = vnmse(&out_sat.mean_estimate, &exact);
+    let e_wide = vnmse(&out_wide.mean_estimate, &exact);
+    assert!(e_sat < 2.0 * e_wide + 5e-3, "sat {e_sat} vs wide {e_wide}");
+}
+
+#[test]
+fn claim_saturation_degrades_with_worker_correlation() {
+    // The flip side (the paper's §3.2.2 caveat, generalized): when worker
+    // gradients correlate strongly, lane sums approach n x the per-worker
+    // values and the clamp bites.
+    let correlated = GradientModel {
+        worker_noise: 0.05,
+        ..GradientModel::bert_like(1 << 14)
+    };
+    let independent = GradientModel {
+        worker_noise: 4.0,
+        ..GradientModel::bert_like(1 << 14)
+    };
+    let err_for = |m: &GradientModel| {
+        let g = m.generate(4, SharedSeed::new(8));
+        let exact = mean(&g);
+        let mut sat = Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
+        vnmse(
+            &sat.aggregate_round(&g, &RoundContext::new(4, 0)).mean_estimate,
+            &exact,
+        )
+    };
+    assert!(
+        err_for(&correlated) > 2.0 * err_for(&independent),
+        "correlated {} vs independent {}",
+        err_for(&correlated),
+        err_for(&independent)
+    );
+}
+
+#[test]
+fn claim_partial_rotation_is_cheaper_than_full_at_paper_scale() {
+    let device = DeviceSpec::a100();
+    let n = 4;
+    let full = Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, n);
+    let partial = Thc::improved(4, &device, n);
+    let none = Thc::new(4, RotationMode::None, ThcAggregation::Saturating, n);
+    let d = 345_000_000;
+    let t_full = full.compute_seconds(d, &device);
+    let t_partial = partial.compute_seconds(d, &device);
+    let t_none = none.compute_seconds(d, &device);
+    assert!(t_none < t_partial && t_partial < t_full);
+    // Partial recovers most of the rotation cost gap.
+    assert!((t_partial - t_none) < 0.5 * (t_full - t_none));
+}
+
+#[test]
+fn claim_tta_curves_can_cross_so_single_point_comparisons_mislead() {
+    // §2.2's two-dimensional-metric argument, expressed through the metrics
+    // API: a fast-but-lossy scheme wins early targets, a slow-but-accurate
+    // one wins late targets.
+    let mut fast = TtaCurve::new("fast-lossy", Direction::HigherIsBetter);
+    let mut slow = TtaCurve::new("slow-accurate", Direction::HigherIsBetter);
+    for i in 0..50 {
+        let t = (i + 1) as f64;
+        fast.push(t, 0.70 * (1.0 - (-t / 5.0).exp()));
+        slow.push(t, 0.90 * (1.0 - (-t / 15.0).exp()));
+    }
+    let cmp = compare(&fast, &slow, &[0.4, 0.6, 0.8]);
+    assert_eq!(cmp.rows[0].1, "fast-lossy");
+    assert_eq!(cmp.rows[2].1, "slow-accurate");
+    // Utility is target-dependent in the same way.
+    let u_low = utility(&fast, &slow, 0.4).unwrap();
+    let u_high = utility(&fast, &slow, 0.8).unwrap();
+    assert!(u_low > 1.0 && u_high < 1.0);
+}
+
+#[test]
+fn claim_aggressive_compression_raises_error_monotonically() {
+    // Throughput improves as b shrinks, but vNMSE must rise — the pair of
+    // facts behind "throughput is not an end-to-end metric".
+    let mut last_err = 0.0;
+    for b in [8.0, 2.0, 0.5] {
+        let c = if b < 1.0 { 128 } else { 64 };
+        let mut s = TopKC::with_bits(b, c, 4, false);
+        let err = synthetic_vnmse(&mut s, 3);
+        assert!(err > last_err, "vNMSE not monotone at b={b}: {err} <= {last_err}");
+        last_err = err;
+    }
+}
