@@ -86,11 +86,58 @@ fn bench_ring_all_reduce(c: &mut Criterion) {
     });
 }
 
+/// Sequential vs parallel runtime for the threaded kernels. The thread
+/// counts are forced through `with_threads`, so the comparison is meaningful
+/// regardless of `GCS_THREADS`; on a single-core machine the "par" rows
+/// mostly measure fork-join overhead, on real multi-core hardware they show
+/// the speedup. Determinism means the outputs are bitwise-identical either
+/// way — only the time differs.
+fn bench_parallel_runtime(c: &mut Criterion) {
+    use gcs_tensor::parallel::with_threads;
+    let threads = [1usize, 2, 4];
+
+    let mut g = c.benchmark_group("par_fwht");
+    let d = 1 << 20;
+    let v = data(d, 7);
+    for &t in &threads {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
+            b.iter(|| {
+                let mut x = v.clone();
+                with_threads(t, || fwht(black_box(&mut x)));
+                x
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("par_topk");
+    let v = data(d, 8);
+    for &t in &threads {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
+            b.iter(|| with_threads(t, || top_k_indices(black_box(&v), d / 100)))
+        });
+    }
+    g.finish();
+
+    // PowerSGD's hot shapes: (d/cols x cols) * (cols x rank).
+    let mut g = c.benchmark_group("par_matmul");
+    let (rows, cols, rank) = (4096usize, 256usize, 8usize);
+    let m = Matrix::from_vec(rows, cols, data(rows * cols, 9));
+    let q = Matrix::from_vec(cols, rank, data(cols * rank, 10));
+    for &t in &threads {
+        g.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
+            b.iter(|| with_threads(t, || black_box(&m).matmul(black_box(&q))))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fwht,
     bench_selection,
     bench_gram_schmidt,
-    bench_ring_all_reduce
+    bench_ring_all_reduce,
+    bench_parallel_runtime
 );
 criterion_main!(benches);

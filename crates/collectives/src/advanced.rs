@@ -112,7 +112,7 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
     let n = bufs.len();
     assert!(n > 0 && group > 0, "hierarchical_ring: bad sizes");
     assert!(
-        n % group == 0,
+        n.is_multiple_of(group),
         "hierarchical_ring: group {group} must divide n {n}"
     );
     let len = bufs[0].len();

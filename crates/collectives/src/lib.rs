@@ -18,7 +18,7 @@
 //!   reduce-scatter, broadcast, parameter-server), implemented generically
 //!   over element type and reduction operator, with exact per-worker
 //!   traffic accounting.
-//! * [`transport`] — message-passing execution: a crossbeam-channel
+//! * [`transport`] — message-passing execution: an mpsc-channel
 //!   [`transport::ThreadedCluster`] runs one thread per worker; integration
 //!   tests assert the threaded ring all-reduce is bit-identical to the
 //!   sequential reference.

@@ -103,11 +103,11 @@ pub fn ring_all_reduce<T: Clone>(
     for k in 0..n - 1 {
         // Capture the sends before mutating (simultaneous steps).
         let mut pending: Vec<(usize, usize, Vec<T>)> = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, buf) in bufs.iter().enumerate() {
             let seg = (i + n - k) % n;
             let (lo, hi) = segment_bounds(len, n, seg);
             let dst = (i + 1) % n;
-            pending.push((dst, seg, bufs[i][lo..hi].to_vec()));
+            pending.push((dst, seg, buf[lo..hi].to_vec()));
             traffic.record(i, dst, ((hi - lo) as f64 * bytes_per_elem).ceil() as u64);
         }
         for (dst, seg, data) in pending {
@@ -120,11 +120,11 @@ pub fn ring_all_reduce<T: Clone>(
     // All-gather: worker i owns segment (i+1); circulate finished segments.
     for k in 0..n - 1 {
         let mut pending: Vec<(usize, usize, Vec<T>)> = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, buf) in bufs.iter().enumerate() {
             let seg = (i + 1 + n - k) % n;
             let (lo, hi) = segment_bounds(len, n, seg);
             let dst = (i + 1) % n;
-            pending.push((dst, seg, bufs[i][lo..hi].to_vec()));
+            pending.push((dst, seg, buf[lo..hi].to_vec()));
             traffic.record(i, dst, ((hi - lo) as f64 * bytes_per_elem).ceil() as u64);
         }
         for (dst, seg, data) in pending {

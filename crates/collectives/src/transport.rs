@@ -5,15 +5,14 @@
 //! worker is an independent execution context that can only `send`/`recv`
 //! typed messages to peers. Two implementations:
 //!
-//! * [`ThreadedCluster`] — one OS thread per worker, crossbeam channels as
-//!   links. This is the "it actually works concurrently" proof: integration
-//!   tests assert that a threaded ring all-reduce produces bit-identical
-//!   results to the sequential reference.
+//! * [`ThreadedCluster`] — one OS thread per worker, `std::sync::mpsc`
+//!   channels as links. This is the "it actually works concurrently" proof:
+//!   integration tests assert that a threaded ring all-reduce produces
+//!   bit-identical results to the sequential reference.
 //! * The sequential reference lives in `ops`; equivalence is the test.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
 use crate::ops::Traffic;
 use crate::reduce::ReduceOp;
@@ -84,7 +83,7 @@ impl<T: Send + 'static> ThreadedCluster<T> {
         for from in 0..n {
             for to in 0..n {
                 if from != to {
-                    let (tx, rx) = unbounded();
+                    let (tx, rx) = channel();
                     senders[from][to] = Some(tx);
                     // receivers indexed by [owner][peer]: owner `to` receives
                     // from peer `from`.
@@ -101,7 +100,7 @@ impl<T: Send + 'static> ThreadedCluster<T> {
                         slot.take().unwrap_or_else(|| {
                             // Self-link: a dangling channel never used (send
                             // to self is forbidden by WorkerLinks::send).
-                            let (tx, _rx) = unbounded();
+                            let (tx, _rx) = channel();
                             let _ = to;
                             tx
                         })
@@ -111,7 +110,7 @@ impl<T: Send + 'static> ThreadedCluster<T> {
                     .iter_mut()
                     .map(|slot| {
                         slot.take().unwrap_or_else(|| {
-                            let (_tx, rx) = unbounded();
+                            let (_tx, rx) = channel();
                             rx
                         })
                     })
@@ -147,7 +146,7 @@ impl<T: Send + 'static> ThreadedCluster<T> {
             handles.push(std::thread::spawn(move || {
                 let rank = links.rank();
                 let out = body(rank, &links);
-                results.lock()[rank] = Some(out);
+                results.lock().expect("results mutex poisoned")[rank] = Some(out);
             }));
         }
         for h in handles {
@@ -156,6 +155,7 @@ impl<T: Send + 'static> ThreadedCluster<T> {
         Arc::try_unwrap(results)
             .unwrap_or_else(|_| panic!("worker results still shared"))
             .into_inner()
+            .expect("results mutex poisoned")
             .into_iter()
             .map(|r| r.expect("worker produced no result"))
             .collect()
@@ -242,7 +242,11 @@ where
     ));
     let bufs_for_run = Arc::clone(&bufs);
     let results = cluster.run(move |rank, links| {
-        let buf = bufs_for_run.lock()[rank].take().expect("buffer taken twice");
+        let buf = bufs_for_run
+            .lock()
+            .expect("buffer mutex poisoned")[rank]
+            .take()
+            .expect("buffer taken twice");
         ring_all_reduce_worker(links, buf, &op, bytes_per_elem)
     });
     let mut traffic = Traffic {

@@ -15,6 +15,11 @@
 //! `memory_{t+1} = corrected_t − sent_t`, so the cumulative sent stream
 //! equals the cumulative gradient stream minus the current memory — is
 //! property-tested.
+//!
+//! The batched [`ErrorFeedback::corrected_all`] / [`ErrorFeedback::update_all`]
+//! variants fan out across workers on [`gcs_tensor::parallel`] — memories are
+//! per-worker disjoint, so this is embarrassingly parallel and bitwise
+//! identical to the per-worker loop for any thread count.
 
 /// Per-worker error-feedback memories.
 #[derive(Clone, Debug)]
@@ -79,6 +84,72 @@ impl ErrorFeedback {
         mem.extend(corrected.iter().zip(sent).map(|(c, s)| c - s));
     }
 
+    /// Batched [`ErrorFeedback::corrected`] over workers `0..grads.len()`,
+    /// parallel across workers. Returns one corrected vector per worker, in
+    /// worker order.
+    ///
+    /// # Panics
+    /// Panics if more gradients than workers are supplied, or a gradient
+    /// length changed between rounds.
+    pub fn corrected_all(&mut self, grads: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let n = grads.len();
+        assert!(
+            n <= self.memories.len(),
+            "ErrorFeedback: {n} gradients for {} workers",
+            self.memories.len()
+        );
+        for (mem, g) in self.memories[..n].iter_mut().zip(grads) {
+            if mem.is_empty() {
+                mem.resize(g.len(), 0.0);
+            }
+            assert_eq!(
+                mem.len(),
+                g.len(),
+                "ErrorFeedback: gradient dimension changed"
+            );
+        }
+        if !self.enabled {
+            return grads.to_vec();
+        }
+        let memories = &self.memories;
+        gcs_tensor::parallel::map_tasks(n, |w| {
+            grads[w]
+                .iter()
+                .zip(memories[w].iter())
+                .map(|(g, m)| g + m)
+                .collect()
+        })
+    }
+
+    /// Batched [`ErrorFeedback::update`] over workers `0..corrected.len()`,
+    /// parallel across workers (their memories are disjoint). No-op when
+    /// disabled.
+    ///
+    /// # Panics
+    /// Panics on any worker-count or dimension mismatch.
+    pub fn update_all(&mut self, corrected: &[Vec<f32>], sent: &[Vec<f32>]) {
+        if !self.enabled {
+            return;
+        }
+        let n = corrected.len();
+        assert_eq!(n, sent.len(), "ErrorFeedback: worker count mismatch");
+        assert!(
+            n <= self.memories.len(),
+            "ErrorFeedback: {n} updates for {} workers",
+            self.memories.len()
+        );
+        gcs_tensor::parallel::for_each_chunk_mut(&mut self.memories[..n], 1, |w, mem| {
+            let mem = &mut mem[0];
+            assert_eq!(
+                corrected[w].len(),
+                sent[w].len(),
+                "ErrorFeedback: length mismatch"
+            );
+            mem.clear();
+            mem.extend(corrected[w].iter().zip(&sent[w]).map(|(c, s)| c - s));
+        });
+    }
+
     /// Current memory L2 norm for `worker` (diagnostics).
     pub fn memory_norm(&self, worker: usize) -> f32 {
         gcs_tensor::vector::norm(&self.memories[worker])
@@ -140,6 +211,42 @@ mod tests {
         ef.reset();
         let c = ef.corrected(0, &g);
         assert_eq!(c, vec![1.0]);
+    }
+
+    #[test]
+    fn batched_api_matches_per_worker_loop_across_thread_counts() {
+        let n = 5;
+        let d = 300;
+        let grads: Vec<Vec<f32>> = (0..n)
+            .map(|w| (0..d).map(|i| ((w * d + i) as f32 * 0.13).sin()).collect())
+            .collect();
+        let sents: Vec<Vec<f32>> = grads
+            .iter()
+            .map(|g| g.iter().map(|x| (x * 4.0).round() / 4.0).collect())
+            .collect();
+        // Reference: the scalar API, two rounds.
+        let mut reference = ErrorFeedback::new(n, true);
+        let mut ref_corrected = Vec::new();
+        for _round in 0..2 {
+            ref_corrected = (0..n).map(|w| reference.corrected(w, &grads[w])).collect();
+            for w in 0..n {
+                reference.update(w, &ref_corrected[w], &sents[w]);
+            }
+        }
+        for threads in [1, 2, 4] {
+            gcs_tensor::parallel::with_threads(threads, || {
+                let mut ef = ErrorFeedback::new(n, true);
+                let mut corrected = Vec::new();
+                for _round in 0..2 {
+                    corrected = ef.corrected_all(&grads);
+                    ef.update_all(&corrected, &sents);
+                }
+                assert_eq!(corrected, ref_corrected, "threads={threads}");
+                for w in 0..n {
+                    assert_eq!(ef.memories[w], reference.memories[w]);
+                }
+            });
+        }
     }
 
     #[test]

@@ -120,12 +120,11 @@ impl CompressionScheme for PowerSgd {
             "PowerSgd: shapes cover {covered} > gradient dim {d}"
         );
 
-        // EF-corrected gradients.
-        let corrected: Vec<Vec<f32>> = grads
-            .iter()
-            .enumerate()
-            .map(|(w, g)| self.ef.corrected(w, g))
-            .collect();
+        // EF-corrected gradients (batched, parallel across workers). The
+        // per-layer matmuls below parallelize internally over output rows,
+        // which fits PowerSGD's few-workers/large-matrices regime better
+        // than fanning out over the worker loop.
+        let corrected = self.ef.corrected_all(grads);
 
         // Lazily initialize Q states from shared randomness so all workers
         // (and reruns) agree.
@@ -221,10 +220,8 @@ impl CompressionScheme for PowerSgd {
             }
         }
 
-        // EF update.
-        for (w, s) in sent.iter().enumerate() {
-            self.ef.update(w, &corrected[w], s);
-        }
+        // EF update (batched, parallel across workers).
+        self.ef.update_all(&corrected, &sent);
 
         AggregationOutcome {
             mean_estimate: estimate,

@@ -211,45 +211,45 @@ impl CompressionScheme for Thc {
         let seed = SharedSeed::derive(ctx.experiment_seed, ctx.round, Stream::RhtSigns);
         let qmax = self.qmax();
 
-        // Rotate.
-        let rotated: Vec<Vec<f32>> = grads
-            .iter()
-            .map(|g| {
-                let mut v = g.clone();
-                v.resize(padded, 0.0);
-                self.rotate(&mut v, seed, false);
-                v
-            })
-            .collect();
+        // Rotate. Workers are independent (shared seed, private data), so
+        // the forward rotations fan out across them; with few workers the
+        // FWHT kernel inside parallelizes over the vector instead.
+        let this = &*self;
+        let rotated: Vec<Vec<f32>> = gcs_tensor::parallel::map_tasks(n, |w| {
+            let mut v = grads[w].clone();
+            v.resize(padded, 0.0);
+            this.rotate(&mut v, seed, false);
+            v
+        });
 
         // Agree on per-block scales (max |value| across workers), rounded
         // to FP16 for the wire.
         let blocks = self.scale_blocks(padded);
         let block_len = self.block_len_for(padded);
-        let mut scale_bufs: Vec<Vec<f32>> = rotated
-            .iter()
-            .map(|v| {
-                v.chunks(block_len)
-                    .map(|c| {
-                        let m = c.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
-                        F16::from_f32(m).to_f32()
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut scale_bufs: Vec<Vec<f32>> = gcs_tensor::parallel::map_tasks(n, |w| {
+            rotated[w]
+                .chunks(block_len)
+                .map(|c| {
+                    let m = c.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+                    F16::from_f32(m).to_f32()
+                })
+                .collect()
+        });
         let scale_traffic = ring_all_reduce(&mut scale_bufs, &F32Max, 2.0);
         let scales = scale_bufs.into_iter().next().expect("no workers");
 
         // Quantize each worker's rotated gradient to signed q-bit lanes with
-        // unbiased stochastic rounding (private randomness).
-        let mut lane_bufs: Vec<Vec<i32>> = Vec::with_capacity(n);
-        for (w, v) in rotated.iter().enumerate() {
+        // unbiased stochastic rounding. Each worker owns a private
+        // counter-derived RNG stream, so quantization parallelizes across
+        // workers without perturbing any random sequence.
+        let scales_ref = &scales;
+        let mut lane_bufs: Vec<Vec<i32>> = gcs_tensor::parallel::map_tasks(n, |w| {
             let mut rng = worker_rng(ctx.experiment_seed ^ 0x74c0u64, w, ctx.round);
-            let lanes: Vec<i32> = v
+            rotated[w]
                 .iter()
                 .enumerate()
                 .map(|(i, &x)| {
-                    let s = scales[i / block_len];
+                    let s = scales_ref[i / block_len];
                     if s <= 0.0 {
                         return 0;
                     }
@@ -259,9 +259,8 @@ impl CompressionScheme for Thc {
                     let up: bool = rng.gen::<f32>() < frac;
                     ((lo as i32) + i32::from(up)).clamp(-qmax, qmax)
                 })
-                .collect();
-            lane_bufs.push(lanes);
-        }
+                .collect()
+        });
 
         // Aggregate lanes.
         let wire_bits = self.wire_bits();

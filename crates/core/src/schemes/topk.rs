@@ -133,24 +133,23 @@ impl CompressionScheme for TopK {
         // Compress: each worker selects its own top-K of the EF-corrected
         // gradient and rounds values to FP16 for the wire. Delta encoding
         // additionally sorts and gap-pads the index list (footnote 2).
-        let mut payloads: Vec<Vec<SparseEntry>> = Vec::with_capacity(n);
-        let mut corrected_all: Vec<Vec<f32>> = Vec::with_capacity(n);
-        for (w, g) in grads.iter().enumerate() {
-            let corrected = self.ef.corrected(w, g);
-            let idx = match self.encoding {
-                IndexEncoding::Absolute32 => top_k_indices(&corrected, k),
-                IndexEncoding::Delta16 => TopK::delta_pad(top_k_indices(&corrected, k)),
+        // Workers are independent, so selection fans out across them (the
+        // per-vector top-k kernel itself parallelizes when workers are few).
+        let corrected_all = self.ef.corrected_all(grads);
+        let encoding = self.encoding;
+        let payloads: Vec<Vec<SparseEntry>> = gcs_tensor::parallel::map_tasks(n, |w| {
+            let corrected = &corrected_all[w];
+            let idx = match encoding {
+                IndexEncoding::Absolute32 => top_k_indices(corrected, k),
+                IndexEncoding::Delta16 => TopK::delta_pad(top_k_indices(corrected, k)),
             };
-            let entries: Vec<SparseEntry> = idx
-                .iter()
+            idx.iter()
                 .map(|&i| SparseEntry {
                     index: i as u32,
                     value: F16::from_f32(corrected[i]),
                 })
-                .collect();
-            payloads.push(entries);
-            corrected_all.push(corrected);
-        }
+                .collect()
+        });
 
         // Aggregate: all-gather the sparse payloads, then every worker
         // scatter-adds the union locally (up to nK distinct coordinates,
@@ -164,12 +163,15 @@ impl CompressionScheme for TopK {
         let mean: Vec<f32> = sum.iter().map(|s| s / n as f32).collect();
 
         // EF update: what each worker actually contributed.
-        for (w, entries) in payloads.iter().enumerate() {
-            let mut sent = vec![0.0f32; d];
-            for e in entries {
-                sent[e.index as usize] = e.value.to_f32();
-            }
-            self.ef.update(w, &corrected_all[w], &sent);
+        if self.ef.enabled() {
+            let sents: Vec<Vec<f32>> = gcs_tensor::parallel::map_tasks(n, |w| {
+                let mut sent = vec![0.0f32; d];
+                for e in &payloads[w] {
+                    sent[e.index as usize] = e.value.to_f32();
+                }
+                sent
+            });
+            self.ef.update_all(&corrected_all, &sents);
         }
 
         AggregationOutcome {

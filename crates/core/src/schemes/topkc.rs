@@ -118,32 +118,31 @@ impl CompressionScheme for TopKC {
             None
         };
 
-        // Stage 0: EF-corrected (and permuted) local gradients.
-        let mut corrected: Vec<Vec<f32>> = Vec::with_capacity(n);
-        for (w, g) in grads.iter().enumerate() {
-            let c = self.ef.corrected(w, g);
-            let c = match &perm {
-                Some(p) => {
-                    let mut v = vec![0.0f32; d];
-                    for (i, &pi) in p.iter().enumerate() {
-                        v[pi] = c[i];
-                    }
-                    v
+        // Stage 0: EF-corrected (and permuted) local gradients. EF and the
+        // permutation scatter are per-worker independent, so both fan out.
+        let corrected_plain = self.ef.corrected_all(grads);
+        let corrected: Vec<Vec<f32>> = match &perm {
+            Some(p) => gcs_tensor::parallel::map_tasks(n, |w| {
+                let c = &corrected_plain[w];
+                let mut v = vec![0.0f32; d];
+                for (i, &pi) in p.iter().enumerate() {
+                    v[pi] = c[i];
                 }
-                None => c,
-            };
-            corrected.push(c);
-        }
+                v
+            }),
+            None => corrected_plain,
+        };
 
-        // Stage 1: per-chunk squared norms, all-reduced in FP16.
-        let mut norm_bufs: Vec<Vec<F16>> = corrected
-            .iter()
-            .map(|c| {
-                c.chunks(self.chunk)
-                    .map(|ch| F16::from_f32(gcs_tensor::vector::squared_norm(ch)))
-                    .collect()
-            })
-            .collect();
+        // Stage 1: per-chunk squared norms, all-reduced in FP16. Workers are
+        // independent; within a worker the chunk norms use the (itself
+        // deterministic) chunked reduction kernel.
+        let chunk = self.chunk;
+        let mut norm_bufs: Vec<Vec<F16>> = gcs_tensor::parallel::map_tasks(n, |w| {
+            corrected[w]
+                .chunks(chunk)
+                .map(|ch| F16::from_f32(gcs_tensor::vector::squared_norm(ch)))
+                .collect()
+        });
         let norm_traffic = ring_all_reduce(&mut norm_bufs, &F16Sum, 2.0);
         let agg_norms: Vec<f32> = norm_bufs[0].iter().map(|x| x.to_f32()).collect();
         debug_assert_eq!(agg_norms.len(), chunks);
@@ -153,19 +152,18 @@ impl CompressionScheme for TopKC {
         let mut selected = top_chunks.clone();
         selected.sort_unstable();
 
-        // Stage 3: FP16 all-reduce over the selected chunks' values.
-        let mut value_bufs: Vec<Vec<F16>> = corrected
-            .iter()
-            .map(|c| {
-                let mut buf = Vec::with_capacity(j * self.chunk);
-                for &p in &selected {
-                    let lo = p * self.chunk;
-                    let hi = (lo + self.chunk).min(d);
-                    buf.extend(c[lo..hi].iter().map(|&v| F16::from_f32(v)));
-                }
-                buf
-            })
-            .collect();
+        // Stage 3: FP16 all-reduce over the selected chunks' values
+        // (gathered per worker in parallel).
+        let mut value_bufs: Vec<Vec<F16>> = gcs_tensor::parallel::map_tasks(n, |w| {
+            let c = &corrected[w];
+            let mut buf = Vec::with_capacity(j * chunk);
+            for &p in &selected {
+                let lo = p * chunk;
+                let hi = (lo + chunk).min(d);
+                buf.extend(c[lo..hi].iter().map(|&v| F16::from_f32(v)));
+            }
+            buf
+        });
         let value_traffic = ring_all_reduce(&mut value_bufs, &F16Sum, 2.0);
 
         // Scatter back into dense coordinates (undoing the permutation).
@@ -176,8 +174,8 @@ impl CompressionScheme for TopKC {
             for &p in &selected {
                 let lo = p * self.chunk;
                 let hi = (lo + self.chunk).min(d);
-                for pos in lo..hi {
-                    mean[pos] = summed[cursor].to_f32() / n as f32;
+                for m in &mut mean[lo..hi] {
+                    *m = summed[cursor].to_f32() / n as f32;
                     cursor += 1;
                 }
             }
@@ -192,29 +190,34 @@ impl CompressionScheme for TopKC {
 
         // EF update: what each worker contributed (its own FP16-rounded
         // values in the selected chunks), in the *original* coordinate
-        // order.
-        for (w, c) in corrected.iter().enumerate() {
-            let mut sent = vec![0.0f32; d];
-            for &p in &selected {
-                let lo = p * self.chunk;
-                let hi = (lo + self.chunk).min(d);
-                for pos in lo..hi {
-                    sent[pos] = F16::from_f32(c[pos]).to_f32();
-                }
-            }
-            let (corr_orig, sent_orig) = match &perm {
-                Some(pvec) => {
-                    let mut co = vec![0.0f32; d];
-                    let mut so = vec![0.0f32; d];
-                    for (i, &pi) in pvec.iter().enumerate() {
-                        co[i] = c[pi];
-                        so[i] = sent[pi];
+        // order. Per-worker independent, so the (corrected, sent) pairs are
+        // built in parallel and committed through the batched EF API.
+        if self.ef.enabled() {
+            let pairs: Vec<(Vec<f32>, Vec<f32>)> = gcs_tensor::parallel::map_tasks(n, |w| {
+                let c = &corrected[w];
+                let mut sent = vec![0.0f32; d];
+                for &p in &selected {
+                    let lo = p * chunk;
+                    let hi = (lo + chunk).min(d);
+                    for pos in lo..hi {
+                        sent[pos] = F16::from_f32(c[pos]).to_f32();
                     }
-                    (co, so)
                 }
-                None => (c.clone(), sent),
-            };
-            self.ef.update(w, &corr_orig, &sent_orig);
+                match &perm {
+                    Some(pvec) => {
+                        let mut co = vec![0.0f32; d];
+                        let mut so = vec![0.0f32; d];
+                        for (i, &pi) in pvec.iter().enumerate() {
+                            co[i] = c[pi];
+                            so[i] = sent[pi];
+                        }
+                        (co, so)
+                    }
+                    None => (c.clone(), sent),
+                }
+            });
+            let (corr_orig, sent_orig): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+            self.ef.update_all(&corr_orig, &sent_orig);
         }
 
         let mut traffic = norm_traffic;

@@ -168,9 +168,9 @@ impl CompressionScheme for TopKCQ {
         for &p in &selected {
             let lo = p * self.chunk;
             let hi = (lo + self.chunk).min(d);
-            for pos in lo..hi {
+            for m in &mut mean[lo..hi] {
                 let s = scales[cursor / self.chunk];
-                mean[pos] = summed[cursor] as f32 * s / qmax as f32;
+                *m = summed[cursor] as f32 * s / qmax as f32;
                 cursor += 1;
             }
         }

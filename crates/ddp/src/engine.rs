@@ -135,6 +135,78 @@ pub struct TrainLog {
     pub final_metric: f64,
 }
 
+/// One worker replica plus its per-round outputs, used by the parallel
+/// gradient path.
+struct WorkerSlot {
+    model: Box<dyn Model + Send>,
+    loss: f32,
+    grads: Vec<f32>,
+}
+
+/// Builds per-worker model replicas when the parallel gradient path is
+/// usable: more than one worker, a multi-threaded runtime, and a model that
+/// supports replication ([`Model::clone_boxed`]). Returns an empty vec to
+/// select the sequential fallback.
+fn make_worker_slots(model: &dyn Model, n_workers: usize) -> Vec<WorkerSlot> {
+    if n_workers <= 1 || gcs_tensor::parallel::max_threads() <= 1 {
+        return Vec::new();
+    }
+    let mut slots = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        match model.clone_boxed() {
+            Some(m) => slots.push(WorkerSlot {
+                model: m,
+                loss: 0.0,
+                grads: Vec::new(),
+            }),
+            None => return Vec::new(),
+        }
+    }
+    slots
+}
+
+/// Computes all per-worker gradients for one round: in parallel on the
+/// replicas in `slots` (synced to `model`'s current parameters), or
+/// sequentially on `model` itself when `slots` is empty.
+///
+/// Both paths produce bitwise-identical losses and gradients: a worker's
+/// gradient depends only on (parameters, batch), each replica carries the
+/// same parameters the shared model would, and losses are folded in worker
+/// order regardless of which thread computed them.
+fn worker_gradients(
+    model: &mut dyn Model,
+    slots: &mut [WorkerSlot],
+    batch_per_worker: usize,
+    n_workers: usize,
+    round: u64,
+) -> (Vec<Vec<f32>>, f32) {
+    if slots.is_empty() {
+        let mut grads = Vec::with_capacity(n_workers);
+        let mut loss_acc = 0.0f32;
+        for w in 0..n_workers {
+            let batch = model.train_batch(batch_per_worker, w, round);
+            loss_acc += model.forward_backward(&batch);
+            grads.push(model.flat_grads());
+        }
+        return (grads, loss_acc);
+    }
+    let params = model.flat_params();
+    gcs_tensor::parallel::for_each_chunk_mut(slots, 1, |w, slot| {
+        let s = &mut slot[0];
+        s.model.set_flat_params(&params);
+        let batch = s.model.train_batch(batch_per_worker, w, round);
+        s.loss = s.model.forward_backward(&batch);
+        s.grads = s.model.flat_grads();
+    });
+    let mut grads = Vec::with_capacity(slots.len());
+    let mut loss_acc = 0.0f32;
+    for s in slots.iter_mut() {
+        loss_acc += s.loss;
+        grads.push(std::mem::take(&mut s.grads));
+    }
+    (grads, loss_acc)
+}
+
 /// Drives a model + scheme to convergence.
 pub struct Trainer {
     config: TrainerConfig,
@@ -179,16 +251,18 @@ impl Trainer {
         let mut bits_sum = 0.0f64;
         let mut early_stopped = false;
         let mut rounds_done = 0u64;
+        let mut slots = make_worker_slots(model, cfg.n_workers);
 
         for round in 0..cfg.max_rounds {
-            // 1. Per-worker gradients on disjoint shards.
-            let mut grads: Vec<Vec<f32>> = Vec::with_capacity(cfg.n_workers);
-            let mut loss_acc = 0.0f32;
-            for w in 0..cfg.n_workers {
-                let batch = model.train_batch(cfg.batch_per_worker, w, round);
-                loss_acc += model.forward_backward(&batch);
-                grads.push(model.flat_grads());
-            }
+            // 1. Per-worker gradients on disjoint shards (parallel across
+            //    workers when the model supports replication).
+            let (grads, loss_acc) = worker_gradients(
+                model,
+                &mut slots,
+                cfg.batch_per_worker,
+                cfg.n_workers,
+                round,
+            );
             loss_history.push((round, loss_acc / cfg.n_workers as f32));
 
             // 2. Distributed aggregation through the scheme.
@@ -255,13 +329,15 @@ impl Trainer {
         scheme.reset();
         let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
         let mut sum = 0.0f64;
+        let mut slots = make_worker_slots(model, cfg.n_workers);
         for round in 0..rounds {
-            let mut grads = Vec::with_capacity(cfg.n_workers);
-            for w in 0..cfg.n_workers {
-                let batch = model.train_batch(cfg.batch_per_worker, w, round);
-                model.forward_backward(&batch);
-                grads.push(model.flat_grads());
-            }
+            let (grads, _) = worker_gradients(
+                model,
+                &mut slots,
+                cfg.batch_per_worker,
+                cfg.n_workers,
+                round,
+            );
             let outcome = scheme.aggregate_round(&grads, &RoundContext::new(cfg.seed, round));
             let exact = gcs_tensor::vector::mean(&grads);
             sum += vnmse(&outcome.mean_estimate, &exact);
@@ -387,5 +463,31 @@ mod tests {
         let b = run();
         assert_eq!(a.final_metric, b.final_metric);
         assert_eq!(a.mean_vnmse, b.mean_vnmse);
+    }
+
+    /// The scheme contract extended to the runtime: an entire training run —
+    /// loss history, vNMSE, TTA curve — is bitwise-identical whether the
+    /// per-worker gradients (and every kernel underneath the scheme) run on
+    /// one thread or four.
+    #[test]
+    fn training_is_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            gcs_tensor::parallel::with_threads(threads, || {
+                let mut model = BertMini::new(2);
+                let mut scheme = TopKC::with_bits(2.0, 64, 4, true);
+                let cfg = TrainerConfig {
+                    n_workers: 4,
+                    max_rounds: 12,
+                    ..quick_config()
+                };
+                Trainer::new(cfg).train(&mut model, &mut scheme, 0.5)
+            })
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.loss_history, b.loss_history);
+        assert_eq!(a.curve.points, b.curve.points);
+        assert_eq!(a.mean_vnmse, b.mean_vnmse);
+        assert_eq!(a.final_metric, b.final_metric);
     }
 }

@@ -5,9 +5,9 @@
 //! (`gcs-netsim` alpha–beta) — into per-round step times. All throughput
 //! tables (2, 5, 6, 8, 9) are produced through this module.
 //!
-//! The model is deliberately non-overlapping (`step = compute + compression
-//! + communication`): the paper's prototypes hook the full gradient after
-//! backward, which serializes these phases.
+//! The model is deliberately non-overlapping (`step = compute +
+//! compression + communication`): the paper's prototypes hook the full
+//! gradient after backward, which serializes these phases.
 
 use gcs_core::scheme::CompressionScheme;
 use gcs_gpusim::{DeviceSpec, ModelProfile, Precision};

@@ -13,6 +13,7 @@ use crate::layers::{Layer, ParamSegment};
 /// Input: `[batch × (seq · dim)]` (concatenated token embeddings);
 /// output: same shape. Parameters: square Q/K/V/O projections (`dim×dim`
 /// each, no biases).
+#[derive(Clone)]
 pub struct SelfAttention {
     seq: usize,
     dim: usize,
@@ -81,8 +82,7 @@ impl SelfAttention {
         for t in 0..self.seq {
             let xi = &x[t * d..(t + 1) * d];
             let dyi = &dy[t * d..(t + 1) * d];
-            for r in 0..d {
-                let g = dyi[r];
+            for (r, &g) in dyi.iter().enumerate() {
                 if g == 0.0 {
                     continue;
                 }
@@ -242,6 +242,9 @@ impl Layer for SelfAttention {
                 cols: self.dim,
             })
             .collect()
+    }
+    fn clone_layer(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
     }
 }
 

@@ -170,7 +170,7 @@ impl TextDataset {
                 } else {
                     rng.gen_range(0..vocab)
                 };
-                row[succ] += rng.gen_range(0.5..1.5);
+                row[succ] += rng.gen_range(0.5f32..1.5);
             }
             let sum: f32 = row.iter().sum();
             for v in row.iter_mut() {

@@ -45,9 +45,15 @@ pub trait Layer {
             }]
         }
     }
+
+    /// Deep copy of the layer (parameters, gradients, caches), boxed and
+    /// `Send` so whole models can be replicated onto worker threads for
+    /// parallel per-worker gradient computation.
+    fn clone_layer(&self) -> Box<dyn Layer + Send>;
 }
 
 /// Fully connected layer `y = x W^T + b`, weights stored `[out × in]`.
+#[derive(Clone)]
 pub struct Dense {
     in_dim: usize,
     out_dim: usize,
@@ -65,7 +71,7 @@ impl Dense {
         for _ in 0..out_dim * in_dim {
             theta.push(rng.gen_range(-bound..bound));
         }
-        theta.extend(std::iter::repeat(0.0).take(out_dim));
+        theta.extend(std::iter::repeat_n(0.0, out_dim));
         Dense {
             in_dim,
             out_dim,
@@ -138,10 +144,13 @@ impl Layer for Dense {
             ParamSegment::Vector { len: self.out_dim },
         ]
     }
+    fn clone_layer(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// Element-wise ReLU.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Relu {
     mask: Vec<bool>,
 }
@@ -178,9 +187,13 @@ impl Layer for Relu {
     fn out_dim(&self, in_dim: usize) -> usize {
         in_dim
     }
+    fn clone_layer(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// 3×3 same-padding convolution over `[C, H, W]` feature maps.
+#[derive(Clone)]
 pub struct Conv3x3 {
     in_ch: usize,
     out_ch: usize,
@@ -202,7 +215,7 @@ impl Conv3x3 {
         for _ in 0..wlen {
             theta.push(rng.gen_range(-bound..bound));
         }
-        theta.extend(std::iter::repeat(0.0).take(out_ch));
+        theta.extend(std::iter::repeat_n(0.0, out_ch));
         Conv3x3 {
             in_ch,
             out_ch,
@@ -330,9 +343,13 @@ impl Layer for Conv3x3 {
             ParamSegment::Vector { len: self.out_ch },
         ]
     }
+    fn clone_layer(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// 2×2 max pooling with stride 2 over `[C, H, W]` maps.
+#[derive(Clone)]
 pub struct MaxPool2 {
     ch: usize,
     h: usize,
@@ -346,7 +363,7 @@ impl MaxPool2 {
     /// # Panics
     /// Panics if `h` or `w` is odd.
     pub fn new(ch: usize, h: usize, w: usize) -> MaxPool2 {
-        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2: dims must be even");
+        assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "MaxPool2: dims must be even");
         MaxPool2 {
             ch,
             h,
@@ -411,6 +428,9 @@ impl Layer for MaxPool2 {
     fn out_dim(&self, in_dim: usize) -> usize {
         in_dim / 4
     }
+    fn clone_layer(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// Parameter-free layer normalization over each sample's feature vector:
@@ -421,7 +441,7 @@ impl Layer for MaxPool2 {
 /// *uniformly* hot gradient rows (all entries of a frequent token's
 /// embedding/output row carry comparable gradient magnitude). That row-level
 /// uniformity is the gradient structure TopKC's chunk selection exploits.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct LayerNorm {
     cached_xhat: Vec<f32>,
     cached_inv_std: Vec<f32>,
@@ -492,10 +512,14 @@ impl Layer for LayerNorm {
     fn out_dim(&self, in_dim: usize) -> usize {
         in_dim
     }
+    fn clone_layer(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// Token embedding lookup: input is a batch of `ctx` token ids (as f32),
 /// output is the concatenated embeddings `[batch × ctx·dim]`.
+#[derive(Clone)]
 pub struct Embedding {
     vocab: usize,
     dim: usize,
@@ -575,16 +599,27 @@ impl Layer for Embedding {
             cols: self.dim,
         }]
     }
+    fn clone_layer(&self) -> Box<dyn Layer + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// A sequential stack of layers with flat parameter/gradient access.
 pub struct Sequential {
-    layers: Vec<Box<dyn Layer>>,
+    layers: Vec<Box<dyn Layer + Send>>,
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Sequential {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.clone_layer()).collect(),
+        }
+    }
 }
 
 impl Sequential {
     /// Builds from boxed layers.
-    pub fn new(layers: Vec<Box<dyn Layer>>) -> Sequential {
+    pub fn new(layers: Vec<Box<dyn Layer + Send>>) -> Sequential {
         Sequential { layers }
     }
 

@@ -54,9 +54,18 @@ pub trait Model {
 
     /// Samples a training batch for `(worker, round)`.
     fn train_batch(&self, batch_size: usize, worker: usize, round: u64) -> Batch;
+
+    /// Deep copy of the model for parallel per-worker gradient computation
+    /// (parameters, optimizer-visible state, dataset — everything a worker
+    /// replica needs). Models that cannot be replicated return `None` and
+    /// the training loop falls back to its sequential path.
+    fn clone_boxed(&self) -> Option<Box<dyn Model + Send>> {
+        None
+    }
 }
 
 /// The CNN miniature of VGG19/TinyImageNet.
+#[derive(Clone)]
 pub struct VggMini {
     net: Sequential,
     dataset: ImageDataset,
@@ -72,7 +81,7 @@ impl VggMini {
         let channels = 3usize;
         let classes = 10usize;
         let net = Sequential::new(vec![
-            Box::new(Conv3x3::new(channels, 16, size, size, &mut rng)) as Box<dyn Layer>,
+            Box::new(Conv3x3::new(channels, 16, size, size, &mut rng)) as Box<dyn Layer + Send>,
             Box::new(Relu::new()),
             Box::new(MaxPool2::new(16, size, size)),
             Box::new(Conv3x3::new(16, 32, size / 2, size / 2, &mut rng)),
@@ -140,10 +149,14 @@ impl Model for VggMini {
         self.dataset
             .sample(batch_size, (worker as u64) << 40 | round)
     }
+    fn clone_boxed(&self) -> Option<Box<dyn Model + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// The language-model miniature of BERT-large/WikiText-103 (next-token
 /// prediction over synthetic Markov text; metric: perplexity).
+#[derive(Clone)]
 pub struct BertMini {
     net: Sequential,
     dataset: TextDataset,
@@ -165,7 +178,7 @@ impl BertMini {
         let dim = 128usize;
         let hidden = 128usize;
         let net = Sequential::new(vec![
-            Box::new(Embedding::new(vocab, dim, ctx, &mut rng)) as Box<dyn Layer>,
+            Box::new(Embedding::new(vocab, dim, ctx, &mut rng)) as Box<dyn Layer + Send>,
             Box::new(Dense::new(ctx * dim, hidden, &mut rng)),
             Box::new(Relu::new()),
             Box::new(Dense::new(hidden, hidden, &mut rng)),
@@ -228,6 +241,9 @@ impl Model for BertMini {
         self.dataset
             .sample(batch_size, (worker as u64) << 40 | round)
     }
+    fn clone_boxed(&self) -> Option<Box<dyn Model + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// A genuinely transformer-shaped miniature: embedding -> self-attention ->
@@ -235,6 +251,7 @@ impl Model for BertMini {
 /// Markov-text task as [`BertMini`]. Slower per round than the MLP
 /// (attention is O(s^2 d)) but structurally closest to the paper's BERT
 /// workload; used by the transformer example and available everywhere.
+#[derive(Clone)]
 pub struct TransformerMini {
     net: Sequential,
     dataset: TextDataset,
@@ -252,7 +269,7 @@ impl TransformerMini {
         let dim = 32usize;
         let hidden = 128usize;
         let net = Sequential::new(vec![
-            Box::new(Embedding::new(vocab, dim, ctx, &mut rng)) as Box<dyn Layer>,
+            Box::new(Embedding::new(vocab, dim, ctx, &mut rng)) as Box<dyn Layer + Send>,
             Box::new(SelfAttention::new(ctx, dim, &mut rng)),
             Box::new(LayerNorm::new(ctx * dim)),
             Box::new(Dense::new(ctx * dim, hidden, &mut rng)),
@@ -314,6 +331,9 @@ impl Model for TransformerMini {
     fn train_batch(&self, batch_size: usize, worker: usize, round: u64) -> Batch {
         self.dataset
             .sample(batch_size, (worker as u64) << 40 | round)
+    }
+    fn clone_boxed(&self) -> Option<Box<dyn Model + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 

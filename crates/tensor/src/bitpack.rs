@@ -13,6 +13,83 @@
 //! [`PackedIntVec`] stores signed lanes in two's complement inside a `u64`
 //! backing array and implements both lane-wise reductions, plus the exact
 //! byte accounting the throughput models need.
+//!
+//! Pack, unpack and the lane-wise adds fan out on [`crate::parallel`] over
+//! **word-aligned lane segments**: a segment always spans a whole number of
+//! `u64` words (its lane count is a multiple of `64 / gcd(q, 64)`), so
+//! concurrent segment writers never touch the same word, and segment
+//! boundaries depend only on `q` — never on the thread count.
+
+use crate::parallel;
+
+/// Minimum lane count before packed-lane operations fan out to threads.
+const PACK_PAR_MIN_LANES: usize = 1 << 15;
+
+/// Target lanes per parallel segment (rounded up to word alignment).
+const PACK_SEG_TARGET_LANES: usize = 1 << 14;
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Lanes per parallel segment: the smallest multiple of the word-alignment
+/// block (`64 / gcd(q, 64)` lanes) at or above the target, so every segment
+/// boundary falls exactly on a `u64` boundary.
+fn aligned_seg_lanes(q: u32) -> usize {
+    let block = 64 / gcd(q as usize, 64);
+    PACK_SEG_TARGET_LANES.div_ceil(block) * block
+}
+
+#[inline]
+fn mask_for(q: u32) -> u64 {
+    if q == 64 {
+        u64::MAX
+    } else {
+        (1u64 << q) - 1
+    }
+}
+
+/// Reads lane `i` (raw, unsigned) from a word slice whose bit 0 is lane 0.
+#[inline]
+fn raw_at(words: &[u64], q: u32, mask: u64, i: usize) -> u64 {
+    let q = q as u64;
+    let bit = i as u64 * q;
+    let word = (bit / 64) as usize;
+    let off = bit % 64;
+    if off + q <= 64 {
+        (words[word] >> off) & mask
+    } else {
+        let lo = words[word] >> off;
+        let hi = words[word + 1] << (64 - off);
+        (lo | hi) & mask
+    }
+}
+
+/// Writes lane `i` (raw, pre-masked or not) into a word slice whose bit 0 is
+/// lane 0.
+#[inline]
+fn set_raw_at(words: &mut [u64], q: u32, mask: u64, i: usize, raw: u64) {
+    let q = q as u64;
+    let bit = i as u64 * q;
+    let word = (bit / 64) as usize;
+    let off = bit % 64;
+    let raw = raw & mask;
+    if off + q <= 64 {
+        words[word] &= !(mask << off);
+        words[word] |= raw << off;
+    } else {
+        let lo_bits = 64 - off;
+        words[word] &= !(mask << off);
+        words[word] |= raw << off;
+        let hi_mask = mask >> lo_bits;
+        words[word + 1] &= !hi_mask;
+        words[word + 1] |= raw >> lo_bits;
+    }
+}
 
 /// A fixed-width signed integer vector, bit-packed `q` bits per lane.
 ///
@@ -39,13 +116,37 @@ impl PackedIntVec {
 
     /// Packs a slice of signed values.
     ///
+    /// Parallel over word-aligned lane segments for large inputs; the packed
+    /// bits are identical for any thread count.
+    ///
     /// # Panics
     /// Panics (in debug builds) if any value is outside the `q`-bit signed
     /// range; release builds truncate.
     pub fn from_signed(q: u32, values: &[i32]) -> PackedIntVec {
         let mut v = PackedIntVec::zeros(q, values.len());
-        for (i, &x) in values.iter().enumerate() {
-            v.set(i, x);
+        if values.len() >= PACK_PAR_MIN_LANES && parallel::max_threads() > 1 {
+            let seg_lanes = aligned_seg_lanes(q);
+            let seg_words = seg_lanes * q as usize / 64;
+            let mask = mask_for(q);
+            let len = values.len();
+            let lane_min = v.lane_min();
+            let lane_max = v.lane_max();
+            parallel::for_each_chunk_mut(&mut v.words, seg_words, |si, words| {
+                let lane_lo = si * seg_lanes;
+                let n = seg_lanes.min(len.saturating_sub(lane_lo));
+                for j in 0..n {
+                    let x = values[lane_lo + j];
+                    debug_assert!(
+                        x >= lane_min && x <= lane_max,
+                        "value {x} does not fit in {q} signed bits"
+                    );
+                    set_raw_at(words, q, mask, j, x as u64);
+                }
+            });
+        } else {
+            for (i, &x) in values.iter().enumerate() {
+                v.set(i, x);
+            }
         }
         v
     }
@@ -93,6 +194,12 @@ impl PackedIntVec {
         self.size_bits().div_ceil(8)
     }
 
+    /// The raw packed words — the exact wire representation. Exposed so
+    /// tests can assert bitwise identity of whole payloads.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Reads lane `i` as a sign-extended i32.
     ///
     /// # Panics
@@ -122,51 +229,57 @@ impl PackedIntVec {
     }
 
     fn lane_mask(&self) -> u64 {
-        if self.q == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.q) - 1
-        }
+        mask_for(self.q)
     }
 
     fn get_raw(&self, i: usize) -> u64 {
-        let q = self.q as u64;
-        let bit = i as u64 * q;
-        let word = (bit / 64) as usize;
-        let off = bit % 64;
-        let mask = self.lane_mask();
-        if off + q <= 64 {
-            (self.words[word] >> off) & mask
-        } else {
-            let lo = self.words[word] >> off;
-            let hi = self.words[word + 1] << (64 - off);
-            (lo | hi) & mask
-        }
+        raw_at(&self.words, self.q, self.lane_mask(), i)
     }
 
     fn set_raw(&mut self, i: usize, raw: u64) {
-        let q = self.q as u64;
-        let bit = i as u64 * q;
-        let word = (bit / 64) as usize;
-        let off = bit % 64;
         let mask = self.lane_mask();
-        let raw = raw & mask;
-        if off + q <= 64 {
-            self.words[word] &= !(mask << off);
-            self.words[word] |= raw << off;
-        } else {
-            let lo_bits = 64 - off;
-            self.words[word] &= !(mask << off);
-            self.words[word] |= raw << off;
-            let hi_mask = mask >> lo_bits;
-            self.words[word + 1] &= !hi_mask;
-            self.words[word + 1] |= raw >> lo_bits;
-        }
+        set_raw_at(&mut self.words, self.q, mask, i, raw);
     }
 
-    /// Unpacks all lanes into a `Vec<i32>`.
+    /// Runs `f(n_lanes, self_segment_words, other_segment_words)` over
+    /// word-aligned lane segments of both vectors — in parallel when the
+    /// vector is large, sequentially (one segment) otherwise. Lane indices
+    /// passed to `raw_at`/`set_raw_at` inside `f` are segment-relative.
+    fn zip_segments_mut<F>(&mut self, other: &PackedIntVec, f: F)
+    where
+        F: Fn(usize, &mut [u64], &[u64]) + Sync,
+    {
+        debug_assert_eq!(self.q, other.q);
+        debug_assert_eq!(self.len, other.len);
+        if self.len < PACK_PAR_MIN_LANES || parallel::max_threads() <= 1 {
+            f(self.len, &mut self.words, &other.words);
+            return;
+        }
+        let seg_lanes = aligned_seg_lanes(self.q);
+        let seg_words = seg_lanes * self.q as usize / 64;
+        let len = self.len;
+        let other_words = &other.words;
+        parallel::for_each_chunk_mut(&mut self.words, seg_words, |si, words| {
+            let lane_lo = si * seg_lanes;
+            let n = seg_lanes.min(len.saturating_sub(lane_lo));
+            let wlo = si * seg_words;
+            f(n, words, &other_words[wlo..wlo + words.len()]);
+        });
+    }
+
+    /// Unpacks all lanes into a `Vec<i32>` (parallel for large vectors).
     pub fn to_signed_vec(&self) -> Vec<i32> {
-        (0..self.len).map(|i| self.get(i)).collect()
+        if self.len < PACK_PAR_MIN_LANES || parallel::max_threads() <= 1 {
+            return (0..self.len).map(|i| self.get(i)).collect();
+        }
+        let mut out = vec![0i32; self.len];
+        parallel::for_each_chunk_mut(&mut out, PACK_SEG_TARGET_LANES, |ci, chunk| {
+            let base = ci * PACK_SEG_TARGET_LANES;
+            for (j, o) in chunk.iter_mut().enumerate() {
+                *o = self.get(base + j);
+            }
+        });
+        out
     }
 
     /// Lane-wise **saturating** addition: the paper's `Sat(x, y) =
@@ -182,10 +295,17 @@ impl PackedIntVec {
         assert_eq!(self.len, other.len, "add_saturating: length mismatch");
         let hi = self.lane_max();
         let lo = -hi; // symmetric clamp per the paper
-        for i in 0..self.len {
-            let s = (self.get(i) + other.get(i)).clamp(lo, hi);
-            self.set(i, s);
-        }
+        let q = self.q;
+        let mask = self.lane_mask();
+        let shift = 32 - q;
+        self.zip_segments_mut(other, |n, aw, bw| {
+            for i in 0..n {
+                let x = (((raw_at(aw, q, mask, i) as u32) << shift) as i32) >> shift;
+                let y = (((raw_at(bw, q, mask, i) as u32) << shift) as i32) >> shift;
+                let s = (x + y).clamp(lo, hi);
+                set_raw_at(aw, q, mask, i, s as u64);
+            }
+        });
     }
 
     /// Lane-wise **wrapping** addition (mod `2^q`): what naive integer
@@ -197,11 +317,14 @@ impl PackedIntVec {
     pub fn add_wrapping(&mut self, other: &PackedIntVec) {
         assert_eq!(self.q, other.q, "add_wrapping: lane width mismatch");
         assert_eq!(self.len, other.len, "add_wrapping: length mismatch");
+        let q = self.q;
         let mask = self.lane_mask();
-        for i in 0..self.len {
-            let s = (self.get_raw(i).wrapping_add(other.get_raw(i))) & mask;
-            self.set_raw(i, s);
-        }
+        self.zip_segments_mut(other, |n, aw, bw| {
+            for i in 0..n {
+                let s = raw_at(aw, q, mask, i).wrapping_add(raw_at(bw, q, mask, i));
+                set_raw_at(aw, q, mask, i, s);
+            }
+        });
     }
 
     /// Re-packs this vector into wider `new_q`-bit lanes (values preserved).
@@ -308,6 +431,49 @@ mod tests {
         let mut s = w.clone();
         s.add_saturating(&w);
         assert_eq!(s.to_signed_vec(), vec![-16, 14, 0, -2]);
+    }
+
+    #[test]
+    fn parallel_pack_ops_are_bitwise_identical_to_sequential() {
+        // Large enough to cross PACK_PAR_MIN_LANES; odd length so the last
+        // segment is partial; q values chosen so lanes straddle words (3, 7)
+        // and divide them exactly (4, 16).
+        let len = 100_003;
+        for q in [3u32, 4, 7, 16] {
+            let hi = PackedIntVec::zeros(q, 1).lane_max() as i64;
+            let lo = PackedIntVec::zeros(q, 1).lane_min() as i64;
+            let span = hi - lo + 1;
+            let make = |salt: u64| -> Vec<i32> {
+                (0..len)
+                    .map(|i| {
+                        let r = crate::rng::splitmix64(i as u64 ^ salt);
+                        (lo + (r % span as u64) as i64) as i32
+                    })
+                    .collect()
+            };
+            let a_vals = make(0xa5a5);
+            let b_vals = make(0x5a5a);
+            let reference = crate::parallel::with_threads(1, || {
+                let mut a = PackedIntVec::from_signed(q, &a_vals);
+                let b = PackedIntVec::from_signed(q, &b_vals);
+                let mut w = a.clone();
+                a.add_saturating(&b);
+                w.add_wrapping(&b);
+                (a, w)
+            });
+            for threads in [2, 5] {
+                let got = crate::parallel::with_threads(threads, || {
+                    let mut a = PackedIntVec::from_signed(q, &a_vals);
+                    let b = PackedIntVec::from_signed(q, &b_vals);
+                    let mut w = a.clone();
+                    a.add_saturating(&b);
+                    w.add_wrapping(&b);
+                    assert_eq!(a.to_signed_vec(), reference.0.to_signed_vec());
+                    (a, w)
+                });
+                assert_eq!(got, reference, "q={q} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -16,10 +16,25 @@
 //! involution: applying it twice returns the input. The *randomized* variant
 //! conjugates with a seeded Rademacher diagonal, which all workers derive from
 //! shared randomness so rotation/derotation agree across the cluster.
+//!
+//! Both the transform and the diagonal are multi-threaded via
+//! [`crate::parallel`] above a size threshold. The butterflies are
+//! element-wise per stage and the sign bits are a *counter-based* PRF of
+//! `(seed, 64-element block index)`, so any partition of the work produces
+//! bitwise-identical results — thread count is unobservable in the output.
 
-use crate::rng::SharedSeed;
-use rand::Rng;
-use rand::SeedableRng;
+use crate::parallel;
+use crate::rng::{splitmix64, SharedSeed};
+
+/// Below this length the transform runs its plain sequential loop.
+const FWHT_PAR_MIN: usize = 1 << 15;
+
+/// log2 of the blockwise phase's chunk (2^14 f32 = 64 KiB, L2-resident).
+const FWHT_BLOCK_LOG2: usize = 14;
+
+/// Chunk length for the Rademacher diagonal — a multiple of 64 so chunk
+/// boundaries always fall on sign-word boundaries.
+const RADEMACHER_CHUNK: usize = 1 << 15;
 
 /// In-place normalized fast Walsh–Hadamard transform on a power-of-two
 /// length slice.
@@ -38,26 +53,11 @@ pub fn fwht(data: &mut [f32]) {
     fwht_iterations(data, n.trailing_zeros() as usize);
 }
 
-/// Runs only the first `iters` butterfly stages of the FWHT on `data`.
-///
-/// After `iters` stages, element `i` has interacted exactly with the elements
-/// whose index differs in the low `iters` bits — i.e. the transform is the
-/// full FWHT applied independently to each aligned block of `2^iters`
-/// elements. This is the paper's *partial rotation*.
-///
-/// # Panics
-/// Panics if `data.len()` is not a power of two or `iters > log2(len)`.
-pub fn fwht_iterations(data: &mut [f32], iters: usize) {
+/// The sequential stage loop; also the within-chunk worker of the parallel
+/// path (each aligned power-of-two chunk runs its local stages with exactly
+/// this code, so parallel results are bitwise-identical).
+fn fwht_seq(data: &mut [f32], iters: usize) {
     let n = data.len();
-    if n <= 1 || iters == 0 {
-        return;
-    }
-    assert!(n.is_power_of_two(), "fwht: length {n} not a power of two");
-    let max_iters = n.trailing_zeros() as usize;
-    assert!(
-        iters <= max_iters,
-        "fwht_iterations: {iters} iterations exceed log2({n}) = {max_iters}"
-    );
     let inv_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
     let mut h = 1usize;
     for _ in 0..iters {
@@ -75,30 +75,114 @@ pub fn fwht_iterations(data: &mut [f32], iters: usize) {
     }
 }
 
+/// One butterfly stage over an aligned `2h` window, given its two halves.
+fn butterfly_halves(lo: &mut [f32], hi: &mut [f32]) {
+    let inv_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
+    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+        let x = *a;
+        let y = *b;
+        *a = (x + y) * inv_sqrt2;
+        *b = (x - y) * inv_sqrt2;
+    }
+}
+
+/// Runs only the first `iters` butterfly stages of the FWHT on `data`.
+///
+/// After `iters` stages, element `i` has interacted exactly with the elements
+/// whose index differs in the low `iters` bits — i.e. the transform is the
+/// full FWHT applied independently to each aligned block of `2^iters`
+/// elements. This is the paper's *partial rotation*.
+///
+/// Large inputs run in two parallel phases: stages `< FWHT_BLOCK_LOG2`
+/// execute blockwise (each aligned chunk runs its local stages
+/// independently), and each remaining stage parallelizes over its
+/// independent `2h` windows — or, when the windows are few and large, over
+/// zip-chunks of each window's two halves. Every decomposition computes the
+/// same per-element expressions, so the output is bitwise-identical to the
+/// sequential loop for any thread count.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two or `iters > log2(len)`.
+pub fn fwht_iterations(data: &mut [f32], iters: usize) {
+    let n = data.len();
+    if n <= 1 || iters == 0 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "fwht: length {n} not a power of two");
+    let max_iters = n.trailing_zeros() as usize;
+    assert!(
+        iters <= max_iters,
+        "fwht_iterations: {iters} iterations exceed log2({n}) = {max_iters}"
+    );
+    if n < FWHT_PAR_MIN || parallel::max_threads() <= 1 {
+        fwht_seq(data, iters);
+        return;
+    }
+
+    // Phase 1: blockwise. Stages < b only mix within aligned 2^b blocks, so
+    // each block runs them locally, in parallel.
+    let b = iters.min(FWHT_BLOCK_LOG2);
+    parallel::for_each_chunk_mut(data, 1 << b, |_, chunk| fwht_seq(chunk, b));
+
+    // Phase 2: the remaining stages, one at a time. At stage size h the
+    // aligned 2h windows are independent.
+    let mut h = 1usize << b;
+    for _ in b..iters {
+        let window = 2 * h;
+        let n_windows = n / window;
+        if n_windows >= parallel::max_threads() {
+            parallel::for_each_chunk_mut(data, window, |_, w| {
+                let (lo, hi) = w.split_at_mut(h);
+                butterfly_halves(lo, hi);
+            });
+        } else {
+            // Few large windows: parallelize inside each one by chunking the
+            // zipped halves.
+            for w in data.chunks_mut(window) {
+                let (lo, hi) = w.split_at_mut(h);
+                parallel::for_each_zip2_mut(lo, hi, 1 << FWHT_BLOCK_LOG2, |_, la, hb| {
+                    butterfly_halves(la, hb);
+                });
+            }
+        }
+        h = window;
+    }
+}
+
 /// Returns the smallest power of two that is `>= len`.
 pub fn padded_len(len: usize) -> usize {
     len.next_power_of_two()
 }
 
+/// The 64 Rademacher sign bits for elements `[64*block, 64*block + 64)`.
+///
+/// A counter-based PRF (SplitMix64 finalizer over seed and block index): any
+/// worker — or any thread — can generate any block's signs independently,
+/// with no sequential RNG stream to advance. Bit `j` set means element
+/// `64*block + j` flips sign.
+pub fn rademacher_sign_bits(seed: SharedSeed, block: u64) -> u64 {
+    splitmix64(seed.value() ^ block.wrapping_mul(0xa076_1d64_78bd_642f))
+}
+
 /// Applies a seeded Rademacher (±1) diagonal in place.
 ///
-/// The signs are derived from `seed`, so every worker flips the same signs —
-/// the "shared randomness" THC assumes. Applying the same diagonal twice is a
-/// no-op, which makes the randomized transform below an involution too.
+/// The signs are derived from `seed` via [`rademacher_sign_bits`], so every
+/// worker flips the same signs — the "shared randomness" THC assumes — and a
+/// sign depends only on `(seed, index)`, never on the slice length or on how
+/// the work was partitioned. Applying the same diagonal twice is a no-op,
+/// which makes the randomized transform below an involution too.
 pub fn rademacher_diagonal(data: &mut [f32], seed: SharedSeed) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.value());
-    // Draw 64 sign bits at a time.
-    let mut i = 0;
-    while i < data.len() {
-        let bits: u64 = rng.gen();
-        let take = 64.min(data.len() - i);
-        for j in 0..take {
-            if (bits >> j) & 1 == 1 {
-                data[i + j] = -data[i + j];
+    parallel::for_each_chunk_mut(data, RADEMACHER_CHUNK, |chunk_idx, chunk| {
+        let first_block = (chunk_idx * RADEMACHER_CHUNK / 64) as u64;
+        for (w, word) in chunk.chunks_mut(64).enumerate() {
+            let bits = rademacher_sign_bits(seed, first_block + w as u64);
+            for (j, x) in word.iter_mut().enumerate() {
+                if (bits >> j) & 1 == 1 {
+                    *x = -*x;
+                }
             }
         }
-        i += take;
-    }
+    });
 }
 
 /// The randomized Hadamard transform: Rademacher diagonal followed by the
@@ -159,6 +243,7 @@ impl RotationMode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::with_threads;
     use crate::vector::squared_norm;
     use rand::Rng;
     use rand::SeedableRng;
@@ -212,6 +297,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_fwht_is_bitwise_identical_to_sequential() {
+        // Long enough to take both parallel phases, with stages past the
+        // blockwise cutoff.
+        let n = 1usize << 17;
+        let orig: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.137).sin()).collect();
+        for iters in [10usize, FWHT_BLOCK_LOG2, 16, 17] {
+            let mut reference = orig.clone();
+            fwht_seq(&mut reference, iters);
+            for threads in [1usize, 2, 3, 8] {
+                let mut v = orig.clone();
+                with_threads(threads, || fwht_iterations(&mut v, iters));
+                assert!(
+                    v.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "iters={iters} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn rht_round_trips() {
         let seed = SharedSeed::new(42);
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
@@ -241,6 +346,61 @@ mod tests {
             range_after < range_before / 4.0,
             "range {range_before} -> {range_after}"
         );
+    }
+
+    /// Compatibility pin for the counter-based sign sequence: all workers
+    /// (and all future builds) must derive exactly these signs, or rotation
+    /// and derotation stop agreeing across the cluster.
+    #[test]
+    fn rademacher_sign_sequence_is_pinned() {
+        let seed = SharedSeed::new(42);
+        assert_eq!(rademacher_sign_bits(seed, 0), PINNED_BITS[0]);
+        assert_eq!(rademacher_sign_bits(seed, 1), PINNED_BITS[1]);
+        assert_eq!(rademacher_sign_bits(seed, 2), PINNED_BITS[2]);
+        let mut v = vec![1.0f32; 24];
+        rademacher_diagonal(&mut v, seed);
+        let got: Vec<bool> = v.iter().map(|&x| x < 0.0).collect();
+        let expect: Vec<bool> = (0..24).map(|j| (PINNED_BITS[0] >> j) & 1 == 1).collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Pinned `rademacher_sign_bits(SharedSeed::new(42), block)` for blocks
+    /// 0..3 — regenerate only on a deliberate, documented format change.
+    const PINNED_BITS: [u64; 3] = [
+        0xbdd7_3226_2feb_6e95,
+        0xc549_d6f3_8899_c014,
+        0xcdac_ef9d_79af_ab42,
+    ];
+
+    #[test]
+    fn rademacher_is_seekable_and_length_independent() {
+        let seed = SharedSeed::new(7);
+        let mut long = vec![1.0f32; 1000];
+        rademacher_diagonal(&mut long, seed);
+        // A shorter application sees the same per-index signs.
+        let mut short = vec![1.0f32; 200];
+        rademacher_diagonal(&mut short, seed);
+        assert_eq!(&long[..200], &short[..]);
+        // Applying twice is the identity.
+        let orig: Vec<f32> = (0..1000).map(|i| i as f32 - 500.0).collect();
+        let mut v = orig.clone();
+        rademacher_diagonal(&mut v, seed);
+        rademacher_diagonal(&mut v, seed);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn rademacher_is_thread_count_invariant() {
+        let seed = SharedSeed::new(13);
+        let n = RADEMACHER_CHUNK * 2 + 77;
+        let orig: Vec<f32> = (0..n).map(|i| (i as f32) + 0.5).collect();
+        let mut reference = orig.clone();
+        with_threads(1, || rademacher_diagonal(&mut reference, seed));
+        for threads in [2usize, 3, 8] {
+            let mut v = orig.clone();
+            with_threads(threads, || rademacher_diagonal(&mut v, seed));
+            assert_eq!(v, reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -21,14 +21,19 @@
 //! * [`rng`] — deterministic seeding utilities, including the shared-randomness
 //!   streams that all workers must agree on (RHT sign diagonals, stochastic
 //!   rounding).
+//! * [`parallel`] — a deterministic fork-join runtime (`GCS_THREADS`) the hot
+//!   kernels fan out on: fixed chunk boundaries and ordered combines keep
+//!   every parallel kernel bitwise-identical to its sequential reference.
 //!
-//! Everything here is deterministic given seeds and plain Rust; the goal is
-//! bit-reproducible experiments, not raw speed.
+//! Everything here is deterministic given seeds and plain Rust — including
+//! the multi-threaded paths, which are scheduled so that thread count never
+//! changes a single output bit.
 
 pub mod bitpack;
 pub mod hadamard;
 pub mod half;
 pub mod matrix;
+pub mod parallel;
 pub mod rng;
 pub mod sketch;
 pub mod vector;

@@ -10,6 +10,21 @@
 //! 3. `Q = Mᵀ P̂`            (n×r)
 //!
 //! This module supplies the matmuls and the modified Gram–Schmidt.
+//!
+//! The matmuls fan out over **output rows** on the [`crate::parallel`]
+//! runtime: every output row is produced by exactly one task using the same
+//! per-element accumulation order as the sequential loops, so results are
+//! bitwise-identical for any `GCS_THREADS`.
+
+use crate::parallel;
+
+/// Minimum number of multiply-adds before a matmul fans out to threads.
+/// Below this the spawn cost dominates; PowerSGD's P/Q products on real
+/// layer shapes sit far above it.
+const MATMUL_PAR_MIN: usize = 1 << 16;
+
+/// Minimum element count before `transpose` fans out.
+const TRANSPOSE_PAR_MIN: usize = 1 << 16;
 
 /// A dense row-major `f32` matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -87,7 +102,45 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Accumulates output row `i` of `self * other` into `crow` using the
+    /// kj (streaming) inner order — shared by the sequential and parallel
+    /// matmul paths so both produce identical bits.
+    #[inline]
+    fn matmul_row_into(&self, other: &Matrix, i: usize, crow: &mut [f32]) {
+        for k in 0..self.cols {
+            let a = self.get(i, k);
+            if a == 0.0 {
+                continue;
+            }
+            let orow = other.row(k);
+            for (c, &b) in crow.iter_mut().zip(orow) {
+                *c += a * b;
+            }
+        }
+    }
+
+    /// Accumulates output row `i` of `selfᵀ * other` into `crow`. Per
+    /// element, terms are added in ascending `k` — the same order the
+    /// sequential k-outer loop applies them.
+    #[inline]
+    fn transpose_matmul_row_into(&self, other: &Matrix, i: usize, crow: &mut [f32]) {
+        for k in 0..self.rows {
+            let a = self.get(k, i);
+            if a == 0.0 {
+                continue;
+            }
+            let brow = other.row(k);
+            for (c, &b) in crow.iter_mut().zip(brow) {
+                *c += a * b;
+            }
+        }
+    }
+
     /// `self * other` — returns an `m×p` product.
+    ///
+    /// Fans out over output rows when the flop count warrants it; each row is
+    /// computed by exactly one task with the sequential accumulation order,
+    /// so the product is bitwise-identical for any thread count.
     ///
     /// # Panics
     /// Panics if inner dimensions disagree.
@@ -98,24 +151,27 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order: streaming access on `other` and `out` rows.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let crow = out.row_mut(i);
-                for (c, &b) in crow.iter_mut().zip(orow) {
-                    *c += a * b;
-                }
+        let p = other.cols;
+        let work = self.rows * self.cols * p;
+        if p > 0 && work >= MATMUL_PAR_MIN && parallel::max_threads() > 1 {
+            // One output row per chunk: chunk index == row index.
+            parallel::for_each_chunk_mut(&mut out.data, p, |i, crow| {
+                self.matmul_row_into(other, i, crow);
+            });
+        } else {
+            // ikj loop order: streaming access on `other` and `out` rows.
+            for i in 0..self.rows {
+                self.matmul_row_into(other, i, out.row_mut(i));
             }
         }
         out
     }
 
     /// `selfᵀ * other` without materializing the transpose.
+    ///
+    /// Parallelized over output rows (columns of `self`) with the sequential
+    /// per-element term order preserved, so the result is bitwise-identical
+    /// for any thread count.
     ///
     /// # Panics
     /// Panics if row counts disagree.
@@ -126,16 +182,25 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = other.row(k);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let crow = out.row_mut(i);
-                for (c, &b) in crow.iter_mut().zip(brow) {
-                    *c += a * b;
+        let p = other.cols;
+        let work = self.rows * self.cols * p;
+        if p > 0 && work >= MATMUL_PAR_MIN && parallel::max_threads() > 1 {
+            parallel::for_each_chunk_mut(&mut out.data, p, |i, crow| {
+                self.transpose_matmul_row_into(other, i, crow);
+            });
+        } else {
+            // k-outer loop order: streaming access on `self` and `other` rows.
+            for k in 0..self.rows {
+                let arow = self.row(k);
+                let brow = other.row(k);
+                for (i, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let crow = out.row_mut(i);
+                    for (c, &b) in crow.iter_mut().zip(brow) {
+                        *c += a * b;
+                    }
                 }
             }
         }
@@ -145,9 +210,21 @@ impl Matrix {
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        let n = self.rows * self.cols;
+        if self.rows > 0 && n >= TRANSPOSE_PAR_MIN && parallel::max_threads() > 1 {
+            // One output row (= input column) per chunk; pure writes, so
+            // parallelism cannot affect the result.
+            let rows = self.rows;
+            parallel::for_each_chunk_mut(&mut out.data, rows, |c, orow| {
+                for (r, o) in orow.iter_mut().enumerate() {
+                    *o = self.get(r, c);
+                }
+            });
+        } else {
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    out.set(c, r, self.get(r, c));
+                }
             }
         }
         out
@@ -327,6 +404,58 @@ mod tests {
         // First column still unit.
         let n0 = (m.get(0, 0).powi(2) + m.get(1, 0).powi(2)).sqrt();
         assert!(approx_eq(n0, 1.0));
+    }
+
+    fn random_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                let bits = crate::rng::splitmix64(i as u64 ^ salt);
+                ((bits >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_identical_to_sequential() {
+        // PowerSGD-ish shapes: M (m×n) * Q (n×r), well above MATMUL_PAR_MIN.
+        let a = random_matrix(256, 96, 0x11);
+        let b = random_matrix(96, 32, 0x22);
+        let reference = crate::parallel::with_threads(1, || a.matmul(&b));
+        for threads in [2, 3, 8] {
+            let got = crate::parallel::with_threads(threads, || a.matmul(&b));
+            assert_eq!(got.rows(), reference.rows());
+            assert_eq!(got.cols(), reference.cols());
+            for (x, y) in got.data().iter().zip(reference.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_transpose_matmul_is_bitwise_identical_to_sequential() {
+        // Mᵀ P̂ with M (m×n), P̂ (m×r).
+        let a = random_matrix(256, 96, 0x33);
+        let b = random_matrix(256, 32, 0x44);
+        let reference = crate::parallel::with_threads(1, || a.transpose_matmul(&b));
+        for threads in [2, 3, 8] {
+            let got = crate::parallel::with_threads(threads, || a.transpose_matmul(&b));
+            for (x, y) in got.data().iter().zip(reference.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_transpose_matches_sequential() {
+        let a = random_matrix(300, 250, 0x55);
+        let reference = crate::parallel::with_threads(1, || a.transpose());
+        for threads in [2, 5] {
+            let got = crate::parallel::with_threads(threads, || a.transpose());
+            assert_eq!(got, reference);
+        }
+        // And transposing twice round-trips.
+        assert_eq!(reference.transpose(), a);
     }
 
     #[test]

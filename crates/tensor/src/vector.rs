@@ -2,19 +2,48 @@
 //!
 //! These are the primitive operations the compression schemes are built from:
 //! norms (chunk scoring in TopKC), dot products, scaled accumulation (error
-//! feedback), and top-k index selection. Each is a straightforward sequential
-//! loop — the *cost* of the corresponding GPU kernel is modelled separately in
+//! feedback), and top-k index selection. Above per-kernel element thresholds
+//! they fan out on [`crate::parallel`]; every reduction uses *fixed* chunk
+//! boundaries with an ordered fold, and top-k selection uses a total order,
+//! so each kernel's output is bitwise-identical whether it ran on 1 thread or
+//! 8. The *cost* of the corresponding GPU kernel is modelled separately in
 //! `gcs-gpusim`, keeping functional behaviour and performance modelling
 //! decoupled.
 
+use crate::parallel;
+
+/// Fixed chunk length for deterministic reductions (norms, dot, vnmse).
+/// Reductions over longer inputs accumulate per-chunk partials that are
+/// folded in chunk order, independent of thread count.
+const REDUCE_CHUNK: usize = 1 << 15;
+
+/// Chunk length for element-wise kernels (axpy, scale, add/sub). These are
+/// partition-invariant, so the constant only tunes scheduling granularity.
+const ELEMWISE_CHUNK: usize = 1 << 15;
+
+/// Fixed chunk length for chunked top-k selection.
+const TOPK_CHUNK: usize = 1 << 16;
+
+fn squared_norm_seq(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum()
+}
+
 /// Returns the squared L2 norm of `v`.
 pub fn squared_norm(v: &[f32]) -> f32 {
-    v.iter().map(|x| x * x).sum()
+    if v.len() <= REDUCE_CHUNK {
+        return squared_norm_seq(v);
+    }
+    let partials = parallel::map_chunks(v, REDUCE_CHUNK, |_, chunk| squared_norm_seq(chunk));
+    partials.into_iter().sum()
 }
 
 /// Returns the L2 norm of `v`.
 pub fn norm(v: &[f32]) -> f32 {
     squared_norm(v).sqrt()
+}
+
+fn dot_seq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 /// Returns the dot product of two equal-length slices.
@@ -23,7 +52,14 @@ pub fn norm(v: &[f32]) -> f32 {
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    if a.len() <= REDUCE_CHUNK {
+        return dot_seq(a, b);
+    }
+    let partials = parallel::map_chunks(a, REDUCE_CHUNK, |i, chunk| {
+        let lo = i * REDUCE_CHUNK;
+        dot_seq(chunk, &b[lo..lo + chunk.len()])
+    });
+    partials.into_iter().sum()
 }
 
 /// `y += alpha * x` (the BLAS `axpy`).
@@ -32,16 +68,22 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    parallel::for_each_chunk_mut(y, ELEMWISE_CHUNK, |i, chunk| {
+        let lo = i * ELEMWISE_CHUNK;
+        let hi = lo + chunk.len();
+        for (yi, xi) in chunk.iter_mut().zip(&x[lo..hi]) {
+            *yi += alpha * xi;
+        }
+    });
 }
 
 /// Scales `v` in place by `alpha`.
 pub fn scale(v: &mut [f32], alpha: f32) {
-    for x in v.iter_mut() {
-        *x *= alpha;
-    }
+    parallel::for_each_chunk_mut(v, ELEMWISE_CHUNK, |_, chunk| {
+        for x in chunk.iter_mut() {
+            *x *= alpha;
+        }
+    });
 }
 
 /// Element-wise sum of `b` into `a`.
@@ -50,9 +92,13 @@ pub fn scale(v: &mut [f32], alpha: f32) {
 /// Panics if the slices have different lengths.
 pub fn add_assign(a: &mut [f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
-    for (x, y) in a.iter_mut().zip(b) {
-        *x += y;
-    }
+    parallel::for_each_chunk_mut(a, ELEMWISE_CHUNK, |i, chunk| {
+        let lo = i * ELEMWISE_CHUNK;
+        let hi = lo + chunk.len();
+        for (x, y) in chunk.iter_mut().zip(&b[lo..hi]) {
+            *x += y;
+        }
+    });
 }
 
 /// Element-wise subtraction of `b` from `a`.
@@ -61,31 +107,47 @@ pub fn add_assign(a: &mut [f32], b: &[f32]) {
 /// Panics if the slices have different lengths.
 pub fn sub_assign(a: &mut [f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "sub_assign: length mismatch");
-    for (x, y) in a.iter_mut().zip(b) {
-        *x -= y;
-    }
+    parallel::for_each_chunk_mut(a, ELEMWISE_CHUNK, |i, chunk| {
+        let lo = i * ELEMWISE_CHUNK;
+        let hi = lo + chunk.len();
+        for (x, y) in chunk.iter_mut().zip(&b[lo..hi]) {
+            *x -= y;
+        }
+    });
 }
 
 /// Returns the element-wise mean of `n` equal-length vectors.
+///
+/// Per output element the vectors are accumulated in their given order and
+/// scaled last, so the result matches the sequential add-then-scale loop
+/// bit-for-bit under any parallel partition of the output.
 ///
 /// # Panics
 /// Panics if `vectors` is empty or lengths differ.
 pub fn mean(vectors: &[Vec<f32>]) -> Vec<f32> {
     assert!(!vectors.is_empty(), "mean: no vectors");
     let d = vectors[0].len();
-    let mut out = vec![0.0f32; d];
     for v in vectors {
-        add_assign(&mut out, v);
+        assert_eq!(v.len(), d, "mean: length mismatch");
     }
-    scale(&mut out, 1.0 / vectors.len() as f32);
+    let inv = 1.0 / vectors.len() as f32;
+    let mut out = vec![0.0f32; d];
+    parallel::for_each_chunk_mut(&mut out, ELEMWISE_CHUNK, |i, chunk| {
+        let lo = i * ELEMWISE_CHUNK;
+        let hi = lo + chunk.len();
+        for v in vectors {
+            for (x, y) in chunk.iter_mut().zip(&v[lo..hi]) {
+                *x += y;
+            }
+        }
+        for x in chunk.iter_mut() {
+            *x *= inv;
+        }
+    });
     out
 }
 
-/// Returns the maximum and minimum of a slice as `(min, max)`.
-///
-/// Returns `(0.0, 0.0)` for an empty slice (the quantizers treat an empty
-/// range as "all values identical", which degenerates gracefully).
-pub fn min_max(v: &[f32]) -> (f32, f32) {
+fn min_max_seq(v: &[f32]) -> (f32, f32) {
     let mut min = f32::INFINITY;
     let mut max = f32::NEG_INFINITY;
     for &x in v {
@@ -96,10 +158,48 @@ pub fn min_max(v: &[f32]) -> (f32, f32) {
             max = x;
         }
     }
+    (min, max)
+}
+
+/// Returns the maximum and minimum of a slice as `(min, max)`.
+///
+/// Returns `(0.0, 0.0)` for an empty slice (the quantizers treat an empty
+/// range as "all values identical", which degenerates gracefully).
+pub fn min_max(v: &[f32]) -> (f32, f32) {
     if v.is_empty() {
-        (0.0, 0.0)
-    } else {
-        (min, max)
+        return (0.0, 0.0);
+    }
+    if v.len() <= REDUCE_CHUNK {
+        return min_max_seq(v);
+    }
+    let partials = parallel::map_chunks(v, REDUCE_CHUNK, |_, chunk| min_max_seq(chunk));
+    partials
+        .into_iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), (mn, mx)| {
+            (if mn < lo { mn } else { lo }, if mx > hi { mx } else { hi })
+        })
+}
+
+/// Total order used by top-k selection: larger |value| first, ties broken by
+/// lower index first. `total_cmp` (not `partial_cmp`) makes the order — and
+/// therefore the selected set — unique, which is what lets the chunked
+/// parallel selection return the exact sequential answer.
+fn magnitude_order(v: &[f32], a: usize, b: usize) -> std::cmp::Ordering {
+    v[b].abs().total_cmp(&v[a].abs()).then(a.cmp(&b))
+}
+
+/// Reusable scratch for [`top_k_indices_with`]: hot loops (per-worker TopK
+/// compression, per-round chunk scoring) call selection thousands of times,
+/// and reusing the index buffer avoids an `O(d)` allocation each call.
+#[derive(Default, Debug)]
+pub struct TopKScratch {
+    idx: Vec<usize>,
+}
+
+impl TopKScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -109,25 +209,101 @@ pub fn min_max(v: &[f32]) -> (f32, f32) {
 /// This is the local TopK selection of sparsification schemes (§3.1.1). The
 /// implementation is a partial selection via `select_nth_unstable_by`
 /// (average O(d)), followed by a sort of the selected `k` — matching the
-/// asymptotics of GPU radix-select implementations.
+/// asymptotics of GPU radix-select implementations. Inputs longer than one
+/// selection chunk are processed as fixed chunks (select top-k per chunk in
+/// parallel, then merge); the comparator is a total order, so the chunked
+/// result is identical to the flat one bit-for-bit.
 pub fn top_k_indices(v: &[f32], k: usize) -> Vec<usize> {
+    top_k_indices_with(v, k, &mut TopKScratch::new())
+}
+
+/// [`top_k_indices`] with caller-owned scratch, for hot loops.
+pub fn top_k_indices_with(v: &[f32], k: usize, scratch: &mut TopKScratch) -> Vec<usize> {
     let k = k.min(v.len());
     if k == 0 {
         return Vec::new();
     }
-    let mut idx: Vec<usize> = (0..v.len()).collect();
+    if k == v.len() {
+        // Selecting everything is just a sort of all indices — skip the
+        // partial-selection pass entirely.
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_unstable_by(|&a, &b| magnitude_order(v, a, b));
+        return idx;
+    }
+    if v.len() <= TOPK_CHUNK {
+        return top_k_flat(v, k, 0, scratch);
+    }
+    top_k_chunked(v, k)
+}
+
+/// Flat selection over `v` with indices offset by `base`, reusing
+/// `scratch.idx`. Requires `0 < k < v.len()`.
+fn top_k_flat(v: &[f32], k: usize, base: usize, scratch: &mut TopKScratch) -> Vec<usize> {
+    let idx = &mut scratch.idx;
+    idx.clear();
+    idx.extend(base..base + v.len());
     let cmp = |&a: &usize, &b: &usize| {
-        let (ma, mb) = (v[a].abs(), v[b].abs());
-        mb.partial_cmp(&ma)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        v[b - base]
+            .abs()
+            .total_cmp(&v[a - base].abs())
             .then(a.cmp(&b))
     };
-    if k < idx.len() {
-        idx.select_nth_unstable_by(k - 1, cmp);
-        idx.truncate(k);
-    }
+    idx.select_nth_unstable_by(k - 1, cmp);
+    idx.truncate(k);
     idx.sort_unstable_by(cmp);
-    idx
+    idx.clone()
+}
+
+/// Fixed-chunk selection: top-`min(k, chunk)` per chunk (parallel), then an
+/// ordered merge of the per-chunk sorted lists. The chunk boundaries depend
+/// only on `v.len()`, and the total order makes the global top-k unique, so
+/// the output equals the flat selection exactly.
+fn top_k_chunked(v: &[f32], k: usize) -> Vec<usize> {
+    let lists: Vec<Vec<usize>> = parallel::map_chunks(v, TOPK_CHUNK, |i, chunk| {
+        let base = i * TOPK_CHUNK;
+        let kc = k.min(chunk.len());
+        let mut scratch = TopKScratch::new();
+        if kc == chunk.len() {
+            let mut idx: Vec<usize> = (base..base + chunk.len()).collect();
+            idx.sort_unstable_by(|&a, &b| {
+                chunk[b - base]
+                    .abs()
+                    .total_cmp(&chunk[a - base].abs())
+                    .then(a.cmp(&b))
+            });
+            idx
+        } else {
+            top_k_flat(chunk, kc, base, &mut scratch)
+        }
+    });
+    // k-way merge by repeatedly taking the best list head. Lists are sorted
+    // by the total order, so this enumerates the global top-k in order.
+    let mut cursors = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<usize> = None;
+        for (l, list) in lists.iter().enumerate() {
+            if cursors[l] >= list.len() {
+                continue;
+            }
+            let cand = list[cursors[l]];
+            best = match best {
+                None => Some(l),
+                Some(b) => {
+                    let cur = lists[b][cursors[b]];
+                    if magnitude_order(v, cand, cur) == std::cmp::Ordering::Less {
+                        Some(l)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let b = best.expect("top_k merge ran out of candidates");
+        out.push(lists[b][cursors[b]]);
+        cursors[b] += 1;
+    }
+    out
 }
 
 /// The vector-normalized mean squared error between an estimate and the true
@@ -141,13 +317,27 @@ pub fn top_k_indices(v: &[f32], k: usize) -> Vec<usize> {
 /// but the estimate is not.
 pub fn vnmse(est: &[f32], truth: &[f32]) -> f64 {
     assert_eq!(est.len(), truth.len(), "vnmse: length mismatch");
-    let mut err = 0.0f64;
-    let mut denom = 0.0f64;
-    for (e, t) in est.iter().zip(truth) {
-        let diff = (*e as f64) - (*t as f64);
-        err += diff * diff;
-        denom += (*t as f64) * (*t as f64);
-    }
+    let seq = |e: &[f32], t: &[f32]| {
+        let mut err = 0.0f64;
+        let mut denom = 0.0f64;
+        for (x, y) in e.iter().zip(t) {
+            let diff = (*x as f64) - (*y as f64);
+            err += diff * diff;
+            denom += (*y as f64) * (*y as f64);
+        }
+        (err, denom)
+    };
+    let (err, denom) = if est.len() <= REDUCE_CHUNK {
+        seq(est, truth)
+    } else {
+        let partials = parallel::map_chunks(est, REDUCE_CHUNK, |i, chunk| {
+            let lo = i * REDUCE_CHUNK;
+            seq(chunk, &truth[lo..lo + chunk.len()])
+        });
+        partials
+            .into_iter()
+            .fold((0.0, 0.0), |(e, d), (pe, pd)| (e + pe, d + pd))
+    };
     if denom == 0.0 {
         if err == 0.0 {
             0.0
@@ -162,6 +352,7 @@ pub fn vnmse(est: &[f32], truth: &[f32]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::with_threads;
 
     #[test]
     fn norms_and_dot() {
@@ -206,6 +397,62 @@ mod tests {
     fn top_k_tie_break_is_stable_by_index() {
         let v = [1.0, -1.0, 1.0];
         assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_scratch_reuse_matches_fresh_calls() {
+        let mut scratch = TopKScratch::new();
+        let a = [0.5f32, -9.0, 2.0, 2.0, -2.0, 7.5];
+        let b = [1.0f32, 0.0, -3.0];
+        assert_eq!(top_k_indices_with(&a, 3, &mut scratch), top_k_indices(&a, 3));
+        assert_eq!(top_k_indices_with(&b, 2, &mut scratch), top_k_indices(&b, 2));
+        assert_eq!(top_k_indices_with(&a, 5, &mut scratch), top_k_indices(&a, 5));
+    }
+
+    #[test]
+    fn chunked_top_k_matches_flat_selection() {
+        // Deterministic pseudo-random input long enough to span many chunks.
+        let d = TOPK_CHUNK * 3 + 1234;
+        let v: Vec<f32> = (0..d)
+            .map(|i| {
+                let x = crate::rng::splitmix64(i as u64 ^ 0xabcd);
+                ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        for k in [1usize, 17, 1000, TOPK_CHUNK + 5] {
+            let chunked = top_k_chunked(&v, k);
+            let mut flat = top_k_flat(&v, k, 0, &mut TopKScratch::new());
+            assert_eq!(chunked, flat, "k={k}");
+            // And thread count must not change a single index.
+            for threads in [2usize, 5] {
+                let par = with_threads(threads, || top_k_chunked(&v, k));
+                flat = top_k_flat(&v, k, 0, &mut TopKScratch::new());
+                assert_eq!(par, flat, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_are_thread_count_invariant() {
+        let d = REDUCE_CHUNK * 2 + 321;
+        let v: Vec<f32> = (0..d)
+            .map(|i| ((i as f32) * 0.37).sin())
+            .collect();
+        let w: Vec<f32> = (0..d)
+            .map(|i| ((i as f32) * 0.11).cos())
+            .collect();
+        let base = with_threads(1, || {
+            (squared_norm(&v), dot(&v, &w), vnmse(&v, &w), min_max(&v))
+        });
+        for threads in [2usize, 3, 8] {
+            let got = with_threads(threads, || {
+                (squared_norm(&v), dot(&v, &w), vnmse(&v, &w), min_max(&v))
+            });
+            assert_eq!(got.0.to_bits(), base.0.to_bits(), "threads={threads}");
+            assert_eq!(got.1.to_bits(), base.1.to_bits(), "threads={threads}");
+            assert_eq!(got.2.to_bits(), base.2.to_bits(), "threads={threads}");
+            assert_eq!(got.3, base.3, "threads={threads}");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use gcs_tensor::hadamard::{fwht, fwht_iterations, rht_forward, rht_inverse};
 use gcs_tensor::half::{tf32_round, F16};
 use gcs_tensor::matrix::{orthonormalize_columns, Matrix};
 use gcs_tensor::rng::{invert_permutation, shared_permutation, SharedSeed};
-use gcs_tensor::vector::{squared_norm, top_k_indices, vnmse};
+use gcs_tensor::vector::{dot, squared_norm, top_k_indices, vnmse};
 use proptest::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
@@ -214,5 +214,120 @@ proptest! {
         let est: Vec<f32> = truth.iter().map(|t| t * s).collect();
         let expect = ((s - 1.0) as f64).powi(2);
         prop_assert!((vnmse(&est, &truth) - expect).abs() < 1e-5);
+    }
+}
+
+/// Deterministic pseudo-random fill (splitmix64) for the large inputs the
+/// parallel kernels need — per-element `proptest` generation at 10^5
+/// elements per case would dominate the run time.
+fn salted_vec(len: usize, salt: u64) -> Vec<f32> {
+    let mut x = salt.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            (z >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+// Bitwise equivalence of the parallel kernels against their single-thread
+// reference, across thread counts (including counts that do not divide the
+// input evenly). Inputs sit above the per-kernel parallel thresholds so the
+// multi-threaded path is actually exercised; `with_threads` forces the
+// runtime, so these hold even on a single-core CI machine.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_fwht_is_bitwise_identical(salt in any::<u64>(), threads in 2usize..=8) {
+        let d = 1usize << 16;
+        let base = salted_vec(d, salt);
+        let mut seq = base.clone();
+        gcs_tensor::parallel::with_threads(1, || fwht(&mut seq));
+        let mut par = base;
+        gcs_tensor::parallel::with_threads(threads, || fwht(&mut par));
+        for (a, b) in seq.iter().zip(&par) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_rht_is_bitwise_identical(
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+        threads in 2usize..=8,
+    ) {
+        let d = 1usize << 16;
+        let base = salted_vec(d, salt);
+        let s = SharedSeed::new(seed);
+        let mut seq = base.clone();
+        gcs_tensor::parallel::with_threads(1, || rht_forward(&mut seq, 4, s));
+        let mut par = base;
+        gcs_tensor::parallel::with_threads(threads, || rht_forward(&mut par, 4, s));
+        for (a, b) in seq.iter().zip(&par) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_top_k_is_identical(salt in any::<u64>(), threads in 2usize..=8) {
+        let d = (1usize << 16) + 4099; // uneven tail chunk
+        let v = salted_vec(d, salt);
+        let k = d / 100;
+        let seq = gcs_tensor::parallel::with_threads(1, || top_k_indices(&v, k));
+        let par = gcs_tensor::parallel::with_threads(threads, || top_k_indices(&v, k));
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_reductions_are_bitwise_identical(
+        salt in any::<u64>(),
+        threads in 2usize..=8,
+    ) {
+        let d = (1usize << 16) + 77;
+        let a = salted_vec(d, salt);
+        let b = salted_vec(d, salt ^ 0xdead);
+        let seq = gcs_tensor::parallel::with_threads(1, || {
+            (squared_norm(&a), dot(&a, &b), vnmse(&a, &b))
+        });
+        let par = gcs_tensor::parallel::with_threads(threads, || {
+            (squared_norm(&a), dot(&a, &b), vnmse(&a, &b))
+        });
+        prop_assert_eq!(seq.0.to_bits(), par.0.to_bits());
+        prop_assert_eq!(seq.1.to_bits(), par.1.to_bits());
+        prop_assert_eq!(seq.2.to_bits(), par.2.to_bits());
+    }
+
+    #[test]
+    fn parallel_bitpack_is_bitwise_identical(
+        salt in any::<u64>(),
+        q in 2u32..=12,
+        threads in 2usize..=8,
+    ) {
+        let d = (1usize << 16) + 13;
+        let hi = (1i32 << (q - 1)) - 1;
+        let vals: Vec<i32> = salted_vec(d, salt)
+            .iter()
+            .map(|x| ((x * 2.0 * hi as f32) as i32).clamp(-hi - 1, hi))
+            .collect();
+        let other: Vec<i32> = salted_vec(d, salt ^ 0xbeef)
+            .iter()
+            .map(|x| ((x * 2.0 * hi as f32) as i32).clamp(-hi - 1, hi))
+            .collect();
+        let run = |threads: usize| {
+            gcs_tensor::parallel::with_threads(threads, || {
+                let mut p = PackedIntVec::from_signed(q, &vals);
+                p.add_saturating(&PackedIntVec::from_signed(q, &other));
+                (p.to_signed_vec(), p)
+            })
+        };
+        let (seq_vals, seq_packed) = run(1);
+        let (par_vals, par_packed) = run(threads);
+        prop_assert_eq!(seq_vals, par_vals);
+        prop_assert_eq!(seq_packed.words(), par_packed.words());
     }
 }

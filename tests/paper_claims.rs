@@ -110,14 +110,22 @@ fn claim_saturation_degrades_with_worker_correlation() {
         worker_noise: 4.0,
         ..GradientModel::bert_like(1 << 14)
     };
+    // Average over a few seeds: a single draw leaves the 2x margin at the
+    // mercy of RNG-stream details rather than the claim itself.
     let err_for = |m: &GradientModel| {
-        let g = m.generate(4, SharedSeed::new(8));
-        let exact = mean(&g);
-        let mut sat = Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
-        vnmse(
-            &sat.aggregate_round(&g, &RoundContext::new(4, 0)).mean_estimate,
-            &exact,
-        )
+        (8..12)
+            .map(|seed| {
+                let g = m.generate(4, SharedSeed::new(seed));
+                let exact = mean(&g);
+                let mut sat =
+                    Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
+                vnmse(
+                    &sat.aggregate_round(&g, &RoundContext::new(seed, 0)).mean_estimate,
+                    &exact,
+                )
+            })
+            .sum::<f64>()
+            / 4.0
     };
     assert!(
         err_for(&correlated) > 2.0 * err_for(&independent),

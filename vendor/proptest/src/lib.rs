@@ -1,0 +1,387 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of proptest it uses: the `proptest!` macro, `prop_assert*`,
+//! `prop_oneof!`, `Just`, `any`, range strategies, tuple strategies,
+//! `prop::collection::vec`, `prop_flat_map`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream, by design:
+//! - Cases are sampled from a generator seeded deterministically from the
+//!   test name and case index — every run explores the same inputs.
+//! - No shrinking: a failing case panics with the assertion message and the
+//!   case seed, which is enough to reproduce (the inputs are deterministic).
+//! - `prop_assert!` is plain `assert!` (failures panic instead of returning
+//!   `Err(TestCaseError)`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+/// The RNG driving all strategy sampling.
+pub type TestRng = StdRng;
+
+/// Runtime configuration for a `proptest!` block (subset: case count only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derives the per-case RNG seed from the test name and case index
+/// (FNV-1a over the name, mixed with the index).
+pub fn case_seed(test_name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// A source of random values of an associated type (subset of
+/// `proptest::strategy::Strategy`; sampling only, no value trees/shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Feeds each sampled value through `f` to obtain a second strategy,
+    /// then samples that (upstream `prop_flat_map`).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Maps each sampled value through `f` (upstream `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform over the type's full domain (subset of `proptest::prelude::any`).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    core::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    core::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let mid = self.base.sample(rng);
+        (self.f)(mid).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// Uniform choice between alternative strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`; each sample picks one arm uniformly.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Collection strategies (subset: `vec` only).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_inclusive: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    /// `Vec` strategy: a length drawn from `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of the upstream `prop` module path (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test file needs (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Fails the current case. Unlike upstream this panics immediately
+/// (no shrinking), which the libtest harness reports as a test failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies yielding a common value type.
+/// Upstream supports `weight => strategy` arms; this subset is unweighted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            ::std::vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::Union::new(arms)
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its inputs `config.cases` times from a
+/// deterministic per-test RNG and runs the body on each case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases as u64 {
+                let seed = $crate::case_seed(stringify!($name), case);
+                let mut rng =
+                    <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(seed);
+                let ($($pat,)+) = $crate::Strategy::sample(&strategies, &mut rng);
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<f32>> {
+        prop::collection::vec(-1.0f32..1.0, 1..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in small_vec()) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+        }
+
+        #[test]
+        fn flat_map_threads_the_sampled_length(
+            v in (2usize..6).prop_flat_map(|n| prop::collection::vec(0i32..5, n..=n)),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_picks_only_listed_arms(x in prop_oneof![Just(1i32), Just(2), 10i32..12]) {
+            prop_assert!(x == 1 || x == 2 || x == 10 || x == 11);
+        }
+
+        #[test]
+        fn one_tuple_pattern_binds((s, ) in ((0.0f32..2.0), )) {
+            prop_assert!((0.0..2.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = crate::collection::vec(0u32..100, 5..10);
+        let mut r1 = <crate::TestRng as crate::SeedableRng>::seed_from_u64(9);
+        let mut r2 = <crate::TestRng as crate::SeedableRng>::seed_from_u64(9);
+        assert_eq!(crate::Strategy::sample(&s, &mut r1), crate::Strategy::sample(&s, &mut r2));
+    }
+}
