@@ -68,7 +68,10 @@ fn main() {
         let pta = power_to_accuracy(&curve, resources, &power, target);
         measured_only("  TTA  (s to ppl target)", tta.unwrap_or(f64::NAN));
         measured_only("  CTA  ($ to ppl target)", cta.unwrap_or(f64::NAN));
-        measured_only("  PTA  (kJ to ppl target)", pta.map(|j| j / 1e3).unwrap_or(f64::NAN));
+        measured_only(
+            "  PTA  (kJ to ppl target)",
+            pta.map(|j| j / 1e3).unwrap_or(f64::NAN),
+        );
         rows.push((name, tta, cta, pta));
     }
 
@@ -78,9 +81,7 @@ fn main() {
     // baseline.
     let fp16 = &rows[0];
     let psgd = &rows[2];
-    if let ((Some(t_f), Some(p_f)), (Some(t_p), Some(p_p))) =
-        ((fp16.1, fp16.3), (psgd.1, psgd.3))
-    {
+    if let ((Some(t_f), Some(p_f)), (Some(t_p), Some(p_p))) = ((fp16.1, fp16.3), (psgd.1, psgd.3)) {
         let tta_ratio = t_p / t_f;
         let pta_ratio = p_p / p_f;
         expect(

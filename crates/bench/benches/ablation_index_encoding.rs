@@ -45,8 +45,14 @@ fn main() {
         let mut abs = TopK::with_bits(b, 4, false);
         let mut delta = TopK::with_bits(b, 4, false).with_delta_indices();
         let d = profile.params;
-        measured_only("  absolute K/d %", abs.k_for(d as usize) as f64 / d as f64 * 100.0);
-        measured_only("  delta    K/d %", delta.k_for(d as usize) as f64 / d as f64 * 100.0);
+        measured_only(
+            "  absolute K/d %",
+            abs.k_for(d as usize) as f64 / d as f64 * 100.0,
+        );
+        measured_only(
+            "  delta    K/d %",
+            delta.k_for(d as usize) as f64 / d as f64 * 100.0,
+        );
         let e_abs = measure(&mut abs);
         let e_delta = measure(&mut delta);
         measured_only("  absolute vNMSE", e_abs);

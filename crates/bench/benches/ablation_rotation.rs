@@ -58,7 +58,10 @@ fn main() {
             err += vnmse(&out.mean_estimate, &exact);
         }
         err /= 5.0;
-        measured_only(&format!("l'={l:<3} rotation ms (paper-scale d)"), secs * 1e3);
+        measured_only(
+            &format!("l'={l:<3} rotation ms (paper-scale d)"),
+            secs * 1e3,
+        );
         measured_only(&format!("l'={l:<3} vNMSE (q=4, synthetic)"), err);
         if l == 13 {
             cost_at_shared = secs;

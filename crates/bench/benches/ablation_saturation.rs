@@ -46,10 +46,7 @@ fn main() {
             }
             err /= 3.0;
             errs.push(err);
-            measured_only(
-                &format!("n={n:<3} Sat vNMSE (b=q={q})"),
-                err,
-            );
+            measured_only(&format!("n={n:<3} Sat vNMSE (b=q={q})"), err);
             measured_only(
                 &format!("n={n:<3} widened alternative needs bits"),
                 sat.overflow_free_bits() as f64,

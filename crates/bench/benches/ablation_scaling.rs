@@ -58,7 +58,9 @@ fn main() {
     let topk_drop = topk_rates[0] / topk_rates.last().unwrap();
     let topkc_drop = topkc_rates[0] / topkc_rates.last().unwrap();
     expect(
-        &format!("TopK collapses with n ({topk_drop:.1}x drop) while TopKC holds ({topkc_drop:.2}x)"),
+        &format!(
+            "TopK collapses with n ({topk_drop:.1}x drop) while TopKC holds ({topkc_drop:.2}x)"
+        ),
         topk_drop > 3.0 && topkc_drop < 1.5,
     );
 }

@@ -64,7 +64,10 @@ fn main() {
         let fp32 = find(&curves, "FP32");
         let mid_target = targets[1];
         let tta = |c: &TtaCurve| c.time_to_target(mid_target).unwrap_or(f64::INFINITY);
-        expect("FP16 baseline reaches the mid target before FP32", tta(fp16) <= tta(fp32));
+        expect(
+            "FP16 baseline reaches the mid target before FP32",
+            tta(fp16) <= tta(fp32),
+        );
         for b in ["0.5", "2", "8"] {
             let topk = find(&curves, &format!("TopK(b={b}"));
             let topkc = find(&curves, &format!("TopKC(b={b}"));

@@ -58,7 +58,10 @@ fn main() {
         let r4 = find("PowerSGD(r=4)");
         let fp32 = find("FP32");
         let fp16 = find("FP16");
-        expect("PowerSGD r=4 beats the FP32 baseline on TTA", tta(r4) <= tta(fp32));
+        expect(
+            "PowerSGD r=4 beats the FP32 baseline on TTA",
+            tta(r4) <= tta(fp32),
+        );
         let gain_vs_fp32 = tta(fp32) / tta(r4);
         let gain_vs_fp16 = tta(fp16) / tta(r4);
         expect(
@@ -69,7 +72,10 @@ fn main() {
             let r1 = find("PowerSGD(r=1)");
             let r16 = find("PowerSGD(r=16)");
             let worse = r1.best_metric().unwrap_or(0.0) <= r16.best_metric().unwrap_or(0.0);
-            expect("r=1 converges to a lower accuracy than r=16 on the vision task", worse);
+            expect(
+                "r=1 converges to a lower accuracy than r=16 on the vision task",
+                worse,
+            );
         }
     }
 }

@@ -50,10 +50,7 @@ fn bench_selection(c: &mut Criterion) {
     // TopKC's equivalent: norms of 64-sized chunks, then top-k over d/64.
     g.bench_function("topkc_chunk_norms_and_select", |b| {
         b.iter(|| {
-            let norms: Vec<f32> = v
-                .chunks(64)
-                .map(gcs_tensor::vector::squared_norm)
-                .collect();
+            let norms: Vec<f32> = v.chunks(64).map(gcs_tensor::vector::squared_norm).collect();
             top_k_indices(black_box(&norms), norms.len() / 100)
         })
     });

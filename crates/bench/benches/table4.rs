@@ -34,7 +34,11 @@ fn main() {
         "Table 4",
         "vNMSE of TopKC vs TopKC-Permutation (BERT), by bits/coordinate",
     );
-    let paper = [(0.5, 0.273, 0.398), (2.0, 0.142, 0.297), (8.0, 0.0280, 0.123)];
+    let paper = [
+        (0.5, 0.273, 0.398),
+        (2.0, 0.142, 0.297),
+        (8.0, 0.0280, 0.123),
+    ];
 
     println!("primary: BERT-calibrated synthetic gradients");
     let mut locality_wins = true;
@@ -70,5 +74,8 @@ fn main() {
         measured_only(&format!("TopKC Permutation b={b} (live)"), v_perm);
         live_wins &= v_plain < v_perm;
     }
-    expect("ordering also holds on live mini-model gradients", live_wins);
+    expect(
+        "ordering also holds on live mini-model gradients",
+        live_wins,
+    );
 }

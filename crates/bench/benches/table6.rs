@@ -17,16 +17,28 @@ fn main() {
     let tm = ThroughputModel::paper_testbed();
     let n = 4;
     let tasks = [
-        (ModelProfile::bert_large(), [(0.5, 9.7), (2.0, 12.5), (8.0, 8.7)]),
-        (ModelProfile::vgg19(), [(0.5, 11.9), (2.0, 12.1), (8.0, 8.2)]),
+        (
+            ModelProfile::bert_large(),
+            [(0.5, 9.7), (2.0, 12.5), (8.0, 8.7)],
+        ),
+        (
+            ModelProfile::vgg19(),
+            [(0.5, 11.9), (2.0, 12.1), (8.0, 8.2)],
+        ),
     ];
     for (model, cells) in tasks {
         println!("\n{}:", model.name);
         let mut topkc_negligible = true;
         for (b, paper_pct) in cells {
             let topk = TopK::with_bits(b, n, true);
-            let frac = tm.step(&topk, &model, Precision::Tf32).compression_fraction();
-            paper_vs(&format!("  TopK  b={b} overhead %"), paper_pct, frac * 100.0);
+            let frac = tm
+                .step(&topk, &model, Precision::Tf32)
+                .compression_fraction();
+            paper_vs(
+                &format!("  TopK  b={b} overhead %"),
+                paper_pct,
+                frac * 100.0,
+            );
             let topkc = TopKC::paper_config(b, n);
             let frac_c = tm
                 .step(&topkc, &model, Precision::Tf32)
@@ -34,6 +46,9 @@ fn main() {
             measured_only(&format!("  TopKC b={b} overhead %"), frac_c * 100.0);
             topkc_negligible &= frac_c < frac;
         }
-        expect("TopKC's compute overhead is below TopK's at every b", topkc_negligible);
+        expect(
+            "TopKC's compute overhead is below TopK's at every b",
+            topkc_negligible,
+        );
     }
 }

@@ -31,7 +31,10 @@ fn synthetic_vnmse(scheme: &mut dyn CompressionScheme, rounds: u64) -> f64 {
 }
 
 fn main() {
-    header("Table 7", "vNMSE of aggregated gradients: TopK vs TopKC (BERT)");
+    header(
+        "Table 7",
+        "vNMSE of aggregated gradients: TopK vs TopKC (BERT)",
+    );
     let paper = [
         (0.5, 0.303, 0.273),
         (2.0, 0.185, 0.142),

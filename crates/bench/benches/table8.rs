@@ -40,6 +40,9 @@ fn main() {
             "saturation (b=q=4) beats the widened baseline (b=8)",
             rates[3] > rates[6],
         );
-        expect("q=2 is faster than q=4 at matching rotation", rates[0] > rates[3]);
+        expect(
+            "q=2 is faster than q=4 at matching rotation",
+            rates[0] > rates[3],
+        );
     }
 }

@@ -16,8 +16,18 @@ fn main() {
     header("Table 9", "PowerSGD bits/coordinate and throughput vs rank");
     let tm = ThroughputModel::paper_testbed();
     let device = DeviceSpec::a100();
-    let cells_bert = [(1u32, 0.0797, 5.49), (4, 0.217, 4.89), (16, 0.764, 4.01), (64, 2.95, 3.03)];
-    let cells_vgg = [(1u32, 0.0242, 21.0), (4, 0.0872, 19.8), (16, 0.339, 15.2), (64, 1.36, 11.0)];
+    let cells_bert = [
+        (1u32, 0.0797, 5.49),
+        (4, 0.217, 4.89),
+        (16, 0.764, 4.01),
+        (64, 2.95, 3.03),
+    ];
+    let cells_vgg = [
+        (1u32, 0.0242, 21.0),
+        (4, 0.0872, 19.8),
+        (16, 0.339, 15.2),
+        (64, 1.36, 11.0),
+    ];
     for (model, cells, paper_gs_pct) in [
         (ModelProfile::bert_large(), cells_bert, 39.7),
         (ModelProfile::vgg19(), cells_vgg, 47.4),
@@ -25,8 +35,8 @@ fn main() {
         println!("\n{}:", model.name);
         let mut rates = Vec::new();
         for (r, paper_b, paper_thr) in cells {
-            let scheme = PowerSgd::new(r, vec![(64, 64)], 4)
-                .with_cost_shapes(model.layer_shapes.clone());
+            let scheme =
+                PowerSgd::new(r, vec![(64, 64)], 4).with_cost_shapes(model.layer_shapes.clone());
             let b = scheme.nominal_bits_per_coord(model.params);
             let thr = tm.rounds_per_sec(&scheme, &model, Precision::Tf32);
             paper_vs(&format!("  r={r:<3} bits/coord"), paper_b, b);
@@ -51,8 +61,15 @@ fn main() {
             gs / step.total() * 100.0
         };
         let _ = gs_share_of_step;
-        paper_vs("  r=64 orthogonalization % of step", paper_gs_pct, gs_of_total);
-        measured_only("  r=64 comm % of step", step.communication / step.total() * 100.0);
+        paper_vs(
+            "  r=64 orthogonalization % of step",
+            paper_gs_pct,
+            gs_of_total,
+        );
+        measured_only(
+            "  r=64 comm % of step",
+            step.communication / step.total() * 100.0,
+        );
         expect(
             "throughput falls monotonically with rank",
             rates.windows(2).all(|w| w[0] > w[1]),

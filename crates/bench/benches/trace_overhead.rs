@@ -1,0 +1,97 @@
+//! Overhead contract of the `gcs-trace` probes (the crate's §"Overhead
+//! contract"): with recording **disabled** — the default state every
+//! experiment runs in — the instrumentation baked into the schemes and
+//! collectives must cost well under 2% of an aggregation round.
+//!
+//! Method: (1) time a disabled span+counter probe pair in isolation, (2)
+//! count how many probes one real aggregation round actually executes (by
+//! recording one round), (3) time the round with recording disabled. The
+//! disabled overhead bound is `probes × probe_cost / round_time`. The
+//! enabled cost is also reported, un-asserted, for context.
+
+use gcs_bench::{expect, header, measured_only};
+use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::schemes::topkc::TopKC;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn grads(n: usize, d: usize) -> Vec<Vec<f32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+/// Median seconds per call of `f` over `samples` timed batches.
+fn time_median(samples: usize, iters: u64, mut f: impl FnMut()) -> f64 {
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_call.sort_by(f64::total_cmp);
+    per_call[per_call.len() / 2]
+}
+
+fn main() {
+    header(
+        "trace overhead",
+        "cost of gcs-trace probes around a TopKC aggregation round",
+    );
+    let n = 4;
+    let d = 1 << 16;
+    let g = grads(n, d);
+    let ctx = RoundContext::new(7, 0);
+
+    // How many probes does one round execute? Record one and count.
+    let mut probe_counter_scheme = TopKC::paper_config(2.0, n);
+    let t = gcs_trace::with_recording(|| {
+        black_box(probe_counter_scheme.aggregate_round(&g, &ctx));
+    });
+    let probes = (t.spans.len() + t.counters.len()) as f64;
+    measured_only("probes per aggregation round", probes);
+
+    // Disabled probe cost: span guard + counter, recording off.
+    assert!(!gcs_trace::enabled(), "recording must be off here");
+    let probe_ns = time_median(9, 1_000_000, || {
+        let _s = gcs_trace::span(gcs_trace::Phase::Compress, "bench_probe");
+        gcs_trace::counter("bench_counter", black_box(1.0));
+    }) * 1e9;
+    measured_only("disabled span+counter pair (ns)", probe_ns);
+
+    // Round time with recording disabled (the default experiment state).
+    let mut scheme = TopKC::paper_config(2.0, n);
+    let disabled_s = time_median(7, 3, || {
+        black_box(scheme.aggregate_round(&g, &ctx));
+    });
+    measured_only("round, recording disabled (ms)", disabled_s * 1e3);
+
+    // Round time with recording enabled, for context (events discarded).
+    let mut scheme_on = TopKC::paper_config(2.0, n);
+    gcs_trace::enable();
+    let enabled_s = time_median(7, 3, || {
+        black_box(scheme_on.aggregate_round(&g, &ctx));
+    });
+    gcs_trace::disable();
+    gcs_trace::clear();
+    measured_only("round, recording enabled  (ms)", enabled_s * 1e3);
+
+    // The contract: disabled probes are an immeasurably small fraction of a
+    // round. Bound it generously — per-probe cost times the probe count,
+    // each probe assumed to pay the full measured pair cost.
+    let overhead = probes * probe_ns * 1e-9 / disabled_s;
+    measured_only("disabled overhead bound (%)", overhead * 100.0);
+    expect(
+        "disabled tracing costs < 2% of an aggregation round",
+        overhead < 0.02,
+    );
+    expect(
+        "enabled recording stays moderate (< 25% on this round)",
+        enabled_s < disabled_s * 1.25,
+    );
+}

@@ -207,7 +207,11 @@ mod tests {
 
     fn grads(n: usize, len: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|w| (0..len).map(|i| ((w * len + i) as f32 * 0.311).cos()).collect())
+            .map(|w| {
+                (0..len)
+                    .map(|i| ((w * len + i) as f32 * 0.311).cos())
+                    .collect()
+            })
             .collect()
     }
 
@@ -282,8 +286,8 @@ mod tests {
             // Approximate: owners are ranks 0..group (node 0) and
             // group..2*group (node 1); inter-node bytes = total sent minus
             // intra-node phases (2*(group-1)/group * payload per worker).
-            let intra_per_worker = (2.0 * (group as f64 - 1.0) / group as f64
-                * payload as f64) as u64;
+            let intra_per_worker =
+                (2.0 * (group as f64 - 1.0) / group as f64 * payload as f64) as u64;
             t_h.total().saturating_sub(n as u64 * intra_per_worker)
         };
         assert!(

@@ -51,7 +51,11 @@ impl Traffic {
     /// # Panics
     /// Panics if worker counts differ.
     pub fn merge(&mut self, other: &Traffic) {
-        assert_eq!(self.sent.len(), other.sent.len(), "Traffic::merge: n mismatch");
+        assert_eq!(
+            self.sent.len(),
+            other.sent.len(),
+            "Traffic::merge: n mismatch"
+        );
         for (a, b) in self.sent.iter_mut().zip(&other.sent) {
             *a += b;
         }
@@ -85,6 +89,7 @@ pub fn ring_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
+    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "ring_all_reduce");
     let n = bufs.len();
     assert!(n > 0, "ring_all_reduce: no workers");
     let len = bufs[0].len();
@@ -133,6 +138,7 @@ pub fn ring_all_reduce<T: Clone>(
         }
         traffic.steps += 1;
     }
+    gcs_trace::counter("wire_bytes", traffic.total() as f64);
     traffic
 }
 
@@ -147,6 +153,7 @@ pub fn tree_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
+    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "tree_all_reduce");
     let n = bufs.len();
     assert!(n > 0, "tree_all_reduce: no workers");
     let len = bufs[0].len();
@@ -186,6 +193,7 @@ pub fn tree_all_reduce<T: Clone>(
         }
         traffic.steps += 1;
     }
+    gcs_trace::counter("wire_bytes", traffic.total() as f64);
     traffic
 }
 
@@ -197,6 +205,7 @@ pub fn tree_all_reduce<T: Clone>(
 /// Panics if `inputs` is empty. Ragged inputs are allowed (TopK payload
 /// sizes can differ per worker after ties).
 pub fn all_gather<T: Clone>(inputs: &[Vec<T>], bytes_per_elem: f64) -> (Vec<T>, Traffic) {
+    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "all_gather");
     let n = inputs.len();
     assert!(n > 0, "all_gather: no workers");
     let mut traffic = Traffic::new(n);
@@ -211,6 +220,7 @@ pub fn all_gather<T: Clone>(inputs: &[Vec<T>], bytes_per_elem: f64) -> (Vec<T>, 
         out.extend(inp.iter().cloned());
     }
     traffic.steps = (n - 1) as u32;
+    gcs_trace::counter("wire_bytes", traffic.total() as f64);
     (out, traffic)
 }
 
@@ -225,6 +235,7 @@ pub fn reduce_scatter<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> (Vec<Vec<T>>, Traffic) {
+    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "reduce_scatter");
     let n = bufs.len();
     assert!(n > 0, "reduce_scatter: no workers");
     let len = bufs[0].len();
@@ -245,6 +256,7 @@ pub fn reduce_scatter<T: Clone>(
         out.push(acc);
     }
     traffic.steps = (n - 1) as u32;
+    gcs_trace::counter("wire_bytes", traffic.total() as f64);
     (out, traffic)
 }
 
@@ -252,11 +264,8 @@ pub fn reduce_scatter<T: Clone>(
 ///
 /// # Panics
 /// Panics if `root >= n`.
-pub fn broadcast<T: Clone>(
-    bufs: &mut [Vec<T>],
-    root: usize,
-    bytes_per_elem: f64,
-) -> Traffic {
+pub fn broadcast<T: Clone>(bufs: &mut [Vec<T>], root: usize, bytes_per_elem: f64) -> Traffic {
+    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "broadcast");
     let n = bufs.len();
     assert!(root < n, "broadcast: root {root} out of range");
     let mut traffic = Traffic::new(n);
@@ -269,6 +278,7 @@ pub fn broadcast<T: Clone>(
         }
     }
     traffic.steps = 1;
+    gcs_trace::counter("wire_bytes", traffic.total() as f64);
     traffic
 }
 
@@ -284,6 +294,7 @@ pub fn parameter_server<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> (Vec<T>, Traffic) {
+    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "parameter_server");
     let n = bufs.len();
     assert!(n > 0, "parameter_server: no workers");
     let len = bufs[0].len();
@@ -305,6 +316,7 @@ pub fn parameter_server<T: Clone>(
         traffic.received[i] += bytes;
     }
     traffic.steps = 2;
+    gcs_trace::counter("wire_bytes", traffic.total() as f64);
     (acc, traffic)
 }
 
@@ -315,7 +327,11 @@ mod tests {
 
     fn worker_bufs(n: usize, len: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|w| (0..len).map(|i| (w * len + i) as f32 * 0.01 - 1.0).collect())
+            .map(|w| {
+                (0..len)
+                    .map(|i| (w * len + i) as f32 * 0.01 - 1.0)
+                    .collect()
+            })
             .collect()
     }
 
@@ -355,7 +371,10 @@ mod tests {
         // Each worker sends ~2(n-1)/n * len elements * 4 bytes.
         let expect = (2.0 * (n as f64 - 1.0) / n as f64 * len as f64 * 4.0) as u64;
         for &s in &t.sent {
-            assert!((s as i64 - expect as i64).unsigned_abs() <= 8, "{s} vs {expect}");
+            assert!(
+                (s as i64 - expect as i64).unsigned_abs() <= 8,
+                "{s} vs {expect}"
+            );
         }
     }
 

@@ -89,7 +89,10 @@ impl SaturatingIntSum {
     /// # Panics
     /// Panics if `b` is out of range.
     pub fn new(b: u32) -> SaturatingIntSum {
-        assert!((2..=31).contains(&b), "SaturatingIntSum: b={b} out of range");
+        assert!(
+            (2..=31).contains(&b),
+            "SaturatingIntSum: b={b} out of range"
+        );
         SaturatingIntSum {
             hi: (1i32 << (b - 1)) - 1,
         }

@@ -74,12 +74,10 @@ impl<T: Send + 'static> ThreadedCluster<T> {
     pub fn new(n: usize) -> ThreadedCluster<T> {
         assert!(n > 0, "ThreadedCluster: n must be positive");
         // channel[from][to]
-        let mut senders: Vec<Vec<Option<Sender<Vec<T>>>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Vec<T>>>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
+        let mut senders: Vec<Vec<Option<Sender<Vec<T>>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Vec<T>>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for from in 0..n {
             for to in 0..n {
                 if from != to {
@@ -242,9 +240,7 @@ where
     ));
     let bufs_for_run = Arc::clone(&bufs);
     let results = cluster.run(move |rank, links| {
-        let buf = bufs_for_run
-            .lock()
-            .expect("buffer mutex poisoned")[rank]
+        let buf = bufs_for_run.lock().expect("buffer mutex poisoned")[rank]
             .take()
             .expect("buffer taken twice");
         ring_all_reduce_worker(links, buf, &op, bytes_per_elem)

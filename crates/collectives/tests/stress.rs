@@ -16,7 +16,11 @@ fn threaded_ring_survives_many_concurrent_invocations() {
         let n = 2 + (round % 5);
         let len = 17 + round * 13;
         let bufs: Vec<Vec<f32>> = (0..n)
-            .map(|w| (0..len).map(|i| ((w * len + i + round) as f32).sin()).collect())
+            .map(|w| {
+                (0..len)
+                    .map(|i| ((w * len + i + round) as f32).sin())
+                    .collect()
+            })
             .collect();
         let mut reference = bufs.clone();
         ring_all_reduce(&mut reference, &F32Sum, 4.0);

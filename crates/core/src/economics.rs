@@ -90,8 +90,7 @@ impl PowerModel {
     /// `compute_seconds` of busy GPU time and `comm_seconds` of
     /// communication-blocked time, across the cluster.
     pub fn round_joules(&self, compute_seconds: f64, comm_seconds: f64) -> f64 {
-        self.n_gpus as f64
-            * (compute_seconds * self.compute_watts + comm_seconds * self.comm_watts)
+        self.n_gpus as f64 * (compute_seconds * self.compute_watts + comm_seconds * self.comm_watts)
     }
 }
 
@@ -132,8 +131,7 @@ pub fn energy_curve(tta: &TtaCurve, resources: RoundResources, power: &PowerMode
     let mut out = TtaCurve::new(format!("{} [J]", tta.label), tta.direction);
     for &(t, m) in &tta.points {
         let rounds = t / step;
-        let joules =
-            rounds * power.round_joules(resources.busy_seconds, resources.comm_seconds);
+        let joules = rounds * power.round_joules(resources.busy_seconds, resources.comm_seconds);
         out.points.push((joules, m));
     }
     out
@@ -232,7 +230,10 @@ mod tests {
         assert!(a_prem < b_prem, "on-prem should prefer the faster scheme");
         let a_cloud = cost_to_accuracy(&tta_a, fast_heavy, &cloud, 0.9).unwrap();
         let b_cloud = cost_to_accuracy(&tta_b, slow_light, &cloud, 0.9).unwrap();
-        assert!(b_cloud < a_cloud, "egress pricing should prefer the lighter scheme");
+        assert!(
+            b_cloud < a_cloud,
+            "egress pricing should prefer the lighter scheme"
+        );
     }
 
     #[test]

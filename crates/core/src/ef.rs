@@ -66,7 +66,11 @@ impl ErrorFeedback {
         if !self.enabled {
             return gradient.to_vec();
         }
-        gradient.iter().zip(mem.iter()).map(|(g, m)| g + m).collect()
+        gradient
+            .iter()
+            .zip(mem.iter())
+            .map(|(g, m)| g + m)
+            .collect()
     }
 
     /// Records what was actually sent: `memory[worker] = corrected − sent`.
@@ -78,7 +82,11 @@ impl ErrorFeedback {
         if !self.enabled {
             return;
         }
-        assert_eq!(corrected.len(), sent.len(), "ErrorFeedback: length mismatch");
+        assert_eq!(
+            corrected.len(),
+            sent.len(),
+            "ErrorFeedback: length mismatch"
+        );
         let mem = &mut self.memories[worker];
         mem.clear();
         mem.extend(corrected.iter().zip(sent).map(|(c, s)| c - s));
@@ -111,6 +119,7 @@ impl ErrorFeedback {
         if !self.enabled {
             return grads.to_vec();
         }
+        let _span = gcs_trace::span(gcs_trace::Phase::Compress, "ef_corrected");
         let memories = &self.memories;
         gcs_tensor::parallel::map_tasks(n, |w| {
             grads[w]
@@ -138,16 +147,27 @@ impl ErrorFeedback {
             "ErrorFeedback: {n} updates for {} workers",
             self.memories.len()
         );
-        gcs_tensor::parallel::for_each_chunk_mut(&mut self.memories[..n], 1, |w, mem| {
-            let mem = &mut mem[0];
-            assert_eq!(
-                corrected[w].len(),
-                sent[w].len(),
-                "ErrorFeedback: length mismatch"
-            );
-            mem.clear();
-            mem.extend(corrected[w].iter().zip(&sent[w]).map(|(c, s)| c - s));
-        });
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Compress, "ef_update");
+            gcs_tensor::parallel::for_each_chunk_mut(&mut self.memories[..n], 1, |w, mem| {
+                let mem = &mut mem[0];
+                assert_eq!(
+                    corrected[w].len(),
+                    sent[w].len(),
+                    "ErrorFeedback: length mismatch"
+                );
+                mem.clear();
+                mem.extend(corrected[w].iter().zip(&sent[w]).map(|(c, s)| c - s));
+            });
+        }
+        if gcs_trace::enabled() {
+            let mean_norm = self.memories[..n]
+                .iter()
+                .map(|m| gcs_tensor::vector::norm(m) as f64)
+                .sum::<f64>()
+                / n as f64;
+            gcs_trace::counter("ef_residual_norm", mean_norm);
+        }
     }
 
     /// Current memory L2 norm for `worker` (diagnostics).
@@ -173,8 +193,8 @@ mod tests {
         // cumulative sent = cumulative gradients - final memory.
         let mut ef = ErrorFeedback::new(1, true);
         let grads = [vec![1.0f32, 0.5], vec![0.2, 0.4], vec![-0.3, 0.1]];
-        let mut cum_sent = vec![0.0f32; 2];
-        let mut cum_grad = vec![0.0f32; 2];
+        let mut cum_sent = [0.0f32; 2];
+        let mut cum_grad = [0.0f32; 2];
         for g in &grads {
             let corrected = ef.corrected(0, g);
             let sent = vec![corrected[0], 0.0]; // biased compressor

@@ -142,7 +142,9 @@ impl TtaCurve {
     /// share one label).
     ///
     /// # Errors
-    /// Returns a description of the first malformed line.
+    /// Returns a description of the first malformed line — including lines
+    /// whose time does not strictly increase, which would otherwise violate
+    /// the curve's monotonicity invariant.
     pub fn from_csv(csv: &str, direction: Direction) -> Result<TtaCurve, String> {
         let mut curve: Option<TtaCurve> = None;
         for (lineno, line) in csv.lines().enumerate() {
@@ -150,7 +152,9 @@ impl TtaCurve {
                 continue;
             }
             let mut parts = line.splitn(3, ',');
-            let label = parts.next().ok_or_else(|| format!("line {lineno}: empty"))?;
+            let label = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: empty"))?;
             let t: f64 = parts
                 .next()
                 .ok_or_else(|| format!("line {lineno}: missing time"))?
@@ -167,6 +171,13 @@ impl TtaCurve {
             if c.label != label {
                 return Err(format!("line {lineno}: label changed mid-file"));
             }
+            if let Some(&(prev, _)) = c.points.last() {
+                if t <= prev {
+                    return Err(format!(
+                        "line {lineno}: time {t} does not increase (previous {prev})"
+                    ));
+                }
+            }
             c.push(t, m);
         }
         curve.ok_or_else(|| "empty csv".to_string())
@@ -177,13 +188,20 @@ impl TtaCurve {
 /// `baseline_TTA / scheme_TTA` (>1 means the scheme is useful). Returns:
 ///
 /// * `None` if the *baseline* never reaches the target (the target is
-///   unreasonable);
+///   unreasonable) — or reaches it at `t <= 0`, i.e. before any training
+///   time elapsed, in which case the target discriminates nothing and every
+///   ratio against it would be 0/0-shaped noise;
 /// * `Some(0.0)` if the baseline reaches it but the scheme never does — the
 ///   compression destroyed final accuracy, the failure mode §2.2 warns
 ///   about;
+/// * `Some(f64::INFINITY)` if the scheme reaches it at `t <= 0` (instantly)
+///   while the baseline needs real time;
 /// * `Some(ratio)` otherwise.
 pub fn utility(scheme: &TtaCurve, baseline: &TtaCurve, target: f64) -> Option<f64> {
     let base = baseline.time_to_target(target)?;
+    if base <= 0.0 {
+        return None;
+    }
     match scheme.time_to_target(target) {
         Some(t) if t > 0.0 => Some(base / t),
         Some(_) => Some(f64::INFINITY),
@@ -244,7 +262,12 @@ impl EarlyStopping {
     /// Creates the stopper. `alpha` is the GL threshold in percent (Prechelt
     /// suggests ~5); `patience` the consecutive violations required;
     /// `min_evals` a warm-up before stopping is allowed.
-    pub fn new(alpha: f64, patience: usize, min_evals: usize, direction: Direction) -> EarlyStopping {
+    pub fn new(
+        alpha: f64,
+        patience: usize,
+        min_evals: usize,
+        direction: Direction,
+    ) -> EarlyStopping {
         EarlyStopping {
             alpha,
             patience: patience.max(1),
@@ -258,10 +281,13 @@ impl EarlyStopping {
 
     /// Feeds one validation metric; returns true when training should stop.
     pub fn observe(&mut self, metric: f64) -> bool {
-        // Convert to a loss (lower is better, positive).
+        // Convert to a loss (lower is better). Negation — not `1 - metric` —
+        // keeps the conversion valid for metrics on any scale (accuracy in
+        // [0, 1] or [0, 100], BLEU, etc.); `1 - metric` went negative beyond
+        // 1.0 and silently disabled the GL criterion.
         let loss = match self.direction {
             Direction::LowerIsBetter => metric,
-            Direction::HigherIsBetter => 1.0 - metric,
+            Direction::HigherIsBetter => -metric,
         };
         self.seen += 1;
         let best = self.best.get_or_insert(loss);
@@ -270,10 +296,14 @@ impl EarlyStopping {
             self.strikes = 0;
             return false;
         }
-        let gl = if *best > 0.0 {
-            100.0 * (loss / *best - 1.0)
+        // Scale-invariant GL: relative regression from the best loss, in
+        // percent. For positive `best` this is exactly Prechelt's
+        // `100·(loss/best − 1)`; normalizing by |best| extends it to the
+        // negated-metric (and zero-crossing) cases.
+        let gl = if *best != 0.0 {
+            100.0 * (loss - *best) / best.abs()
         } else {
-            100.0 * loss
+            100.0 * (loss - *best)
         };
         if gl > self.alpha {
             self.strikes += 1;
@@ -380,6 +410,56 @@ mod tests {
         assert_eq!(back.points, c.points);
         assert!(TtaCurve::from_csv("", Direction::LowerIsBetter).is_err());
         assert!(TtaCurve::from_csv("a,1,nope", Direction::LowerIsBetter).is_err());
+    }
+
+    /// Regression: a CSV whose time column does not strictly increase used
+    /// to panic inside `push` (violating the documented error contract);
+    /// `from_csv` must return a malformed-line error instead.
+    #[test]
+    fn from_csv_rejects_non_increasing_time_as_error() {
+        let err =
+            TtaCurve::from_csv("x,2.0,0.5\nx,2.0,0.6\n", Direction::HigherIsBetter).unwrap_err();
+        assert!(err.contains("line 1"), "error should cite the line: {err}");
+        assert!(err.contains("does not increase"), "got: {err}");
+        let err =
+            TtaCurve::from_csv("x,3.0,0.5\nx,1.0,0.6\n", Direction::HigherIsBetter).unwrap_err();
+        assert!(err.contains("does not increase"), "got: {err}");
+    }
+
+    /// Regression: `utility` divided by a baseline TTA of 0 when the
+    /// baseline's first recorded point already met the target, producing a
+    /// meaningless 0 (or NaN-shaped) score. A target the baseline meets
+    /// before any time elapses discriminates nothing: `None`.
+    #[test]
+    fn utility_rejects_zero_time_baseline() {
+        let instant = curve(&[(0.0, 0.9), (1.0, 0.95)], Direction::HigherIsBetter);
+        let scheme = curve(&[(2.0, 0.9)], Direction::HigherIsBetter);
+        assert_eq!(utility(&scheme, &instant, 0.9), None);
+        // The scheme reaching the target instantly is infinite speed-up.
+        let slow_base = curve(&[(4.0, 0.9)], Direction::HigherIsBetter);
+        assert_eq!(utility(&instant, &slow_base, 0.9), Some(f64::INFINITY));
+    }
+
+    /// Regression: `1 − metric` as the internal loss made any
+    /// higher-is-better metric above 1.0 (accuracy in percent, BLEU, …)
+    /// yield a negative "loss", and the GL criterion silently never fired.
+    /// The negated-metric conversion must stop at the same evaluation for a
+    /// metric expressed on the 0–1 and 0–100 scales.
+    #[test]
+    fn early_stopping_is_scale_invariant_for_accuracy_metrics() {
+        // Accuracy rises then regresses hard — a clear stop signal.
+        let series = [0.50, 0.80, 0.55, 0.50, 0.45];
+        let stop_round = |scale: f64| -> Option<usize> {
+            let mut es = EarlyStopping::new(5.0, 2, 0, Direction::HigherIsBetter);
+            series.iter().position(|&m| es.observe(m * scale))
+        };
+        let unit = stop_round(1.0);
+        let percent = stop_round(100.0);
+        assert!(unit.is_some(), "GL never fired on the 0-1 scale");
+        assert_eq!(
+            unit, percent,
+            "stopping decision must not depend on the metric's scale"
+        );
     }
 
     #[test]

@@ -86,9 +86,12 @@ impl CompressionScheme for PrecisionBaseline {
                 }
             }
             CommPrecision::Fp16 => {
-                let mut bufs: Vec<Vec<gcs_tensor::F16>> =
-                    grads.iter().map(|g| encode_f16(g)).collect();
+                let mut bufs: Vec<Vec<gcs_tensor::F16>> = {
+                    let _s = gcs_trace::span(gcs_trace::Phase::Compress, "encode_f16");
+                    grads.iter().map(|g| encode_f16(g)).collect()
+                };
                 let traffic = ring_all_reduce(&mut bufs, &F16Sum, 2.0);
+                let _s = gcs_trace::span(gcs_trace::Phase::Decompress, "decode_f16");
                 let sum = decode_f16(&bufs[0]);
                 let mean: Vec<f32> = sum.iter().map(|s| s / n as f32).collect();
                 AggregationOutcome {

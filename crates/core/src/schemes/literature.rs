@@ -53,6 +53,7 @@ impl CompressionScheme for Qsgd {
         let d = grads[0].len();
         let s = self.levels();
         // Each worker's payload: (norm, quantized magnitudes with sign).
+        let encode_span = gcs_trace::span(gcs_trace::Phase::Compress, "qsgd_quantize");
         let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(n);
         for (w, g) in grads.iter().enumerate() {
             let norm = gcs_tensor::vector::norm(g);
@@ -70,8 +71,10 @@ impl CompressionScheme for Qsgd {
             }
             payloads.push(p);
         }
+        drop(encode_span);
         let bytes_per_elem = (self.q as f64 + 1.0) / 8.0;
         let (gathered, traffic) = all_gather(&payloads, bytes_per_elem);
+        let _decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "qsgd_mean");
         let mut mean = vec![0.0f32; d];
         for (w, chunk) in gathered.chunks(d).enumerate() {
             let _ = w;
@@ -132,6 +135,7 @@ impl CompressionScheme for TernGrad {
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
         let n = grads.len();
         let d = grads[0].len();
+        let encode_span = gcs_trace::span(gcs_trace::Phase::Compress, "terngrad_ternarize");
         let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(n);
         for (w, g) in grads.iter().enumerate() {
             let (lo, hi) = gcs_tensor::vector::min_max(g);
@@ -154,7 +158,9 @@ impl CompressionScheme for TernGrad {
                 .collect();
             payloads.push(p);
         }
+        drop(encode_span);
         let (gathered, traffic) = all_gather(&payloads, 2.0 / 8.0);
+        let _decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "terngrad_mean");
         let mut mean = vec![0.0f32; d];
         for chunk in gathered.chunks(d) {
             gcs_tensor::vector::add_assign(&mut mean, chunk);
@@ -217,6 +223,7 @@ impl CompressionScheme for SignSgdEf {
     fn aggregate_round(&mut self, grads: &[Vec<f32>], _ctx: &RoundContext) -> AggregationOutcome {
         let n = grads.len();
         let d = grads[0].len();
+        let encode_span = gcs_trace::span(gcs_trace::Phase::Compress, "signsgd_sign");
         let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(n);
         for (w, g) in grads.iter().enumerate() {
             let corrected = self.ef.corrected(w, g);
@@ -225,7 +232,9 @@ impl CompressionScheme for SignSgdEf {
             self.ef.update(w, &corrected, &sent);
             payloads.push(sent);
         }
+        drop(encode_span);
         let (gathered, traffic) = all_gather(&payloads, 1.0 / 8.0);
+        let _decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "signsgd_mean");
         let mut mean = vec![0.0f32; d];
         for chunk in gathered.chunks(d) {
             gcs_tensor::vector::add_assign(&mut mean, chunk);
@@ -311,14 +320,22 @@ impl CompressionScheme for RandomK {
         );
         let selected = &perm[..k];
 
+        let encode_span = gcs_trace::span(gcs_trace::Phase::Compress, "randomk_gather");
         let mut corrected_all = Vec::with_capacity(n);
         let mut bufs: Vec<Vec<F16>> = Vec::with_capacity(n);
         for (w, g) in grads.iter().enumerate() {
             let corrected = self.ef.corrected(w, g);
-            bufs.push(selected.iter().map(|&i| F16::from_f32(corrected[i])).collect());
+            bufs.push(
+                selected
+                    .iter()
+                    .map(|&i| F16::from_f32(corrected[i]))
+                    .collect(),
+            );
             corrected_all.push(corrected);
         }
+        drop(encode_span);
         let traffic = ring_all_reduce(&mut bufs, &F16Sum, 2.0);
+        let _decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "randomk_scatter");
         let mut mean = vec![0.0f32; d];
         for (slot, &i) in selected.iter().enumerate() {
             mean[i] = bufs[0][slot].to_f32() / n as f32;
@@ -418,6 +435,7 @@ impl CompressionScheme for Drive {
 
         // Each worker's payload: sign vector (as ±1 f32 lanes on the wire
         // at 1 bit each) scaled by its own optimal S.
+        let encode_span = gcs_trace::span(gcs_trace::Phase::Compress, "drive_rotate_sign");
         let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(n);
         for g in grads {
             let mut r = g.clone();
@@ -428,7 +446,9 @@ impl CompressionScheme for Drive {
             let scale = if l1 > 0.0 { l2 / l1 } else { 0.0 };
             payloads.push(r.iter().map(|&x| scale.copysign(x)).collect());
         }
+        drop(encode_span);
         let (gathered, traffic) = all_gather(&payloads, 1.0 / 8.0);
+        let _decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "drive_unrotate");
         let mut sum = vec![0.0f32; padded];
         for chunk in gathered.chunks(padded) {
             gcs_tensor::vector::add_assign(&mut sum, chunk);

@@ -24,8 +24,8 @@ pub mod topkc_q;
 pub use baseline::{CommPrecision, PrecisionBaseline};
 pub use literature::{Drive, Qsgd, RandomK, SignSgdEf, TernGrad};
 pub use powersgd::PowerSgd;
+pub use sketch::SketchScheme;
 pub use thc::{Thc, ThcAggregation};
 pub use topk::TopK;
 pub use topkc::TopKC;
-pub use sketch::SketchScheme;
 pub use topkc_q::TopKCQ;

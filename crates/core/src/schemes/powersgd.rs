@@ -135,12 +135,9 @@ impl CompressionScheme for PowerSgd {
                 .enumerate()
                 .map(|(l, &(rows, cols))| {
                     let r = self.layer_rank(rows, cols);
-                    let mut rng = SharedSeed::derive(
-                        ctx.experiment_seed,
-                        l as u64,
-                        Stream::Custom(0x505),
-                    )
-                    .rng();
+                    let mut rng =
+                        SharedSeed::derive(ctx.experiment_seed, l as u64, Stream::Custom(0x505))
+                            .rng();
                     let data: Vec<f32> = (0..cols * r).map(|_| rng.gen_range(-1.0..1.0)).collect();
                     Matrix::from_vec(cols, r, data)
                 })
@@ -164,20 +161,27 @@ impl CompressionScheme for PowerSgd {
                 .iter()
                 .map(|c| Matrix::from_vec(rows, cols, c[offset..offset + len].to_vec()))
                 .collect();
-            let mut p_bufs: Vec<Vec<f32>> =
-                ms.iter().map(|m| m.matmul(q_prev).into_vec()).collect();
+            let mut p_bufs: Vec<Vec<f32>> = {
+                let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_matmul_p");
+                ms.iter().map(|m| m.matmul(q_prev).into_vec()).collect()
+            };
             let t = ring_all_reduce(&mut p_bufs, &F32Sum, 4.0);
             merge_traffic(&mut traffic, &t);
             p_bytes += (rows * r * 4) as f64;
 
             // Orthonormalize the summed P.
             let mut p_hat = Matrix::from_vec(rows, r, p_bufs.into_iter().next().expect("P"));
-            orthonormalize_columns(&mut p_hat);
+            {
+                let _s = gcs_trace::span(gcs_trace::Phase::Compress, "gram_schmidt");
+                orthonormalize_columns(&mut p_hat);
+            }
 
             // Q_i = M_iᵀ P̂, all-reduced then averaged.
-            let q_locals: Vec<Matrix> = ms.iter().map(|m| m.transpose_matmul(&p_hat)).collect();
-            let mut q_bufs: Vec<Vec<f32>> =
-                q_locals.iter().map(|q| q.data().to_vec()).collect();
+            let q_locals: Vec<Matrix> = {
+                let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_matmul_q");
+                ms.iter().map(|m| m.transpose_matmul(&p_hat)).collect()
+            };
+            let mut q_bufs: Vec<Vec<f32>> = q_locals.iter().map(|q| q.data().to_vec()).collect();
             let t = ring_all_reduce(&mut q_bufs, &F32Sum, 4.0);
             merge_traffic(&mut traffic, &t);
             q_bytes += (cols * r * 4) as f64;
@@ -185,13 +189,21 @@ impl CompressionScheme for PowerSgd {
             gcs_tensor::vector::scale(q_mean.data_mut(), 1.0 / n as f32);
 
             // Estimate = P̂ Q_meanᵀ (mean of per-worker approximations).
-            let est_l = p_hat.matmul(&q_mean.transpose());
+            let est_l = {
+                let _s = gcs_trace::span(gcs_trace::Phase::Decompress, "powersgd_estimate");
+                p_hat.matmul(&q_mean.transpose())
+            };
             estimate[offset..offset + len].copy_from_slice(est_l.data());
 
-            // Per-worker contributions for EF: P̂ (M_iᵀ P̂)ᵀ.
-            for (w, q_local) in q_locals.iter().enumerate() {
-                let approx = p_hat.matmul(&q_local.transpose());
-                sent[w][offset..offset + len].copy_from_slice(approx.data());
+            // Per-worker contributions for EF: P̂ (M_iᵀ P̂)ᵀ. Only needed
+            // when EF is on — `sent` feeds `update_all`, which no-ops when
+            // disabled, so skip the n_workers extra matmuls in that case.
+            if self.ef.enabled() {
+                let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_ef_contrib");
+                for (w, q_local) in q_locals.iter().enumerate() {
+                    let approx = p_hat.matmul(&q_local.transpose());
+                    sent[w][offset..offset + len].copy_from_slice(approx.data());
+                }
             }
 
             // Warm start.
@@ -379,11 +391,12 @@ mod tests {
         let exact = mean(&grads);
         let mut s = PowerSgd::new(1, vec![(4, 3)], 2);
         let out = s.aggregate_round(&grads, &ctx(0));
-        for i in 12..15 {
-            assert!(
-                (out.mean_estimate[i] - exact[i]).abs() < 1e-6,
-                "remainder coord {i}"
-            );
+        for (i, (got, want)) in out.mean_estimate[12..15]
+            .iter()
+            .zip(&exact[12..15])
+            .enumerate()
+        {
+            assert!((got - want).abs() < 1e-6, "remainder coord {}", 12 + i);
         }
     }
 

@@ -66,7 +66,11 @@ impl SketchScheme {
 
 impl CompressionScheme for SketchScheme {
     fn name(&self) -> String {
-        format!("Sketch(r={}, b~{:.1})", self.rows, self.width_frac * 32.0 * self.rows as f64)
+        format!(
+            "Sketch(r={}, b~{:.1})",
+            self.rows,
+            self.width_frac * 32.0 * self.rows as f64
+        )
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
@@ -80,6 +84,7 @@ impl CompressionScheme for SketchScheme {
         let seed = SharedSeed::derive(ctx.experiment_seed, 0, Stream::Custom(0x57e7));
 
         // Sketch each worker's EF-corrected gradient.
+        let encode_span = gcs_trace::span(gcs_trace::Phase::Compress, "sketch_insert");
         let mut corrected_all = Vec::with_capacity(n);
         let mut tables: Vec<Vec<f32>> = Vec::with_capacity(n);
         for (w, g) in grads.iter().enumerate() {
@@ -90,17 +95,21 @@ impl CompressionScheme for SketchScheme {
             corrected_all.push(corrected);
         }
 
+        drop(encode_span);
+
         // Linear aggregation: ring all-reduce over the raw tables.
         let traffic = ring_all_reduce(&mut tables, &F32Sum, 4.0);
         let mut agg = CountSketch::new(self.rows, width, seed);
         agg.table_mut().copy_from_slice(&tables[0]);
 
         // Recover the aggregate's heavy hitters.
+        let decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "sketch_recover");
         let hitters = agg.heavy_hitters(d, k);
         let mut mean = vec![0.0f32; d];
         for &i in &hitters {
             mean[i] = agg.estimate(i) / n as f32;
         }
+        drop(decode_span);
 
         // EF: each worker's transmitted contribution is its own sketch's
         // estimate at the recovered coordinates.
@@ -202,7 +211,12 @@ mod tests {
         let mut seen_tail = false;
         for r in 0..20 {
             let out = s.aggregate_round(&grads, &RoundContext::new(9, r));
-            if out.mean_estimate.iter().enumerate().any(|(i, &x)| i != 5 && x > 0.3) {
+            if out
+                .mean_estimate
+                .iter()
+                .enumerate()
+                .any(|(i, &x)| i != 5 && x > 0.3)
+            {
                 seen_tail = true;
                 break;
             }

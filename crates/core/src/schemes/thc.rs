@@ -215,6 +215,7 @@ impl CompressionScheme for Thc {
         // the forward rotations fan out across them; with few workers the
         // FWHT kernel inside parallelizes over the vector instead.
         let this = &*self;
+        let rotate_span = gcs_trace::span(gcs_trace::Phase::Compress, "thc_rotate");
         let rotated: Vec<Vec<f32>> = gcs_tensor::parallel::map_tasks(n, |w| {
             let mut v = grads[w].clone();
             v.resize(padded, 0.0);
@@ -222,8 +223,11 @@ impl CompressionScheme for Thc {
             v
         });
 
+        drop(rotate_span);
+
         // Agree on per-block scales (max |value| across workers), rounded
         // to FP16 for the wire.
+        let scale_span = gcs_trace::span(gcs_trace::Phase::Compress, "thc_block_scales");
         let blocks = self.scale_blocks(padded);
         let block_len = self.block_len_for(padded);
         let mut scale_bufs: Vec<Vec<f32>> = gcs_tensor::parallel::map_tasks(n, |w| {
@@ -235,6 +239,7 @@ impl CompressionScheme for Thc {
                 })
                 .collect()
         });
+        drop(scale_span);
         let scale_traffic = ring_all_reduce(&mut scale_bufs, &F32Max, 2.0);
         let scales = scale_bufs.into_iter().next().expect("no workers");
 
@@ -243,6 +248,7 @@ impl CompressionScheme for Thc {
         // counter-derived RNG stream, so quantization parallelizes across
         // workers without perturbing any random sequence.
         let scales_ref = &scales;
+        let quant_span = gcs_trace::span(gcs_trace::Phase::Compress, "thc_quantize");
         let mut lane_bufs: Vec<Vec<i32>> = gcs_tensor::parallel::map_tasks(n, |w| {
             let mut rng = worker_rng(ctx.experiment_seed ^ 0x74c0u64, w, ctx.round);
             rotated[w]
@@ -262,18 +268,23 @@ impl CompressionScheme for Thc {
                 .collect()
         });
 
+        drop(quant_span);
+
         // Aggregate lanes.
         let wire_bits = self.wire_bits();
         let lane_traffic = match self.aggregation {
-            ThcAggregation::Saturating => {
-                ring_all_reduce(&mut lane_bufs, &SaturatingIntSum::new(self.q), self.q as f64 / 8.0)
-            }
+            ThcAggregation::Saturating => ring_all_reduce(
+                &mut lane_bufs,
+                &SaturatingIntSum::new(self.q),
+                self.q as f64 / 8.0,
+            ),
             ThcAggregation::Widened { b } => {
                 ring_all_reduce(&mut lane_bufs, &WideIntSum, b as f64 / 8.0)
             }
         };
 
         // Decode: rescale, inverse rotation, truncate, divide by n.
+        let decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "thc_decode");
         let mut est: Vec<f32> = lane_bufs[0]
             .iter()
             .enumerate()
@@ -282,6 +293,7 @@ impl CompressionScheme for Thc {
         self.rotate(&mut est, seed, true);
         est.truncate(d);
         gcs_tensor::vector::scale(&mut est, 1.0 / n as f32);
+        drop(decode_span);
 
         let mut traffic = scale_traffic;
         traffic.merge(&lane_traffic);

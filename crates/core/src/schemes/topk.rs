@@ -137,6 +137,7 @@ impl CompressionScheme for TopK {
         // per-vector top-k kernel itself parallelizes when workers are few).
         let corrected_all = self.ef.corrected_all(grads);
         let encoding = self.encoding;
+        let select_span = gcs_trace::span(gcs_trace::Phase::Compress, "topk_select");
         let payloads: Vec<Vec<SparseEntry>> = gcs_tensor::parallel::map_tasks(n, |w| {
             let corrected = &corrected_all[w];
             let idx = match encoding {
@@ -151,16 +152,20 @@ impl CompressionScheme for TopK {
                 .collect()
         });
 
+        drop(select_span);
+
         // Aggregate: all-gather the sparse payloads, then every worker
         // scatter-adds the union locally (up to nK distinct coordinates,
         // §3.1.1).
         let entry_bytes = self.encoding.entry_bits() / 8.0;
         let (gathered, traffic) = all_gather(&payloads, entry_bytes);
+        let scatter_span = gcs_trace::span(gcs_trace::Phase::Decompress, "topk_scatter_add");
         let mut sum = vec![0.0f32; d];
         for e in &gathered {
             sum[e.index as usize] += e.value.to_f32();
         }
         let mean: Vec<f32> = sum.iter().map(|s| s / n as f32).collect();
+        drop(scatter_span);
 
         // EF update: what each worker actually contributed.
         if self.ef.enabled() {

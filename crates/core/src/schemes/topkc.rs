@@ -137,23 +137,28 @@ impl CompressionScheme for TopKC {
         // independent; within a worker the chunk norms use the (itself
         // deterministic) chunked reduction kernel.
         let chunk = self.chunk;
+        let norm_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_chunk_norms");
         let mut norm_bufs: Vec<Vec<F16>> = gcs_tensor::parallel::map_tasks(n, |w| {
             corrected[w]
                 .chunks(chunk)
                 .map(|ch| F16::from_f32(gcs_tensor::vector::squared_norm(ch)))
                 .collect()
         });
+        drop(norm_span);
         let norm_traffic = ring_all_reduce(&mut norm_bufs, &F16Sum, 2.0);
         let agg_norms: Vec<f32> = norm_bufs[0].iter().map(|x| x.to_f32()).collect();
         debug_assert_eq!(agg_norms.len(), chunks);
 
         // Stage 2: consensus top-J chunks (identical on every worker).
+        let select_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_consensus_select");
         let top_chunks = gcs_tensor::vector::top_k_indices(&agg_norms, j);
         let mut selected = top_chunks.clone();
         selected.sort_unstable();
+        drop(select_span);
 
         // Stage 3: FP16 all-reduce over the selected chunks' values
         // (gathered per worker in parallel).
+        let gather_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_value_gather");
         let mut value_bufs: Vec<Vec<F16>> = gcs_tensor::parallel::map_tasks(n, |w| {
             let c = &corrected[w];
             let mut buf = Vec::with_capacity(j * chunk);
@@ -164,9 +169,11 @@ impl CompressionScheme for TopKC {
             }
             buf
         });
+        drop(gather_span);
         let value_traffic = ring_all_reduce(&mut value_bufs, &F16Sum, 2.0);
 
         // Scatter back into dense coordinates (undoing the permutation).
+        let scatter_span = gcs_trace::span(gcs_trace::Phase::Decompress, "topkc_scatter_back");
         let mut mean = vec![0.0f32; d];
         {
             let summed = &value_bufs[0];
@@ -187,6 +194,7 @@ impl CompressionScheme for TopKC {
             }
             mean = unperm;
         }
+        drop(scatter_span);
 
         // EF update: what each worker contributed (its own FP16-rounded
         // values in the selected chunks), in the *original* coordinate
@@ -383,8 +391,8 @@ mod tests {
         // promote the cold chunk.
         let d = 64;
         let mut grads = vec![vec![0.4f32; d]];
-        for i in 0..8 {
-            grads[0][i] = 2.0; // chunk 0 is hot
+        for g in grads[0].iter_mut().take(8) {
+            *g = 2.0; // chunk 0 is hot
         }
         let mut s = TopKC::with_bits(3.0, 8, 1, true); // J = 1 chunk of 8
         let mut cold_seen = false;

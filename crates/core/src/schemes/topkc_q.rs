@@ -90,6 +90,7 @@ impl CompressionScheme for TopKCQ {
             .collect();
 
         // Stage 1: chunk-norm consensus (identical to TopKC).
+        let norm_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_chunk_norms");
         let mut norm_bufs: Vec<Vec<F16>> = corrected
             .iter()
             .map(|c| {
@@ -98,6 +99,7 @@ impl CompressionScheme for TopKCQ {
                     .collect()
             })
             .collect();
+        drop(norm_span);
         let mut traffic = ring_all_reduce(&mut norm_bufs, &F16Sum, 2.0);
         let agg_norms: Vec<f32> = norm_bufs[0].iter().map(|x| x.to_f32()).collect();
         let mut selected = gcs_tensor::vector::top_k_indices(&agg_norms, j);
@@ -113,6 +115,7 @@ impl CompressionScheme for TopKCQ {
             }
             buf
         };
+        let scale_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_scales");
         let gathered: Vec<Vec<f32>> = corrected.iter().map(gather).collect();
         let mut scale_bufs: Vec<Vec<f32>> = gathered
             .iter()
@@ -125,6 +128,7 @@ impl CompressionScheme for TopKCQ {
                     .collect()
             })
             .collect();
+        drop(scale_span);
         let t = ring_all_reduce(&mut scale_bufs, &F32Max, 2.0);
         traffic.merge(&t);
         let scales = scale_bufs.into_iter().next().expect("no workers");
@@ -135,6 +139,7 @@ impl CompressionScheme for TopKCQ {
         // aggregated sum is bounded by the shared scale by construction —
         // `|Σ v_w/n| <= max_w |v_w| <= scale` — and the clamp never loses
         // signal even with perfectly correlated workers.
+        let quant_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_quantize");
         let mut lane_bufs: Vec<Vec<i32>> = Vec::with_capacity(n);
         for (w, g) in gathered.iter().enumerate() {
             let mut rng = worker_rng(ctx.experiment_seed ^ 0x1c9, w, ctx.round);
@@ -154,6 +159,7 @@ impl CompressionScheme for TopKCQ {
                 .collect();
             lane_bufs.push(lanes);
         }
+        drop(quant_span);
         let t = ring_all_reduce(
             &mut lane_bufs,
             &SaturatingIntSum::new(self.q),
@@ -162,6 +168,7 @@ impl CompressionScheme for TopKCQ {
         traffic.merge(&t);
 
         // Decode into the dense estimate.
+        let decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "topkcq_decode");
         let mut mean = vec![0.0f32; d];
         let summed = &lane_bufs[0];
         let mut cursor = 0usize;
@@ -174,6 +181,8 @@ impl CompressionScheme for TopKCQ {
                 cursor += 1;
             }
         }
+
+        drop(decode_span);
 
         // EF update: each worker's own dequantized expectation is its raw
         // value (stochastic rounding is unbiased), so we feed back the
@@ -220,9 +229,7 @@ impl CompressionScheme for TopKCQ {
         let d = d as usize;
         let j = self.j_for(d);
         let j_prime = (j * self.chunk).min(d);
-        (d.div_ceil(self.chunk) as f64 * 16.0
-            + j as f64 * 16.0
-            + j_prime as f64 * self.q as f64)
+        (d.div_ceil(self.chunk) as f64 * 16.0 + j as f64 * 16.0 + j_prime as f64 * self.q as f64)
             / d as f64
     }
 

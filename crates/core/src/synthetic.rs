@@ -90,13 +90,11 @@ impl GradientModel {
             let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
             signal.push(std * magnitude * sign);
         }
-        let signal_power =
-            gcs_tensor::vector::squared_norm(&signal) / self.d.max(1) as f32;
+        let signal_power = gcs_tensor::vector::squared_norm(&signal) / self.d.max(1) as f32;
         let noise_std = (signal_power * self.worker_noise).sqrt();
         (0..n_workers)
             .map(|w| {
-                let mut wrng =
-                    gcs_tensor::rng::worker_rng(seed.value() ^ 0x6e01, w, 0);
+                let mut wrng = gcs_tensor::rng::worker_rng(seed.value() ^ 0x6e01, w, 0);
                 signal
                     .iter()
                     .map(|&s| s + noise_std * gaussian(&mut wrng))
@@ -114,9 +112,7 @@ impl GradientModel {
         let total: f64 = (0..blocks)
             .map(|r| ((r + 1) as f64).powf(-self.zipf_a))
             .sum();
-        let top: f64 = (0..take)
-            .map(|r| ((r + 1) as f64).powf(-self.zipf_a))
-            .sum();
+        let top: f64 = (0..take).map(|r| ((r + 1) as f64).powf(-self.zipf_a)).sum();
         top / total
     }
 }

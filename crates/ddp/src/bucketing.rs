@@ -125,7 +125,10 @@ impl PipelineModel {
 /// bucket may be short). Used by tests and by bucket-wise functional
 /// experiments.
 pub fn bucket_ranges(d: usize, bucket_coords: usize) -> Vec<std::ops::Range<usize>> {
-    assert!(bucket_coords > 0, "bucket_ranges: bucket size must be positive");
+    assert!(
+        bucket_coords > 0,
+        "bucket_ranges: bucket size must be positive"
+    );
     let mut out = Vec::new();
     let mut lo = 0;
     while lo < d {

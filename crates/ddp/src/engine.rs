@@ -238,11 +238,9 @@ impl Trainer {
         };
         let mut curve = TtaCurve::new(scheme.name(), direction);
         let mut opt = AnyOptimizer::new(cfg);
-        let mut stopper = cfg
-            .early_stopping
-            .map(|(alpha, patience, min_evals)| {
-                EarlyStopping::new(alpha, patience, min_evals, direction)
-            });
+        let mut stopper = cfg.early_stopping.map(|(alpha, patience, min_evals)| {
+            EarlyStopping::new(alpha, patience, min_evals, direction)
+        });
 
         let d = model.param_count();
         let mut loss_history = Vec::new();
@@ -251,46 +249,63 @@ impl Trainer {
         let mut bits_sum = 0.0f64;
         let mut early_stopped = false;
         let mut rounds_done = 0u64;
+        let mut last_eval_round = 0u64;
         let mut slots = make_worker_slots(model, cfg.n_workers);
 
         for round in 0..cfg.max_rounds {
+            gcs_trace::set_round(round);
+
             // 1. Per-worker gradients on disjoint shards (parallel across
             //    workers when the model supports replication).
-            let (grads, loss_acc) = worker_gradients(
-                model,
-                &mut slots,
-                cfg.batch_per_worker,
-                cfg.n_workers,
-                round,
-            );
+            let (grads, loss_acc) = {
+                let _s = gcs_trace::span(gcs_trace::Phase::Compute, "worker_gradients");
+                worker_gradients(
+                    model,
+                    &mut slots,
+                    cfg.batch_per_worker,
+                    cfg.n_workers,
+                    round,
+                )
+            };
             loss_history.push((round, loss_acc / cfg.n_workers as f32));
 
             // 2. Distributed aggregation through the scheme.
             let ctx = RoundContext::new(cfg.seed, round);
             let outcome = scheme.aggregate_round(&grads, &ctx);
-            bits_sum += outcome.bits_per_coord(d as u64);
+            let bits = outcome.bits_per_coord(d as u64);
+            bits_sum += bits;
+            gcs_trace::counter("bits_per_coord", bits);
 
             if cfg.vnmse_every > 0 && round % cfg.vnmse_every == 0 {
                 let exact = gcs_tensor::vector::mean(&grads);
-                vnmse_sum += vnmse(&outcome.mean_estimate, &exact);
+                let sample = vnmse(&outcome.mean_estimate, &exact);
+                vnmse_sum += sample;
                 vnmse_n += 1;
+                gcs_trace::counter("vnmse", sample);
             }
 
             // 3. Optimizer step on the aggregate (scheduled LR).
-            let params = model.flat_params();
-            let delta = opt.step(
-                &params,
-                &outcome.mean_estimate,
-                cfg.lr_schedule.factor(round),
-            );
-            model.apply_flat_delta(&delta);
+            {
+                let _s = gcs_trace::span(gcs_trace::Phase::Optimizer, "optimizer_step");
+                let params = model.flat_params();
+                let delta = opt.step(
+                    &params,
+                    &outcome.mean_estimate,
+                    cfg.lr_schedule.factor(round),
+                );
+                model.apply_flat_delta(&delta);
+            }
             rounds_done = round + 1;
 
             // 4. Periodic evaluation on the simulated clock.
             if round % cfg.eval_every == cfg.eval_every - 1 {
                 let t = (round + 1) as f64 * step_seconds;
-                let metric = model.evaluate();
+                let metric = {
+                    let _s = gcs_trace::span(gcs_trace::Phase::Eval, "evaluate");
+                    model.evaluate()
+                };
                 curve.push(t, metric);
+                last_eval_round = round + 1;
                 if let Some(es) = stopper.as_mut() {
                     if es.observe(metric) {
                         early_stopped = true;
@@ -298,6 +313,19 @@ impl Trainer {
                     }
                 }
             }
+        }
+
+        // When max_rounds is not a multiple of eval_every the trailing
+        // rounds trained past the last recorded point; evaluate once more at
+        // the true end of training so `final_metric` (and the curve's tail)
+        // reflect the parameters the run actually produced.
+        if rounds_done > last_eval_round {
+            let t = rounds_done as f64 * step_seconds;
+            let metric = {
+                let _s = gcs_trace::span(gcs_trace::Phase::Eval, "evaluate");
+                model.evaluate()
+            };
+            curve.push(t, metric);
         }
 
         let final_metric = curve.final_metric().unwrap_or_else(|| model.evaluate());
@@ -331,16 +359,22 @@ impl Trainer {
         let mut sum = 0.0f64;
         let mut slots = make_worker_slots(model, cfg.n_workers);
         for round in 0..rounds {
-            let (grads, _) = worker_gradients(
-                model,
-                &mut slots,
-                cfg.batch_per_worker,
-                cfg.n_workers,
-                round,
-            );
+            gcs_trace::set_round(round);
+            let (grads, _) = {
+                let _s = gcs_trace::span(gcs_trace::Phase::Compute, "worker_gradients");
+                worker_gradients(
+                    model,
+                    &mut slots,
+                    cfg.batch_per_worker,
+                    cfg.n_workers,
+                    round,
+                )
+            };
             let outcome = scheme.aggregate_round(&grads, &RoundContext::new(cfg.seed, round));
             let exact = gcs_tensor::vector::mean(&grads);
-            sum += vnmse(&outcome.mean_estimate, &exact);
+            let sample = vnmse(&outcome.mean_estimate, &exact);
+            gcs_trace::counter("vnmse", sample);
+            sum += sample;
             // Keep training (on the *exact* mean, so every scheme sees the
             // same gradient distribution — the paper's vNMSE protocol
             // measures compression error, not compounded trajectories).
@@ -407,6 +441,48 @@ mod tests {
         assert_eq!(times, vec![20.0, 40.0, 60.0, 80.0]);
     }
 
+    /// Regression: with `max_rounds % eval_every != 0` the run used to end
+    /// with a TTA curve (and `final_metric`) frozen at the last periodic
+    /// eval, ignoring the trailing rounds of training. The trainer must
+    /// record one final evaluation at the true end of the run.
+    #[test]
+    fn final_metric_reflects_true_end_of_training() {
+        let mut model = BertMini::new(2);
+        let mut scheme = PrecisionBaseline::fp16();
+        let cfg = TrainerConfig {
+            max_rounds: 37,
+            eval_every: 10,
+            ..quick_config()
+        };
+        let step_seconds = 2.0;
+        let log = Trainer::new(cfg).train(&mut model, &mut scheme, step_seconds);
+        assert_eq!(log.rounds, 37);
+        let times: Vec<f64> = log.curve.points.iter().map(|p| p.0).collect();
+        // Periodic evals at rounds 10/20/30 plus the final one at round 37.
+        assert_eq!(times, vec![20.0, 40.0, 60.0, 74.0]);
+        // final_metric is the metric of that last point, i.e. the model
+        // after all 37 rounds — not the stale round-30 evaluation.
+        let last = log.curve.points.last().unwrap().1;
+        assert_eq!(log.final_metric, last);
+        assert_eq!(log.final_metric, model.evaluate());
+    }
+
+    /// When the budget divides evenly, no duplicate end-of-run point is
+    /// appended.
+    #[test]
+    fn no_duplicate_final_eval_when_budget_divides_evenly() {
+        let mut model = BertMini::new(2);
+        let mut scheme = PrecisionBaseline::fp16();
+        let cfg = TrainerConfig {
+            max_rounds: 40,
+            eval_every: 10,
+            ..quick_config()
+        };
+        let log = Trainer::new(cfg).train(&mut model, &mut scheme, 2.0);
+        assert_eq!(log.curve.points.len(), 4);
+        assert_eq!(log.curve.points.last().unwrap().0, 80.0);
+    }
+
     #[test]
     fn early_stopping_cuts_training_short() {
         let mut model = BertMini::new(2);
@@ -463,6 +539,54 @@ mod tests {
         let b = run();
         assert_eq!(a.final_metric, b.final_metric);
         assert_eq!(a.mean_vnmse, b.mean_vnmse);
+    }
+
+    /// Tracing observes a training run without changing it: the same run
+    /// with recording enabled is bitwise-identical to one with it off, and
+    /// the trace covers every step phase (compute, compress, reduce,
+    /// optimizer, eval) plus the per-round counters.
+    #[test]
+    fn tracing_captures_phases_without_perturbing_training() {
+        let run = || {
+            let mut model = BertMini::new(2);
+            let mut scheme = TopKC::with_bits(2.0, 64, 2, true);
+            let cfg = TrainerConfig {
+                max_rounds: 12,
+                eval_every: 5,
+                ..quick_config()
+            };
+            Trainer::new(cfg).train(&mut model, &mut scheme, 0.5)
+        };
+        let baseline = run();
+        let mut traced_log = None;
+        let trace = gcs_trace::with_recording(|| traced_log = Some(run()));
+        let traced = traced_log.unwrap();
+        assert_eq!(baseline.loss_history, traced.loss_history);
+        assert_eq!(baseline.final_metric, traced.final_metric);
+
+        let report = gcs_trace::Report::from_trace(&trace);
+        for phase in [
+            gcs_trace::Phase::Compute,
+            gcs_trace::Phase::Compress,
+            gcs_trace::Phase::Reduce,
+            gcs_trace::Phase::Optimizer,
+            gcs_trace::Phase::Eval,
+        ] {
+            assert!(
+                report.phase_total_ns(phase) > 0,
+                "no spans recorded for phase {}",
+                phase.as_str()
+            );
+        }
+        // Lower bounds, not equalities: the trace recorder is process-global
+        // and sibling tests running concurrently may record extra events
+        // while this test has tracing enabled.
+        assert!(report.op_calls("worker_gradients") >= 12);
+        assert!(report.op_calls("optimizer_step") >= 12);
+        assert!(report.counter("wire_bytes").unwrap().sum > 0.0);
+        assert!(report.counter("bits_per_coord").unwrap().samples >= 12);
+        assert!(report.counter("ef_residual_norm").is_some());
+        assert!(report.rounds >= 12);
     }
 
     /// The scheme contract extended to the runtime: an entire training run —

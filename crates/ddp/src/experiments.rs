@@ -122,7 +122,11 @@ pub fn figure1_plans(task: Task, n_workers: usize) -> Vec<ExperimentPlan> {
     let tm = ThroughputModel::paper_testbed();
     let mut plans = baseline_plans(task);
     for b in [0.5, 2.0, 8.0] {
-        plans.push(plan(Box::new(TopK::with_bits(b, n_workers, true)), task, &tm));
+        plans.push(plan(
+            Box::new(TopK::with_bits(b, n_workers, true)),
+            task,
+            &tm,
+        ));
         plans.push(plan(Box::new(TopKC::paper_config(b, n_workers)), task, &tm));
     }
     plans
@@ -135,15 +139,27 @@ pub fn figure2_plans(task: Task, n_workers: usize) -> Vec<ExperimentPlan> {
     let device = DeviceSpec::a100();
     let mut plans = baseline_plans(task);
     plans.push(plan(Box::new(Thc::baseline(4, n_workers)), task, &tm));
-    plans.push(plan(Box::new(Thc::improved(4, &device, n_workers)), task, &tm));
-    plans.push(plan(Box::new(Thc::improved(2, &device, n_workers)), task, &tm));
+    plans.push(plan(
+        Box::new(Thc::improved(4, &device, n_workers)),
+        task,
+        &tm,
+    ));
+    plans.push(plan(
+        Box::new(Thc::improved(2, &device, n_workers)),
+        task,
+        &tm,
+    ));
     plans
 }
 
 /// Figure 3: PowerSGD at r ∈ {1, 4, 16, 64}, plus baselines. `shapes` are
 /// the mini model's weight-matrix shapes (functional); the paper profile's
 /// layer shapes drive the cost model.
-pub fn figure3_plans(task: Task, n_workers: usize, shapes: &[(usize, usize)]) -> Vec<ExperimentPlan> {
+pub fn figure3_plans(
+    task: Task,
+    n_workers: usize,
+    shapes: &[(usize, usize)],
+) -> Vec<ExperimentPlan> {
     let tm = ThroughputModel::paper_testbed();
     let profile = task.profile();
     let mut plans = baseline_plans(task);

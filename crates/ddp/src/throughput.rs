@@ -40,14 +40,28 @@ impl StepBreakdown {
     }
 
     /// Rounds per second.
+    ///
+    /// A degenerate breakdown whose total is zero (or negative, from bad
+    /// calibration inputs) models "no work per round"; rather than returning
+    /// `inf`/`NaN` and poisoning downstream tables, this reports 0.0 —
+    /// throughput is undefined, not infinite.
     pub fn rounds_per_sec(&self) -> f64 {
-        1.0 / self.total()
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1.0 / total
     }
 
     /// The compression-overhead fraction the paper's Table 6 reports:
-    /// compression compute time over total step time.
+    /// compression compute time over total step time. Returns 0.0 when the
+    /// total is non-positive (no step time means no overhead to attribute).
     pub fn compression_fraction(&self) -> f64 {
-        self.compression / self.total()
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.compression / total
     }
 }
 
@@ -177,9 +191,9 @@ mod tests {
         let tm = ThroughputModel::paper_testbed();
         let m = model();
         let ratio = |scheme: &dyn CompressionScheme| tm.rounds_per_sec(scheme, &m, Precision::Tf32);
-        let topk_drop = ratio(&TopK::with_bits(0.5, 4, true)) / ratio(&TopK::with_bits(8.0, 4, true));
-        let topkc_drop =
-            ratio(&TopKC::paper_config(0.5, 4)) / ratio(&TopKC::paper_config(8.0, 4));
+        let topk_drop =
+            ratio(&TopK::with_bits(0.5, 4, true)) / ratio(&TopK::with_bits(8.0, 4, true));
+        let topkc_drop = ratio(&TopKC::paper_config(0.5, 4)) / ratio(&TopKC::paper_config(8.0, 4));
         assert!(topk_drop > topkc_drop, "{topk_drop} vs {topkc_drop}");
     }
 
@@ -203,5 +217,30 @@ mod tests {
         assert!(s.compute > 0.0 && s.compression > 0.0 && s.communication > 0.0);
         assert!((s.total() - (s.compute + s.compression + s.communication)).abs() < 1e-12);
         assert!(s.compression_fraction() > 0.0 && s.compression_fraction() < 1.0);
+    }
+
+    #[test]
+    fn zero_total_breakdown_is_finite() {
+        // An all-zero breakdown (e.g. a placeholder row before calibration)
+        // must not produce inf/NaN that poisons a table.
+        let z = StepBreakdown::default();
+        assert_eq!(z.total(), 0.0);
+        assert_eq!(z.rounds_per_sec(), 0.0);
+        assert_eq!(z.compression_fraction(), 0.0);
+        assert!(z.rounds_per_sec().is_finite());
+        assert!(z.compression_fraction().is_finite());
+    }
+
+    #[test]
+    fn negative_total_breakdown_is_finite() {
+        // Bad calibration inputs can go negative; still no inf/NaN.
+        let b = StepBreakdown {
+            compute: -1.0,
+            compression: 0.25,
+            communication: 0.25,
+        };
+        assert!(b.total() < 0.0);
+        assert_eq!(b.rounds_per_sec(), 0.0);
+        assert_eq!(b.compression_fraction(), 0.0);
     }
 }

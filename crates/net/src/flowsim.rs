@@ -72,7 +72,12 @@ impl Network {
     fn fair_rates(&self, flows: &[(usize, usize)]) -> Vec<f64> {
         let n = self.len();
         // Link layout: 0..n egress, n..2n ingress.
-        let mut cap: Vec<f64> = self.egress.iter().chain(self.ingress.iter()).copied().collect();
+        let mut cap: Vec<f64> = self
+            .egress
+            .iter()
+            .chain(self.ingress.iter())
+            .copied()
+            .collect();
         let mut users: Vec<usize> = vec![0; 2 * n];
         for &(s, d) in flows {
             users[s] += 1;
@@ -133,8 +138,10 @@ impl Network {
             if active.is_empty() {
                 break;
             }
-            let endpoints: Vec<(usize, usize)> =
-                active.iter().map(|&i| (flows[i].src, flows[i].dst)).collect();
+            let endpoints: Vec<(usize, usize)> = active
+                .iter()
+                .map(|&i| (flows[i].src, flows[i].dst))
+                .collect();
             let rates = self.fair_rates(&endpoints);
             // Earliest completion among active flows.
             let mut dt = f64::INFINITY;
@@ -237,8 +244,16 @@ mod tests {
     fn two_flows_share_an_egress_link() {
         let net = Network::homogeneous(3, 10.0 * GB);
         let flows = vec![
-            Flow { src: 0, dst: 1, bytes: 10.0 * GB },
-            Flow { src: 0, dst: 2, bytes: 10.0 * GB },
+            Flow {
+                src: 0,
+                dst: 1,
+                bytes: 10.0 * GB,
+            },
+            Flow {
+                src: 0,
+                dst: 2,
+                bytes: 10.0 * GB,
+            },
         ];
         let r = net.simulate(&flows);
         // Both share node 0's egress: each gets 5 GB/s -> 2 s.
@@ -258,8 +273,16 @@ mod tests {
     fn short_flow_finishes_and_frees_bandwidth() {
         let net = Network::homogeneous(3, 10.0 * GB);
         let flows = vec![
-            Flow { src: 0, dst: 2, bytes: 5.0 * GB },
-            Flow { src: 1, dst: 2, bytes: 20.0 * GB },
+            Flow {
+                src: 0,
+                dst: 2,
+                bytes: 5.0 * GB,
+            },
+            Flow {
+                src: 1,
+                dst: 2,
+                bytes: 20.0 * GB,
+            },
         ];
         let r = net.simulate(&flows);
         // Phase 1: both at 5 GB/s until the short one finishes at t=1
@@ -304,7 +327,11 @@ mod tests {
     #[test]
     fn zero_byte_flows_complete_immediately() {
         let net = Network::homogeneous(2, GB);
-        let r = net.simulate(&[Flow { src: 0, dst: 1, bytes: 0.0 }]);
+        let r = net.simulate(&[Flow {
+            src: 0,
+            dst: 1,
+            bytes: 0.0,
+        }]);
         assert_eq!(r.makespan, 0.0);
     }
 }

@@ -176,8 +176,7 @@ impl HierarchicalSpec {
             // All g GPUs of a node drive the NIC concurrently with their
             // shards: total payload per node crossing the NIC is `payload`
             // (g shards of payload/g each), amplified by the ring factor.
-            2.0 * (m - 1.0) / m * payload_bytes / (self.inter_bw / g)
-                + 2.0 * (m - 1.0) * self.alpha
+            2.0 * (m - 1.0) / m * payload_bytes / (self.inter_bw / g) + 2.0 * (m - 1.0) * self.alpha
         } else {
             0.0
         };
@@ -226,9 +225,7 @@ mod tests {
             ..two.clone()
         };
         // Same per-GPU payload, more GPUs sharing each NIC: slower.
-        assert!(
-            eight.ring_all_reduce_seconds(690e6) > 2.0 * two.ring_all_reduce_seconds(690e6)
-        );
+        assert!(eight.ring_all_reduce_seconds(690e6) > 2.0 * two.ring_all_reduce_seconds(690e6));
     }
 
     #[test]
@@ -299,6 +296,6 @@ mod tests {
             ..testbed()
         };
         let t = c.collective_seconds(Collective::RingAllReduce, 1e8);
-        assert!(t >= 0.0 && t < 1e-3); // no wire traffic with one worker
+        assert!((0.0..1e-3).contains(&t)); // no wire traffic with one worker
     }
 }

@@ -70,13 +70,7 @@ impl SelfAttention {
     }
 
     /// Accumulates `dW += dy[t] ⊗ x[t]` and `dx[t] += Wᵀ dy[t]`.
-    fn project_backward(
-        &mut self,
-        which: usize,
-        x: &[f32],
-        dy: &[f32],
-        dx: &mut [f32],
-    ) {
+    fn project_backward(&mut self, which: usize, x: &[f32], dy: &[f32], dx: &mut [f32]) {
         let d = self.dim;
         let dd = d * d;
         for t in 0..self.seq {
@@ -262,9 +256,7 @@ mod tests {
         assert_eq!(out.len(), 24);
         for b in 0..2 {
             for i in 0..3 {
-                let row_sum: f32 = (0..3)
-                    .map(|j| layer.cached_attn[(b * 3 + i) * 3 + j])
-                    .sum();
+                let row_sum: f32 = (0..3).map(|j| layer.cached_attn[(b * 3 + i) * 3 + j]).sum();
                 assert!((row_sum - 1.0).abs() < 1e-5);
             }
         }

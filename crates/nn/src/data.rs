@@ -45,7 +45,13 @@ pub struct ImageDataset {
 
 impl ImageDataset {
     /// Creates the dataset.
-    pub fn new(size: usize, channels: usize, classes: usize, noise: f32, seed: u64) -> ImageDataset {
+    pub fn new(
+        size: usize,
+        channels: usize,
+        classes: usize,
+        noise: f32,
+        seed: u64,
+    ) -> ImageDataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let dim = channels * size * size;
         // Smooth random field as a sum of Gaussian blobs.
@@ -305,8 +311,10 @@ mod tests {
                 far_diff += (t[y * 16 + x] - t[(15 - y) * 16 + (14 - x)]).abs();
             }
         }
-        assert!(adj_diff / n as f32 * 3.0 < far_diff / n as f32 + 0.3,
-            "adjacent {adj_diff} vs far {far_diff}");
+        assert!(
+            adj_diff / n as f32 * 3.0 < far_diff / n as f32 + 0.3,
+            "adjacent {adj_diff} vs far {far_diff}"
+        );
     }
 
     #[test]

@@ -207,7 +207,13 @@ pub struct Conv3x3 {
 
 impl Conv3x3 {
     /// Creates the conv layer for `h × w` maps.
-    pub fn new(in_ch: usize, out_ch: usize, h: usize, w: usize, rng: &mut impl rand::Rng) -> Conv3x3 {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        h: usize,
+        w: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Conv3x3 {
         let fan_in = in_ch * 9;
         let bound = (6.0 / fan_in as f32).sqrt();
         let wlen = out_ch * in_ch * 9;
@@ -363,7 +369,10 @@ impl MaxPool2 {
     /// # Panics
     /// Panics if `h` or `w` is odd.
     pub fn new(ch: usize, h: usize, w: usize) -> MaxPool2 {
-        assert!(h.is_multiple_of(2) && w.is_multiple_of(2), "MaxPool2: dims must be even");
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "MaxPool2: dims must be even"
+        );
         MaxPool2 {
             ch,
             h,
@@ -760,7 +769,6 @@ impl ParamSegment {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -778,9 +786,17 @@ mod tests {
         for pi in (0..n_params).step_by((n_params / 24).max(1)) {
             let orig = layer.params()[pi];
             layer.params_mut()[pi] = orig + eps;
-            let lp: f32 = layer.forward(input, batch).iter().map(|x| 0.5 * x * x).sum();
+            let lp: f32 = layer
+                .forward(input, batch)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum();
             layer.params_mut()[pi] = orig - eps;
-            let lm: f32 = layer.forward(input, batch).iter().map(|x| 0.5 * x * x).sum();
+            let lm: f32 = layer
+                .forward(input, batch)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum();
             layer.params_mut()[pi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             let a = analytic[pi];

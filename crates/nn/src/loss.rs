@@ -8,11 +8,7 @@
 ///
 /// # Panics
 /// Panics if dimensions disagree or a target class is out of range.
-pub fn softmax_cross_entropy(
-    logits: &[f32],
-    targets: &[usize],
-    classes: usize,
-) -> (f32, Vec<f32>) {
+pub fn softmax_cross_entropy(logits: &[f32], targets: &[usize], classes: usize) -> (f32, Vec<f32>) {
     let batch = targets.len();
     assert_eq!(
         logits.len(),
@@ -22,7 +18,10 @@ pub fn softmax_cross_entropy(
     let mut grad = vec![0.0f32; logits.len()];
     let mut loss = 0.0f64;
     for (s, &t) in targets.iter().enumerate() {
-        assert!(t < classes, "softmax_cross_entropy: target {t} out of range");
+        assert!(
+            t < classes,
+            "softmax_cross_entropy: target {t} out of range"
+        );
         let row = &logits[s * classes..(s + 1) * classes];
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();

@@ -358,7 +358,13 @@ mod tests {
             "transformer perplexity {before} -> {after}"
         );
         // Attention contributes 4 dim x dim matrices to the shape list.
-        assert!(m.matrix_shapes().iter().filter(|&&(r, c)| r == 32 && c == 32).count() >= 4);
+        assert!(
+            m.matrix_shapes()
+                .iter()
+                .filter(|&&(r, c)| r == 32 && c == 32)
+                .count()
+                >= 4
+        );
     }
 
     #[test]

@@ -114,7 +114,8 @@ impl Adam {
             self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
             let mhat = self.m[i] / bc1;
             let vhat = self.v[i] / bc2;
-            delta.push(-self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * params[i]));
+            delta
+                .push(-self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * params[i]));
         }
         delta
     }
@@ -170,8 +171,7 @@ impl LrSchedule {
                 } else if total <= warmup || round >= total {
                     floor
                 } else {
-                    let progress =
-                        (round - warmup) as f32 / (total - warmup) as f32;
+                    let progress = (round - warmup) as f32 / (total - warmup) as f32;
                     let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                     floor + (1.0 - floor) * cos
                 }
@@ -203,7 +203,10 @@ mod tests {
         let d_small = a.step(&[0.0], &[1e-4])[0].abs();
         let mut b = Adam::new(0.01, 0.0);
         let d_big = b.step(&[0.0], &[1e4])[0].abs();
-        assert!((d_small - d_big).abs() / d_big < 0.01, "{d_small} vs {d_big}");
+        assert!(
+            (d_small - d_big).abs() / d_big < 0.01,
+            "{d_small} vs {d_big}"
+        );
     }
 
     #[test]
@@ -233,7 +236,7 @@ mod tests {
         let mid = s.factor(60);
         assert!(mid < 1.0 && mid > 0.1);
         assert!((s.factor(200) - 0.1).abs() < 1e-6); // floored
-        // Monotone decay after warmup.
+                                                     // Monotone decay after warmup.
         let mut prev = s.factor(10);
         for r in 11..110 {
             let f = s.factor(r);

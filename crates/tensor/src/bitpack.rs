@@ -356,7 +356,7 @@ mod tests {
             let hi = v.lane_max();
             let vals: Vec<i32> = (0..100)
                 .map(|i| {
-                    let span = (hi as i64 - lo as i64) as i64;
+                    let span = hi as i64 - lo as i64;
                     (lo as i64 + (i as i64 * 7919) % (span + 1)) as i32
                 })
                 .collect();

@@ -309,7 +309,9 @@ mod tests {
                 let mut v = orig.clone();
                 with_threads(threads, || fwht_iterations(&mut v, iters));
                 assert!(
-                    v.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    v.iter()
+                        .zip(&reference)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
                     "iters={iters} threads={threads}"
                 );
             }

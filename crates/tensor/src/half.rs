@@ -75,11 +75,11 @@ impl Bf16 {
             // Quiet NaN with a truncation-proof payload bit.
             return Bf16(((bits >> 16) as u16) | 0x0040);
         }
-        // Round to nearest even on the 16 discarded bits.
-        let round_bit = 0x0000_8000u32;
+        // Round to nearest even on the 16 discarded bits: adding
+        // 0x7fff + lsb carries into bit 16 exactly when the remainder is
+        // above halfway, or exactly halfway with an odd kept LSB.
         let lsb = (bits >> 16) & 1;
         let rounded = bits.wrapping_add(0x0000_7fff + lsb);
-        let _ = round_bit;
         Bf16((rounded >> 16) as u16)
     }
 
@@ -306,6 +306,60 @@ mod tests {
         // bf16 has f32's range: no overflow at 1e38.
         assert!((Bf16::from_f32(1e38).to_f32() - 1e38).abs() / 1e38 < 0.01);
         assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    /// Reference bf16 conversion: explicit compare-based round-to-nearest-
+    /// even on the 16 discarded bits, written independently of the add-trick
+    /// used by `Bf16::from_f32`.
+    fn bf16_reference(value: f32) -> u16 {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            return ((bits >> 16) as u16) | 0x0040;
+        }
+        let kept = (bits >> 16) as u16;
+        let rem = bits & 0xffff;
+        let halfway = 0x8000;
+        if rem > halfway || (rem == halfway && (kept & 1) == 1) {
+            kept.wrapping_add(1)
+        } else {
+            kept
+        }
+    }
+
+    #[test]
+    fn bf16_rne_matches_reference_exhaustively() {
+        // Every upper-half bit pattern, with remainders just below halfway,
+        // exactly halfway (where RNE ties break on the kept LSB's parity),
+        // and just above halfway. This covers both LSB parities for every
+        // exponent, including the carry into the exponent field.
+        for upper in 0..=u16::MAX {
+            for rem in [0x0000u32, 0x7fff, 0x8000, 0x8001, 0xffff] {
+                let bits = ((upper as u32) << 16) | rem;
+                let v = f32::from_bits(bits);
+                if v.is_nan() {
+                    continue; // payload handling tested separately
+                }
+                let got = Bf16::from_f32(v).0;
+                let want = bf16_reference(v);
+                assert_eq!(
+                    got, want,
+                    "bits {bits:#010x}: got {got:#06x}, want {want:#06x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_tie_breaks_to_even() {
+        // Even kept mantissa (LSB 0) + exact halfway remainder: stays.
+        let even = f32::from_bits(0x3f80_8000); // 1.0 + 2^-8, kept LSB 0
+        assert_eq!(Bf16::from_f32(even).0, 0x3f80);
+        // Odd kept mantissa (LSB 1) + exact halfway remainder: rounds up.
+        let odd = f32::from_bits(0x3f81_8000);
+        assert_eq!(Bf16::from_f32(odd).0, 0x3f82);
+        // Carry propagates into the exponent: mantissa all-ones, halfway up.
+        let carry = f32::from_bits(0x3fff_8000);
+        assert_eq!(Bf16::from_f32(carry).0, 0x4000);
     }
 
     #[test]

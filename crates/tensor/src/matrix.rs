@@ -461,7 +461,7 @@ mod tests {
     #[test]
     fn reshape_pads_with_zeros() {
         let m = reshape_to_matrix(&[1., 2., 3., 4., 5.]);
-        assert_eq!(m.rows() * m.cols() >= 5, true);
+        assert!(m.rows() * m.cols() >= 5);
         assert_eq!(&m.data()[..5], &[1., 2., 3., 4., 5.]);
         assert!(m.data()[5..].iter().all(|&x| x == 0.0));
         let empty = reshape_to_matrix(&[]);

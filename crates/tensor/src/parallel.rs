@@ -208,7 +208,11 @@ where
     let n_chunks = a.len().div_ceil(chunk_len);
     let threads = max_threads().min(n_chunks);
     if threads <= 1 {
-        for (i, (ca, cb)) in a.chunks_mut(chunk_len).zip(b.chunks_mut(chunk_len)).enumerate() {
+        for (i, (ca, cb)) in a
+            .chunks_mut(chunk_len)
+            .zip(b.chunks_mut(chunk_len))
+            .enumerate()
+        {
             f(i, ca, cb);
         }
         return;

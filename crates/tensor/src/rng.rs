@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn permutation_is_a_bijection() {
         let perm = shared_permutation(100, SharedSeed::new(9));
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &p in &perm {
             assert!(!seen[p]);
             seen[p] = true;

@@ -178,8 +178,8 @@ mod tests {
         for &h in &heavy {
             v[h] = 10.0;
         }
-        for i in 0..d {
-            v[i] += ((i * 37) % 13) as f32 * 0.01;
+        for (i, x) in v.iter_mut().enumerate() {
+            *x += ((i * 37) % 13) as f32 * 0.01;
         }
         let mut s = CountSketch::new(5, 256, seed());
         s.insert(&v);

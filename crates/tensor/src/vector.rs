@@ -404,9 +404,18 @@ mod tests {
         let mut scratch = TopKScratch::new();
         let a = [0.5f32, -9.0, 2.0, 2.0, -2.0, 7.5];
         let b = [1.0f32, 0.0, -3.0];
-        assert_eq!(top_k_indices_with(&a, 3, &mut scratch), top_k_indices(&a, 3));
-        assert_eq!(top_k_indices_with(&b, 2, &mut scratch), top_k_indices(&b, 2));
-        assert_eq!(top_k_indices_with(&a, 5, &mut scratch), top_k_indices(&a, 5));
+        assert_eq!(
+            top_k_indices_with(&a, 3, &mut scratch),
+            top_k_indices(&a, 3)
+        );
+        assert_eq!(
+            top_k_indices_with(&b, 2, &mut scratch),
+            top_k_indices(&b, 2)
+        );
+        assert_eq!(
+            top_k_indices_with(&a, 5, &mut scratch),
+            top_k_indices(&a, 5)
+        );
     }
 
     #[test]
@@ -435,12 +444,8 @@ mod tests {
     #[test]
     fn reductions_are_thread_count_invariant() {
         let d = REDUCE_CHUNK * 2 + 321;
-        let v: Vec<f32> = (0..d)
-            .map(|i| ((i as f32) * 0.37).sin())
-            .collect();
-        let w: Vec<f32> = (0..d)
-            .map(|i| ((i as f32) * 0.11).cos())
-            .collect();
+        let v: Vec<f32> = (0..d).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let w: Vec<f32> = (0..d).map(|i| ((i as f32) * 0.11).cos()).collect();
         let base = with_threads(1, || {
             (squared_norm(&v), dot(&v, &w), vnmse(&v, &w), min_max(&v))
         });

@@ -11,9 +11,9 @@ use proptest::prelude::*;
 fn finite_f32() -> impl Strategy<Value = f32> {
     // Keep within the binary16 normal range for round-trip error bounds.
     prop_oneof![
-        (-60000.0f32..60000.0),
-        (-1.0f32..1.0),
-        (-1e-3f32..1e-3),
+        -60000.0f32..60000.0,
+        -1.0f32..1.0,
+        -1e-3f32..1e-3,
         Just(0.0f32),
     ]
 }

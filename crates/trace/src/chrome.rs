@@ -1,0 +1,192 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Emits the object form (`{"traceEvents": [...]}`) of the [trace event
+//! format] consumed by `about:tracing` and Perfetto. Spans become complete
+//! (`"ph": "X"`) events with microsecond timestamps; counters become
+//! `"ph": "C"` events so they render as stacked counter tracks.
+//!
+//! The writer is hand-rolled (this crate has no dependencies): names are
+//! escaped, and non-finite floats — which JSON cannot represent — are
+//! serialized as `0`.
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::Trace;
+
+/// Serializes `trace` into Chrome `trace_event` JSON.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    // ~160 bytes per event is a comfortable overestimate.
+    let mut out = String::with_capacity(32 + 160 * (trace.spans.len() + trace.counters.len()));
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for s in &trace.spans {
+        sep(&mut out, &mut first);
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, s.name);
+        out.push_str("\",\"cat\":\"");
+        out.push_str(s.phase.as_str());
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        push_f64(&mut out, ns_to_us(s.start_ns));
+        out.push_str(",\"dur\":");
+        push_f64(&mut out, ns_to_us(s.dur_ns));
+        out.push_str(",\"pid\":1,\"tid\":");
+        push_u64(&mut out, s.tid);
+        out.push_str(",\"args\":{\"round\":");
+        push_u64(&mut out, s.round);
+        out.push_str("}}");
+    }
+    for c in &trace.counters {
+        sep(&mut out, &mut first);
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, c.name);
+        out.push_str("\",\"ph\":\"C\",\"ts\":");
+        push_f64(&mut out, ns_to_us(c.at_ns));
+        out.push_str(",\"pid\":1,\"tid\":");
+        push_u64(&mut out, c.tid);
+        out.push_str(",\"args\":{\"");
+        escape_into(&mut out, c.name);
+        out.push_str("\":");
+        push_f64(&mut out, c.value);
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn ns_to_us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterRecord, Phase, SpanRecord};
+
+    fn sample_trace() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    phase: Phase::Compress,
+                    name: "gram_schmidt",
+                    start_ns: 1_500,
+                    dur_ns: 2_000,
+                    round: 0,
+                    tid: 0,
+                },
+                SpanRecord {
+                    phase: Phase::Reduce,
+                    name: "ring_all_reduce",
+                    start_ns: 4_000,
+                    dur_ns: 1_000,
+                    round: 1,
+                    tid: 2,
+                },
+            ],
+            counters: vec![CounterRecord {
+                name: "wire_bytes",
+                value: 4096.0,
+                at_ns: 5_000,
+                round: 1,
+                tid: 0,
+            }],
+        }
+    }
+
+    /// Minimal structural JSON validator: brackets/braces balance outside of
+    /// strings, and the document is a single object. Enough to catch broken
+    /// emitters without pulling in a parser dependency.
+    fn assert_valid_json(s: &str) {
+        let mut stack = Vec::new();
+        let mut in_str = false;
+        let mut escaped = false;
+        for ch in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if ch == '\\' {
+                    escaped = true;
+                } else if ch == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match ch {
+                '"' => in_str = true,
+                '{' => stack.push('}'),
+                '[' => stack.push(']'),
+                '}' | ']' => assert_eq!(stack.pop(), Some(ch), "mismatched bracket in {s}"),
+                _ => {}
+            }
+        }
+        assert!(!in_str, "unterminated string");
+        assert!(stack.is_empty(), "unbalanced brackets");
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn emits_structurally_valid_json() {
+        let json = to_chrome_json(&sample_trace());
+        assert_valid_json(&json);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"gram_schmidt\""));
+        assert!(json.contains("\"cat\":\"compress\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        // ts/dur are microseconds.
+        assert!(json.contains("\"ts\":1.5"));
+        assert!(json.contains("\"dur\":2"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = to_chrome_json(&Trace::default());
+        assert_valid_json(&json);
+        assert_eq!(json, "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn non_finite_counter_values_stay_valid_json() {
+        let mut t = sample_trace();
+        t.counters.push(CounterRecord {
+            name: "vnmse",
+            value: f64::NAN,
+            at_ns: 6_000,
+            round: 2,
+            tid: 0,
+        });
+        let json = to_chrome_json(&t);
+        assert_valid_json(&json);
+        assert!(!json.contains("NaN"));
+    }
+}

@@ -12,7 +12,10 @@ use gradient_utility::netsim::{ClusterSpec, Collective};
 fn main() {
     let payload = 345e6 * 2.0; // FP16 BERT-large gradient, bytes
 
-    println!("closed-form collective seconds for a {:.0} MB payload:", payload / 1e6);
+    println!(
+        "closed-form collective seconds for a {:.0} MB payload:",
+        payload / 1e6
+    );
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>12}",
         "workers", "ring AR", "tree AR", "all-gather", "param serv"
@@ -35,8 +38,14 @@ fn main() {
     let ring = net.simulate_phases(&ring_all_reduce_phases(n, 1e9));
     let ag = net.simulate(&all_gather_flows(n, 1e9));
     let ps = net.simulate(&ps_push_flows(n - 1, 1e9));
-    println!("  ring all-reduce:  {ring:.3} s ({} synchronised phases)", 2 * (n - 1));
-    println!("  all-gather:       {:.3} s (every ingress carries n-1 payloads)", ag.makespan);
+    println!(
+        "  ring all-reduce:  {ring:.3} s ({} synchronised phases)",
+        2 * (n - 1)
+    );
+    println!(
+        "  all-gather:       {:.3} s (every ingress carries n-1 payloads)",
+        ag.makespan
+    );
     println!(
         "  PS push only:     {:.3} s (incast: {}x a single flow)",
         ps.makespan,

@@ -26,8 +26,8 @@ fn main() {
         "rank", "bits/coord", "rounds/s", "GS %", "final acc", "t(acc=0.7)"
     );
     for r in [1u32, 4, 16, 64] {
-        let mut scheme =
-            PowerSgd::new(r, shapes.clone(), cfg.n_workers).with_cost_shapes(profile.layer_shapes.clone());
+        let mut scheme = PowerSgd::new(r, shapes.clone(), cfg.n_workers)
+            .with_cost_shapes(profile.layer_shapes.clone());
         let step = tm.step(&scheme, &profile, Precision::Tf32);
         let gs: f64 = profile
             .layer_shapes
@@ -47,7 +47,8 @@ fn main() {
             step.rounds_per_sec(),
             gs / step.total() * 100.0,
             log.final_metric,
-            tta.map(|t| format!("{t:.0}s")).unwrap_or_else(|| "never".into()),
+            tta.map(|t| format!("{t:.0}s"))
+                .unwrap_or_else(|| "never".into()),
         );
     }
     println!("\nReading guide: bits/coordinate stays tiny at every rank — PowerSGD's");

@@ -48,7 +48,10 @@ fn main() {
         .iter()
         .map(|e| e.seconds(&cluster))
         .sum();
-    println!("\ncommunication time, this toy round:   {:.3} ms", comm * 1e3);
+    println!(
+        "\ncommunication time, this toy round:   {:.3} ms",
+        comm * 1e3
+    );
     println!(
         "communication time, BERT-large round: {:.1} ms (+{:.1} ms compute)",
         comm_scaled * 1e3,

@@ -26,14 +26,22 @@ fn main() {
     let device = DeviceSpec::a100();
 
     let variants: Vec<(&str, Thc)> = vec![
-        ("widened (b=8, q=4, full rot)", Thc::baseline(4, cfg.n_workers)),
+        (
+            "widened (b=8, q=4, full rot)",
+            Thc::baseline(4, cfg.n_workers),
+        ),
         (
             "saturation (b=q=4, partial rot)",
             Thc::improved(4, &device, cfg.n_workers),
         ),
         (
             "saturation (b=q=4, no rot)",
-            Thc::new(4, RotationMode::None, ThcAggregation::Saturating, cfg.n_workers),
+            Thc::new(
+                4,
+                RotationMode::None,
+                ThcAggregation::Saturating,
+                cfg.n_workers,
+            ),
         ),
         (
             "saturation (b=q=2, partial rot)",
@@ -41,7 +49,10 @@ fn main() {
         ),
     ];
 
-    println!("{:<34} {:>8} {:>9} {:>9} {:>10} {:>10}", "variant", "b", "rounds/s", "vNMSE", "final acc", "t(acc=0.8)");
+    println!(
+        "{:<34} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "variant", "b", "rounds/s", "vNMSE", "final acc", "t(acc=0.8)"
+    );
     for (label, mut scheme) in variants {
         let step = tm.step(&scheme, &profile, Precision::Tf32).total();
         let rps = 1.0 / step;
@@ -59,7 +70,8 @@ fn main() {
             rps,
             log.mean_vnmse,
             log.final_metric,
-            tta.map(|t| format!("{t:.0}s")).unwrap_or_else(|| "never".into()),
+            tta.map(|t| format!("{t:.0}s"))
+                .unwrap_or_else(|| "never".into()),
         );
     }
     println!("\nReading guide: the b=q=2 row has the best rounds/s column and the");

@@ -41,21 +41,26 @@ fn main() {
         let mut model = task.build_model(cfg.seed);
         let log = Trainer::new(cfg.clone()).train(model.as_mut(), scheme.as_mut(), step.total());
         let curve = log.curve.rolling_average(task.rolling_window());
-        rows.push((scheme.name(), b, step.rounds_per_sec(), curve.time_to_target(target), curve));
+        rows.push((
+            scheme.name(),
+            b,
+            step.rounds_per_sec(),
+            curve.time_to_target(target),
+            curve,
+        ));
     }
 
     let fp16_curve = rows[0].4.clone();
-    println!("# Utility report — {} task, target perplexity {target}\n", "BERT-like");
-    println!(
-        "| scheme | compression ratio vs FP32 | rounds/s | TTA (s) | **utility vs FP16** |"
-    );
+    println!("# Utility report — BERT-like task, target perplexity {target}\n");
+    println!("| scheme | compression ratio vs FP32 | rounds/s | TTA (s) | **utility vs FP16** |");
     println!("|---|---|---|---|---|");
     for (name, b, rps, tta, curve) in &rows {
         let u = utility(curve, &fp16_curve, target);
         println!(
             "| {name} | {:.1}x | {rps:.2} | {} | {} |",
             32.0 / b,
-            tta.map(|t| format!("{t:.0}")).unwrap_or_else(|| "never".into()),
+            tta.map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "never".into()),
             match u {
                 Some(u) if *name == rows[0].0 => format!("{u:.2}x (baseline)"),
                 Some(u) => format!("**{u:.2}x**"),

@@ -11,3 +11,4 @@ pub use gcs_gpusim as gpusim;
 pub use gcs_netsim as netsim;
 pub use gcs_nn as nn;
 pub use gcs_tensor as tensor;
+pub use gcs_trace as trace;

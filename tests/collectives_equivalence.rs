@@ -12,7 +12,11 @@ use gradient_utility::tensor::half::{decode_f16, encode_f16};
 
 fn grads(n: usize, len: usize) -> Vec<Vec<f32>> {
     (0..n)
-        .map(|w| (0..len).map(|i| ((w * len + i) as f32 * 0.173).sin()).collect())
+        .map(|w| {
+            (0..len)
+                .map(|i| ((w * len + i) as f32 * 0.173).sin())
+                .collect()
+        })
         .collect()
 }
 
@@ -44,7 +48,7 @@ fn threaded_ring_is_bit_identical_for_non_associative_f16() {
 
 #[test]
 fn threaded_ring_matches_for_saturating_lanes() {
-    let bufs: Vec<Vec<i32>> = (0..4).map(|w| vec![(w as i32) * 3 - 4; 33]).collect();
+    let bufs: Vec<Vec<i32>> = (0..4i32).map(|w| vec![w * 3 - 4; 33]).collect();
     let op = SaturatingIntSum::new(4);
     let mut seq = bufs.clone();
     ring_all_reduce(&mut seq, &op, 0.5);
@@ -55,7 +59,7 @@ fn threaded_ring_matches_for_saturating_lanes() {
 #[test]
 fn all_collectives_compute_the_same_sum() {
     let bufs = grads(5, 47);
-    let mut expect = vec![0.0f32; 47];
+    let mut expect = [0.0f32; 47];
     for b in &bufs {
         for (e, x) in expect.iter_mut().zip(b) {
             *e += x;
@@ -70,7 +74,11 @@ fn all_collectives_compute_the_same_sum() {
     let rs: Vec<f32> = segs.concat();
     for i in 0..47 {
         for got in [ring[0][i], tree[0][i], ps[i], rs[i]] {
-            assert!((got - expect[i]).abs() < 1e-4, "coord {i}: {got} vs {}", expect[i]);
+            assert!(
+                (got - expect[i]).abs() < 1e-4,
+                "coord {i}: {got} vs {}",
+                expect[i]
+            );
         }
     }
 }

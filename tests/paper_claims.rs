@@ -44,7 +44,9 @@ fn claim_fp16_is_the_stronger_baseline() {
     let exact = mean(&g);
     let mut fp16 = PrecisionBaseline::fp16();
     let err = vnmse(
-        &fp16.aggregate_round(&g, &RoundContext::new(1, 0)).mean_estimate,
+        &fp16
+            .aggregate_round(&g, &RoundContext::new(1, 0))
+            .mean_estimate,
         &exact,
     );
     assert!(err < 1e-4, "fp16 vNMSE = {err}");
@@ -117,10 +119,10 @@ fn claim_saturation_degrades_with_worker_correlation() {
             .map(|seed| {
                 let g = m.generate(4, SharedSeed::new(seed));
                 let exact = mean(&g);
-                let mut sat =
-                    Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
+                let mut sat = Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, 4);
                 vnmse(
-                    &sat.aggregate_round(&g, &RoundContext::new(seed, 0)).mean_estimate,
+                    &sat.aggregate_round(&g, &RoundContext::new(seed, 0))
+                        .mean_estimate,
                     &exact,
                 )
             })
@@ -181,7 +183,10 @@ fn claim_aggressive_compression_raises_error_monotonically() {
         let c = if b < 1.0 { 128 } else { 64 };
         let mut s = TopKC::with_bits(b, c, 4, false);
         let err = synthetic_vnmse(&mut s, 3);
-        assert!(err > last_err, "vNMSE not monotone at b={b}: {err} <= {last_err}");
+        assert!(
+            err > last_err,
+            "vNMSE not monotone at b={b}: {err} <= {last_err}"
+        );
         last_err = err;
     }
 }

@@ -12,10 +12,7 @@ use proptest::prelude::*;
 
 fn worker_grads() -> impl Strategy<Value = Vec<Vec<f32>>> {
     (2usize..5, 8usize..100).prop_flat_map(|(n, d)| {
-        prop::collection::vec(
-            prop::collection::vec(-10.0f32..10.0, d..=d),
-            n..=n,
-        )
+        prop::collection::vec(prop::collection::vec(-10.0f32..10.0, d..=d), n..=n)
     })
 }
 

@@ -4,12 +4,12 @@
 use gradient_utility::core::scheme::{CompressionScheme, RoundContext};
 use gradient_utility::core::schemes::baseline::PrecisionBaseline;
 use gradient_utility::core::schemes::literature::{Drive, Qsgd, RandomK, SignSgdEf, TernGrad};
-use gradient_utility::core::schemes::sketch::SketchScheme;
-use gradient_utility::core::schemes::topkc_q::TopKCQ;
 use gradient_utility::core::schemes::powersgd::PowerSgd;
+use gradient_utility::core::schemes::sketch::SketchScheme;
 use gradient_utility::core::schemes::thc::{Thc, ThcAggregation};
 use gradient_utility::core::schemes::topk::TopK;
 use gradient_utility::core::schemes::topkc::TopKC;
+use gradient_utility::core::schemes::topkc_q::TopKCQ;
 use gradient_utility::gpusim::DeviceSpec;
 use gradient_utility::tensor::hadamard::RotationMode;
 use gradient_utility::tensor::vector::{mean, vnmse};
@@ -26,10 +26,20 @@ fn zoo() -> Vec<Box<dyn CompressionScheme>> {
         Box::new(TopK::with_bits(4.0, N, true)),
         Box::new(TopKC::with_bits(4.0, 16, N, true)),
         Box::new(TopKC::with_bits(4.0, 16, N, true).with_permutation()),
-        Box::new(Thc::new(4, RotationMode::Full, ThcAggregation::Saturating, N)),
+        Box::new(Thc::new(
+            4,
+            RotationMode::Full,
+            ThcAggregation::Saturating,
+            N,
+        )),
         Box::new(Thc::improved(4, &device, N)),
         Box::new(Thc::baseline(4, N)),
-        Box::new(Thc::new(6, RotationMode::None, ThcAggregation::Widened { b: 10 }, N)),
+        Box::new(Thc::new(
+            6,
+            RotationMode::None,
+            ThcAggregation::Widened { b: 10 },
+            N,
+        )),
         Box::new(PowerSgd::new(3, vec![(16, 16)], N)),
         Box::new(Qsgd::new(4, N)),
         Box::new(TernGrad::new(N)),
@@ -74,7 +84,11 @@ fn every_scheme_moves_traffic_and_reports_bits() {
         .collect();
     for mut s in zoo() {
         let out = s.aggregate_round(&g, &RoundContext::new(3, 0));
-        assert!(out.traffic.total() > 0, "{} reported zero traffic", s.name());
+        assert!(
+            out.traffic.total() > 0,
+            "{} reported zero traffic",
+            s.name()
+        );
         let b = out.bits_per_coord(BIG as u64);
         assert!(b > 0.0 && b <= 64.0, "{}: b = {b}", s.name());
         // Nominal accounting should be in the same ballpark as measured
@@ -138,10 +152,14 @@ fn estimates_are_deterministic_given_context() {
 fn reset_restores_initial_behaviour() {
     let g = grads(5);
     for mut s in zoo() {
-        let first = s.aggregate_round(&g, &RoundContext::new(6, 0)).mean_estimate;
+        let first = s
+            .aggregate_round(&g, &RoundContext::new(6, 0))
+            .mean_estimate;
         let _ = s.aggregate_round(&g, &RoundContext::new(6, 1));
         s.reset();
-        let again = s.aggregate_round(&g, &RoundContext::new(6, 0)).mean_estimate;
+        let again = s
+            .aggregate_round(&g, &RoundContext::new(6, 0))
+            .mean_estimate;
         assert_eq!(first, again, "{}: reset did not clear state", s.name());
     }
 }

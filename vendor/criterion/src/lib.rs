@@ -29,7 +29,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered as `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 }
 
@@ -101,7 +103,10 @@ impl Criterion {
 
     /// Opens a named group; benchmark ids are prefixed with `name/`.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, prefix: name.into() }
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.into(),
+        }
     }
 
     /// Runs a single ungrouped benchmark.
@@ -139,7 +144,9 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.prefix, id.into().id), |b| f(b, input));
+        run_one(&format!("{}/{}", self.prefix, id.into().id), |b| {
+            f(b, input)
+        });
         self
     }
 

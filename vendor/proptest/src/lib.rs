@@ -142,14 +142,9 @@ macro_rules! tuple_strategy {
     )*};
 }
 
-tuple_strategy!(
-    (A.0)
-    (A.0, B.1)
-    (A.0, B.1, C.2)
-    (A.0, B.1, C.2, D.3)
-    (A.0, B.1, C.2, D.3, E.4)
-    (A.0, B.1, C.2, D.3, E.4, F.5)
-);
+tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
+    A.0, B.1, C.2, D.3, E.4
+)(A.0, B.1, C.2, D.3, E.4, F.5));
 
 /// See [`Strategy::prop_flat_map`].
 pub struct FlatMap<S, F> {
@@ -225,27 +220,39 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_inclusive: n }
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
         }
     }
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
         }
     }
 
     /// `Vec` strategy: a length drawn from `size`, elements from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].
@@ -382,6 +389,9 @@ mod tests {
         let s = crate::collection::vec(0u32..100, 5..10);
         let mut r1 = <crate::TestRng as crate::SeedableRng>::seed_from_u64(9);
         let mut r2 = <crate::TestRng as crate::SeedableRng>::seed_from_u64(9);
-        assert_eq!(crate::Strategy::sample(&s, &mut r1), crate::Strategy::sample(&s, &mut r2));
+        assert_eq!(
+            crate::Strategy::sample(&s, &mut r1),
+            crate::Strategy::sample(&s, &mut r2)
+        );
     }
 }
