@@ -1,0 +1,106 @@
+//! Overhead contract of the `gcs-metrics` probes (PR 3's telemetry layer):
+//! with capture **disabled** — the default state every experiment runs in —
+//! the counters, histograms and timers baked into the schemes, collectives
+//! and trainer must cost well under 2% of an aggregation round.
+//!
+//! Method mirrors `trace_overhead`: (1) time a disabled
+//! counter+observe+timer probe trio in isolation, (2) count how many metric
+//! events one real aggregation round actually emits (by capturing one), (3)
+//! time the round with capture disabled. The disabled overhead bound is
+//! `probes × probe_cost / round_time`. The enabled cost is also reported,
+//! un-asserted, for context.
+
+use gcs_bench::{expect, header, measured_only};
+use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::schemes::topkc::TopKC;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn grads(n: usize, d: usize) -> Vec<Vec<f32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+/// Median seconds per call of `f` over `samples` timed batches.
+fn time_median(samples: usize, iters: u64, mut f: impl FnMut()) -> f64 {
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_call.sort_by(f64::total_cmp);
+    per_call[per_call.len() / 2]
+}
+
+fn main() {
+    header(
+        "metrics overhead",
+        "cost of gcs-metrics probes around a TopKC aggregation round",
+    );
+    let n = 4;
+    let d = 1 << 16;
+    let g = grads(n, d);
+    let ctx = RoundContext::new(7, 0);
+
+    // How many metric events does one round emit? Capture one and count.
+    // Histogram samples cover every `observe` and `timer`; each `counter_add`
+    // site in the collectives pairs 1:1 with a wire-byte observe, so doubling
+    // the histogram events bounds them generously. Series points (trainer
+    // loss/bits curves) don't fire inside `aggregate_round` but are counted
+    // anyway in case a scheme ever pushes one.
+    let mut probe_counter_scheme = TopKC::paper_config(2.0, n);
+    let ((), reg) = gcs_metrics::with_capture(|| {
+        black_box(probe_counter_scheme.aggregate_round(&g, &ctx));
+    });
+    let hist_events: u64 = reg.hists().map(|(_, h)| h.count()).sum();
+    let series_events: u64 = reg.all_series().map(|(_, s)| s.len() as u64).sum();
+    let probes = (2 * hist_events + series_events) as f64;
+    measured_only("metric events per aggregation round", probes);
+
+    // Disabled probe cost: counter + observe + timer trio, capture off.
+    assert!(!gcs_metrics::enabled(), "capture must be off here");
+    let probe_ns = time_median(9, 1_000_000, || {
+        gcs_metrics::counter_add("bench/probe_total", black_box(1.0));
+        gcs_metrics::observe("bench/probe_hist", black_box(1.0));
+        let _t = gcs_metrics::timer("bench/probe_timer_ns");
+    }) * 1e9;
+    measured_only("disabled counter+observe+timer trio (ns)", probe_ns);
+
+    // Round time with capture disabled (the default experiment state).
+    let mut scheme = TopKC::paper_config(2.0, n);
+    let disabled_s = time_median(7, 3, || {
+        black_box(scheme.aggregate_round(&g, &ctx));
+    });
+    measured_only("round, capture disabled (ms)", disabled_s * 1e3);
+
+    // Round time with capture enabled, for context (registry discarded).
+    let mut scheme_on = TopKC::paper_config(2.0, n);
+    let enabled_s = gcs_metrics::with_capture(|| {
+        time_median(7, 3, || {
+            black_box(scheme_on.aggregate_round(&g, &ctx));
+        })
+    })
+    .0;
+    measured_only("round, capture enabled  (ms)", enabled_s * 1e3);
+
+    // The contract: disabled probes are an immeasurably small fraction of a
+    // round. Bound it generously — per-event cost times the (doubled) event
+    // count, each event assumed to pay the full measured trio cost.
+    let overhead = probes * probe_ns * 1e-9 / disabled_s;
+    measured_only("disabled overhead bound (%)", overhead * 100.0);
+    expect(
+        "disabled metrics cost < 2% of an aggregation round",
+        overhead < 0.02,
+    );
+    expect(
+        "enabled capture stays moderate (< 25% on this round)",
+        enabled_s < disabled_s * 1.25,
+    );
+}

@@ -1,0 +1,287 @@
+//! Machine-readable bench trajectory: emits a `BENCH_<id>.json` artifact
+//! covering the Table 4/8/9 kernel suites (per-scheme aggregation-round
+//! latency quantiles + throughput) and the six collectives (wire bytes +
+//! latency tails), alongside the other two exporters — a Prometheus
+//! text-format snapshot and a JSONL time-series dump — of everything the
+//! run captured into the `gcs-metrics` registry.
+//!
+//! Usage:
+//!   cargo run -p gcs-bench --release --bin bench_report -- [--fast]
+//!       [--id PR3] [--out path.json]
+//!   cargo run -p gcs-bench --release --bin bench_report -- --validate path.json
+//!
+//! `--fast` shrinks the gradient dimension and round count for CI; the
+//! schema and every field are identical to a full run. `--validate` parses
+//! an existing artifact and checks it against the schema (field presence +
+//! finite values), exiting non-zero on violation.
+
+use gcs_collectives::{
+    all_gather, broadcast, parameter_server, reduce_scatter, ring_all_reduce, tree_all_reduce,
+    F32Sum,
+};
+use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::schemes::baseline::PrecisionBaseline;
+use gcs_core::schemes::literature::Qsgd;
+use gcs_core::schemes::powersgd::PowerSgd;
+use gcs_core::schemes::thc::Thc;
+use gcs_core::schemes::topk::TopK;
+use gcs_core::schemes::topkc::TopKC;
+use gcs_metrics::{validate_bench_json, Histogram, Json, Registry, SCHEMA_VERSION};
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Cli {
+    fast: bool,
+    id: String,
+    out: Option<PathBuf>,
+    validate: Option<PathBuf>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        fast: false,
+        id: "PR3".to_string(),
+        out: None,
+        validate: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => cli.fast = true,
+            "--id" => cli.id = args.next().expect("--id needs a value"),
+            "--out" => cli.out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--validate" => {
+                cli.validate = Some(PathBuf::from(args.next().expect("--validate needs a path")))
+            }
+            other => {
+                eprintln!("bench_report: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+fn grads(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+/// Normalized MSE of the aggregated estimate against the exact mean:
+/// `||est − mean||² / ||mean||²`. `None` when the exact mean is ~zero.
+fn vnmse(est: &[f32], grads: &[Vec<f32>]) -> Option<f64> {
+    let n = grads.len() as f64;
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (i, &e) in est.iter().enumerate() {
+        let mean: f64 = grads.iter().map(|g| g[i] as f64).sum::<f64>() / n;
+        num += (e as f64 - mean).powi(2);
+        den += mean * mean;
+    }
+    (den > 0.0).then(|| num / den)
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// One Table 4/8-style kernel row: run `rounds` aggregation rounds of the
+/// scheme, timing each round wall-clock into a metrics histogram (so p50/p99
+/// use the same log-bucketed quantiles the telemetry layer reports). Also
+/// merges whatever the capture-gated probes recorded into `merged`.
+fn kernel_entry(
+    family: &str,
+    scheme: &mut dyn CompressionScheme,
+    n: usize,
+    d: usize,
+    rounds: u64,
+    merged: &mut Registry,
+) -> Json {
+    let g = grads(n, d, 42);
+    let mut round_ns = Histogram::new();
+    let mut last = None;
+    let ((), reg) = gcs_metrics::with_capture(|| {
+        for r in 0..rounds {
+            let ctx = RoundContext::new(7, r);
+            let t0 = Instant::now();
+            let out = scheme.aggregate_round(&g, &ctx);
+            round_ns.record(t0.elapsed().as_nanos() as f64);
+            last = Some(out);
+        }
+    });
+    merged.merge(&reg);
+    let last = last.expect("at least one round");
+    let mean_s = round_ns.mean().unwrap_or(f64::NAN) * 1e-9;
+    let err = vnmse(&last.mean_estimate, &g);
+    println!(
+        "  kernel {family:<14} p50 {:>11.0} ns  p99 {:>11.0} ns  {:>8.2e} elems/s",
+        round_ns.p50().unwrap_or(f64::NAN),
+        round_ns.p99().unwrap_or(f64::NAN),
+        d as f64 / mean_s
+    );
+    obj(vec![
+        ("name", Json::Str(family.to_string())),
+        ("throughput_elems_per_s", Json::Num(d as f64 / mean_s)),
+        ("p50_ns", Json::Num(round_ns.p50().unwrap_or(f64::NAN))),
+        ("p99_ns", Json::Num(round_ns.p99().unwrap_or(f64::NAN))),
+        ("bits_per_coord", Json::Num(last.bits_per_coord(d as u64))),
+        ("vnmse", err.map(Json::Num).unwrap_or(Json::Null)),
+    ])
+}
+
+/// One collective row: `iters` invocations on fresh f32 buffers, exact wire
+/// bytes from the returned `Traffic`, latency tails from wall-clock timing.
+fn collective_entry(
+    name: &str,
+    n: usize,
+    len: usize,
+    iters: u64,
+    merged: &mut Registry,
+    run: impl Fn(&mut [Vec<f32>]) -> u64,
+) -> Json {
+    let mut lat_ns = Histogram::new();
+    let mut wire = 0u64;
+    let ((), reg) = gcs_metrics::with_capture(|| {
+        for i in 0..iters {
+            let mut bufs = grads(n, len, 100 + i);
+            let t0 = Instant::now();
+            wire += run(&mut bufs);
+            lat_ns.record(t0.elapsed().as_nanos() as f64);
+        }
+    });
+    merged.merge(&reg);
+    println!(
+        "  collective {name:<18} wire {wire:>12} B  p50 {:>9.0} ns  p99 {:>9.0} ns",
+        lat_ns.p50().unwrap_or(f64::NAN),
+        lat_ns.p99().unwrap_or(f64::NAN),
+    );
+    obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("wire_bytes", Json::Num(wire as f64)),
+        ("p50_ns", Json::Num(lat_ns.p50().unwrap_or(f64::NAN))),
+        ("p99_ns", Json::Num(lat_ns.p99().unwrap_or(f64::NAN))),
+        ("count", Json::Num(lat_ns.count() as f64)),
+    ])
+}
+
+fn validate_file(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    validate_bench_json(&doc)
+}
+
+fn main() {
+    let cli = parse_args();
+    if let Some(path) = &cli.validate {
+        match validate_file(path) {
+            Ok(()) => println!("bench_report: {} is schema-valid", path.display()),
+            Err(e) => {
+                eprintln!("bench_report: {} INVALID: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let (d, rounds) = if cli.fast {
+        (1 << 14, 3)
+    } else {
+        (1 << 18, 10)
+    };
+    let n = 4usize;
+    let side = (d as f64).sqrt() as usize;
+    assert_eq!(side * side, d, "d must be a perfect square for PowerSGD");
+    let mode = if cli.fast { "fast" } else { "full" };
+    println!("bench_report: mode={mode} d={d} rounds={rounds} workers={n}");
+
+    let mut merged = Registry::new();
+
+    // Table 4/8/9 kernel suites: one row per scheme family, timer names
+    // matching the `scheme/<family>/round_ns` telemetry histograms.
+    let mut suites: Vec<(&str, Box<dyn CompressionScheme>)> = vec![
+        ("fp16_baseline", Box::new(PrecisionBaseline::fp16())),
+        ("qsgd", Box::new(Qsgd::new(4, n))),
+        ("thc", Box::new(Thc::baseline(4, n))),
+        ("topk", Box::new(TopK::with_bits(2.0, n, true))),
+        ("topkc", Box::new(TopKC::paper_config(2.0, n))),
+        (
+            "powersgd",
+            Box::new(PowerSgd::new(4, vec![(side, side)], n)),
+        ),
+    ];
+    let kernels: Vec<Json> = suites
+        .iter_mut()
+        .map(|(family, scheme)| kernel_entry(family, scheme.as_mut(), n, d, rounds, &mut merged))
+        .collect();
+
+    // The six collectives, exercised explicitly on d/16-element payloads.
+    let len = d / 16;
+    let collectives = vec![
+        collective_entry("ring_all_reduce", n, len, rounds, &mut merged, |b| {
+            ring_all_reduce(b, &F32Sum, 4.0).total()
+        }),
+        collective_entry("tree_all_reduce", n, len, rounds, &mut merged, |b| {
+            tree_all_reduce(b, &F32Sum, 4.0).total()
+        }),
+        collective_entry("all_gather", n, len, rounds, &mut merged, |b| {
+            all_gather(b, 4.0).1.total()
+        }),
+        collective_entry("reduce_scatter", n, len, rounds, &mut merged, |b| {
+            reduce_scatter(b, &F32Sum, 4.0).1.total()
+        }),
+        collective_entry("broadcast", n, len, rounds, &mut merged, |b| {
+            broadcast(b, 0, 4.0).total()
+        }),
+        collective_entry("parameter_server", n, len, rounds, &mut merged, |b| {
+            parameter_server(b, &F32Sum, 4.0).1.total()
+        }),
+    ];
+
+    let doc = obj(vec![
+        ("schema_version", Json::Num(SCHEMA_VERSION)),
+        ("id", Json::Str(cli.id.clone())),
+        ("mode", Json::Str(mode.to_string())),
+        ("dim", Json::Num(d as f64)),
+        ("rounds", Json::Num(rounds as f64)),
+        ("workers", Json::Num(n as f64)),
+        ("kernels", Json::Array(kernels)),
+        ("collectives", Json::Array(collectives)),
+    ]);
+
+    let out = cli.out.unwrap_or_else(|| {
+        Path::new("target")
+            .join("experiment-results")
+            .join(format!("BENCH_{}.json", cli.id))
+    });
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, doc.render_pretty()).expect("write BENCH json");
+
+    // Self-validate the artifact we just wrote: round-trip through the
+    // parser and the schema checker, so a fast CI run proves the contract.
+    match validate_file(&out) {
+        Ok(()) => println!("wrote {} (schema-valid)", out.display()),
+        Err(e) => {
+            eprintln!("bench_report: emitted artifact failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The other two exporters, over everything the run captured: Prometheus
+    // text-format snapshot and JSONL time series.
+    let prom = out.with_extension("prom");
+    let jsonl = out.with_extension("jsonl");
+    std::fs::write(&prom, merged.to_prometheus()).expect("write prometheus snapshot");
+    std::fs::write(&jsonl, merged.to_jsonl()).expect("write jsonl export");
+    println!("wrote {}", prom.display());
+    println!("wrote {}", jsonl.display());
+}

@@ -27,6 +27,8 @@ pub fn double_tree_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
+    let _span = gcs_trace::span(gcs_trace::Phase::Network, "double_tree_all_reduce");
+    let _timer = gcs_metrics::timer("collective/double_tree_all_reduce/latency_ns");
     let n = bufs.len();
     assert!(n > 0, "double_tree_all_reduce: no workers");
     let len = bufs[0].len();
@@ -89,6 +91,15 @@ pub fn double_tree_all_reduce<T: Clone>(
     let s1 = run_half(0, half, &|v| v);
     let s2 = run_half(half, len, &|v| n - 1 - v);
     traffic.steps = s1.max(s2); // the two trees run concurrently
+    gcs_trace::counter("wire_bytes", traffic.total() as f64);
+    gcs_metrics::counter_add(
+        "collective/double_tree_all_reduce/wire_bytes_total",
+        traffic.total() as f64,
+    );
+    gcs_metrics::observe(
+        "collective/double_tree_all_reduce/wire_bytes",
+        traffic.total() as f64,
+    );
     traffic
 }
 
@@ -109,6 +120,8 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
+    let _span = gcs_trace::span(gcs_trace::Phase::Network, "hierarchical_ring_all_reduce");
+    let _timer = gcs_metrics::timer("collective/hierarchical_ring_all_reduce/latency_ns");
     let n = bufs.len();
     assert!(n > 0 && group > 0, "hierarchical_ring: bad sizes");
     assert!(
@@ -196,6 +209,15 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
         }
     }
     traffic.steps += (group - 1) as u32;
+    gcs_trace::counter("wire_bytes", traffic.total() as f64);
+    gcs_metrics::counter_add(
+        "collective/hierarchical_ring_all_reduce/wire_bytes_total",
+        traffic.total() as f64,
+    );
+    gcs_metrics::observe(
+        "collective/hierarchical_ring_all_reduce/wire_bytes",
+        traffic.total() as f64,
+    );
     traffic
 }
 

@@ -89,7 +89,8 @@ pub fn ring_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
-    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "ring_all_reduce");
+    let _span = gcs_trace::span(gcs_trace::Phase::Network, "ring_all_reduce");
+    let _timer = gcs_metrics::timer("collective/ring_all_reduce/latency_ns");
     let n = bufs.len();
     assert!(n > 0, "ring_all_reduce: no workers");
     let len = bufs[0].len();
@@ -139,6 +140,14 @@ pub fn ring_all_reduce<T: Clone>(
         traffic.steps += 1;
     }
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
+    gcs_metrics::counter_add(
+        "collective/ring_all_reduce/wire_bytes_total",
+        traffic.total() as f64,
+    );
+    gcs_metrics::observe(
+        "collective/ring_all_reduce/wire_bytes",
+        traffic.total() as f64,
+    );
     traffic
 }
 
@@ -153,7 +162,8 @@ pub fn tree_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
-    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "tree_all_reduce");
+    let _span = gcs_trace::span(gcs_trace::Phase::Network, "tree_all_reduce");
+    let _timer = gcs_metrics::timer("collective/tree_all_reduce/latency_ns");
     let n = bufs.len();
     assert!(n > 0, "tree_all_reduce: no workers");
     let len = bufs[0].len();
@@ -194,6 +204,14 @@ pub fn tree_all_reduce<T: Clone>(
         traffic.steps += 1;
     }
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
+    gcs_metrics::counter_add(
+        "collective/tree_all_reduce/wire_bytes_total",
+        traffic.total() as f64,
+    );
+    gcs_metrics::observe(
+        "collective/tree_all_reduce/wire_bytes",
+        traffic.total() as f64,
+    );
     traffic
 }
 
@@ -205,7 +223,8 @@ pub fn tree_all_reduce<T: Clone>(
 /// Panics if `inputs` is empty. Ragged inputs are allowed (TopK payload
 /// sizes can differ per worker after ties).
 pub fn all_gather<T: Clone>(inputs: &[Vec<T>], bytes_per_elem: f64) -> (Vec<T>, Traffic) {
-    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "all_gather");
+    let _span = gcs_trace::span(gcs_trace::Phase::Network, "all_gather");
+    let _timer = gcs_metrics::timer("collective/all_gather/latency_ns");
     let n = inputs.len();
     assert!(n > 0, "all_gather: no workers");
     let mut traffic = Traffic::new(n);
@@ -221,6 +240,11 @@ pub fn all_gather<T: Clone>(inputs: &[Vec<T>], bytes_per_elem: f64) -> (Vec<T>, 
     }
     traffic.steps = (n - 1) as u32;
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
+    gcs_metrics::counter_add(
+        "collective/all_gather/wire_bytes_total",
+        traffic.total() as f64,
+    );
+    gcs_metrics::observe("collective/all_gather/wire_bytes", traffic.total() as f64);
     (out, traffic)
 }
 
@@ -235,7 +259,8 @@ pub fn reduce_scatter<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> (Vec<Vec<T>>, Traffic) {
-    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "reduce_scatter");
+    let _span = gcs_trace::span(gcs_trace::Phase::Network, "reduce_scatter");
+    let _timer = gcs_metrics::timer("collective/reduce_scatter/latency_ns");
     let n = bufs.len();
     assert!(n > 0, "reduce_scatter: no workers");
     let len = bufs[0].len();
@@ -257,6 +282,14 @@ pub fn reduce_scatter<T: Clone>(
     }
     traffic.steps = (n - 1) as u32;
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
+    gcs_metrics::counter_add(
+        "collective/reduce_scatter/wire_bytes_total",
+        traffic.total() as f64,
+    );
+    gcs_metrics::observe(
+        "collective/reduce_scatter/wire_bytes",
+        traffic.total() as f64,
+    );
     (out, traffic)
 }
 
@@ -265,7 +298,8 @@ pub fn reduce_scatter<T: Clone>(
 /// # Panics
 /// Panics if `root >= n`.
 pub fn broadcast<T: Clone>(bufs: &mut [Vec<T>], root: usize, bytes_per_elem: f64) -> Traffic {
-    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "broadcast");
+    let _span = gcs_trace::span(gcs_trace::Phase::Network, "broadcast");
+    let _timer = gcs_metrics::timer("collective/broadcast/latency_ns");
     let n = bufs.len();
     assert!(root < n, "broadcast: root {root} out of range");
     let mut traffic = Traffic::new(n);
@@ -279,6 +313,11 @@ pub fn broadcast<T: Clone>(bufs: &mut [Vec<T>], root: usize, bytes_per_elem: f64
     }
     traffic.steps = 1;
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
+    gcs_metrics::counter_add(
+        "collective/broadcast/wire_bytes_total",
+        traffic.total() as f64,
+    );
+    gcs_metrics::observe("collective/broadcast/wire_bytes", traffic.total() as f64);
     traffic
 }
 
@@ -294,7 +333,8 @@ pub fn parameter_server<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> (Vec<T>, Traffic) {
-    let _span = gcs_trace::span(gcs_trace::Phase::Reduce, "parameter_server");
+    let _span = gcs_trace::span(gcs_trace::Phase::Network, "parameter_server");
+    let _timer = gcs_metrics::timer("collective/parameter_server/latency_ns");
     let n = bufs.len();
     assert!(n > 0, "parameter_server: no workers");
     let len = bufs[0].len();
@@ -317,6 +357,14 @@ pub fn parameter_server<T: Clone>(
     }
     traffic.steps = 2;
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
+    gcs_metrics::counter_add(
+        "collective/parameter_server/wire_bytes_total",
+        traffic.total() as f64,
+    );
+    gcs_metrics::observe(
+        "collective/parameter_server/wire_bytes",
+        traffic.total() as f64,
+    );
     (acc, traffic)
 }
 
@@ -359,6 +407,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn collectives_emit_per_op_wire_and_latency_metrics() {
+        let (traffic, reg) = gcs_metrics::with_capture(|| {
+            let mut bufs = worker_bufs(4, 64);
+            ring_all_reduce(&mut bufs, &F32Sum, 4.0)
+        });
+        if !gcs_metrics::is_captured() {
+            return;
+        }
+        let wire = traffic.total() as f64;
+        assert_eq!(
+            reg.counter("collective/ring_all_reduce/wire_bytes_total"),
+            Some(wire)
+        );
+        let bytes_hist = reg.hist("collective/ring_all_reduce/wire_bytes").unwrap();
+        assert_eq!(bytes_hist.count(), 1);
+        assert_eq!(bytes_hist.max(), Some(wire));
+        let lat = reg.hist("collective/ring_all_reduce/latency_ns").unwrap();
+        assert_eq!(lat.count(), 1);
+        assert!(lat.max().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn collective_spans_are_tagged_network_phase() {
+        gcs_trace::clear();
+        let trace = gcs_trace::with_recording(|| {
+            let mut bufs = worker_bufs(3, 32);
+            ring_all_reduce(&mut bufs, &F32Sum, 4.0);
+        });
+        if trace.spans.is_empty() {
+            return; // trace capture disabled
+        }
+        assert!(trace
+            .spans
+            .iter()
+            .any(|s| s.phase == gcs_trace::Phase::Network && s.name == "ring_all_reduce"));
+        assert!(!trace
+            .spans
+            .iter()
+            .any(|s| s.phase == gcs_trace::Phase::Reduce));
     }
 
     #[test]

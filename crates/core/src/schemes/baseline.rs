@@ -68,6 +68,7 @@ impl CompressionScheme for PrecisionBaseline {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], _ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/fp16_baseline/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         match self.precision {

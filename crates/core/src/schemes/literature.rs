@@ -49,6 +49,7 @@ impl CompressionScheme for Qsgd {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/qsgd/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let s = self.levels();
@@ -133,6 +134,7 @@ impl CompressionScheme for TernGrad {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/terngrad/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let encode_span = gcs_trace::span(gcs_trace::Phase::Compress, "terngrad_ternarize");
@@ -221,6 +223,7 @@ impl CompressionScheme for SignSgdEf {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], _ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/signsgd_ef/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let encode_span = gcs_trace::span(gcs_trace::Phase::Compress, "signsgd_sign");
@@ -310,6 +313,7 @@ impl CompressionScheme for RandomK {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/randomk/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let k = self.k_for(d);
@@ -426,6 +430,7 @@ impl CompressionScheme for Drive {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/drive/round_ns");
         use gcs_tensor::hadamard::{padded_len, rht_forward, rht_inverse};
         let n = grads.len();
         let d = grads[0].len();

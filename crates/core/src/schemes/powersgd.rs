@@ -112,6 +112,7 @@ impl CompressionScheme for PowerSgd {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/powersgd/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let covered: usize = self.shapes.iter().map(|&(r, c)| r * c).sum();

@@ -74,6 +74,7 @@ impl CompressionScheme for SketchScheme {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/sketch/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let width = self.width_for(d);

@@ -205,6 +205,7 @@ impl CompressionScheme for Thc {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/thc/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let padded = self.padded_for(d);

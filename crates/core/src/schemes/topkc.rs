@@ -102,6 +102,7 @@ impl CompressionScheme for TopKC {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let _round_timer = gcs_metrics::timer("scheme/topkc/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let chunks = d.div_ceil(self.chunk);

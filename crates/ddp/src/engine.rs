@@ -254,6 +254,7 @@ impl Trainer {
 
         for round in 0..cfg.max_rounds {
             gcs_trace::set_round(round);
+            let _round_timer = gcs_metrics::timer("train/round_latency_ns");
 
             // 1. Per-worker gradients on disjoint shards (parallel across
             //    workers when the model supports replication).
@@ -267,7 +268,9 @@ impl Trainer {
                     round,
                 )
             };
-            loss_history.push((round, loss_acc / cfg.n_workers as f32));
+            let mean_loss = loss_acc / cfg.n_workers as f32;
+            loss_history.push((round, mean_loss));
+            gcs_metrics::series_push("train/loss", mean_loss as f64);
 
             // 2. Distributed aggregation through the scheme.
             let ctx = RoundContext::new(cfg.seed, round);
@@ -275,6 +278,7 @@ impl Trainer {
             let bits = outcome.bits_per_coord(d as u64);
             bits_sum += bits;
             gcs_trace::counter("bits_per_coord", bits);
+            gcs_metrics::series_push("train/bits_per_coord", bits);
 
             if cfg.vnmse_every > 0 && round % cfg.vnmse_every == 0 {
                 let exact = gcs_tensor::vector::mean(&grads);
@@ -282,6 +286,7 @@ impl Trainer {
                 vnmse_sum += sample;
                 vnmse_n += 1;
                 gcs_trace::counter("vnmse", sample);
+                gcs_metrics::series_push("train/vnmse", sample);
             }
 
             // 3. Optimizer step on the aggregate (scheduled LR).
@@ -305,6 +310,8 @@ impl Trainer {
                     model.evaluate()
                 };
                 curve.push(t, metric);
+                gcs_metrics::series_push(gcs_metrics::EVAL_TIME_SERIES, t);
+                gcs_metrics::series_push(gcs_metrics::EVAL_METRIC_SERIES, metric);
                 last_eval_round = round + 1;
                 if let Some(es) = stopper.as_mut() {
                     if es.observe(metric) {
@@ -326,6 +333,8 @@ impl Trainer {
                 model.evaluate()
             };
             curve.push(t, metric);
+            gcs_metrics::series_push(gcs_metrics::EVAL_TIME_SERIES, t);
+            gcs_metrics::series_push(gcs_metrics::EVAL_METRIC_SERIES, metric);
         }
 
         let final_metric = curve.final_metric().unwrap_or_else(|| model.evaluate());
@@ -543,7 +552,7 @@ mod tests {
 
     /// Tracing observes a training run without changing it: the same run
     /// with recording enabled is bitwise-identical to one with it off, and
-    /// the trace covers every step phase (compute, compress, reduce,
+    /// the trace covers every step phase (compute, compress, network,
     /// optimizer, eval) plus the per-round counters.
     #[test]
     fn tracing_captures_phases_without_perturbing_training() {
@@ -568,7 +577,7 @@ mod tests {
         for phase in [
             gcs_trace::Phase::Compute,
             gcs_trace::Phase::Compress,
-            gcs_trace::Phase::Reduce,
+            gcs_trace::Phase::Network,
             gcs_trace::Phase::Optimizer,
             gcs_trace::Phase::Eval,
         ] {
@@ -587,6 +596,46 @@ mod tests {
         assert!(report.counter("bits_per_coord").unwrap().samples >= 12);
         assert!(report.counter("ef_residual_norm").is_some());
         assert!(report.rounds >= 12);
+    }
+
+    /// The PR 3 telemetry contract: a run with metrics recording enabled is
+    /// bitwise-identical to one with it off, and the registry carries the
+    /// per-round series, round-latency histogram, and collective wire-byte
+    /// counters the exporters and monitors consume.
+    #[test]
+    fn metrics_capture_is_bitwise_invisible_to_training() {
+        let run = || {
+            let mut model = BertMini::new(2);
+            let mut scheme = TopKC::with_bits(2.0, 64, 2, true);
+            let cfg = TrainerConfig {
+                max_rounds: 12,
+                eval_every: 5,
+                ..quick_config()
+            };
+            Trainer::new(cfg).train(&mut model, &mut scheme, 0.5)
+        };
+        let baseline = run();
+        let (recorded, reg) = gcs_metrics::with_capture(run);
+        assert_eq!(baseline.loss_history, recorded.loss_history);
+        assert_eq!(baseline.final_metric, recorded.final_metric);
+        assert_eq!(baseline.mean_vnmse, recorded.mean_vnmse);
+        if !gcs_metrics::is_captured() {
+            return;
+        }
+        // Lower bounds, not equalities: the hub is process-global and
+        // sibling tests may record while capture is on.
+        assert!(reg.series("train/loss").unwrap().len() >= 12);
+        assert!(reg.series("train/bits_per_coord").unwrap().len() >= 12);
+        assert!(reg.hist("train/round_latency_ns").unwrap().count() >= 12);
+        assert!(reg
+            .counter("collective/ring_all_reduce/wire_bytes_total")
+            .is_some());
+        let evals = reg.series(gcs_metrics::EVAL_METRIC_SERIES).unwrap().len();
+        assert!(evals >= 3, "expected >= 3 eval points, got {evals}");
+        // The TTA monitor rebuilds its curve from the registry series.
+        let mon = gcs_metrics::TtaMonitor::from_registry(&reg, false, 2);
+        assert_eq!(mon.curve().len(), evals);
+        assert!(mon.latest().unwrap().is_finite());
     }
 
     /// The scheme contract extended to the runtime: an entire training run —

@@ -1,0 +1,235 @@
+//! Schema validation for `BENCH_*.json` benchmark artifacts.
+//!
+//! Every PR appends one machine-readable point to the repo's performance
+//! trajectory: a `BENCH_<id>.json` emitted by `gcs-bench`'s `bench_report`
+//! binary. CI validates the artifact with [`validate_bench_json`] before
+//! uploading it, so a refactor that silently breaks a kernel (NaN
+//! throughput, missing suite) fails the build rather than poisoning the
+//! trajectory.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "id": "PR3",
+//!   "mode": "fast",
+//!   "dim": 16384,
+//!   "rounds": 3,
+//!   "workers": 4,
+//!   "kernels": [
+//!     { "name": "topk", "throughput_elems_per_s": 1.2e8,
+//!       "p50_ns": 80000.0, "p99_ns": 95000.0,
+//!       "bits_per_coord": 2.1, "vnmse": 0.83 }
+//!   ],
+//!   "collectives": [
+//!     { "name": "ring_all_reduce", "wire_bytes": 393216,
+//!       "p50_ns": 120000.0, "p99_ns": 150000.0, "count": 3 }
+//!   ]
+//! }
+//! ```
+//!
+//! `vnmse` may be `null` for schemes where it is undefined; every other
+//! numeric field must be present and finite (the JSON renderer writes
+//! non-finite numbers as `null`, which this validator rejects).
+
+use crate::json::Json;
+
+/// Current artifact schema version.
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// Top-level numeric fields every artifact must carry.
+const TOP_NUM_FIELDS: [&str; 4] = ["schema_version", "dim", "rounds", "workers"];
+/// Required finite numeric fields per kernel entry.
+const KERNEL_NUM_FIELDS: [&str; 4] = [
+    "throughput_elems_per_s",
+    "p50_ns",
+    "p99_ns",
+    "bits_per_coord",
+];
+/// Required finite numeric fields per collective entry.
+const COLLECTIVE_NUM_FIELDS: [&str; 4] = ["wire_bytes", "p50_ns", "p99_ns", "count"];
+
+/// Validates a parsed `BENCH_*.json` document. Returns the first problem
+/// found as a human-readable message.
+pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
+    let obj = doc
+        .as_object()
+        .ok_or("artifact root must be a JSON object")?;
+    let _ = obj;
+
+    for field in TOP_NUM_FIELDS {
+        finite_num(doc, field).map_err(|e| format!("top-level: {e}"))?;
+    }
+    let version = finite_num(doc, "schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    non_empty_str(doc, "id")?;
+    let mode = non_empty_str(doc, "mode")?;
+    if mode != "fast" && mode != "full" {
+        return Err(format!("mode must be \"fast\" or \"full\", got {mode:?}"));
+    }
+
+    let kernels = doc
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or("missing \"kernels\" array")?;
+    if kernels.is_empty() {
+        return Err("\"kernels\" must not be empty".to_string());
+    }
+    for (i, kernel) in kernels.iter().enumerate() {
+        let name = non_empty_str(kernel, "name").map_err(|e| format!("kernels[{i}]: {e}"))?;
+        for field in KERNEL_NUM_FIELDS {
+            finite_num(kernel, field).map_err(|e| format!("kernel {name:?}: {e}"))?;
+        }
+        // vNMSE is optional (null allowed) but must be finite when numeric.
+        if let Some(v) = kernel.get("vnmse") {
+            match v {
+                Json::Null => {}
+                Json::Num(n) if n.is_finite() => {}
+                _ => return Err(format!("kernel {name:?}: vnmse must be finite or null")),
+            }
+        }
+    }
+
+    let collectives = doc
+        .get("collectives")
+        .and_then(Json::as_array)
+        .ok_or("missing \"collectives\" array")?;
+    if collectives.is_empty() {
+        return Err("\"collectives\" must not be empty".to_string());
+    }
+    for (i, entry) in collectives.iter().enumerate() {
+        let name = non_empty_str(entry, "name").map_err(|e| format!("collectives[{i}]: {e}"))?;
+        for field in COLLECTIVE_NUM_FIELDS {
+            finite_num(entry, field).map_err(|e| format!("collective {name:?}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn finite_num(obj: &Json, field: &str) -> Result<f64, String> {
+    match obj.get(field) {
+        None => Err(format!("missing field {field:?}")),
+        Some(Json::Num(v)) if v.is_finite() => Ok(*v),
+        Some(_) => Err(format!("field {field:?} must be a finite number")),
+    }
+}
+
+fn non_empty_str<'a>(obj: &'a Json, field: &str) -> Result<&'a str, String> {
+    match obj.get(field).and_then(Json::as_str) {
+        Some(s) if !s.is_empty() => Ok(s),
+        _ => Err(format!("field {field:?} must be a non-empty string")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_doc() -> Json {
+        Json::parse(
+            r#"{
+              "schema_version": 1, "id": "PR3", "mode": "fast",
+              "dim": 16384, "rounds": 3, "workers": 4,
+              "kernels": [
+                {"name": "topk", "throughput_elems_per_s": 1.0e8,
+                 "p50_ns": 100.0, "p99_ns": 200.0,
+                 "bits_per_coord": 2.0, "vnmse": 0.9},
+                {"name": "fp16", "throughput_elems_per_s": 2.0e8,
+                 "p50_ns": 50.0, "p99_ns": 60.0,
+                 "bits_per_coord": 16.0, "vnmse": null}
+              ],
+              "collectives": [
+                {"name": "ring_all_reduce", "wire_bytes": 1024,
+                 "p50_ns": 10.0, "p99_ns": 20.0, "count": 3}
+              ]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn without_field(doc: &Json, path: &[&str], field: &str) -> Json {
+        fn strip(v: &Json, path: &[&str], field: &str) -> Json {
+            match v {
+                Json::Object(fields) => Json::Object(
+                    fields
+                        .iter()
+                        .filter(|(k, _)| !(path.is_empty() && k == field))
+                        .map(|(k, v)| {
+                            if path.first() == Some(&k.as_str()) {
+                                (k.clone(), strip(v, &path[1..], field))
+                            } else {
+                                (k.clone(), v.clone())
+                            }
+                        })
+                        .collect(),
+                ),
+                Json::Array(items) => {
+                    Json::Array(items.iter().map(|v| strip(v, path, field)).collect())
+                }
+                other => other.clone(),
+            }
+        }
+        strip(doc, path, field)
+    }
+
+    #[test]
+    fn valid_artifact_passes() {
+        assert_eq!(validate_bench_json(&valid_doc()), Ok(()));
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        for (path, field) in [
+            (&[][..], "schema_version"),
+            (&[][..], "id"),
+            (&[][..], "mode"),
+            (&[][..], "kernels"),
+            (&[][..], "collectives"),
+            (&["kernels"][..], "throughput_elems_per_s"),
+            (&["kernels"][..], "p99_ns"),
+            (&["collectives"][..], "wire_bytes"),
+        ] {
+            let doc = without_field(&valid_doc(), path, field);
+            assert!(
+                validate_bench_json(&doc).is_err(),
+                "accepted artifact missing {field}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected() {
+        // The renderer writes NaN as null; a null throughput must fail.
+        let text = valid_doc().render().replace(
+            "\"throughput_elems_per_s\":100000000",
+            "\"throughput_elems_per_s\":null",
+        );
+        let doc = Json::parse(&text).unwrap();
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("throughput_elems_per_s"), "{err}");
+    }
+
+    #[test]
+    fn null_vnmse_is_allowed_but_string_is_not() {
+        let ok = valid_doc();
+        assert_eq!(validate_bench_json(&ok), Ok(()));
+        let text = ok.render().replace("\"vnmse\":0.9", "\"vnmse\":\"high\"");
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_bench_json(&doc).is_err());
+    }
+
+    #[test]
+    fn empty_suites_and_bad_mode_are_rejected() {
+        let text = valid_doc()
+            .render()
+            .replace("\"mode\":\"fast\"", "\"mode\":\"warp\"");
+        assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
+        let text = valid_doc()
+            .render()
+            .replace("\"schema_version\":1", "\"schema_version\":2");
+        assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
+    }
+}

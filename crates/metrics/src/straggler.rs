@@ -1,0 +1,280 @@
+//! Per-worker skew and tail-latency analysis.
+//!
+//! Synchronous data-parallel training moves at the pace of its slowest
+//! worker, so a compression scheme that shaves mean latency but fattens the
+//! tail can *lose* end-to-end utility — one of the paper's core
+//! "beyond throughput" arguments. [`StragglerMonitor`] aggregates three
+//! feeds into per-worker and per-collective histograms:
+//!
+//! - per-worker span durations from a [`gcs_trace::Trace`] (recorder thread
+//!   id = worker id under the deterministic runtime);
+//! - per-operation latencies for every `Phase::Network` span (the six
+//!   collectives plus transports);
+//! - per-flow completion times from `gcs-net::flowsim` via
+//!   `FlowReport::worker_completions`.
+//!
+//! Skew is reported as `max(worker mean) / mean(worker means)` — 1.0 is a
+//! perfectly balanced cluster, 2.0 means the slowest worker averages twice
+//! the fleet mean.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// Aggregator for worker skew and collective tail latencies.
+#[derive(Clone, Debug, Default)]
+pub struct StragglerMonitor {
+    /// Span durations per worker, nanoseconds.
+    workers: BTreeMap<u64, Histogram>,
+    /// Latency per network op (collective/transport), nanoseconds.
+    ops: BTreeMap<String, Histogram>,
+    /// Flow completion times per worker, seconds (simulated network domain).
+    flows: BTreeMap<u64, Histogram>,
+}
+
+/// Summary of one worker's recorded duration distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerStat {
+    /// Worker (recorder thread) id.
+    pub worker: u64,
+    /// Mean recorded duration.
+    pub mean: f64,
+    /// 99th-percentile recorded duration.
+    pub p99: f64,
+    /// Number of samples.
+    pub count: u64,
+}
+
+/// Summary of one collective op's latency distribution, nanoseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpTail {
+    /// Operation name (span name of the collective).
+    pub name: String,
+    /// Median latency.
+    pub p50_ns: f64,
+    /// 99th-percentile latency.
+    pub p99_ns: f64,
+    /// Number of recorded invocations.
+    pub count: u64,
+}
+
+/// Full straggler report: per-worker stats, skew ratios, per-op tails.
+#[derive(Clone, Debug)]
+pub struct StragglerReport {
+    /// One entry per worker with span samples, ascending worker id;
+    /// durations in nanoseconds.
+    pub workers: Vec<WorkerStat>,
+    /// `max(worker mean) / mean(worker means)` over span durations;
+    /// 1.0 when balanced, `None` with no samples.
+    pub span_skew: Option<f64>,
+    /// Worker id with the largest mean span duration.
+    pub slowest_worker: Option<u64>,
+    /// Same skew ratio over flow completion times (seconds domain).
+    pub flow_skew: Option<f64>,
+    /// Tail latencies per network operation, ascending by name.
+    pub ops: Vec<OpTail>,
+}
+
+impl StragglerMonitor {
+    /// An empty monitor.
+    pub fn new() -> StragglerMonitor {
+        StragglerMonitor::default()
+    }
+
+    /// Records one span duration (ns) for `worker`.
+    pub fn record_worker(&mut self, worker: u64, dur_ns: f64) {
+        self.workers.entry(worker).or_default().record(dur_ns);
+    }
+
+    /// Records one latency sample (ns) for network operation `name`.
+    pub fn record_op(&mut self, name: &str, dur_ns: f64) {
+        if let Some(h) = self.ops.get_mut(name) {
+            h.record(dur_ns);
+        } else {
+            let mut h = Histogram::new();
+            h.record(dur_ns);
+            self.ops.insert(name.to_string(), h);
+        }
+    }
+
+    /// Folds a trace in: every span feeds its worker's histogram; spans in
+    /// `Phase::Network` additionally feed the per-op tail histograms.
+    pub fn ingest_trace(&mut self, trace: &gcs_trace::Trace) {
+        for s in &trace.spans {
+            self.record_worker(s.tid, s.dur_ns as f64);
+            if s.phase == gcs_trace::Phase::Network {
+                self.record_op(s.name, s.dur_ns as f64);
+            }
+        }
+    }
+
+    /// Folds in per-worker flow completion times (seconds), as produced by
+    /// `FlowReport::worker_completions`.
+    pub fn ingest_flows(&mut self, completions: &[(u64, f64)]) {
+        for &(worker, fct_s) in completions {
+            self.flows.entry(worker).or_default().record(fct_s);
+        }
+    }
+
+    /// Per-op latency histogram, if that op was recorded.
+    pub fn op_hist(&self, name: &str) -> Option<&Histogram> {
+        self.ops.get(name)
+    }
+
+    /// Per-worker span-duration histogram.
+    pub fn worker_hist(&self, worker: u64) -> Option<&Histogram> {
+        self.workers.get(&worker)
+    }
+
+    /// Builds the summary report.
+    pub fn report(&self) -> StragglerReport {
+        let workers: Vec<WorkerStat> = self
+            .workers
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(&worker, h)| WorkerStat {
+                worker,
+                mean: h.mean().unwrap_or(0.0),
+                p99: h.p99().unwrap_or(0.0),
+                count: h.count(),
+            })
+            .collect();
+        let slowest_worker = workers
+            .iter()
+            .max_by(|a, b| a.mean.total_cmp(&b.mean))
+            .map(|w| w.worker);
+        let span_skew = skew(workers.iter().map(|w| w.mean));
+        let flow_skew = skew(self.flows.values().filter_map(|h| h.mean()));
+        let ops = self
+            .ops
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| OpTail {
+                name: name.clone(),
+                p50_ns: h.p50().unwrap_or(0.0),
+                p99_ns: h.p99().unwrap_or(0.0),
+                count: h.count(),
+            })
+            .collect();
+        StragglerReport {
+            workers,
+            span_skew,
+            slowest_worker,
+            flow_skew,
+            ops,
+        }
+    }
+}
+
+/// `max / mean` of a set of per-worker means; `None` when empty or the mean
+/// is not positive (degenerate all-zero input).
+fn skew(means: impl Iterator<Item = f64>) -> Option<f64> {
+    let means: Vec<f64> = means.collect();
+    if means.is_empty() {
+        return None;
+    }
+    let max = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    (mean > 0.0).then(|| max / mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_workers_have_unit_skew() {
+        let mut m = StragglerMonitor::new();
+        for worker in 0..4 {
+            for _ in 0..10 {
+                m.record_worker(worker, 100.0);
+            }
+        }
+        let r = m.report();
+        assert_eq!(r.workers.len(), 4);
+        let skew = r.span_skew.unwrap();
+        assert!((skew - 1.0).abs() < 1e-9, "skew = {skew}");
+    }
+
+    #[test]
+    fn straggler_raises_skew_and_is_identified() {
+        let mut m = StragglerMonitor::new();
+        for worker in 0..3 {
+            m.record_worker(worker, 100.0);
+        }
+        m.record_worker(3, 700.0);
+        let r = m.report();
+        // means = [100,100,100,700]; skew = 700 / 250 = 2.8.
+        let skew = r.span_skew.unwrap();
+        assert!((skew - 2.8).abs() < 0.1, "skew = {skew}");
+        assert_eq!(r.slowest_worker, Some(3));
+    }
+
+    #[test]
+    fn empty_monitor_reports_none() {
+        let r = StragglerMonitor::new().report();
+        assert!(r.workers.is_empty());
+        assert_eq!(r.span_skew, None);
+        assert_eq!(r.flow_skew, None);
+        assert_eq!(r.slowest_worker, None);
+        assert!(r.ops.is_empty());
+    }
+
+    #[test]
+    fn op_tails_capture_p50_and_p99() {
+        let mut m = StragglerMonitor::new();
+        for i in 1..=100 {
+            m.record_op("ring_all_reduce", i as f64 * 1000.0);
+        }
+        let r = m.report();
+        assert_eq!(r.ops.len(), 1);
+        let op = &r.ops[0];
+        assert_eq!(op.name, "ring_all_reduce");
+        assert_eq!(op.count, 100);
+        assert!(op.p99_ns > op.p50_ns);
+        let rel = crate::hist::REL_ERROR;
+        assert!(
+            (op.p50_ns - 50_000.0).abs() <= 50_000.0 * rel,
+            "{}",
+            op.p50_ns
+        );
+        assert!(
+            (op.p99_ns - 99_000.0).abs() <= 99_000.0 * rel,
+            "{}",
+            op.p99_ns
+        );
+    }
+
+    #[test]
+    fn flow_completions_feed_flow_skew() {
+        let mut m = StragglerMonitor::new();
+        m.ingest_flows(&[(0, 1.0), (1, 1.0), (2, 3.0)]);
+        let r = m.report();
+        // means = [1,1,3]; skew = 3 / (5/3) = 1.8.
+        let skew = r.flow_skew.unwrap();
+        assert!((skew - 1.8).abs() < 1e-9, "skew = {skew}");
+        // Flow feed does not fabricate span workers.
+        assert!(r.workers.is_empty());
+    }
+
+    #[test]
+    fn ingest_trace_splits_network_ops_from_worker_totals() {
+        gcs_trace::clear();
+        let trace = gcs_trace::with_recording(|| {
+            let _c = gcs_trace::span(gcs_trace::Phase::Compress, "encode");
+            drop(_c);
+            let _n = gcs_trace::span(gcs_trace::Phase::Network, "ring_all_reduce");
+        });
+        let mut m = StragglerMonitor::new();
+        m.ingest_trace(&trace);
+        if trace.spans.is_empty() {
+            return; // capture disabled
+        }
+        let r = m.report();
+        // Both spans land on worker 0; only the network one becomes an op.
+        assert_eq!(r.workers.len(), 1);
+        assert_eq!(r.workers[0].count, 2);
+        assert_eq!(r.ops.len(), 1);
+        assert_eq!(r.ops[0].name, "ring_all_reduce");
+    }
+}

@@ -1,0 +1,300 @@
+//! Time-to-accuracy monitoring — the paper's headline utility measure.
+//!
+//! The paper argues (§2, Table 2) that compression schemes must be compared
+//! on *time to reach a target metric* over a rolling-averaged curve, not on
+//! per-step throughput or compression ratio. [`TtaMonitor`] consumes the
+//! Trainer's eval events live: it maintains the raw and rolling-average
+//! metric curves, answers TTA queries against the rolling curve, compares
+//! utility against an FP16 (or any) baseline curve, and raises a divergence
+//! early-warning when the rolling metric stops improving or turns
+//! non-finite — catching the failure mode where an aggressive scheme looks
+//! fast per step but never converges.
+
+use std::collections::VecDeque;
+
+use crate::registry::Registry;
+
+/// Series name the Trainer uses for eval wall-clock seconds.
+pub const EVAL_TIME_SERIES: &str = "train/eval_time_s";
+/// Series name the Trainer uses for the eval task metric.
+pub const EVAL_METRIC_SERIES: &str = "train/eval_metric";
+
+/// Rolling-average TTA/divergence monitor over one metric curve.
+#[derive(Clone, Debug)]
+pub struct TtaMonitor {
+    higher_is_better: bool,
+    window: usize,
+    /// `(time_s, raw_metric)`, observation order.
+    points: Vec<(f64, f64)>,
+    /// `(time_s, rolling_mean)`, same indices as `points`.
+    rolling: Vec<(f64, f64)>,
+    recent: VecDeque<f64>,
+    recent_sum: f64,
+    best: Option<f64>,
+    strikes: u32,
+    patience: u32,
+    /// Relative tolerance before a non-improving round counts as a strike.
+    tol: f64,
+    non_finite: bool,
+}
+
+impl TtaMonitor {
+    /// A monitor with rolling window `window` (minimum 1). `higher_is_better`
+    /// selects the metric's direction: `true` for accuracy, `false` for loss
+    /// or perplexity.
+    pub fn new(higher_is_better: bool, window: usize) -> TtaMonitor {
+        TtaMonitor {
+            higher_is_better,
+            window: window.max(1),
+            points: Vec::new(),
+            rolling: Vec::new(),
+            recent: VecDeque::new(),
+            recent_sum: 0.0,
+            best: None,
+            strikes: 0,
+            patience: 5,
+            tol: 0.05,
+            non_finite: false,
+        }
+    }
+
+    /// Tunes the divergence early-warning: `patience` consecutive rounds
+    /// whose rolling mean is worse than the best-so-far by more than
+    /// `tol` (relative) trip [`TtaMonitor::diverged`].
+    pub fn with_divergence(mut self, patience: u32, tol: f64) -> TtaMonitor {
+        self.patience = patience.max(1);
+        self.tol = tol.max(0.0);
+        self
+    }
+
+    /// Records one eval event at wall-clock `time_s`.
+    pub fn observe(&mut self, time_s: f64, metric: f64) {
+        if !metric.is_finite() {
+            // A NaN/Inf eval metric is unrecoverable divergence.
+            self.non_finite = true;
+            return;
+        }
+        self.points.push((time_s, metric));
+        self.recent.push_back(metric);
+        self.recent_sum += metric;
+        if self.recent.len() > self.window {
+            self.recent_sum -= self.recent.pop_front().unwrap();
+        }
+        let mean = self.recent_sum / self.recent.len() as f64;
+        self.rolling.push((time_s, mean));
+
+        let improved = match self.best {
+            None => true,
+            Some(best) => {
+                let slack = best.abs() * self.tol;
+                if self.higher_is_better {
+                    mean >= best - slack
+                } else {
+                    mean <= best + slack
+                }
+            }
+        };
+        let strictly_better = match self.best {
+            None => true,
+            Some(best) => {
+                if self.higher_is_better {
+                    mean > best
+                } else {
+                    mean < best
+                }
+            }
+        };
+        if strictly_better {
+            self.best = Some(mean);
+        }
+        if improved {
+            self.strikes = 0;
+        } else {
+            self.strikes += 1;
+        }
+    }
+
+    /// Raw `(time_s, metric)` curve in observation order.
+    pub fn curve(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Rolling-average `(time_s, mean)` curve, aligned with
+    /// [`TtaMonitor::curve`].
+    pub fn rolling_curve(&self) -> &[(f64, f64)] {
+        &self.rolling
+    }
+
+    /// Latest rolling-average value.
+    pub fn latest(&self) -> Option<f64> {
+        self.rolling.last().map(|&(_, m)| m)
+    }
+
+    /// Best rolling-average value seen so far.
+    pub fn best(&self) -> Option<f64> {
+        self.best
+    }
+
+    /// True once the run shows divergence: a non-finite eval metric, or
+    /// `patience` consecutive evals whose rolling mean is worse than the
+    /// best-so-far beyond tolerance.
+    pub fn diverged(&self) -> bool {
+        self.non_finite || self.strikes >= self.patience
+    }
+
+    /// Earliest time at which the *rolling* curve reaches `target`
+    /// (`>= target` when higher is better, `<= target` otherwise);
+    /// `None` if never reached.
+    pub fn time_to_target(&self, target: f64) -> Option<f64> {
+        self.rolling
+            .iter()
+            .find(|&&(_, m)| {
+                if self.higher_is_better {
+                    m >= target
+                } else {
+                    m <= target
+                }
+            })
+            .map(|&(t, _)| t)
+    }
+
+    /// End-to-end utility versus a baseline curve (the paper's FP16
+    /// reference): `baseline_TTA / self_TTA` at the same `target`. Values
+    /// above 1 mean this run reached the target faster than the baseline.
+    /// `None` when either curve never reaches the target or this run's TTA
+    /// is zero.
+    pub fn utility_vs_baseline(&self, baseline: &TtaMonitor, target: f64) -> Option<f64> {
+        let mine = self.time_to_target(target)?;
+        let base = baseline.time_to_target(target)?;
+        (mine > 0.0).then(|| base / mine)
+    }
+
+    /// Rebuilds a monitor from the Trainer's registry series
+    /// ([`EVAL_TIME_SERIES`] / [`EVAL_METRIC_SERIES`]), pairing points by
+    /// round. Rounds present in only one series are skipped.
+    pub fn from_registry(reg: &Registry, higher_is_better: bool, window: usize) -> TtaMonitor {
+        let mut mon = TtaMonitor::new(higher_is_better, window);
+        let (Some(times), Some(metrics)) =
+            (reg.series(EVAL_TIME_SERIES), reg.series(EVAL_METRIC_SERIES))
+        else {
+            return mon;
+        };
+        let times: Vec<(u64, f64)> = times.to_vec();
+        for (round, metric) in metrics.iter() {
+            if let Some(&(_, t)) = times.iter().find(|&&(r, _)| r == round) {
+                mon.observe(t, metric);
+            }
+        }
+        mon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn improving_loss(mon: &mut TtaMonitor, n: usize) {
+        for i in 0..n {
+            mon.observe(i as f64, 2.0 / (1.0 + i as f64));
+        }
+    }
+
+    #[test]
+    fn rolling_average_smooths_the_raw_curve() {
+        let mut mon = TtaMonitor::new(false, 3);
+        for (t, m) in [(0.0, 4.0), (1.0, 2.0), (2.0, 3.0)] {
+            mon.observe(t, m);
+        }
+        assert_eq!(mon.curve().len(), 3);
+        assert_eq!(mon.rolling_curve()[0].1, 4.0);
+        assert_eq!(mon.rolling_curve()[1].1, 3.0);
+        assert_eq!(mon.rolling_curve()[2].1, 3.0);
+        assert_eq!(mon.latest(), Some(3.0));
+    }
+
+    #[test]
+    fn time_to_target_uses_rolling_curve() {
+        let mut mon = TtaMonitor::new(false, 1);
+        improving_loss(&mut mon, 10);
+        // loss(t) = 2/(1+t): first <= 0.5 at t=3.
+        assert_eq!(mon.time_to_target(0.5), Some(3.0));
+        assert_eq!(mon.time_to_target(0.0), None);
+    }
+
+    #[test]
+    fn higher_is_better_direction() {
+        let mut mon = TtaMonitor::new(true, 1);
+        for i in 0..5 {
+            mon.observe(i as f64, i as f64 * 0.2);
+        }
+        assert_eq!(mon.time_to_target(0.6), Some(3.0));
+        assert!(!mon.diverged());
+    }
+
+    #[test]
+    fn utility_vs_baseline_is_a_speedup_ratio() {
+        // Compressed run reaches the target at t=2, baseline at t=4.
+        let mut fast = TtaMonitor::new(true, 1);
+        let mut slow = TtaMonitor::new(true, 1);
+        for i in 0..6 {
+            fast.observe(i as f64, i as f64 * 0.5);
+            slow.observe(i as f64, i as f64 * 0.25);
+        }
+        let u = fast.utility_vs_baseline(&slow, 1.0).unwrap();
+        assert!((u - 2.0).abs() < 1e-12, "utility = {u}");
+        // Reverse comparison is the reciprocal.
+        let r = slow.utility_vs_baseline(&fast, 1.0).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+        // Unreachable target: no verdict.
+        assert_eq!(fast.utility_vs_baseline(&slow, 100.0), None);
+    }
+
+    #[test]
+    fn divergence_trips_after_patience_strikes() {
+        let mut mon = TtaMonitor::new(false, 1).with_divergence(3, 0.01);
+        improving_loss(&mut mon, 5);
+        assert!(!mon.diverged());
+        // Loss explodes: needs `patience` consecutive bad evals.
+        mon.observe(5.0, 10.0);
+        mon.observe(6.0, 11.0);
+        assert!(!mon.diverged());
+        mon.observe(7.0, 12.0);
+        assert!(mon.diverged());
+    }
+
+    #[test]
+    fn recovery_resets_strikes() {
+        let mut mon = TtaMonitor::new(false, 1).with_divergence(2, 0.0);
+        mon.observe(0.0, 1.0);
+        mon.observe(1.0, 2.0); // strike 1
+        mon.observe(2.0, 0.5); // recovers
+        mon.observe(3.0, 2.0); // strike 1 again
+        assert!(!mon.diverged());
+    }
+
+    #[test]
+    fn non_finite_metric_is_immediate_divergence() {
+        let mut mon = TtaMonitor::new(false, 4);
+        improving_loss(&mut mon, 3);
+        mon.observe(3.0, f64::NAN);
+        assert!(mon.diverged());
+        // The poisoned sample is not folded into the curves.
+        assert_eq!(mon.curve().len(), 3);
+    }
+
+    #[test]
+    fn from_registry_pairs_series_by_round() {
+        let mut reg = Registry::new();
+        for round in 0..4u64 {
+            reg.series_push(EVAL_TIME_SERIES, round, round as f64 * 10.0);
+            reg.series_push(EVAL_METRIC_SERIES, round, 1.0 / (1.0 + round as f64));
+        }
+        // An unpaired metric round is skipped, not mispaired.
+        reg.series_push(EVAL_METRIC_SERIES, 9, 0.0);
+        let mon = TtaMonitor::from_registry(&reg, false, 2);
+        assert_eq!(mon.curve().len(), 4);
+        assert_eq!(mon.curve()[3].0, 30.0);
+        let empty = TtaMonitor::from_registry(&Registry::new(), false, 2);
+        assert!(empty.curve().is_empty());
+    }
+}

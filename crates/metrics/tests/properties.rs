@@ -1,0 +1,122 @@
+//! Property tests pinning the histogram's documented accuracy contract:
+//! for uniform and exponential sample sets, reported p50/p99 stay within
+//! `REL_ERROR` relative error of the exact sample quantile computed at the
+//! same rank (`ceil(q·n)`, 1-based, sorted ascending).
+
+use gcs_metrics::{Histogram, REL_ERROR};
+use proptest::prelude::*;
+
+/// Exact sample quantile under the histogram's rank convention.
+fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Asserts the histogram quantile is within the documented relative error of
+/// the exact sample quantile (the vendored `prop_assert!` panics on failure).
+fn assert_quantile_bound(samples: &[f64], q: f64) {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let got = h.quantile(q).expect("non-empty");
+    let exact = exact_quantile(samples, q);
+    // The reported value is the containing bucket's midpoint, so the error
+    // bound is half a bucket width relative to the exact sample — REL_ERROR
+    // covers it with margin.
+    let tol = exact.abs() * REL_ERROR + f64::EPSILON;
+    assert!(
+        (got - exact).abs() <= tol,
+        "q={q}: histogram {got} vs exact {exact} (tol {tol})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uniform_samples_bound_p50_p99(
+        samples in prop::collection::vec(1e-3f64..1e3, 1..500),
+    ) {
+        assert_quantile_bound(&samples, 0.50);
+        assert_quantile_bound(&samples, 0.99);
+    }
+
+    #[test]
+    fn exponential_samples_bound_p50_p99(
+        uniforms in prop::collection::vec(1e-9f64..1.0, 1..500),
+        rate in 0.01f64..100.0,
+    ) {
+        // Inverse-transform sampling: Exp(rate) = -ln(1-u)/rate. Heavy right
+        // tail exercises many octaves of buckets, like real latency data.
+        let samples: Vec<f64> = uniforms
+            .iter()
+            .map(|&u| -(1.0 - u).ln() / rate)
+            .filter(|v| *v > 0.0)
+            .collect();
+        if samples.is_empty() {
+            return; // vacuous draw (no prop_assume in the vendored subset)
+        }
+        assert_quantile_bound(&samples, 0.50);
+        assert_quantile_bound(&samples, 0.99);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in prop::collection::vec(1e-6f64..1e6, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap());
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(
+        samples in prop::collection::vec(1e-3f64..1e3, 1..300),
+    ) {
+        let mut h = Histogram::new();
+        let mut sum = 0.0;
+        for &v in &samples {
+            h.record(v);
+            sum += v;
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert!((h.sum() - sum).abs() <= sum.abs() * 1e-12);
+        let exact_min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let exact_max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), Some(exact_min));
+        prop_assert_eq!(h.max(), Some(exact_max));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one(
+        a in prop::collection::vec(1e-3f64..1e3, 1..100),
+        b in prop::collection::vec(1e-3f64..1e3, 1..100),
+    ) {
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        let mut combined = Histogram::new();
+        for &v in &a {
+            left.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            right.record(v);
+            combined.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), combined.count());
+        prop_assert_eq!(left.min(), combined.min());
+        prop_assert_eq!(left.max(), combined.max());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(left.quantile(q), combined.quantile(q));
+        }
+    }
+}

@@ -32,6 +32,20 @@ pub struct FlowReport {
     pub makespan: f64,
 }
 
+impl FlowReport {
+    /// Pairs each flow's completion time with its *source* node — the worker
+    /// that was sending — in input order. This is the feed format
+    /// `gcs_metrics::StragglerMonitor::ingest_flows` consumes for per-worker
+    /// flow skew.
+    pub fn worker_completions(&self, flows: &[Flow]) -> Vec<(u64, f64)> {
+        flows
+            .iter()
+            .zip(&self.completion)
+            .map(|(f, &t)| (f.src as u64, t))
+            .collect()
+    }
+}
+
 /// A network of `n` nodes, each with independent egress and ingress
 /// capacity (full-duplex NIC model).
 #[derive(Clone, Debug)]
@@ -128,7 +142,17 @@ impl Network {
 
     /// Simulates the given flows starting simultaneously at t=0; rates are
     /// recomputed (max-min) after every completion event.
+    ///
+    /// An empty flow list is a valid degenerate input (a collective step
+    /// with nothing to send) and yields a zero report rather than touching
+    /// the rate solver.
     pub fn simulate(&self, flows: &[Flow]) -> FlowReport {
+        if flows.is_empty() {
+            return FlowReport {
+                completion: Vec::new(),
+                makespan: 0.0,
+            };
+        }
         let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.max(0.0)).collect();
         let mut completion = vec![0.0f64; flows.len()];
         let mut done: Vec<bool> = remaining.iter().map(|&b| b == 0.0).collect();
@@ -160,6 +184,9 @@ impl Network {
                     completion[i] = now;
                 }
             }
+        }
+        for &t in &completion {
+            gcs_metrics::observe("flowsim/fct_s", t);
         }
         FlowReport {
             makespan: completion.iter().copied().fold(0.0, f64::max),
@@ -322,6 +349,77 @@ mod tests {
         let r = net.simulate(&ps_push_flows(4, 10.0 * GB));
         // PS ingress 40 GB/s over 4 flows: each gets its full 10 GB/s.
         assert!((r.makespan - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_flow_list_yields_zero_report() {
+        // Regression: a degenerate collective step with no flows must return
+        // a well-formed zero report, not NaN or a div-by-zero in the solver.
+        let net = Network::homogeneous(4, 10.0 * GB);
+        let r = net.simulate(&[]);
+        assert_eq!(r.makespan, 0.0);
+        assert!(r.makespan.is_finite());
+        assert!(r.completion.is_empty());
+        assert!(r.worker_completions(&[]).is_empty());
+        // Phase sequences containing empty phases stay finite too.
+        let t = net.simulate_phases(&[vec![], ring_all_reduce_phases(4, GB)[0].clone(), vec![]]);
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_shape_completion_times() {
+        // Node 1's egress is halved and node 2's quartered: with each flow
+        // alone on its links, completion times follow the slow senders.
+        let net = Network::homogeneous(4, 10.0 * GB)
+            .with_node_capacity(1, 5.0 * GB, 10.0 * GB)
+            .with_node_capacity(2, 2.5 * GB, 10.0 * GB);
+        let flows = vec![
+            Flow {
+                src: 0,
+                dst: 3,
+                bytes: 10.0 * GB,
+            },
+            Flow {
+                src: 1,
+                dst: 3,
+                bytes: 10.0 * GB,
+            },
+            Flow {
+                src: 2,
+                dst: 3,
+                bytes: 10.0 * GB,
+            },
+        ];
+        let r = net.simulate(&flows);
+        // Max-min: node 2 is frozen at its 2.5 GB/s egress; the remaining
+        // 7.5 GB/s of node 3's ingress splits evenly, so flows 0 and 1 run
+        // at 3.75 GB/s and finish together at 8/3 s. Flow 2 then finishes
+        // its remainder alone at 2.5 GB/s, at exactly 4 s.
+        assert!((r.completion[0] - 8.0 / 3.0).abs() < 1e-6, "{:?}", r);
+        assert!((r.completion[1] - 8.0 / 3.0).abs() < 1e-6, "{:?}", r);
+        assert!((r.completion[2] - 4.0).abs() < 1e-6, "{:?}", r);
+        assert!((r.makespan - 4.0).abs() < 1e-6);
+        // Worker attribution pairs source ids with those times.
+        let wc = r.worker_completions(&flows);
+        assert_eq!(wc.len(), 3);
+        assert_eq!(wc[2].0, 2);
+        assert!((wc[2].1 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simulate_captures_flow_completion_metrics() {
+        let net = Network::homogeneous(3, 10.0 * GB);
+        let flows = ps_push_flows(2, 10.0 * GB);
+        let ((), reg) = gcs_metrics::with_capture(|| {
+            net.simulate(&flows);
+        });
+        if !gcs_metrics::is_captured() {
+            return;
+        }
+        let h = reg.hist("flowsim/fct_s").unwrap();
+        assert_eq!(h.count(), 2);
+        // Both flows share the receiver ingress: each completes at 2 s.
+        assert!((h.max().unwrap() - 2.0).abs() < 1e-6);
     }
 
     #[test]

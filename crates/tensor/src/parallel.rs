@@ -100,6 +100,15 @@ fn enter_region() {
     IN_REGION.with(|c| c.set(true));
 }
 
+/// Flushes the worker's trace buffer before its closure returns. This must
+/// happen *inside* the closure: `thread::scope`'s implicit wait is released
+/// when the closure finishes, before thread-local destructors run, so a
+/// flush left to drop glue can land after the scope (and a surrounding
+/// `gcs_trace::take`) has already moved on.
+fn exit_region() {
+    gcs_trace::flush_thread();
+}
+
 /// Splits `0..n_items` into `parts` contiguous ranges of near-equal size.
 fn split_range(n_items: usize, parts: usize, part: usize) -> std::ops::Range<usize> {
     (part * n_items / parts)..((part + 1) * n_items / parts)
@@ -125,7 +134,9 @@ where
             let f = &f;
             handles.push(s.spawn(move || {
                 enter_region();
-                range.map(f).collect::<Vec<T>>()
+                let out = range.map(f).collect::<Vec<T>>();
+                exit_region();
+                out
             }));
         }
         for h in handles {
@@ -153,6 +164,7 @@ where
             s.spawn(move || {
                 enter_region();
                 range.for_each(f);
+                exit_region();
             });
         }
     });
@@ -188,6 +200,7 @@ where
                 for (i, chunk) in mine.chunks_mut(chunk_len).enumerate() {
                     f(range.start + i, chunk);
                 }
+                exit_region();
             });
         }
     });
@@ -237,6 +250,7 @@ where
                 {
                     f(range.start + i, ca, cb);
                 }
+                exit_region();
             });
         }
     });

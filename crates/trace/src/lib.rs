@@ -11,7 +11,7 @@
 //!
 //! * **Scoped spans** ([`span`]) with monotonic timing, classified into the
 //!   step [`Phase`]s the throughput model reasons about (`compute`,
-//!   `compress`, `reduce`, `decompress`, `optimizer`, `eval`).
+//!   `compress`, `reduce`, `network`, `decompress`, `optimizer`, `eval`).
 //! * **Per-round counters** ([`counter`]) for wire bytes, achieved
 //!   bits/coordinate, error-feedback residual norms, and vNMSE samples.
 //! * A **thread-aware recorder**: spans emitted on `gcs-tensor::parallel`
@@ -73,8 +73,14 @@ pub enum Phase {
     /// Encoder-side compression work (selection, quantization, matmuls,
     /// orthogonalization, error-feedback bookkeeping).
     Compress,
-    /// Collective communication (all-reduce, all-gather, …).
+    /// Reduction arithmetic that is part of a scheme's aggregation logic
+    /// rather than a wire-level collective (kept distinct from [`Network`]
+    /// so compression-side folding never inflates the network share).
     Reduce,
+    /// Wire-level collective communication and transports (all-reduce,
+    /// all-gather, parameter server, flow simulation). Network time in the
+    /// `StepBreakdown` sense is `Reduce + Network`.
+    Network,
     /// Decoder-side work (dequantize, inverse rotation, scatter, estimate
     /// reconstruction).
     Decompress,
@@ -86,10 +92,11 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Compute,
         Phase::Compress,
         Phase::Reduce,
+        Phase::Network,
         Phase::Decompress,
         Phase::Optimizer,
         Phase::Eval,
@@ -101,6 +108,7 @@ impl Phase {
             Phase::Compute => "compute",
             Phase::Compress => "compress",
             Phase::Reduce => "reduce",
+            Phase::Network => "network",
             Phase::Decompress => "decompress",
             Phase::Optimizer => "optimizer",
             Phase::Eval => "eval",
@@ -170,6 +178,51 @@ impl Trace {
             .map(|c| c.value)
             .sum()
     }
+
+    /// Range statistics over all samples of counter `name`; `None` when the
+    /// counter was never recorded (so callers can distinguish "no samples"
+    /// from "samples summing to zero", which [`Trace::counter_sum`] cannot).
+    /// This is what the `gcs-metrics` histogram bridge consumes.
+    pub fn counter_stats(&self, name: &str) -> Option<CounterStats> {
+        let mut stats: Option<CounterStats> = None;
+        for c in self.counters.iter().filter(|c| c.name == name) {
+            match stats.as_mut() {
+                None => {
+                    stats = Some(CounterStats {
+                        min: c.value,
+                        max: c.value,
+                        mean: c.value,
+                        count: 1,
+                    });
+                }
+                Some(s) => {
+                    s.min = s.min.min(c.value);
+                    s.max = s.max.max(c.value);
+                    // `mean` temporarily accumulates the sum; finalized below.
+                    s.mean += c.value;
+                    s.count += 1;
+                }
+            }
+        }
+        if let Some(s) = stats.as_mut() {
+            s.mean /= s.count as f64;
+        }
+        stats
+    }
+}
+
+/// Range statistics of one counter over a [`Trace`]
+/// (see [`Trace::counter_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CounterStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean of all samples.
+    pub mean: f64,
+    /// Number of samples.
+    pub count: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -280,11 +333,19 @@ pub fn disable() {
 
 /// Tags subsequently recorded spans/counters with `round`. Shared across
 /// threads: the fork-join workers of a round inherit it automatically.
+///
+/// The store is unconditional (one relaxed atomic store, once per round) so
+/// that layers recording through other sinks — `gcs-metrics` time series —
+/// can read [`current_round`] even when span recording is off.
 #[inline]
 pub fn set_round(round: u64) {
-    if enabled() {
-        ROUND.store(round, Ordering::Relaxed);
-    }
+    ROUND.store(round, Ordering::Relaxed);
+}
+
+/// The round most recently announced via [`set_round`] (0 before any call).
+#[inline]
+pub fn current_round() -> u64 {
+    ROUND.load(Ordering::Relaxed)
 }
 
 /// An in-flight scoped span; records itself on drop. Inert (and cost-free
@@ -368,8 +429,13 @@ pub fn flush_thread() {
 }
 
 /// Drains everything recorded so far into a [`Trace`]. Call after the
-/// parallel work has joined (the fork-join runtime's scoped threads have
-/// flushed by then); the calling thread is flushed explicitly.
+/// parallel work has joined; the calling thread is flushed explicitly.
+///
+/// Worker threads must have flushed by then. Joining a `JoinHandle` is
+/// enough (TLS drop glue runs before the join returns), but the implicit
+/// wait at the end of `std::thread::scope` is **not** — it releases before
+/// thread-local destructors run — so scoped workers flush inside their
+/// closure (the fork-join runtime calls [`flush_thread`] at worker exit).
 pub fn take() -> Trace {
     #[cfg(feature = "capture")]
     {
@@ -476,11 +542,22 @@ mod tests {
         let _g = exclusive();
         let t = with_recording(|| {
             std::thread::scope(|s| {
-                for _ in 0..3 {
-                    s.spawn(|| {
-                        let _s = span(Phase::Compute, "worker_op");
-                        spin(500);
-                    });
+                // Join the handles explicitly: `join()` waits for the OS
+                // thread to terminate (thread-local destructors included),
+                // which is what guarantees the drop-glue flush has landed.
+                // The scope's *implicit* wait releases before TLS
+                // destructors run — runtimes relying on it must flush inside
+                // the worker closure (see `gcs-tensor::parallel`).
+                let handles: Vec<_> = (0..3)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let _s = span(Phase::Compute, "worker_op");
+                            spin(500);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("worker panicked");
                 }
             });
             let _s = span(Phase::Optimizer, "main_op");
@@ -532,7 +609,7 @@ mod tests {
 
     #[test]
     fn phase_names_are_stable() {
-        assert_eq!(Phase::ALL.len(), 6);
+        assert_eq!(Phase::ALL.len(), 7);
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.as_str()).collect();
         assert_eq!(
             names,
@@ -540,10 +617,62 @@ mod tests {
                 "compute",
                 "compress",
                 "reduce",
+                "network",
                 "decompress",
                 "optimizer",
                 "eval"
             ]
         );
+    }
+
+    #[test]
+    fn counter_stats_aggregates_min_max_mean() {
+        let t = Trace {
+            spans: Vec::new(),
+            counters: [3.0, -1.0, 4.0, 2.0]
+                .iter()
+                .map(|&value| CounterRecord {
+                    name: "wire_bytes",
+                    value,
+                    at_ns: 0,
+                    round: 0,
+                    tid: 0,
+                })
+                .collect(),
+        };
+        let s = t.counter_stats("wire_bytes").unwrap();
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn counter_stats_unknown_counter_is_none() {
+        let t = Trace::default();
+        assert!(t.counter_stats("never_recorded").is_none());
+        // A single sample is its own min/max/mean.
+        let t = Trace {
+            spans: Vec::new(),
+            counters: vec![CounterRecord {
+                name: "one",
+                value: 7.5,
+                at_ns: 0,
+                round: 2,
+                tid: 0,
+            }],
+        };
+        let s = t.counter_stats("one").unwrap();
+        assert_eq!((s.min, s.max, s.mean, s.count), (7.5, 7.5, 7.5, 1));
+        assert!(t.counter_stats("two").is_none());
+    }
+
+    #[test]
+    fn round_tagging_is_readable_even_when_disabled() {
+        let _g = exclusive();
+        disable();
+        set_round(41);
+        assert_eq!(current_round(), 41);
+        set_round(0);
     }
 }

@@ -57,7 +57,8 @@ fn main() {
     println!();
     println!("{}", report.render());
 
-    // Measured phases map onto the analytic decomposition: reduce is
+    // Measured phases map onto the analytic decomposition: network (wire
+    // collectives) plus reduce (scheme-side reduction arithmetic) is
     // communication, compress+decompress are compression. The absolute
     // times differ wildly (mini model on CPU vs A100-scale cost model) —
     // the comparison is about *shares*, which is all Table 6/9 report.
@@ -74,7 +75,7 @@ fn main() {
     println!(
         "{:<24} {:>9.1}% {:>9.1}%",
         "communication",
-        report.phase_fraction(Phase::Reduce) * 100.0,
+        (report.phase_fraction(Phase::Network) + report.phase_fraction(Phase::Reduce)) * 100.0,
         analytic.communication / analytic.total() * 100.0
     );
     println!(

@@ -8,6 +8,7 @@ pub use gcs_collectives as collectives;
 pub use gcs_core as core;
 pub use gcs_ddp as ddp;
 pub use gcs_gpusim as gpusim;
+pub use gcs_metrics as metrics;
 pub use gcs_netsim as netsim;
 pub use gcs_nn as nn;
 pub use gcs_tensor as tensor;
