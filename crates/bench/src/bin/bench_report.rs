@@ -1,13 +1,15 @@
 //! Machine-readable bench trajectory: emits a `BENCH_<id>.json` artifact
 //! covering the Table 4/8/9 kernel suites (per-scheme aggregation-round
-//! latency quantiles + throughput) and the six collectives (wire bytes +
-//! latency tails), alongside the other two exporters — a Prometheus
-//! text-format snapshot and a JSONL time-series dump — of everything the
-//! run captured into the `gcs-metrics` registry.
+//! latency quantiles + throughput), the six collectives (wire bytes +
+//! latency tails), and the zero-allocation hotpath rows (steady-state heap
+//! events per round, measured by a counting global allocator, plus
+//! pooled-vs-unpooled throughput), alongside the other two exporters — a
+//! Prometheus text-format snapshot and a JSONL time-series dump — of
+//! everything the run captured into the `gcs-metrics` registry.
 //!
 //! Usage:
 //!   cargo run -p gcs-bench --release --bin bench_report -- [--fast]
-//!       [--id PR3] [--out path.json]
+//!       [--id PR4] [--out path.json]
 //!   cargo run -p gcs-bench --release --bin bench_report -- --validate path.json
 //!
 //! `--fast` shrinks the gradient dimension and round count for CI; the
@@ -15,21 +17,31 @@
 //! an existing artifact and checks it against the schema (field presence +
 //! finite values), exiting non-zero on violation.
 
+use gcs_alloc::{measure, CountingAlloc};
 use gcs_collectives::{
-    all_gather, broadcast, parameter_server, reduce_scatter, ring_all_reduce, tree_all_reduce,
-    F32Sum,
+    all_gather, broadcast, parameter_server, reduce_scatter, ring_all_reduce, ring_all_reduce_into,
+    tree_all_reduce, F32Sum, RingScratch, Traffic,
 };
-use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::scheme::{AggregationOutcome, CompressionScheme, RoundContext};
 use gcs_core::schemes::baseline::PrecisionBaseline;
 use gcs_core::schemes::literature::Qsgd;
 use gcs_core::schemes::powersgd::PowerSgd;
 use gcs_core::schemes::thc::Thc;
 use gcs_core::schemes::topk::TopK;
 use gcs_core::schemes::topkc::TopKC;
+use gcs_core::schemes::topkc_q::TopKCQ;
 use gcs_metrics::{validate_bench_json, Histogram, Json, Registry, SCHEMA_VERSION};
+use gcs_tensor::bitpack::PackedIntVec;
+use gcs_tensor::parallel::with_threads;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+// The counting allocator makes `allocs_per_round` a measured fact rather
+// than a claim: this binary pays one counter bump per heap event and in
+// exchange the hotpath section reports real steady-state allocation counts.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Cli {
     fast: bool,
@@ -41,7 +53,7 @@ struct Cli {
 fn parse_args() -> Cli {
     let mut cli = Cli {
         fast: false,
-        id: "PR3".to_string(),
+        id: "PR4".to_string(),
         out: None,
         validate: None,
     };
@@ -172,6 +184,89 @@ fn collective_entry(
     ])
 }
 
+/// Static gauge names for one hotpath row (the metrics registry keys by
+/// `&'static str`, so each measured path gets its own trio).
+struct HotGauges {
+    allocs: &'static str,
+    pooled: &'static str,
+    unpooled: &'static str,
+}
+
+/// One zero-allocation hotpath row: steady-state heap events per round
+/// (warm up twice, measure the third round on this thread under
+/// `with_threads(1)` — the counting allocator is thread-local), then warm
+/// pooled vs cold unpooled throughput over `rounds` timed rounds. The
+/// numbers are exported both into the JSON artifact and as gauges through
+/// the `gcs-metrics` registry.
+fn hotpath_entry(
+    name: &str,
+    gauges: HotGauges,
+    elems: usize,
+    rounds: u64,
+    merged: &mut Registry,
+    mut pooled_round: impl FnMut(u64),
+    mut unpooled_round: impl FnMut(u64),
+) -> Json {
+    let allocs = with_threads(1, || {
+        pooled_round(0);
+        pooled_round(1);
+        let ((), stats) = measure(|| pooled_round(2));
+        stats.total_events()
+    });
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        pooled_round(3 + r);
+    }
+    let pooled_tp = (elems as f64 * rounds as f64) / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        unpooled_round(r);
+    }
+    let unpooled_tp = (elems as f64 * rounds as f64) / t0.elapsed().as_secs_f64();
+    let ((), reg) = gcs_metrics::with_capture(|| {
+        gcs_metrics::gauge_set(gauges.allocs, allocs as f64);
+        gcs_metrics::gauge_set(gauges.pooled, pooled_tp);
+        gcs_metrics::gauge_set(gauges.unpooled, unpooled_tp);
+    });
+    merged.merge(&reg);
+    println!(
+        "  hotpath {name:<16} allocs/round {allocs:>4}  pooled {pooled_tp:>9.2e} elems/s  unpooled {unpooled_tp:>9.2e} elems/s"
+    );
+    obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("allocs_per_round", Json::Num(allocs as f64)),
+        ("pooled_elems_per_s", Json::Num(pooled_tp)),
+        ("unpooled_elems_per_s", Json::Num(unpooled_tp)),
+    ])
+}
+
+/// Hotpath row for a compression scheme: warm instance + reused outcome
+/// through `aggregate_round_into` vs a cold instance per round.
+fn scheme_hotpath(
+    name: &str,
+    gauges: HotGauges,
+    make: impl Fn() -> Box<dyn CompressionScheme>,
+    n: usize,
+    d: usize,
+    rounds: u64,
+    merged: &mut Registry,
+) -> Json {
+    let g = grads(n, d, 42);
+    let mut warm = make();
+    let mut out = AggregationOutcome::default();
+    hotpath_entry(
+        name,
+        gauges,
+        d,
+        rounds,
+        merged,
+        |r| warm.aggregate_round_into(&g, &RoundContext::new(11, r), &mut out),
+        |r| {
+            make().aggregate_round(&g, &RoundContext::new(11, r));
+        },
+    )
+}
+
 fn validate_file(path: &Path) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
     let doc = Json::parse(&text)?;
@@ -245,6 +340,117 @@ fn main() {
         }),
     ];
 
+    // Zero-allocation hotpath rows (ISSUE 4): measured steady-state heap
+    // events per round plus pooled-vs-unpooled throughput, per hot path.
+    let hotpath = vec![
+        {
+            let src = grads(n, len, 7);
+            let mut bufs = src.clone();
+            let mut scratch = RingScratch::default();
+            let mut traffic = Traffic::default();
+            hotpath_entry(
+                "ring_all_reduce",
+                HotGauges {
+                    allocs: "hotpath/allocs_per_round/ring_all_reduce",
+                    pooled: "hotpath/pooled_elems_per_s/ring_all_reduce",
+                    unpooled: "hotpath/unpooled_elems_per_s/ring_all_reduce",
+                },
+                len,
+                rounds,
+                &mut merged,
+                |_| {
+                    for (b, s) in bufs.iter_mut().zip(&src) {
+                        b.clear();
+                        b.extend_from_slice(s);
+                    }
+                    ring_all_reduce_into(&mut bufs, &F32Sum, 4.0, &mut scratch, &mut traffic);
+                },
+                |_| {
+                    let mut bb = src.clone();
+                    ring_all_reduce(&mut bb, &F32Sum, 4.0);
+                },
+            )
+        },
+        scheme_hotpath(
+            "thc",
+            HotGauges {
+                allocs: "hotpath/allocs_per_round/thc",
+                pooled: "hotpath/pooled_elems_per_s/thc",
+                unpooled: "hotpath/unpooled_elems_per_s/thc",
+            },
+            || Box::new(Thc::baseline(4, n)),
+            n,
+            d,
+            rounds,
+            &mut merged,
+        ),
+        scheme_hotpath(
+            "topkc",
+            HotGauges {
+                allocs: "hotpath/allocs_per_round/topkc",
+                pooled: "hotpath/pooled_elems_per_s/topkc",
+                unpooled: "hotpath/unpooled_elems_per_s/topkc",
+            },
+            || Box::new(TopKC::paper_config(2.0, n)),
+            n,
+            d,
+            rounds,
+            &mut merged,
+        ),
+        scheme_hotpath(
+            "topkc_q",
+            HotGauges {
+                allocs: "hotpath/allocs_per_round/topkc_q",
+                pooled: "hotpath/pooled_elems_per_s/topkc_q",
+                unpooled: "hotpath/unpooled_elems_per_s/topkc_q",
+            },
+            || Box::new(TopKCQ::with_bits(2.0, 64, 4, n)),
+            n,
+            d,
+            rounds,
+            &mut merged,
+        ),
+        scheme_hotpath(
+            "topk",
+            HotGauges {
+                allocs: "hotpath/allocs_per_round/topk",
+                pooled: "hotpath/pooled_elems_per_s/topk",
+                unpooled: "hotpath/unpooled_elems_per_s/topk",
+            },
+            || Box::new(TopK::with_bits(2.0, n, true)),
+            n,
+            d,
+            rounds,
+            &mut merged,
+        ),
+        {
+            let v = grads(1, d, 9).pop().unwrap();
+            let q = 4u32;
+            let qmax = (1i32 << (q - 1)) - 1;
+            let quant = move |x: f32| ((x * qmax as f32) as i32).clamp(-qmax, qmax);
+            let mut packed = PackedIntVec::zeros(q, v.len());
+            hotpath_entry(
+                "quantize_pack",
+                HotGauges {
+                    allocs: "hotpath/allocs_per_round/quantize_pack",
+                    pooled: "hotpath/pooled_elems_per_s/quantize_pack",
+                    unpooled: "hotpath/unpooled_elems_per_s/quantize_pack",
+                },
+                d,
+                rounds,
+                &mut merged,
+                |_| {
+                    packed.reset(q, v.len());
+                    packed.pack_with(|i| quant(v[i]));
+                },
+                |_| {
+                    let lanes: Vec<i32> = v.iter().map(|&x| quant(x)).collect();
+                    PackedIntVec::from_signed(q, &lanes);
+                },
+            )
+        },
+    ];
+
     let doc = obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("id", Json::Str(cli.id.clone())),
@@ -254,6 +460,7 @@ fn main() {
         ("workers", Json::Num(n as f64)),
         ("kernels", Json::Array(kernels)),
         ("collectives", Json::Array(collectives)),
+        ("hotpath", Json::Array(hotpath)),
     ]);
 
     let out = cli.out.unwrap_or_else(|| {

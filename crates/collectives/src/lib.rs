@@ -30,8 +30,9 @@ pub mod transport;
 
 pub use advanced::{double_tree_all_reduce, hierarchical_ring_all_reduce};
 pub use ops::{
-    all_gather, broadcast, parameter_server, reduce_scatter, ring_all_reduce, tree_all_reduce,
-    Traffic,
+    all_gather, all_gather_into, broadcast, broadcast_into, parameter_server,
+    parameter_server_into, reduce_scatter, reduce_scatter_into, ring_all_reduce,
+    ring_all_reduce_into, tree_all_reduce, tree_all_reduce_into, RingScratch, Traffic,
 };
 pub use reduce::{F16Sum, F32Max, F32Sum, ReduceOp, SaturatingIntSum, WideIntSum, WrappingIntSum};
 pub use transport::{threaded_ring_all_reduce, ThreadedCluster, WorkerLinks};

@@ -8,6 +8,14 @@
 //!
 //! Every operation returns a [`Traffic`] record with exact per-worker byte
 //! counts; the timing layer (`gcs-netsim`) turns those into seconds.
+//!
+//! Each collective has two entry points: the original allocating signature
+//! (`ring_all_reduce`, …) and a `_into` variant that writes into
+//! caller-owned scratch ([`RingScratch`], a reused [`Traffic`], reused
+//! output vectors). The `_into` variants are the steady-state hot path —
+//! after warm-up they perform **zero heap allocations** (asserted by
+//! `tests/alloc_budget.rs` under a counting global allocator); the
+//! allocating wrappers simply delegate with fresh scratch.
 
 use crate::reduce::ReduceOp;
 
@@ -23,12 +31,23 @@ pub struct Traffic {
 }
 
 impl Traffic {
+    #[cfg(test)]
     fn new(n: usize) -> Traffic {
         Traffic {
             sent: vec![0; n],
             received: vec![0; n],
             steps: 0,
         }
+    }
+
+    /// Resets to `n` workers with zeroed counters, reusing the existing
+    /// allocations when capacity suffices (no heap traffic at steady state).
+    pub fn reset(&mut self, n: usize) {
+        self.sent.clear();
+        self.sent.resize(n, 0);
+        self.received.clear();
+        self.received.resize(n, 0);
+        self.steps = 0;
     }
 
     fn record(&mut self, from: usize, to: usize, bytes: u64) {
@@ -66,6 +85,36 @@ impl Traffic {
     }
 }
 
+/// Persistent staging for the in-flight segments of one ring step.
+///
+/// The ring captures every worker's outgoing segment before applying any
+/// reduction (all sends within a step are simultaneous). Instead of one
+/// fresh `to_vec()` per worker per step, the segments are packed
+/// back-to-back into `staging` with `offsets` delimiting them — after the
+/// first step the allocation is at its high-water mark (≤ buffer length
+/// plus one extra element per worker) and is reused for every subsequent
+/// step and round.
+#[derive(Clone, Debug)]
+pub struct RingScratch<T> {
+    staging: Vec<T>,
+    offsets: Vec<usize>,
+}
+
+impl<T> Default for RingScratch<T> {
+    fn default() -> Self {
+        RingScratch {
+            staging: Vec::new(),
+            offsets: Vec::new(),
+        }
+    }
+}
+
+impl<T> RingScratch<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 fn segment_bounds(len: usize, n: usize, seg: usize) -> (usize, usize) {
     // Segments as even as possible: first (len % n) segments get one extra.
     let base = len / n;
@@ -89,6 +138,23 @@ pub fn ring_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
+    let mut scratch = RingScratch::new();
+    let mut traffic = Traffic::default();
+    ring_all_reduce_into(bufs, op, bytes_per_elem, &mut scratch, &mut traffic);
+    traffic
+}
+
+/// [`ring_all_reduce`] writing into caller-owned scratch: zero heap
+/// allocations once `scratch` and `traffic` have reached their high-water
+/// marks. Bitwise-identical to the allocating version (same segment walk,
+/// same reduction order).
+pub fn ring_all_reduce_into<T: Clone>(
+    bufs: &mut [Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+    scratch: &mut RingScratch<T>,
+    traffic: &mut Traffic,
+) {
     let _span = gcs_trace::span(gcs_trace::Phase::Network, "ring_all_reduce");
     let _timer = gcs_metrics::timer("collective/ring_all_reduce/latency_ns");
     let n = bufs.len();
@@ -98,9 +164,9 @@ pub fn ring_all_reduce<T: Clone>(
         bufs.iter().all(|b| b.len() == len),
         "ring_all_reduce: ragged buffers"
     );
-    let mut traffic = Traffic::new(n);
+    traffic.reset(n);
     if n == 1 || len == 0 {
-        return traffic;
+        return;
     }
 
     // Reduce-scatter: at step k, worker i sends segment (i - k) to i+1,
@@ -108,34 +174,46 @@ pub fn ring_all_reduce<T: Clone>(
     // full reduction of segment (i + 1) mod n.
     for k in 0..n - 1 {
         // Capture the sends before mutating (simultaneous steps).
-        let mut pending: Vec<(usize, usize, Vec<T>)> = Vec::with_capacity(n);
+        scratch.staging.clear();
+        scratch.offsets.clear();
+        scratch.offsets.push(0);
         for (i, buf) in bufs.iter().enumerate() {
             let seg = (i + n - k) % n;
             let (lo, hi) = segment_bounds(len, n, seg);
             let dst = (i + 1) % n;
-            pending.push((dst, seg, buf[lo..hi].to_vec()));
+            scratch.staging.extend_from_slice(&buf[lo..hi]);
+            scratch.offsets.push(scratch.staging.len());
             traffic.record(i, dst, ((hi - lo) as f64 * bytes_per_elem).ceil() as u64);
         }
-        for (dst, seg, data) in pending {
+        for i in 0..n {
+            let seg = (i + n - k) % n;
             let (lo, hi) = segment_bounds(len, n, seg);
-            op.reduce_slice(&mut bufs[dst][lo..hi], &data);
+            let dst = (i + 1) % n;
+            let data = &scratch.staging[scratch.offsets[i]..scratch.offsets[i + 1]];
+            op.reduce_slice(&mut bufs[dst][lo..hi], data);
         }
         traffic.steps += 1;
     }
 
     // All-gather: worker i owns segment (i+1); circulate finished segments.
     for k in 0..n - 1 {
-        let mut pending: Vec<(usize, usize, Vec<T>)> = Vec::with_capacity(n);
+        scratch.staging.clear();
+        scratch.offsets.clear();
+        scratch.offsets.push(0);
         for (i, buf) in bufs.iter().enumerate() {
             let seg = (i + 1 + n - k) % n;
             let (lo, hi) = segment_bounds(len, n, seg);
             let dst = (i + 1) % n;
-            pending.push((dst, seg, buf[lo..hi].to_vec()));
+            scratch.staging.extend_from_slice(&buf[lo..hi]);
+            scratch.offsets.push(scratch.staging.len());
             traffic.record(i, dst, ((hi - lo) as f64 * bytes_per_elem).ceil() as u64);
         }
-        for (dst, seg, data) in pending {
+        for i in 0..n {
+            let seg = (i + 1 + n - k) % n;
             let (lo, hi) = segment_bounds(len, n, seg);
-            bufs[dst][lo..hi].clone_from_slice(&data);
+            let dst = (i + 1) % n;
+            let data = &scratch.staging[scratch.offsets[i]..scratch.offsets[i + 1]];
+            bufs[dst][lo..hi].clone_from_slice(data);
         }
         traffic.steps += 1;
     }
@@ -148,7 +226,6 @@ pub fn ring_all_reduce<T: Clone>(
         "collective/ring_all_reduce/wire_bytes",
         traffic.total() as f64,
     );
-    traffic
 }
 
 /// Tree (recursive-halving/doubling style) all-reduce for any `n`: reduce
@@ -162,6 +239,21 @@ pub fn tree_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
+    let mut traffic = Traffic::default();
+    tree_all_reduce_into(bufs, op, bytes_per_elem, &mut traffic);
+    traffic
+}
+
+/// [`tree_all_reduce`] with a caller-owned [`Traffic`]. Fully in-place:
+/// both tree phases borrow source and destination disjointly
+/// (`split_at_mut`), and broadcast-down copies with `clone_from`, so no
+/// per-step buffer is ever allocated.
+pub fn tree_all_reduce_into<T: Clone>(
+    bufs: &mut [Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+    traffic: &mut Traffic,
+) {
     let _span = gcs_trace::span(gcs_trace::Phase::Network, "tree_all_reduce");
     let _timer = gcs_metrics::timer("collective/tree_all_reduce/latency_ns");
     let n = bufs.len();
@@ -171,33 +263,37 @@ pub fn tree_all_reduce<T: Clone>(
         bufs.iter().all(|b| b.len() == len),
         "tree_all_reduce: ragged buffers"
     );
-    let mut traffic = Traffic::new(n);
+    traffic.reset(n);
     if n == 1 || len == 0 {
-        return traffic;
+        return;
     }
     let payload = (len as f64 * bytes_per_elem).ceil() as u64;
 
     // Reduce up: at distance d, workers with (i % 2d == d) send to i - d.
+    // The sender index is always strictly above the receiver, so splitting
+    // the slice at the sender gives disjoint &mut/& borrows — no clone.
     let mut d = 1;
     while d < n {
         for i in 0..n {
             if i % (2 * d) == d {
                 let dst = i - d;
-                let data = bufs[i].clone();
-                op.reduce_slice(&mut bufs[dst], &data);
+                let (head, tail) = bufs.split_at_mut(i);
+                op.reduce_slice(&mut head[dst], &tail[0]);
                 traffic.record(i, dst, payload);
             }
         }
         traffic.steps += 1;
         d *= 2;
     }
-    // Broadcast down, mirroring the reduce tree.
+    // Broadcast down, mirroring the reduce tree. `clone_from` reuses the
+    // receiver's existing capacity (lengths are equal here).
     while d > 1 {
         d /= 2;
         for i in 0..n {
             if i % (2 * d) == d {
                 let src = i - d;
-                bufs[i] = bufs[src].clone();
+                let (head, tail) = bufs.split_at_mut(i);
+                tail[0].clone_from(&head[src]);
                 traffic.record(src, i, payload);
             }
         }
@@ -212,7 +308,6 @@ pub fn tree_all_reduce<T: Clone>(
         "collective/tree_all_reduce/wire_bytes",
         traffic.total() as f64,
     );
-    traffic
 }
 
 /// All-gather: returns each worker's concatenated view `[w0 | w1 | …]`
@@ -223,12 +318,26 @@ pub fn tree_all_reduce<T: Clone>(
 /// Panics if `inputs` is empty. Ragged inputs are allowed (TopK payload
 /// sizes can differ per worker after ties).
 pub fn all_gather<T: Clone>(inputs: &[Vec<T>], bytes_per_elem: f64) -> (Vec<T>, Traffic) {
+    let mut out = Vec::new();
+    let mut traffic = Traffic::default();
+    all_gather_into(inputs, bytes_per_elem, &mut out, &mut traffic);
+    (out, traffic)
+}
+
+/// [`all_gather`] writing the concatenation into a caller-owned `out`
+/// (cleared first; capacity reused) with a caller-owned [`Traffic`].
+pub fn all_gather_into<T: Clone>(
+    inputs: &[Vec<T>],
+    bytes_per_elem: f64,
+    out: &mut Vec<T>,
+    traffic: &mut Traffic,
+) {
     let _span = gcs_trace::span(gcs_trace::Phase::Network, "all_gather");
     let _timer = gcs_metrics::timer("collective/all_gather/latency_ns");
     let n = inputs.len();
     assert!(n > 0, "all_gather: no workers");
-    let mut traffic = Traffic::new(n);
-    let mut out = Vec::with_capacity(inputs.iter().map(Vec::len).sum());
+    traffic.reset(n);
+    out.clear();
     for (i, inp) in inputs.iter().enumerate() {
         let bytes = (inp.len() as f64 * bytes_per_elem).ceil() as u64;
         for j in 0..n {
@@ -236,7 +345,7 @@ pub fn all_gather<T: Clone>(inputs: &[Vec<T>], bytes_per_elem: f64) -> (Vec<T>, 
                 traffic.record(i, j, bytes);
             }
         }
-        out.extend(inp.iter().cloned());
+        out.extend_from_slice(inp);
     }
     traffic.steps = (n - 1) as u32;
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
@@ -245,7 +354,6 @@ pub fn all_gather<T: Clone>(inputs: &[Vec<T>], bytes_per_elem: f64) -> (Vec<T>, 
         traffic.total() as f64,
     );
     gcs_metrics::observe("collective/all_gather/wire_bytes", traffic.total() as f64);
-    (out, traffic)
 }
 
 /// Reduce-scatter: worker `i` ends with segment `i` of the reduction.
@@ -259,6 +367,22 @@ pub fn reduce_scatter<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> (Vec<Vec<T>>, Traffic) {
+    let mut out = Vec::new();
+    let mut traffic = Traffic::default();
+    reduce_scatter_into(bufs, op, bytes_per_elem, &mut out, &mut traffic);
+    (out, traffic)
+}
+
+/// [`reduce_scatter`] writing segments into caller-owned `out` vectors
+/// (resized to `n`; each segment cleared and refilled in place, so the
+/// steady state reuses every allocation).
+pub fn reduce_scatter_into<T: Clone>(
+    bufs: &[Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+    out: &mut Vec<Vec<T>>,
+    traffic: &mut Traffic,
+) {
     let _span = gcs_trace::span(gcs_trace::Phase::Network, "reduce_scatter");
     let _timer = gcs_metrics::timer("collective/reduce_scatter/latency_ns");
     let n = bufs.len();
@@ -268,17 +392,19 @@ pub fn reduce_scatter<T: Clone>(
         bufs.iter().all(|b| b.len() == len),
         "reduce_scatter: ragged buffers"
     );
-    let mut traffic = Traffic::new(n);
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
+    traffic.reset(n);
+    if out.len() != n {
+        out.resize_with(n, Vec::new);
+    }
+    for (i, acc) in out.iter_mut().enumerate() {
         let (lo, hi) = segment_bounds(len, n, i);
-        let mut acc = bufs[i][lo..hi].to_vec();
+        acc.clear();
+        acc.extend_from_slice(&bufs[i][lo..hi]);
         for j in 1..n {
             let src = (i + j) % n;
-            op.reduce_slice(&mut acc, &bufs[src][lo..hi]);
+            op.reduce_slice(acc, &bufs[src][lo..hi]);
             traffic.record(src, i, ((hi - lo) as f64 * bytes_per_elem).ceil() as u64);
         }
-        out.push(acc);
     }
     traffic.steps = (n - 1) as u32;
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
@@ -290,26 +416,41 @@ pub fn reduce_scatter<T: Clone>(
         "collective/reduce_scatter/wire_bytes",
         traffic.total() as f64,
     );
-    (out, traffic)
 }
 
-/// One-to-all broadcast from `root`.
+/// One-to-all broadcast from `root`. In place: receivers `clone_from` the
+/// root's buffer through disjoint borrows, reusing their capacity.
 ///
 /// # Panics
 /// Panics if `root >= n`.
 pub fn broadcast<T: Clone>(bufs: &mut [Vec<T>], root: usize, bytes_per_elem: f64) -> Traffic {
+    let mut traffic = Traffic::default();
+    broadcast_into(bufs, root, bytes_per_elem, &mut traffic);
+    traffic
+}
+
+/// [`broadcast`] with a caller-owned [`Traffic`].
+pub fn broadcast_into<T: Clone>(
+    bufs: &mut [Vec<T>],
+    root: usize,
+    bytes_per_elem: f64,
+    traffic: &mut Traffic,
+) {
     let _span = gcs_trace::span(gcs_trace::Phase::Network, "broadcast");
     let _timer = gcs_metrics::timer("collective/broadcast/latency_ns");
     let n = bufs.len();
     assert!(root < n, "broadcast: root {root} out of range");
-    let mut traffic = Traffic::new(n);
-    let data = bufs[root].clone();
-    let bytes = (data.len() as f64 * bytes_per_elem).ceil() as u64;
-    for (i, buf) in bufs.iter_mut().enumerate() {
-        if i != root {
-            *buf = data.clone();
-            traffic.record(root, i, bytes);
-        }
+    traffic.reset(n);
+    let (head, rest) = bufs.split_at_mut(root);
+    let (root_buf, tail) = rest.split_first_mut().expect("root < n");
+    let bytes = (root_buf.len() as f64 * bytes_per_elem).ceil() as u64;
+    for (i, buf) in head.iter_mut().enumerate() {
+        buf.clone_from(root_buf);
+        traffic.record(root, i, bytes);
+    }
+    for (j, buf) in tail.iter_mut().enumerate() {
+        buf.clone_from(root_buf);
+        traffic.record(root, root + 1 + j, bytes);
     }
     traffic.steps = 1;
     gcs_trace::counter("wire_bytes", traffic.total() as f64);
@@ -318,7 +459,6 @@ pub fn broadcast<T: Clone>(bufs: &mut [Vec<T>], root: usize, bytes_per_elem: f64
         traffic.total() as f64,
     );
     gcs_metrics::observe("collective/broadcast/wire_bytes", traffic.total() as f64);
-    traffic
 }
 
 /// Centralized parameter-server aggregation: all workers push to a PS
@@ -333,6 +473,21 @@ pub fn parameter_server<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> (Vec<T>, Traffic) {
+    let mut acc = Vec::new();
+    let mut traffic = Traffic::default();
+    parameter_server_into(bufs, op, bytes_per_elem, &mut acc, &mut traffic);
+    (acc, traffic)
+}
+
+/// [`parameter_server`] accumulating into a caller-owned `acc` (cleared
+/// and refilled in place) with a caller-owned [`Traffic`].
+pub fn parameter_server_into<T: Clone>(
+    bufs: &[Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+    acc: &mut Vec<T>,
+    traffic: &mut Traffic,
+) {
     let _span = gcs_trace::span(gcs_trace::Phase::Network, "parameter_server");
     let _timer = gcs_metrics::timer("collective/parameter_server/latency_ns");
     let n = bufs.len();
@@ -342,12 +497,12 @@ pub fn parameter_server<T: Clone>(
         bufs.iter().all(|b| b.len() == len),
         "parameter_server: ragged buffers"
     );
-    let mut traffic = Traffic::new(n);
+    traffic.reset(n);
     let bytes = (len as f64 * bytes_per_elem).ceil() as u64;
-    let mut acc = bufs[0].clone();
-    for (i, b) in bufs.iter().enumerate().skip(1) {
-        op.reduce_slice(&mut acc, b);
-        let _ = i;
+    acc.clear();
+    acc.extend_from_slice(&bufs[0]);
+    for b in bufs.iter().skip(1) {
+        op.reduce_slice(acc, b);
     }
     // Push: every worker's send. Pull: every worker's receive. We count the
     // PS-side congestion in the timing model, not here.
@@ -365,7 +520,6 @@ pub fn parameter_server<T: Clone>(
         "collective/parameter_server/wire_bytes",
         traffic.total() as f64,
     );
-    (acc, traffic)
 }
 
 #[cfg(test)]
@@ -405,6 +559,79 @@ mod tests {
                         assert!((x - e).abs() < 1e-4, "n={n} len={len}");
                     }
                 }
+            }
+        }
+    }
+
+    /// The pre-pool reference ring, preserved verbatim (per-step
+    /// `to_vec()` staging) to pin that the staged rewrite is
+    /// bitwise-identical.
+    fn reference_ring_all_reduce<T: Clone>(bufs: &mut [Vec<T>], op: &dyn ReduceOp<T>) {
+        let n = bufs.len();
+        let len = bufs[0].len();
+        if n == 1 || len == 0 {
+            return;
+        }
+        for k in 0..n - 1 {
+            let mut pending: Vec<(usize, usize, Vec<T>)> = Vec::with_capacity(n);
+            for (i, buf) in bufs.iter().enumerate() {
+                let seg = (i + n - k) % n;
+                let (lo, hi) = segment_bounds(len, n, seg);
+                pending.push(((i + 1) % n, seg, buf[lo..hi].to_vec()));
+            }
+            for (dst, seg, data) in pending {
+                let (lo, hi) = segment_bounds(len, n, seg);
+                op.reduce_slice(&mut bufs[dst][lo..hi], &data);
+            }
+        }
+        for k in 0..n - 1 {
+            let mut pending: Vec<(usize, usize, Vec<T>)> = Vec::with_capacity(n);
+            for (i, buf) in bufs.iter().enumerate() {
+                let seg = (i + 1 + n - k) % n;
+                let (lo, hi) = segment_bounds(len, n, seg);
+                pending.push(((i + 1) % n, seg, buf[lo..hi].to_vec()));
+            }
+            for (dst, seg, data) in pending {
+                let (lo, hi) = segment_bounds(len, n, seg);
+                bufs[dst][lo..hi].clone_from_slice(&data);
+            }
+        }
+    }
+
+    #[test]
+    fn staged_ring_is_bitwise_identical_to_reference() {
+        for n in [2usize, 3, 4, 7] {
+            for len in [1usize, 5, 64, 97] {
+                let mut a = worker_bufs(n, len);
+                let mut b = a.clone();
+                ring_all_reduce(&mut a, &F32Sum, 4.0);
+                reference_ring_all_reduce(&mut b, &F32Sum);
+                for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "n={n} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_into_scratch_reuse_is_stable_across_rounds() {
+        let mut scratch = RingScratch::new();
+        let mut traffic = Traffic::default();
+        let mut expect_traffic = None;
+        for round in 0..3 {
+            let mut bufs = worker_bufs(4, 97);
+            let expect = {
+                let mut r = bufs.clone();
+                reference_ring_all_reduce(&mut r, &F32Sum);
+                r
+            };
+            ring_all_reduce_into(&mut bufs, &F32Sum, 4.0, &mut scratch, &mut traffic);
+            for (x, y) in bufs.iter().flatten().zip(expect.iter().flatten()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "round={round}");
+            }
+            match &expect_traffic {
+                None => expect_traffic = Some(traffic.clone()),
+                Some(t) => assert_eq!(&traffic, t, "traffic must reset per call"),
             }
         }
     }
@@ -485,6 +712,52 @@ mod tests {
         }
     }
 
+    /// Behavior preservation for the in-place tree rewrite (satellite
+    /// fix): same values and traffic as the old clone-based version,
+    /// whose logic is reproduced here.
+    #[test]
+    fn in_place_tree_matches_cloning_reference() {
+        for n in [2usize, 3, 4, 5, 6, 7, 8, 9] {
+            let mut a = worker_bufs(n, 33);
+            let b_src = a.clone();
+            let t = tree_all_reduce(&mut a, &F32Sum, 4.0);
+
+            // Reference: the pre-rewrite clone-per-hop implementation.
+            let mut b = b_src;
+            let mut expect_t = Traffic::new(n);
+            let payload = (33.0f64 * 4.0).ceil() as u64;
+            let mut d = 1;
+            while d < n {
+                for i in 0..n {
+                    if i % (2 * d) == d {
+                        let dst = i - d;
+                        let data = b[i].clone();
+                        F32Sum.reduce_slice(&mut b[dst], &data);
+                        expect_t.record(i, dst, payload);
+                    }
+                }
+                expect_t.steps += 1;
+                d *= 2;
+            }
+            while d > 1 {
+                d /= 2;
+                for i in 0..n {
+                    if i % (2 * d) == d {
+                        let src = i - d;
+                        b[i] = b[src].clone();
+                        expect_t.record(src, i, payload);
+                    }
+                }
+                expect_t.steps += 1;
+            }
+
+            for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n={n}");
+            }
+            assert_eq!(t, expect_t, "n={n}");
+        }
+    }
+
     #[test]
     fn all_gather_concatenates_and_counts() {
         let inputs = vec![vec![1i32, 2], vec![3], vec![4, 5, 6]];
@@ -492,6 +765,19 @@ mod tests {
         assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
         assert_eq!(t.sent, vec![16, 8, 24]); // payload * (n-1)
         assert_eq!(t.received[0], 4 + 12);
+    }
+
+    #[test]
+    fn all_gather_into_reuses_output() {
+        let inputs = vec![vec![1i32, 2], vec![3], vec![4, 5, 6]];
+        let mut out = Vec::with_capacity(16);
+        let ptr = out.as_ptr();
+        let mut traffic = Traffic::default();
+        for _ in 0..2 {
+            all_gather_into(&inputs, 4.0, &mut out, &mut traffic);
+            assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+            assert_eq!(out.as_ptr(), ptr, "output allocation must be reused");
+        }
     }
 
     #[test]
@@ -507,6 +793,23 @@ mod tests {
     }
 
     #[test]
+    fn reduce_scatter_into_reuses_segments() {
+        let bufs = worker_bufs(3, 10);
+        let (expect_segs, expect_t) = reduce_scatter(&bufs, &F32Sum, 4.0);
+        let mut out = Vec::new();
+        let mut traffic = Traffic::default();
+        reduce_scatter_into(&bufs, &F32Sum, 4.0, &mut out, &mut traffic);
+        let ptrs: Vec<*const f32> = out.iter().map(|s| s.as_ptr()).collect();
+        // Second call: identical result, identical allocations.
+        reduce_scatter_into(&bufs, &F32Sum, 4.0, &mut out, &mut traffic);
+        assert_eq!(out, expect_segs);
+        assert_eq!(traffic, expect_t);
+        for (s, &p) in out.iter().zip(&ptrs) {
+            assert_eq!(s.as_ptr(), p, "segment allocation must be reused");
+        }
+    }
+
+    #[test]
     fn broadcast_copies_root() {
         let mut bufs = vec![vec![0.0f32; 4], vec![1.0; 4], vec![2.0; 4]];
         let t = broadcast(&mut bufs, 1, 4.0);
@@ -514,6 +817,19 @@ mod tests {
             assert_eq!(b, &vec![1.0; 4]);
         }
         assert_eq!(t.sent[1], 32);
+    }
+
+    #[test]
+    fn broadcast_from_every_root_position() {
+        for root in 0..4 {
+            let mut bufs: Vec<Vec<f32>> = (0..4).map(|w| vec![w as f32; 6]).collect();
+            let t = broadcast(&mut bufs, root, 4.0);
+            for b in &bufs {
+                assert_eq!(b, &vec![root as f32; 6]);
+            }
+            assert_eq!(t.sent[root], 3 * 24);
+            assert_eq!(t.steps, 1);
+        }
     }
 
     #[test]
@@ -562,5 +878,19 @@ mod tests {
         assert_eq!(a.steps, 3);
         assert_eq!(a.total(), 15);
         assert_eq!(a.max_sent(), 10);
+    }
+
+    #[test]
+    fn traffic_reset_reuses_and_zeroes() {
+        let mut t = Traffic::new(4);
+        t.record(0, 1, 10);
+        t.steps = 3;
+        let ptr = t.sent.as_ptr();
+        t.reset(4);
+        assert_eq!(t, Traffic::new(4));
+        assert_eq!(t.sent.as_ptr(), ptr, "reset must reuse the allocation");
+        // Growing is allowed (allocates once), shrinking reuses.
+        t.reset(2);
+        assert_eq!(t, Traffic::new(2));
     }
 }

@@ -100,6 +100,20 @@ impl ErrorFeedback {
     /// Panics if more gradients than workers are supplied, or a gradient
     /// length changed between rounds.
     pub fn corrected_all(&mut self, grads: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(grads.len());
+        self.corrected_all_into(grads, &mut out);
+        out
+    }
+
+    /// [`ErrorFeedback::corrected_all`] writing into caller-owned vectors
+    /// (resized to one per worker, each cleared and refilled in place) — the
+    /// zero-allocation steady-state entry point for schemes that own a
+    /// round scratch.
+    ///
+    /// # Panics
+    /// Panics if more gradients than workers are supplied, or a gradient
+    /// length changed between rounds.
+    pub fn corrected_all_into(&mut self, grads: &[Vec<f32>], out: &mut Vec<Vec<f32>>) {
         let n = grads.len();
         assert!(
             n <= self.memories.len(),
@@ -116,18 +130,23 @@ impl ErrorFeedback {
                 "ErrorFeedback: gradient dimension changed"
             );
         }
+        if out.len() != n {
+            out.resize_with(n, Vec::new);
+        }
         if !self.enabled {
-            return grads.to_vec();
+            for (o, g) in out.iter_mut().zip(grads) {
+                o.clear();
+                o.extend_from_slice(g);
+            }
+            return;
         }
         let _span = gcs_trace::span(gcs_trace::Phase::Compress, "ef_corrected");
         let memories = &self.memories;
-        gcs_tensor::parallel::map_tasks(n, |w| {
-            grads[w]
-                .iter()
-                .zip(memories[w].iter())
-                .map(|(g, m)| g + m)
-                .collect()
-        })
+        gcs_tensor::parallel::for_each_chunk_mut(&mut out[..n], 1, |w, slot| {
+            let o = &mut slot[0];
+            o.clear();
+            o.extend(grads[w].iter().zip(memories[w].iter()).map(|(g, m)| g + m));
+        });
     }
 
     /// Batched [`ErrorFeedback::update`] over workers `0..corrected.len()`,
@@ -266,6 +285,42 @@ mod tests {
                     assert_eq!(ef.memories[w], reference.memories[w]);
                 }
             });
+        }
+    }
+
+    #[test]
+    fn corrected_all_into_reuses_buffers_and_matches() {
+        for enabled in [true, false] {
+            let n = 3;
+            let grads: Vec<Vec<f32>> = (0..n)
+                .map(|w| {
+                    (0..64)
+                        .map(|i| ((w * 64 + i) as f32 * 0.29).cos())
+                        .collect()
+                })
+                .collect();
+            let mut a = ErrorFeedback::new(n, enabled);
+            let mut b = ErrorFeedback::new(n, enabled);
+            let mut out = Vec::new();
+            let mut ptrs: Vec<*const f32> = Vec::new();
+            for round in 0..3 {
+                let expect = a.corrected_all(&grads);
+                b.corrected_all_into(&grads, &mut out);
+                assert_eq!(out, expect, "enabled={enabled} round={round}");
+                let sents: Vec<Vec<f32>> = out
+                    .iter()
+                    .map(|c| c.iter().map(|x| x * 0.5).collect())
+                    .collect();
+                a.update_all(&expect, &sents);
+                b.update_all(&out, &sents);
+                if round == 0 {
+                    ptrs = out.iter().map(|o| o.as_ptr()).collect();
+                } else {
+                    for (o, &p) in out.iter().zip(&ptrs) {
+                        assert_eq!(o.as_ptr(), p, "steady state must reuse buffers");
+                    }
+                }
+            }
         }
     }
 

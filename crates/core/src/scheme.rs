@@ -57,7 +57,7 @@ impl CommEvent {
 }
 
 /// Result of one distributed aggregation round.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct AggregationOutcome {
     /// The estimate of the workers' **average** gradient that every worker
     /// holds after the round (identical across workers by construction).
@@ -91,6 +91,20 @@ pub trait CompressionScheme {
     /// Stateful: error-feedback memories, PowerSGD's `Q`, etc. live inside
     /// the scheme.
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome;
+
+    /// Runs one aggregation round writing into a caller-owned, reusable
+    /// [`AggregationOutcome`] (fields cleared and refilled in place). The
+    /// pooled schemes override this as their primary path — together with
+    /// their internal round scratch it makes the steady state allocation-
+    /// free; the default simply delegates to [`CompressionScheme::aggregate_round`].
+    fn aggregate_round_into(
+        &mut self,
+        grads: &[Vec<f32>],
+        ctx: &RoundContext,
+        out: &mut AggregationOutcome,
+    ) {
+        *out = self.aggregate_round(grads, ctx);
+    }
 
     /// Whether the scheme's dominant collective is an all-reduce
     /// (vs all-gather / parameter server) — Table 1's compatibility column.

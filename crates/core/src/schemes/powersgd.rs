@@ -19,12 +19,29 @@
 
 use crate::ef::ErrorFeedback;
 use crate::scheme::{AggregationOutcome, CommEvent, CompressionScheme, RoundContext};
-use gcs_collectives::{ring_all_reduce, F32Sum, Traffic};
+use gcs_collectives::{ring_all_reduce_into, F32Sum, RingScratch, Traffic};
 use gcs_gpusim::{ops, DeviceSpec};
 use gcs_netsim::Collective;
 use gcs_tensor::matrix::{orthonormalize_columns, Matrix};
+use gcs_tensor::pool::WorkerBufs;
 use gcs_tensor::rng::{SharedSeed, Stream};
 use rand::Rng;
+
+/// Round scratch owned across rounds. Unlike the sparsifiers, PowerSGD is
+/// not fully allocation-free at steady state — the per-layer matmuls
+/// return freshly allocated matrices — but all O(n·d) staging (EF,
+/// per-worker P/Q/rest buffers, ring staging) is pooled, leaving a small
+/// per-round allocation budget bounded by the factor sizes.
+#[derive(Clone, Debug, Default)]
+struct PowerSgdScratch {
+    corrected: Vec<Vec<f32>>,
+    sent: WorkerBufs<f32>,
+    p_bufs: WorkerBufs<f32>,
+    q_bufs: WorkerBufs<f32>,
+    rest: WorkerBufs<f32>,
+    ring: RingScratch<f32>,
+    stage_traffic: Traffic,
+}
 
 /// PowerSGD low-rank compression.
 #[derive(Clone, Debug)]
@@ -35,6 +52,7 @@ pub struct PowerSgd {
     cost_shapes: Vec<(u64, u64)>,
     q_states: Vec<Matrix>,
     ef: ErrorFeedback,
+    scratch: PowerSgdScratch,
 }
 
 impl PowerSgd {
@@ -58,6 +76,7 @@ impl PowerSgd {
             cost_shapes,
             q_states: Vec::new(),
             ef: ErrorFeedback::new(n_workers, true),
+            scratch: PowerSgdScratch::default(),
         }
     }
 
@@ -112,6 +131,17 @@ impl CompressionScheme for PowerSgd {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let mut out = AggregationOutcome::default();
+        self.aggregate_round_into(grads, ctx, &mut out);
+        out
+    }
+
+    fn aggregate_round_into(
+        &mut self,
+        grads: &[Vec<f32>],
+        ctx: &RoundContext,
+        out: &mut AggregationOutcome,
+    ) {
         let _round_timer = gcs_metrics::timer("scheme/powersgd/round_ns");
         let n = grads.len();
         let d = grads[0].len();
@@ -121,11 +151,13 @@ impl CompressionScheme for PowerSgd {
             "PowerSgd: shapes cover {covered} > gradient dim {d}"
         );
 
+        let mut scratch = std::mem::take(&mut self.scratch);
+
         // EF-corrected gradients (batched, parallel across workers). The
         // per-layer matmuls below parallelize internally over output rows,
         // which fits PowerSGD's few-workers/large-matrices regime better
         // than fanning out over the worker loop.
-        let corrected = self.ef.corrected_all(grads);
+        self.ef.corrected_all_into(grads, &mut scratch.corrected);
 
         // Lazily initialize Q states from shared randomness so all workers
         // (and reruns) agree.
@@ -145,12 +177,18 @@ impl CompressionScheme for PowerSgd {
                 .collect();
         }
 
-        let mut estimate = vec![0.0f32; d];
-        let mut sent: Vec<Vec<f32>> = vec![vec![0.0f32; d]; n];
-        let mut traffic = Traffic::default();
+        out.mean_estimate.clear();
+        out.mean_estimate.resize(d, 0.0);
+        let estimate = &mut out.mean_estimate;
+        let sent = scratch.sent.prepare(n);
+        for s in sent.iter_mut() {
+            s.resize(d, 0.0);
+        }
+        out.traffic.reset(n);
         let mut p_bytes = 0.0f64;
         let mut q_bytes = 0.0f64;
         let mut offset = 0usize;
+        let corrected = &scratch.corrected;
 
         for (l, &(rows, cols)) in self.shapes.iter().enumerate() {
             let len = rows * cols;
@@ -162,16 +200,25 @@ impl CompressionScheme for PowerSgd {
                 .iter()
                 .map(|c| Matrix::from_vec(rows, cols, c[offset..offset + len].to_vec()))
                 .collect();
-            let mut p_bufs: Vec<Vec<f32>> = {
+            {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_matmul_p");
-                ms.iter().map(|m| m.matmul(q_prev).into_vec()).collect()
-            };
-            let t = ring_all_reduce(&mut p_bufs, &F32Sum, 4.0);
-            merge_traffic(&mut traffic, &t);
+                let p_bufs = scratch.p_bufs.prepare(n);
+                for (buf, m) in p_bufs.iter_mut().zip(&ms) {
+                    buf.extend_from_slice(m.matmul(q_prev).data());
+                }
+            }
+            ring_all_reduce_into(
+                scratch.p_bufs.slice_mut(n),
+                &F32Sum,
+                4.0,
+                &mut scratch.ring,
+                &mut scratch.stage_traffic,
+            );
+            out.traffic.merge(&scratch.stage_traffic);
             p_bytes += (rows * r * 4) as f64;
 
             // Orthonormalize the summed P.
-            let mut p_hat = Matrix::from_vec(rows, r, p_bufs.into_iter().next().expect("P"));
+            let mut p_hat = Matrix::from_vec(rows, r, scratch.p_bufs.slice(n)[0].clone());
             {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compress, "gram_schmidt");
                 orthonormalize_columns(&mut p_hat);
@@ -182,11 +229,22 @@ impl CompressionScheme for PowerSgd {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_matmul_q");
                 ms.iter().map(|m| m.transpose_matmul(&p_hat)).collect()
             };
-            let mut q_bufs: Vec<Vec<f32>> = q_locals.iter().map(|q| q.data().to_vec()).collect();
-            let t = ring_all_reduce(&mut q_bufs, &F32Sum, 4.0);
-            merge_traffic(&mut traffic, &t);
+            {
+                let q_bufs = scratch.q_bufs.prepare(n);
+                for (buf, q) in q_bufs.iter_mut().zip(&q_locals) {
+                    buf.extend_from_slice(q.data());
+                }
+            }
+            ring_all_reduce_into(
+                scratch.q_bufs.slice_mut(n),
+                &F32Sum,
+                4.0,
+                &mut scratch.ring,
+                &mut scratch.stage_traffic,
+            );
+            out.traffic.merge(&scratch.stage_traffic);
             q_bytes += (cols * r * 4) as f64;
-            let mut q_mean = Matrix::from_vec(cols, r, q_bufs.into_iter().next().expect("Q"));
+            let mut q_mean = Matrix::from_vec(cols, r, scratch.q_bufs.slice(n)[0].clone());
             gcs_tensor::vector::scale(q_mean.data_mut(), 1.0 / n as f32);
 
             // Estimate = P̂ Q_meanᵀ (mean of per-worker approximations).
@@ -201,6 +259,7 @@ impl CompressionScheme for PowerSgd {
             // disabled, so skip the n_workers extra matmuls in that case.
             if self.ef.enabled() {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_ef_contrib");
+                let sent = scratch.sent.slice_mut(n);
                 for (w, q_local) in q_locals.iter().enumerate() {
                     let approx = p_hat.matmul(&q_local.transpose());
                     sent[w][offset..offset + len].copy_from_slice(approx.data());
@@ -216,12 +275,23 @@ impl CompressionScheme for PowerSgd {
         // FP32 — matching PowerSGD deployments, which only compress matrix
         // parameters.
         if offset < d {
-            let mut rest_bufs: Vec<Vec<f32>> =
-                corrected.iter().map(|c| c[offset..].to_vec()).collect();
-            let t = ring_all_reduce(&mut rest_bufs, &F32Sum, 4.0);
-            merge_traffic(&mut traffic, &t);
+            {
+                let rest_bufs = scratch.rest.prepare(n);
+                for (buf, c) in rest_bufs.iter_mut().zip(corrected) {
+                    buf.extend_from_slice(&c[offset..]);
+                }
+            }
+            ring_all_reduce_into(
+                scratch.rest.slice_mut(n),
+                &F32Sum,
+                4.0,
+                &mut scratch.ring,
+                &mut scratch.stage_traffic,
+            );
+            out.traffic.merge(&scratch.stage_traffic);
             q_bytes += ((d - offset) * 4) as f64;
-            let rest = &rest_bufs[0];
+            let rest = &scratch.rest.slice(n)[0];
+            let sent = scratch.sent.slice_mut(n);
             for (i, &v) in rest.iter().enumerate() {
                 estimate[offset + i] = v / n as f32;
                 for s in sent.iter_mut() {
@@ -234,22 +304,19 @@ impl CompressionScheme for PowerSgd {
         }
 
         // EF update (batched, parallel across workers).
-        self.ef.update_all(&corrected, &sent);
+        self.ef
+            .update_all(&scratch.corrected, scratch.sent.slice(n));
 
-        AggregationOutcome {
-            mean_estimate: estimate,
-            comm: vec![
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: p_bytes,
-                },
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: q_bytes,
-                },
-            ],
-            traffic,
-        }
+        out.comm.clear();
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: p_bytes,
+        });
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: q_bytes,
+        });
+        self.scratch = scratch;
     }
 
     fn all_reduce_compatible(&self) -> bool {
@@ -281,14 +348,6 @@ impl CompressionScheme for PowerSgd {
     fn reset(&mut self) {
         self.q_states.clear();
         self.ef.reset();
-    }
-}
-
-fn merge_traffic(acc: &mut Traffic, t: &Traffic) {
-    if acc.sent.is_empty() {
-        *acc = t.clone();
-    } else {
-        acc.merge(t);
     }
 }
 

@@ -26,11 +26,14 @@
 //! exactly this.
 
 use crate::scheme::{AggregationOutcome, CommEvent, CompressionScheme, RoundContext};
-use gcs_collectives::{ring_all_reduce, F32Max, SaturatingIntSum, WideIntSum};
+use gcs_collectives::{
+    ring_all_reduce_into, F32Max, RingScratch, SaturatingIntSum, Traffic, WideIntSum,
+};
 use gcs_gpusim::{ops, DeviceSpec};
 use gcs_netsim::Collective;
 use gcs_tensor::hadamard::{padded_len, rht_forward, rht_inverse, RotationMode};
 use gcs_tensor::half::F16;
+use gcs_tensor::pool::WorkerBufs;
 use gcs_tensor::rng::{worker_rng, SharedSeed, Stream};
 use rand::Rng;
 
@@ -47,6 +50,19 @@ pub enum ThcAggregation {
     },
 }
 
+/// Round scratch owned across rounds: per-worker rotation, scale and lane
+/// buffers plus collective staging, all at their high-water mark after the
+/// first round (the zero-allocation steady state).
+#[derive(Clone, Debug, Default)]
+struct ThcScratch {
+    rotated: WorkerBufs<f32>,
+    scales: WorkerBufs<f32>,
+    lanes: WorkerBufs<i32>,
+    ring_f32: RingScratch<f32>,
+    ring_i32: RingScratch<i32>,
+    lane_traffic: Traffic,
+}
+
 /// THC quantization scheme.
 #[derive(Clone, Debug)]
 pub struct Thc {
@@ -54,6 +70,7 @@ pub struct Thc {
     rotation: RotationMode,
     aggregation: ThcAggregation,
     n_workers: usize,
+    scratch: ThcScratch,
 }
 
 impl Thc {
@@ -76,6 +93,7 @@ impl Thc {
             rotation,
             aggregation,
             n_workers,
+            scratch: ThcScratch::default(),
         }
     }
 
@@ -205,58 +223,80 @@ impl CompressionScheme for Thc {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let mut out = AggregationOutcome::default();
+        self.aggregate_round_into(grads, ctx, &mut out);
+        out
+    }
+
+    fn aggregate_round_into(
+        &mut self,
+        grads: &[Vec<f32>],
+        ctx: &RoundContext,
+        out: &mut AggregationOutcome,
+    ) {
         let _round_timer = gcs_metrics::timer("scheme/thc/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let padded = self.padded_for(d);
         let seed = SharedSeed::derive(ctx.experiment_seed, ctx.round, Stream::RhtSigns);
         let qmax = self.qmax();
+        let blocks = self.scale_blocks(padded);
+        let block_len = self.block_len_for(padded);
+
+        // The round scratch moves out of `self` for the duration of the
+        // round (disjoint borrows against `&self` config reads) and back in
+        // at the end — its buffers persist across rounds.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let this = &*self;
 
         // Rotate. Workers are independent (shared seed, private data), so
         // the forward rotations fan out across them; with few workers the
         // FWHT kernel inside parallelizes over the vector instead.
-        let this = &*self;
-        let rotate_span = gcs_trace::span(gcs_trace::Phase::Compress, "thc_rotate");
-        let rotated: Vec<Vec<f32>> = gcs_tensor::parallel::map_tasks(n, |w| {
-            let mut v = grads[w].clone();
-            v.resize(padded, 0.0);
-            this.rotate(&mut v, seed, false);
-            v
-        });
-
-        drop(rotate_span);
+        {
+            let _s = gcs_trace::span(gcs_trace::Phase::Compress, "thc_rotate");
+            let rotated = scratch.rotated.prepare(n);
+            gcs_tensor::parallel::for_each_chunk_mut(rotated, 1, |w, slot| {
+                let v = &mut slot[0];
+                v.extend_from_slice(&grads[w]);
+                v.resize(padded, 0.0);
+                this.rotate(v, seed, false);
+            });
+        }
 
         // Agree on per-block scales (max |value| across workers), rounded
         // to FP16 for the wire.
-        let scale_span = gcs_trace::span(gcs_trace::Phase::Compress, "thc_block_scales");
-        let blocks = self.scale_blocks(padded);
-        let block_len = self.block_len_for(padded);
-        let mut scale_bufs: Vec<Vec<f32>> = gcs_tensor::parallel::map_tasks(n, |w| {
-            rotated[w]
-                .chunks(block_len)
-                .map(|c| {
+        {
+            let _s = gcs_trace::span(gcs_trace::Phase::Compress, "thc_block_scales");
+            let rotated = scratch.rotated.slice(n);
+            let scale_bufs = scratch.scales.prepare(n);
+            gcs_tensor::parallel::for_each_chunk_mut(scale_bufs, 1, |w, slot| {
+                slot[0].extend(rotated[w].chunks(block_len).map(|c| {
                     let m = c.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
                     F16::from_f32(m).to_f32()
-                })
-                .collect()
-        });
-        drop(scale_span);
-        let scale_traffic = ring_all_reduce(&mut scale_bufs, &F32Max, 2.0);
-        let scales = scale_bufs.into_iter().next().expect("no workers");
+                }));
+            });
+        }
+        ring_all_reduce_into(
+            scratch.scales.slice_mut(n),
+            &F32Max,
+            2.0,
+            &mut scratch.ring_f32,
+            &mut out.traffic,
+        );
 
         // Quantize each worker's rotated gradient to signed q-bit lanes with
         // unbiased stochastic rounding. Each worker owns a private
         // counter-derived RNG stream, so quantization parallelizes across
         // workers without perturbing any random sequence.
-        let scales_ref = &scales;
-        let quant_span = gcs_trace::span(gcs_trace::Phase::Compress, "thc_quantize");
-        let mut lane_bufs: Vec<Vec<i32>> = gcs_tensor::parallel::map_tasks(n, |w| {
-            let mut rng = worker_rng(ctx.experiment_seed ^ 0x74c0u64, w, ctx.round);
-            rotated[w]
-                .iter()
-                .enumerate()
-                .map(|(i, &x)| {
-                    let s = scales_ref[i / block_len];
+        {
+            let _s = gcs_trace::span(gcs_trace::Phase::Compress, "thc_quantize");
+            let rotated = scratch.rotated.slice(n);
+            let scales = &scratch.scales.slice(n)[0];
+            let lane_bufs = scratch.lanes.prepare(n);
+            gcs_tensor::parallel::for_each_chunk_mut(lane_bufs, 1, |w, slot| {
+                let mut rng = worker_rng(ctx.experiment_seed ^ 0x74c0u64, w, ctx.round);
+                slot[0].extend(rotated[w].iter().enumerate().map(|(i, &x)| {
+                    let s = scales[i / block_len];
                     if s <= 0.0 {
                         return 0;
                     }
@@ -265,53 +305,57 @@ impl CompressionScheme for Thc {
                     let frac = y - lo;
                     let up: bool = rng.gen::<f32>() < frac;
                     ((lo as i32) + i32::from(up)).clamp(-qmax, qmax)
-                })
-                .collect()
-        });
-
-        drop(quant_span);
+                }));
+            });
+        }
 
         // Aggregate lanes.
         let wire_bits = self.wire_bits();
-        let lane_traffic = match self.aggregation {
-            ThcAggregation::Saturating => ring_all_reduce(
-                &mut lane_bufs,
+        match self.aggregation {
+            ThcAggregation::Saturating => ring_all_reduce_into(
+                scratch.lanes.slice_mut(n),
                 &SaturatingIntSum::new(self.q),
                 self.q as f64 / 8.0,
+                &mut scratch.ring_i32,
+                &mut scratch.lane_traffic,
             ),
-            ThcAggregation::Widened { b } => {
-                ring_all_reduce(&mut lane_bufs, &WideIntSum, b as f64 / 8.0)
-            }
+            ThcAggregation::Widened { b } => ring_all_reduce_into(
+                scratch.lanes.slice_mut(n),
+                &WideIntSum,
+                b as f64 / 8.0,
+                &mut scratch.ring_i32,
+                &mut scratch.lane_traffic,
+            ),
         };
+        out.traffic.merge(&scratch.lane_traffic);
 
         // Decode: rescale, inverse rotation, truncate, divide by n.
-        let decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "thc_decode");
-        let mut est: Vec<f32> = lane_bufs[0]
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| l as f32 * scales[i / block_len] / qmax as f32)
-            .collect();
-        self.rotate(&mut est, seed, true);
-        est.truncate(d);
-        gcs_tensor::vector::scale(&mut est, 1.0 / n as f32);
-        drop(decode_span);
-
-        let mut traffic = scale_traffic;
-        traffic.merge(&lane_traffic);
-        AggregationOutcome {
-            mean_estimate: est,
-            comm: vec![
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: blocks as f64 * 2.0,
-                },
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: padded as f64 * wire_bits as f64 / 8.0,
-                },
-            ],
-            traffic,
+        {
+            let _s = gcs_trace::span(gcs_trace::Phase::Decompress, "thc_decode");
+            let scales = &scratch.scales.slice(n)[0];
+            let est = &mut out.mean_estimate;
+            est.clear();
+            est.extend(
+                scratch.lanes.slice(n)[0]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| l as f32 * scales[i / block_len] / qmax as f32),
+            );
+            self.rotate(est, seed, true);
+            est.truncate(d);
+            gcs_tensor::vector::scale(est, 1.0 / n as f32);
         }
+
+        out.comm.clear();
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: blocks as f64 * 2.0,
+        });
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: padded as f64 * wire_bits as f64 / 8.0,
+        });
+        self.scratch = scratch;
     }
 
     fn all_reduce_compatible(&self) -> bool {

@@ -13,11 +13,12 @@
 
 use crate::ef::ErrorFeedback;
 use crate::scheme::{AggregationOutcome, CommEvent, CompressionScheme, RoundContext};
-use gcs_collectives::all_gather;
+use gcs_collectives::all_gather_into;
 use gcs_gpusim::{ops, DeviceSpec};
 use gcs_netsim::Collective;
 use gcs_tensor::half::F16;
-use gcs_tensor::vector::top_k_indices;
+use gcs_tensor::pool::WorkerBufs;
+use gcs_tensor::vector::{top_k_indices, top_k_indices_into, TopKScratch};
 
 /// A sparse payload entry: 32-bit coordinate index + FP16 value (48 bits
 /// total on the wire).
@@ -58,12 +59,32 @@ impl IndexEncoding {
     }
 }
 
+/// Per-worker selection workspace (each parallel selection task owns one,
+/// so the fan-out stays allocation-free).
+#[derive(Clone, Debug, Default)]
+struct SelectScratch {
+    topk: TopKScratch,
+    idx: Vec<usize>,
+}
+
+/// Round scratch owned across rounds: EF staging, per-worker selection
+/// workspaces and payloads, the gathered union, and EF sent buffers.
+#[derive(Clone, Debug, Default)]
+struct TopKRoundScratch {
+    corrected: Vec<Vec<f32>>,
+    selects: Vec<SelectScratch>,
+    payloads: WorkerBufs<SparseEntry>,
+    sent: WorkerBufs<f32>,
+    gathered: Vec<SparseEntry>,
+}
+
 /// TopK sparsification, parameterized by target bits-per-coordinate.
 #[derive(Clone, Debug)]
 pub struct TopK {
     bits: f64,
     encoding: IndexEncoding,
     ef: ErrorFeedback,
+    scratch: TopKRoundScratch,
 }
 
 impl TopK {
@@ -78,6 +99,7 @@ impl TopK {
             bits,
             encoding: IndexEncoding::Absolute32,
             ef: ErrorFeedback::new(n_workers, error_feedback),
+            scratch: TopKRoundScratch::default(),
         }
     }
 
@@ -125,69 +147,110 @@ impl CompressionScheme for TopK {
         format!("TopK(b={})", self.bits)
     }
 
-    fn aggregate_round(&mut self, grads: &[Vec<f32>], _ctx: &RoundContext) -> AggregationOutcome {
+    fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let mut out = AggregationOutcome::default();
+        self.aggregate_round_into(grads, ctx, &mut out);
+        out
+    }
+
+    fn aggregate_round_into(
+        &mut self,
+        grads: &[Vec<f32>],
+        _ctx: &RoundContext,
+        out: &mut AggregationOutcome,
+    ) {
         let _round_timer = gcs_metrics::timer("scheme/topk/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let k = self.k_for(d);
+        let encoding = self.encoding;
+
+        // All per-round buffers live in the owned scratch, so the steady
+        // state allocates nothing (Delta16 gap-padding, an ablation, still
+        // does).
+        let mut scratch = std::mem::take(&mut self.scratch);
 
         // Compress: each worker selects its own top-K of the EF-corrected
         // gradient and rounds values to FP16 for the wire. Delta encoding
         // additionally sorts and gap-pads the index list (footnote 2).
         // Workers are independent, so selection fans out across them (the
         // per-vector top-k kernel itself parallelizes when workers are few).
-        let corrected_all = self.ef.corrected_all(grads);
-        let encoding = self.encoding;
-        let select_span = gcs_trace::span(gcs_trace::Phase::Compress, "topk_select");
-        let payloads: Vec<Vec<SparseEntry>> = gcs_tensor::parallel::map_tasks(n, |w| {
-            let corrected = &corrected_all[w];
-            let idx = match encoding {
-                IndexEncoding::Absolute32 => top_k_indices(corrected, k),
-                IndexEncoding::Delta16 => TopK::delta_pad(top_k_indices(corrected, k)),
-            };
-            idx.iter()
-                .map(|&i| SparseEntry {
+        self.ef.corrected_all_into(grads, &mut scratch.corrected);
+        if scratch.selects.len() < n {
+            scratch.selects.resize_with(n, SelectScratch::default);
+        }
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Compress, "topk_select");
+            let corrected_all = &scratch.corrected;
+            gcs_tensor::parallel::for_each_chunk_mut(&mut scratch.selects[..n], 1, |w, slot| {
+                let ws = &mut slot[0];
+                let corrected = &corrected_all[w];
+                match encoding {
+                    IndexEncoding::Absolute32 => {
+                        top_k_indices_into(corrected, k, &mut ws.topk, &mut ws.idx);
+                    }
+                    IndexEncoding::Delta16 => {
+                        ws.idx = TopK::delta_pad(top_k_indices(corrected, k));
+                    }
+                }
+            });
+            let selects = &scratch.selects;
+            let payloads = scratch.payloads.prepare(n);
+            gcs_tensor::parallel::for_each_chunk_mut(payloads, 1, |w, slot| {
+                let corrected = &corrected_all[w];
+                slot[0].extend(selects[w].idx.iter().map(|&i| SparseEntry {
                     index: i as u32,
                     value: F16::from_f32(corrected[i]),
-                })
-                .collect()
-        });
-
-        drop(select_span);
+                }));
+            });
+        }
 
         // Aggregate: all-gather the sparse payloads, then every worker
         // scatter-adds the union locally (up to nK distinct coordinates,
         // §3.1.1).
         let entry_bytes = self.encoding.entry_bits() / 8.0;
-        let (gathered, traffic) = all_gather(&payloads, entry_bytes);
-        let scatter_span = gcs_trace::span(gcs_trace::Phase::Decompress, "topk_scatter_add");
-        let mut sum = vec![0.0f32; d];
-        for e in &gathered {
-            sum[e.index as usize] += e.value.to_f32();
+        all_gather_into(
+            scratch.payloads.slice(n),
+            entry_bytes,
+            &mut scratch.gathered,
+            &mut out.traffic,
+        );
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Decompress, "topk_scatter_add");
+            let mean = &mut out.mean_estimate;
+            mean.clear();
+            mean.resize(d, 0.0);
+            for e in &scratch.gathered {
+                mean[e.index as usize] += e.value.to_f32();
+            }
+            for m in mean.iter_mut() {
+                *m /= n as f32;
+            }
         }
-        let mean: Vec<f32> = sum.iter().map(|s| s / n as f32).collect();
-        drop(scatter_span);
 
         // EF update: what each worker actually contributed.
         if self.ef.enabled() {
-            let sents: Vec<Vec<f32>> = gcs_tensor::parallel::map_tasks(n, |w| {
-                let mut sent = vec![0.0f32; d];
-                for e in &payloads[w] {
-                    sent[e.index as usize] = e.value.to_f32();
-                }
-                sent
-            });
-            self.ef.update_all(&corrected_all, &sents);
+            {
+                let payloads = scratch.payloads.slice(n);
+                let sent_bufs = scratch.sent.prepare(n);
+                gcs_tensor::parallel::for_each_chunk_mut(sent_bufs, 1, |w, slot| {
+                    let sent = &mut slot[0];
+                    sent.resize(d, 0.0);
+                    for e in &payloads[w] {
+                        sent[e.index as usize] = e.value.to_f32();
+                    }
+                });
+            }
+            self.ef
+                .update_all(&scratch.corrected, scratch.sent.slice(n));
         }
 
-        AggregationOutcome {
-            mean_estimate: mean,
-            comm: vec![CommEvent {
-                collective: Collective::AllGather,
-                payload_bytes: k as f64 * entry_bytes,
-            }],
-            traffic,
-        }
+        out.comm.clear();
+        out.comm.push(CommEvent {
+            collective: Collective::AllGather,
+            payload_bytes: k as f64 * entry_bytes,
+        });
+        self.scratch = scratch;
     }
 
     fn all_reduce_compatible(&self) -> bool {

@@ -23,11 +23,32 @@
 
 use crate::ef::ErrorFeedback;
 use crate::scheme::{AggregationOutcome, CommEvent, CompressionScheme, RoundContext};
-use gcs_collectives::{ring_all_reduce, F16Sum};
+use gcs_collectives::{ring_all_reduce_into, F16Sum, RingScratch, Traffic};
 use gcs_gpusim::{ops, DeviceSpec};
 use gcs_netsim::Collective;
 use gcs_tensor::half::F16;
+use gcs_tensor::pool::WorkerBufs;
 use gcs_tensor::rng::{shared_permutation, SharedSeed, Stream};
+use gcs_tensor::vector::TopKScratch;
+
+/// Round scratch owned across rounds (zero-allocation steady state): EF
+/// staging, per-worker norm/value/sent buffers, consensus-selection
+/// workspace and collective staging. The permutation ablation still
+/// allocates (it is not a production path).
+#[derive(Clone, Debug, Default)]
+struct TopKCScratch {
+    corrected: Vec<Vec<f32>>,
+    permuted: WorkerBufs<f32>,
+    norms: WorkerBufs<F16>,
+    values: WorkerBufs<F16>,
+    sent: WorkerBufs<f32>,
+    agg_norms: Vec<f32>,
+    selected: Vec<usize>,
+    topk: TopKScratch,
+    ring: RingScratch<F16>,
+    value_traffic: Traffic,
+    unperm: Vec<f32>,
+}
 
 /// TopK Chunked sparsification.
 #[derive(Clone, Debug)]
@@ -36,6 +57,7 @@ pub struct TopKC {
     bits: f64,
     permute: bool,
     ef: ErrorFeedback,
+    scratch: TopKCScratch,
 }
 
 impl TopKC {
@@ -58,6 +80,7 @@ impl TopKC {
             bits,
             permute: false,
             ef: ErrorFeedback::new(n_workers, error_feedback),
+            scratch: TopKCScratch::default(),
         }
     }
 
@@ -102,11 +125,23 @@ impl CompressionScheme for TopKC {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let mut out = AggregationOutcome::default();
+        self.aggregate_round_into(grads, ctx, &mut out);
+        out
+    }
+
+    fn aggregate_round_into(
+        &mut self,
+        grads: &[Vec<f32>],
+        ctx: &RoundContext,
+        out: &mut AggregationOutcome,
+    ) {
         let _round_timer = gcs_metrics::timer("scheme/topkc/round_ns");
         let n = grads.len();
         let d = grads[0].len();
         let chunks = d.div_ceil(self.chunk);
         let j = self.j_for(d);
+        let chunk = self.chunk;
 
         // Optional shared permutation (locality-destroying ablation). All
         // workers derive the same permutation from shared randomness.
@@ -119,136 +154,194 @@ impl CompressionScheme for TopKC {
             None
         };
 
+        // All per-round buffers live in the owned scratch, so the steady
+        // state allocates nothing (borrowed out of `self` so EF and config
+        // reads stay available).
+        let mut scratch = std::mem::take(&mut self.scratch);
+
         // Stage 0: EF-corrected (and permuted) local gradients. EF and the
         // permutation scatter are per-worker independent, so both fan out.
-        let corrected_plain = self.ef.corrected_all(grads);
-        let corrected: Vec<Vec<f32>> = match &perm {
-            Some(p) => gcs_tensor::parallel::map_tasks(n, |w| {
-                let c = &corrected_plain[w];
-                let mut v = vec![0.0f32; d];
+        self.ef.corrected_all_into(grads, &mut scratch.corrected);
+        if let Some(p) = &perm {
+            let src = &scratch.corrected;
+            let bufs = scratch.permuted.prepare(n);
+            gcs_tensor::parallel::for_each_chunk_mut(bufs, 1, |w, slot| {
+                let v = &mut slot[0];
+                v.resize(d, 0.0);
+                let c = &src[w];
                 for (i, &pi) in p.iter().enumerate() {
                     v[pi] = c[i];
                 }
-                v
-            }),
-            None => corrected_plain,
-        };
+            });
+        }
 
         // Stage 1: per-chunk squared norms, all-reduced in FP16. Workers are
         // independent; within a worker the chunk norms use the (itself
         // deterministic) chunked reduction kernel.
-        let chunk = self.chunk;
-        let norm_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_chunk_norms");
-        let mut norm_bufs: Vec<Vec<F16>> = gcs_tensor::parallel::map_tasks(n, |w| {
-            corrected[w]
-                .chunks(chunk)
-                .map(|ch| F16::from_f32(gcs_tensor::vector::squared_norm(ch)))
-                .collect()
-        });
-        drop(norm_span);
-        let norm_traffic = ring_all_reduce(&mut norm_bufs, &F16Sum, 2.0);
-        let agg_norms: Vec<f32> = norm_bufs[0].iter().map(|x| x.to_f32()).collect();
-        debug_assert_eq!(agg_norms.len(), chunks);
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_chunk_norms");
+            let corrected: &[Vec<f32>] = match &perm {
+                Some(_) => scratch.permuted.slice(n),
+                None => &scratch.corrected,
+            };
+            let norm_bufs = scratch.norms.prepare(n);
+            gcs_tensor::parallel::for_each_chunk_mut(norm_bufs, 1, |w, slot| {
+                slot[0].extend(
+                    corrected[w]
+                        .chunks(chunk)
+                        .map(|ch| F16::from_f32(gcs_tensor::vector::squared_norm(ch))),
+                );
+            });
+        }
+        ring_all_reduce_into(
+            scratch.norms.slice_mut(n),
+            &F16Sum,
+            2.0,
+            &mut scratch.ring,
+            &mut out.traffic,
+        );
+        scratch.agg_norms.clear();
+        scratch
+            .agg_norms
+            .extend(scratch.norms.slice(n)[0].iter().map(|x| x.to_f32()));
+        debug_assert_eq!(scratch.agg_norms.len(), chunks);
 
         // Stage 2: consensus top-J chunks (identical on every worker).
-        let select_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_consensus_select");
-        let top_chunks = gcs_tensor::vector::top_k_indices(&agg_norms, j);
-        let mut selected = top_chunks.clone();
-        selected.sort_unstable();
-        drop(select_span);
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_consensus_select");
+            gcs_tensor::vector::top_k_indices_into(
+                &scratch.agg_norms,
+                j,
+                &mut scratch.topk,
+                &mut scratch.selected,
+            );
+            scratch.selected.sort_unstable();
+        }
 
         // Stage 3: FP16 all-reduce over the selected chunks' values
         // (gathered per worker in parallel).
-        let gather_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_value_gather");
-        let mut value_bufs: Vec<Vec<F16>> = gcs_tensor::parallel::map_tasks(n, |w| {
-            let c = &corrected[w];
-            let mut buf = Vec::with_capacity(j * chunk);
-            for &p in &selected {
-                let lo = p * chunk;
-                let hi = (lo + chunk).min(d);
-                buf.extend(c[lo..hi].iter().map(|&v| F16::from_f32(v)));
-            }
-            buf
-        });
-        drop(gather_span);
-        let value_traffic = ring_all_reduce(&mut value_bufs, &F16Sum, 2.0);
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Compress, "topkc_value_gather");
+            let corrected: &[Vec<f32>] = match &perm {
+                Some(_) => scratch.permuted.slice(n),
+                None => &scratch.corrected,
+            };
+            let selected = &scratch.selected;
+            let value_bufs = scratch.values.prepare(n);
+            gcs_tensor::parallel::for_each_chunk_mut(value_bufs, 1, |w, slot| {
+                let c = &corrected[w];
+                let buf = &mut slot[0];
+                for &p in selected {
+                    let lo = p * chunk;
+                    let hi = (lo + chunk).min(d);
+                    buf.extend(c[lo..hi].iter().map(|&v| F16::from_f32(v)));
+                }
+            });
+        }
+        ring_all_reduce_into(
+            scratch.values.slice_mut(n),
+            &F16Sum,
+            2.0,
+            &mut scratch.ring,
+            &mut scratch.value_traffic,
+        );
 
         // Scatter back into dense coordinates (undoing the permutation).
-        let scatter_span = gcs_trace::span(gcs_trace::Phase::Decompress, "topkc_scatter_back");
-        let mut mean = vec![0.0f32; d];
         {
-            let summed = &value_bufs[0];
+            let _span = gcs_trace::span(gcs_trace::Phase::Decompress, "topkc_scatter_back");
+            let mean = &mut out.mean_estimate;
+            mean.clear();
+            mean.resize(d, 0.0);
+            let summed = &scratch.values.slice(n)[0];
             let mut cursor = 0usize;
-            for &p in &selected {
-                let lo = p * self.chunk;
-                let hi = (lo + self.chunk).min(d);
+            for &p in &scratch.selected {
+                let lo = p * chunk;
+                let hi = (lo + chunk).min(d);
                 for m in &mut mean[lo..hi] {
                     *m = summed[cursor].to_f32() / n as f32;
                     cursor += 1;
                 }
             }
-        }
-        if let Some(p) = &perm {
-            let mut unperm = vec![0.0f32; d];
-            for (i, &pi) in p.iter().enumerate() {
-                unperm[i] = mean[pi];
+            if let Some(p) = &perm {
+                let unperm = &mut scratch.unperm;
+                unperm.clear();
+                unperm.resize(d, 0.0);
+                for (i, &pi) in p.iter().enumerate() {
+                    unperm[i] = mean[pi];
+                }
+                mean.copy_from_slice(unperm);
             }
-            mean = unperm;
         }
-        drop(scatter_span);
 
         // EF update: what each worker contributed (its own FP16-rounded
         // values in the selected chunks), in the *original* coordinate
-        // order. Per-worker independent, so the (corrected, sent) pairs are
-        // built in parallel and committed through the batched EF API.
+        // order. Per-worker independent, so the sent vectors are built in
+        // parallel into pooled buffers and committed through the batched EF
+        // API.
         if self.ef.enabled() {
-            let pairs: Vec<(Vec<f32>, Vec<f32>)> = gcs_tensor::parallel::map_tasks(n, |w| {
-                let c = &corrected[w];
-                let mut sent = vec![0.0f32; d];
-                for &p in &selected {
-                    let lo = p * chunk;
-                    let hi = (lo + chunk).min(d);
-                    for pos in lo..hi {
-                        sent[pos] = F16::from_f32(c[pos]).to_f32();
-                    }
-                }
-                match &perm {
-                    Some(pvec) => {
-                        let mut co = vec![0.0f32; d];
-                        let mut so = vec![0.0f32; d];
-                        for (i, &pi) in pvec.iter().enumerate() {
-                            co[i] = c[pi];
-                            so[i] = sent[pi];
+            {
+                let corrected: &[Vec<f32>] = match &perm {
+                    Some(_) => scratch.permuted.slice(n),
+                    None => &scratch.corrected,
+                };
+                let selected = &scratch.selected;
+                let sent_bufs = scratch.sent.prepare(n);
+                gcs_tensor::parallel::for_each_chunk_mut(sent_bufs, 1, |w, slot| {
+                    let c = &corrected[w];
+                    let sent = &mut slot[0];
+                    sent.resize(d, 0.0);
+                    for &p in selected {
+                        let lo = p * chunk;
+                        let hi = (lo + chunk).min(d);
+                        for pos in lo..hi {
+                            sent[pos] = F16::from_f32(c[pos]).to_f32();
                         }
-                        (co, so)
                     }
-                    None => (c.clone(), sent),
+                });
+            }
+            match &perm {
+                Some(pvec) => {
+                    // Ablation path: un-permute into freshly allocated pairs
+                    // (not a steady-state configuration).
+                    let corrected = scratch.permuted.slice(n);
+                    let sent_view = scratch.sent.slice(n);
+                    let pairs: Vec<(Vec<f32>, Vec<f32>)> =
+                        gcs_tensor::parallel::map_tasks(n, |w| {
+                            let c = &corrected[w];
+                            let s = &sent_view[w];
+                            let mut co = vec![0.0f32; d];
+                            let mut so = vec![0.0f32; d];
+                            for (i, &pi) in pvec.iter().enumerate() {
+                                co[i] = c[pi];
+                                so[i] = s[pi];
+                            }
+                            (co, so)
+                        });
+                    let (corr_orig, sent_orig): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+                    self.ef.update_all(&corr_orig, &sent_orig);
                 }
-            });
-            let (corr_orig, sent_orig): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
-            self.ef.update_all(&corr_orig, &sent_orig);
+                None => self
+                    .ef
+                    .update_all(&scratch.corrected, scratch.sent.slice(n)),
+            }
         }
 
-        let mut traffic = norm_traffic;
-        traffic.merge(&value_traffic);
-        let j_prime = selected
+        out.traffic.merge(&scratch.value_traffic);
+        let j_prime = scratch
+            .selected
             .iter()
-            .map(|&p| (p * self.chunk + self.chunk).min(d) - p * self.chunk)
+            .map(|&p| (p * chunk + chunk).min(d) - p * chunk)
             .sum::<usize>();
-        AggregationOutcome {
-            mean_estimate: mean,
-            comm: vec![
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: chunks as f64 * 2.0,
-                },
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: j_prime as f64 * 2.0,
-                },
-            ],
-            traffic,
-        }
+        out.comm.clear();
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: chunks as f64 * 2.0,
+        });
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: j_prime as f64 * 2.0,
+        });
+        self.scratch = scratch;
     }
 
     fn all_reduce_compatible(&self) -> bool {

@@ -19,12 +19,35 @@
 
 use crate::ef::ErrorFeedback;
 use crate::scheme::{AggregationOutcome, CommEvent, CompressionScheme, RoundContext};
-use gcs_collectives::{ring_all_reduce, F16Sum, F32Max, SaturatingIntSum};
+use gcs_collectives::{
+    ring_all_reduce_into, F16Sum, F32Max, RingScratch, SaturatingIntSum, Traffic,
+};
 use gcs_gpusim::{ops, DeviceSpec};
 use gcs_netsim::Collective;
 use gcs_tensor::half::F16;
+use gcs_tensor::pool::WorkerBufs;
 use gcs_tensor::rng::worker_rng;
+use gcs_tensor::vector::TopKScratch;
 use rand::Rng;
+
+/// Round scratch owned across rounds: every per-round buffer of the
+/// consensus + quantize pipeline, so the steady state allocates nothing.
+#[derive(Clone, Debug, Default)]
+struct TopKCQScratch {
+    corrected: Vec<Vec<f32>>,
+    norms: WorkerBufs<F16>,
+    gathered: WorkerBufs<f32>,
+    scales: WorkerBufs<f32>,
+    lanes: WorkerBufs<i32>,
+    sent: WorkerBufs<f32>,
+    agg_norms: Vec<f32>,
+    selected: Vec<usize>,
+    topk: TopKScratch,
+    ring_f16: RingScratch<F16>,
+    ring_f32: RingScratch<f32>,
+    ring_i32: RingScratch<i32>,
+    stage_traffic: Traffic,
+}
 
 /// Chunked sparsification with q-bit quantized, saturate-aggregated values.
 #[derive(Clone, Debug)]
@@ -33,6 +56,7 @@ pub struct TopKCQ {
     bits: f64,
     q: u32,
     ef: ErrorFeedback,
+    scratch: TopKCQScratch,
 }
 
 impl TopKCQ {
@@ -54,6 +78,7 @@ impl TopKCQ {
             bits,
             q,
             ef: ErrorFeedback::new(n_workers, true),
+            scratch: TopKCQScratch::default(),
         }
     }
 
@@ -77,62 +102,95 @@ impl CompressionScheme for TopKCQ {
     }
 
     fn aggregate_round(&mut self, grads: &[Vec<f32>], ctx: &RoundContext) -> AggregationOutcome {
+        let mut out = AggregationOutcome::default();
+        self.aggregate_round_into(grads, ctx, &mut out);
+        out
+    }
+
+    fn aggregate_round_into(
+        &mut self,
+        grads: &[Vec<f32>],
+        ctx: &RoundContext,
+        out: &mut AggregationOutcome,
+    ) {
         let _round_timer = gcs_metrics::timer("scheme/topkc_q/round_ns");
         let n = grads.len();
         let d = grads[0].len();
-        let chunks = d.div_ceil(self.chunk);
+        let chunk = self.chunk;
+        let chunks = d.div_ceil(chunk);
         let j = self.j_for(d);
         let qmax = self.qmax();
 
-        let corrected: Vec<Vec<f32>> = grads
-            .iter()
-            .enumerate()
-            .map(|(w, g)| self.ef.corrected(w, g))
-            .collect();
+        // All per-round buffers live in the owned scratch (borrowed out of
+        // `self` so EF and config reads stay available); the steady state
+        // allocates nothing.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        self.ef.corrected_all_into(grads, &mut scratch.corrected);
 
         // Stage 1: chunk-norm consensus (identical to TopKC).
-        let norm_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_chunk_norms");
-        let mut norm_bufs: Vec<Vec<F16>> = corrected
-            .iter()
-            .map(|c| {
-                c.chunks(self.chunk)
-                    .map(|ch| F16::from_f32(gcs_tensor::vector::squared_norm(ch)))
-                    .collect()
-            })
-            .collect();
-        drop(norm_span);
-        let mut traffic = ring_all_reduce(&mut norm_bufs, &F16Sum, 2.0);
-        let agg_norms: Vec<f32> = norm_bufs[0].iter().map(|x| x.to_f32()).collect();
-        let mut selected = gcs_tensor::vector::top_k_indices(&agg_norms, j);
-        selected.sort_unstable();
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_chunk_norms");
+            let corrected = &scratch.corrected;
+            let norm_bufs = scratch.norms.prepare(n);
+            for (buf, c) in norm_bufs.iter_mut().zip(corrected) {
+                buf.extend(
+                    c.chunks(chunk)
+                        .map(|ch| F16::from_f32(gcs_tensor::vector::squared_norm(ch))),
+                );
+            }
+        }
+        ring_all_reduce_into(
+            scratch.norms.slice_mut(n),
+            &F16Sum,
+            2.0,
+            &mut scratch.ring_f16,
+            &mut out.traffic,
+        );
+        scratch.agg_norms.clear();
+        scratch
+            .agg_norms
+            .extend(scratch.norms.slice(n)[0].iter().map(|x| x.to_f32()));
+        gcs_tensor::vector::top_k_indices_into(
+            &scratch.agg_norms,
+            j,
+            &mut scratch.topk,
+            &mut scratch.selected,
+        );
+        scratch.selected.sort_unstable();
 
         // Stage 2: shared per-chunk scales (max |value| across workers).
-        let gather = |c: &Vec<f32>| -> Vec<f32> {
-            let mut buf = Vec::with_capacity(j * self.chunk);
-            for &p in &selected {
-                let lo = p * self.chunk;
-                let hi = (lo + self.chunk).min(d);
-                buf.extend_from_slice(&c[lo..hi]);
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_scales");
+            let corrected = &scratch.corrected;
+            let selected = &scratch.selected;
+            let gathered = scratch.gathered.prepare(n);
+            for (buf, c) in gathered.iter_mut().zip(corrected) {
+                for &p in selected {
+                    let lo = p * chunk;
+                    let hi = (lo + chunk).min(d);
+                    buf.extend_from_slice(&c[lo..hi]);
+                }
             }
-            buf
-        };
-        let scale_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_scales");
-        let gathered: Vec<Vec<f32>> = corrected.iter().map(gather).collect();
-        let mut scale_bufs: Vec<Vec<f32>> = gathered
-            .iter()
-            .map(|g| {
-                g.chunks(self.chunk)
-                    .map(|ch| {
-                        let m = ch.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
-                        F16::from_f32(m).to_f32()
-                    })
-                    .collect()
-            })
-            .collect();
-        drop(scale_span);
-        let t = ring_all_reduce(&mut scale_bufs, &F32Max, 2.0);
-        traffic.merge(&t);
-        let scales = scale_bufs.into_iter().next().expect("no workers");
+        }
+        {
+            let gathered = scratch.gathered.slice(n);
+            let scale_bufs = scratch.scales.prepare(n);
+            for (buf, g) in scale_bufs.iter_mut().zip(gathered) {
+                buf.extend(g.chunks(chunk).map(|ch| {
+                    let m = ch.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+                    F16::from_f32(m).to_f32()
+                }));
+            }
+        }
+        ring_all_reduce_into(
+            scratch.scales.slice_mut(n),
+            &F32Max,
+            2.0,
+            &mut scratch.ring_f32,
+            &mut scratch.stage_traffic,
+        );
+        out.traffic.merge(&scratch.stage_traffic);
 
         // Stage 3: stochastic quantization + saturating all-reduce. Unlike
         // THC-Sat (which banks on cross-worker cancellation), the quantizer
@@ -140,15 +198,15 @@ impl CompressionScheme for TopKCQ {
         // aggregated sum is bounded by the shared scale by construction —
         // `|Σ v_w/n| <= max_w |v_w| <= scale` — and the clamp never loses
         // signal even with perfectly correlated workers.
-        let quant_span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_quantize");
-        let mut lane_bufs: Vec<Vec<i32>> = Vec::with_capacity(n);
-        for (w, g) in gathered.iter().enumerate() {
-            let mut rng = worker_rng(ctx.experiment_seed ^ 0x1c9, w, ctx.round);
-            let lanes: Vec<i32> = g
-                .iter()
-                .enumerate()
-                .map(|(i, &x)| {
-                    let s = scales[i / self.chunk];
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Compress, "topkcq_quantize");
+            let gathered = scratch.gathered.slice(n);
+            let scales = &scratch.scales.slice(n)[0];
+            let lane_bufs = scratch.lanes.prepare(n);
+            for (w, (lanes, g)) in lane_bufs.iter_mut().zip(gathered).enumerate() {
+                let mut rng = worker_rng(ctx.experiment_seed ^ 0x1c9, w, ctx.round);
+                lanes.extend(g.iter().enumerate().map(|(i, &x)| {
+                    let s = scales[i / chunk];
                     if s <= 0.0 {
                         return 0;
                     }
@@ -156,70 +214,76 @@ impl CompressionScheme for TopKCQ {
                     let lo = y.floor();
                     let up: bool = rng.gen::<f32>() < y - lo;
                     ((lo as i32) + i32::from(up)).clamp(-qmax, qmax)
-                })
-                .collect();
-            lane_bufs.push(lanes);
-        }
-        drop(quant_span);
-        let t = ring_all_reduce(
-            &mut lane_bufs,
-            &SaturatingIntSum::new(self.q),
-            self.q as f64 / 8.0,
-        );
-        traffic.merge(&t);
-
-        // Decode into the dense estimate.
-        let decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "topkcq_decode");
-        let mut mean = vec![0.0f32; d];
-        let summed = &lane_bufs[0];
-        let mut cursor = 0usize;
-        for &p in &selected {
-            let lo = p * self.chunk;
-            let hi = (lo + self.chunk).min(d);
-            for m in &mut mean[lo..hi] {
-                let s = scales[cursor / self.chunk];
-                *m = summed[cursor] as f32 * s / qmax as f32;
-                cursor += 1;
+                }));
             }
         }
+        ring_all_reduce_into(
+            scratch.lanes.slice_mut(n),
+            &SaturatingIntSum::new(self.q),
+            self.q as f64 / 8.0,
+            &mut scratch.ring_i32,
+            &mut scratch.stage_traffic,
+        );
+        out.traffic.merge(&scratch.stage_traffic);
 
-        drop(decode_span);
+        // Decode into the dense estimate.
+        {
+            let _span = gcs_trace::span(gcs_trace::Phase::Decompress, "topkcq_decode");
+            let mean = &mut out.mean_estimate;
+            mean.clear();
+            mean.resize(d, 0.0);
+            let summed = &scratch.lanes.slice(n)[0];
+            let scales = &scratch.scales.slice(n)[0];
+            let mut cursor = 0usize;
+            for &p in &scratch.selected {
+                let lo = p * chunk;
+                let hi = (lo + chunk).min(d);
+                for m in &mut mean[lo..hi] {
+                    let s = scales[cursor / chunk];
+                    *m = summed[cursor] as f32 * s / qmax as f32;
+                    cursor += 1;
+                }
+            }
+        }
 
         // EF update: each worker's own dequantized expectation is its raw
         // value (stochastic rounding is unbiased), so we feed back the
         // gathered values it actually contributed.
-        for (w, c) in corrected.iter().enumerate() {
-            let mut sent = vec![0.0f32; d];
-            for &p in &selected {
-                let lo = p * self.chunk;
-                let hi = (lo + self.chunk).min(d);
-                sent[lo..hi].copy_from_slice(&c[lo..hi]);
+        {
+            let corrected = &scratch.corrected;
+            let selected = &scratch.selected;
+            let sent_bufs = scratch.sent.prepare(n);
+            for (sent, c) in sent_bufs.iter_mut().zip(corrected) {
+                sent.resize(d, 0.0);
+                for &p in selected {
+                    let lo = p * chunk;
+                    let hi = (lo + chunk).min(d);
+                    sent[lo..hi].copy_from_slice(&c[lo..hi]);
+                }
             }
-            self.ef.update(w, c, &sent);
         }
+        self.ef
+            .update_all(&scratch.corrected, scratch.sent.slice(n));
 
-        let j_prime: usize = selected
+        let j_prime: usize = scratch
+            .selected
             .iter()
-            .map(|&p| (p * self.chunk + self.chunk).min(d) - p * self.chunk)
+            .map(|&p| (p * chunk + chunk).min(d) - p * chunk)
             .sum();
-        AggregationOutcome {
-            mean_estimate: mean,
-            comm: vec![
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: chunks as f64 * 2.0,
-                },
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: selected.len() as f64 * 2.0,
-                },
-                CommEvent {
-                    collective: Collective::RingAllReduce,
-                    payload_bytes: j_prime as f64 * self.q as f64 / 8.0,
-                },
-            ],
-            traffic,
-        }
+        out.comm.clear();
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: chunks as f64 * 2.0,
+        });
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: scratch.selected.len() as f64 * 2.0,
+        });
+        out.comm.push(CommEvent {
+            collective: Collective::RingAllReduce,
+            payload_bytes: j_prime as f64 * self.q as f64 / 8.0,
+        });
+        self.scratch = scratch;
     }
 
     fn all_reduce_compatible(&self) -> bool {

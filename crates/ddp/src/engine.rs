@@ -17,7 +17,7 @@
 //! substitution documented in `DESIGN.md` §2.
 
 use gcs_core::metrics::{Direction, EarlyStopping, TtaCurve};
-use gcs_core::scheme::{CompressionScheme, RoundContext};
+use gcs_core::scheme::{AggregationOutcome, CompressionScheme, RoundContext};
 use gcs_nn::{Adam, LrSchedule, Model, Sgd};
 use gcs_tensor::vector::vnmse;
 
@@ -251,6 +251,9 @@ impl Trainer {
         let mut rounds_done = 0u64;
         let mut last_eval_round = 0u64;
         let mut slots = make_worker_slots(model, cfg.n_workers);
+        // One reusable outcome across rounds: with the pooled schemes the
+        // steady-state aggregation path performs no heap allocation.
+        let mut outcome = AggregationOutcome::default();
 
         for round in 0..cfg.max_rounds {
             gcs_trace::set_round(round);
@@ -274,7 +277,7 @@ impl Trainer {
 
             // 2. Distributed aggregation through the scheme.
             let ctx = RoundContext::new(cfg.seed, round);
-            let outcome = scheme.aggregate_round(&grads, &ctx);
+            scheme.aggregate_round_into(&grads, &ctx, &mut outcome);
             let bits = outcome.bits_per_coord(d as u64);
             bits_sum += bits;
             gcs_trace::counter("bits_per_coord", bits);
@@ -367,6 +370,7 @@ impl Trainer {
         let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
         let mut sum = 0.0f64;
         let mut slots = make_worker_slots(model, cfg.n_workers);
+        let mut outcome = AggregationOutcome::default();
         for round in 0..rounds {
             gcs_trace::set_round(round);
             let (grads, _) = {
@@ -379,7 +383,7 @@ impl Trainer {
                     round,
                 )
             };
-            let outcome = scheme.aggregate_round(&grads, &RoundContext::new(cfg.seed, round));
+            scheme.aggregate_round_into(&grads, &RoundContext::new(cfg.seed, round), &mut outcome);
             let exact = gcs_tensor::vector::mean(&grads);
             let sample = vnmse(&outcome.mean_estimate, &exact);
             gcs_trace::counter("vnmse", sample);

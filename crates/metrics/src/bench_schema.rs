@@ -7,12 +7,13 @@
 //! throughput, missing suite) fails the build rather than poisoning the
 //! trajectory.
 //!
-//! Schema (version 1):
+//! Schema (version 2 — version 2 added the required `hotpath` array of
+//! steady-state allocation counts and pooled-vs-unpooled throughput):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
-//!   "id": "PR3",
+//!   "schema_version": 2,
+//!   "id": "PR4",
 //!   "mode": "fast",
 //!   "dim": 16384,
 //!   "rounds": 3,
@@ -25,6 +26,10 @@
 //!   "collectives": [
 //!     { "name": "ring_all_reduce", "wire_bytes": 393216,
 //!       "p50_ns": 120000.0, "p99_ns": 150000.0, "count": 3 }
+//!   ],
+//!   "hotpath": [
+//!     { "name": "ring_all_reduce", "allocs_per_round": 0,
+//!       "pooled_elems_per_s": 4.1e8, "unpooled_elems_per_s": 3.2e8 }
 //!   ]
 //! }
 //! ```
@@ -36,7 +41,7 @@
 use crate::json::Json;
 
 /// Current artifact schema version.
-pub const SCHEMA_VERSION: f64 = 1.0;
+pub const SCHEMA_VERSION: f64 = 2.0;
 
 /// Top-level numeric fields every artifact must carry.
 const TOP_NUM_FIELDS: [&str; 4] = ["schema_version", "dim", "rounds", "workers"];
@@ -49,6 +54,12 @@ const KERNEL_NUM_FIELDS: [&str; 4] = [
 ];
 /// Required finite numeric fields per collective entry.
 const COLLECTIVE_NUM_FIELDS: [&str; 4] = ["wire_bytes", "p50_ns", "p99_ns", "count"];
+/// Required finite numeric fields per hotpath entry (schema v2).
+const HOTPATH_NUM_FIELDS: [&str; 3] = [
+    "allocs_per_round",
+    "pooled_elems_per_s",
+    "unpooled_elems_per_s",
+];
 
 /// Validates a parsed `BENCH_*.json` document. Returns the first problem
 /// found as a human-readable message.
@@ -106,6 +117,23 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             finite_num(entry, field).map_err(|e| format!("collective {name:?}: {e}"))?;
         }
     }
+
+    let hotpath = doc
+        .get("hotpath")
+        .and_then(Json::as_array)
+        .ok_or("missing \"hotpath\" array")?;
+    if hotpath.is_empty() {
+        return Err("\"hotpath\" must not be empty".to_string());
+    }
+    for (i, entry) in hotpath.iter().enumerate() {
+        let name = non_empty_str(entry, "name").map_err(|e| format!("hotpath[{i}]: {e}"))?;
+        for field in HOTPATH_NUM_FIELDS {
+            let v = finite_num(entry, field).map_err(|e| format!("hotpath {name:?}: {e}"))?;
+            if v < 0.0 {
+                return Err(format!("hotpath {name:?}: {field} must be non-negative"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -131,7 +159,7 @@ mod tests {
     fn valid_doc() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 1, "id": "PR3", "mode": "fast",
+              "schema_version": 2, "id": "PR4", "mode": "fast",
               "dim": 16384, "rounds": 3, "workers": 4,
               "kernels": [
                 {"name": "topk", "throughput_elems_per_s": 1.0e8,
@@ -144,6 +172,12 @@ mod tests {
               "collectives": [
                 {"name": "ring_all_reduce", "wire_bytes": 1024,
                  "p50_ns": 10.0, "p99_ns": 20.0, "count": 3}
+              ],
+              "hotpath": [
+                {"name": "ring_all_reduce", "allocs_per_round": 0,
+                 "pooled_elems_per_s": 4.0e8, "unpooled_elems_per_s": 3.0e8},
+                {"name": "topkc", "allocs_per_round": 0,
+                 "pooled_elems_per_s": 2.0e8, "unpooled_elems_per_s": 1.5e8}
               ]
             }"#,
         )
@@ -188,9 +222,12 @@ mod tests {
             (&[][..], "mode"),
             (&[][..], "kernels"),
             (&[][..], "collectives"),
+            (&[][..], "hotpath"),
             (&["kernels"][..], "throughput_elems_per_s"),
             (&["kernels"][..], "p99_ns"),
             (&["collectives"][..], "wire_bytes"),
+            (&["hotpath"][..], "allocs_per_round"),
+            (&["hotpath"][..], "pooled_elems_per_s"),
         ] {
             let doc = without_field(&valid_doc(), path, field);
             assert!(
@@ -227,9 +264,19 @@ mod tests {
             .render()
             .replace("\"mode\":\"fast\"", "\"mode\":\"warp\"");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
+        // Pre-hotpath version-1 artifacts are rejected by the v2 validator.
         let text = valid_doc()
             .render()
-            .replace("\"schema_version\":1", "\"schema_version\":2");
+            .replace("\"schema_version\":2", "\"schema_version\":1");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn negative_hotpath_counts_are_rejected() {
+        let text = valid_doc()
+            .render()
+            .replace("\"allocs_per_round\":0", "\"allocs_per_round\":-1");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
     }
 }

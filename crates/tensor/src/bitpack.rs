@@ -151,6 +151,71 @@ impl PackedIntVec {
         v
     }
 
+    /// Re-shapes this vector to `len` zeroed lanes of `q` bits, reusing the
+    /// word allocation — the zero-allocation steady-state entry point for
+    /// refilling a wire buffer each round (pair with [`PackedIntVec::pack_with`]).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= q <= 32`.
+    pub fn reset(&mut self, q: u32, len: usize) {
+        assert!((1..=32).contains(&q), "PackedIntVec: q={q} out of range");
+        let bits = (len as u64) * (q as u64);
+        self.q = q;
+        self.len = len;
+        self.words.clear();
+        self.words.resize(bits.div_ceil(64) as usize, 0);
+    }
+
+    /// Fused quantize+pack: fills every lane from `quantize(lane_index)`,
+    /// streaming bits directly into the packed words — no intermediate
+    /// `Vec<i32>`/`Vec<u32>` materialization. Runs sequentially by design:
+    /// the quantizer is typically RNG-stateful (stochastic rounding), so
+    /// lane order is part of the contract. Bitwise-identical to
+    /// `from_signed(q, &collected_values)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any produced value is outside the
+    /// `q`-bit signed range; release builds truncate.
+    pub fn pack_with(&mut self, mut quantize: impl FnMut(usize) -> i32) {
+        let q = self.q;
+        let mask = self.lane_mask();
+        let lane_min = self.lane_min();
+        let lane_max = self.lane_max();
+        // Streaming bit writer: accumulate lanes into one u64 and flush
+        // whole words. Every word this touches is fully overwritten (the
+        // tail's high bits are zero), so pre-zeroed words are not required.
+        let mut acc = 0u64;
+        let mut nbits = 0u32;
+        let mut w = 0usize;
+        for i in 0..self.len {
+            let x = quantize(i);
+            debug_assert!(
+                x >= lane_min && x <= lane_max,
+                "value {x} does not fit in {q} signed bits"
+            );
+            let raw = (x as u64) & mask;
+            acc |= raw << nbits;
+            nbits += q;
+            if nbits >= 64 {
+                self.words[w] = acc;
+                w += 1;
+                nbits -= 64;
+                acc = if nbits == 0 { 0 } else { raw >> (q - nbits) };
+            }
+        }
+        if nbits > 0 {
+            self.words[w] = acc;
+        }
+    }
+
+    /// Builds a packed vector by running the fused quantize+pack kernel
+    /// ([`PackedIntVec::pack_with`]) over `len` lanes.
+    pub fn from_fn(q: u32, len: usize, quantize: impl FnMut(usize) -> i32) -> PackedIntVec {
+        let mut v = PackedIntVec::zeros(q, len);
+        v.pack_with(quantize);
+        v
+    }
+
     /// Number of lanes.
     pub fn len(&self) -> usize {
         self.len
@@ -364,6 +429,69 @@ mod tests {
                 v.set(i, x);
             }
             assert_eq!(v.to_signed_vec(), vals, "q={q}");
+        }
+    }
+
+    #[test]
+    fn fused_pack_matches_from_signed_bitwise() {
+        // Cover widths that divide 64, straddle words, and fill words
+        // exactly, over lengths with and without a partial tail word.
+        for q in [1u32, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32] {
+            for len in [0usize, 1, 7, 63, 64, 65, 100, 257] {
+                let probe = PackedIntVec::zeros(q, 1);
+                let (lo, hi) = (probe.lane_min() as i64, probe.lane_max() as i64);
+                let span = hi - lo;
+                let value = |i: usize| (lo + (i as i64 * 7919) % (span + 1)) as i32;
+                let vals: Vec<i32> = (0..len).map(value).collect();
+                let reference = PackedIntVec::from_signed(q, &vals);
+                let fused = PackedIntVec::from_fn(q, len, value);
+                assert_eq!(fused.words(), reference.words(), "q={q} len={len}");
+                assert_eq!(fused.len(), reference.len());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pack_with_stateful_quantizer_visits_lanes_in_order() {
+        // An RNG-stateful quantizer (here: a running accumulator) must see
+        // lanes strictly in order — the fused path's sequential contract.
+        let q = 6;
+        let mut state = 1u64;
+        let mut step = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 63) as i32 - 31
+        };
+        let vals: Vec<i32> = (0..200).map(|_| step()).collect();
+        let mut state2 = 1u64;
+        let fused = PackedIntVec::from_fn(q, 200, move |_| {
+            state2 = state2.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state2 >> 33) % 63) as i32 - 31
+        });
+        assert_eq!(fused.to_signed_vec(), vals);
+    }
+
+    #[test]
+    fn reset_reuses_words_and_zeroes() {
+        let mut v = PackedIntVec::from_signed(8, &[1, -2, 3, -4, 5, -6, 7, -8, 9]);
+        let ptr = v.words().as_ptr();
+        v.reset(8, 9);
+        assert_eq!(v.words().as_ptr(), ptr, "reset must reuse the words");
+        assert_eq!(v.to_signed_vec(), vec![0; 9]);
+        // Re-shape to a different width within the same word budget.
+        v.reset(4, 16);
+        assert_eq!(v.lane_bits(), 4);
+        assert_eq!(v.len(), 16);
+        assert_eq!(v.to_signed_vec(), vec![0; 16]);
+    }
+
+    #[test]
+    fn reset_then_pack_with_round_trips() {
+        let mut v = PackedIntVec::zeros(5, 77);
+        for round in 0..3 {
+            v.reset(5, 77);
+            v.pack_with(|i| ((i as i32 + round) % 31) - 15);
+            let expect: Vec<i32> = (0..77).map(|i| ((i as i32 + round) % 31) - 15).collect();
+            assert_eq!(v.to_signed_vec(), expect, "round={round}");
         }
     }
 

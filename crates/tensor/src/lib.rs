@@ -24,6 +24,9 @@
 //! * [`parallel`] — a deterministic fork-join runtime (`GCS_THREADS`) the hot
 //!   kernels fan out on: fixed chunk boundaries and ordered combines keep
 //!   every parallel kernel bitwise-identical to its sequential reference.
+//! * [`pool`] — size-classed reusable workspace buffers ([`pool::Workspace`],
+//!   [`pool::WorkerBufs`]) behind the zero-allocation steady-state invariant:
+//!   after warm-up, one aggregation round performs no heap allocation.
 //!
 //! Everything here is deterministic given seeds and plain Rust — including
 //! the multi-threaded paths, which are scheduled so that thread count never
@@ -34,6 +37,7 @@ pub mod hadamard;
 pub mod half;
 pub mod matrix;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod sketch;
 pub mod vector;

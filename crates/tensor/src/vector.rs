@@ -191,7 +191,7 @@ fn magnitude_order(v: &[f32], a: usize, b: usize) -> std::cmp::Ordering {
 /// Reusable scratch for [`top_k_indices_with`]: hot loops (per-worker TopK
 /// compression, per-round chunk scoring) call selection thousands of times,
 /// and reusing the index buffer avoids an `O(d)` allocation each call.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct TopKScratch {
     idx: Vec<usize>,
 }
@@ -219,26 +219,51 @@ pub fn top_k_indices(v: &[f32], k: usize) -> Vec<usize> {
 
 /// [`top_k_indices`] with caller-owned scratch, for hot loops.
 pub fn top_k_indices_with(v: &[f32], k: usize, scratch: &mut TopKScratch) -> Vec<usize> {
+    let mut out = Vec::with_capacity(k.min(v.len()));
+    top_k_indices_into(v, k, scratch, &mut out);
+    out
+}
+
+/// [`top_k_indices`] writing into a caller-owned `out` (cleared first):
+/// the zero-allocation steady-state entry point. For inputs within one
+/// selection chunk (the common per-worker case), neither `scratch` nor
+/// `out` reallocate once grown to their high-water mark; inputs beyond
+/// `TOPK_CHUNK` fall back to the allocating chunked merge.
+pub fn top_k_indices_into(v: &[f32], k: usize, scratch: &mut TopKScratch, out: &mut Vec<usize>) {
+    out.clear();
     let k = k.min(v.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
     if k == v.len() {
         // Selecting everything is just a sort of all indices — skip the
         // partial-selection pass entirely.
-        let mut idx: Vec<usize> = (0..v.len()).collect();
-        idx.sort_unstable_by(|&a, &b| magnitude_order(v, a, b));
-        return idx;
+        out.extend(0..v.len());
+        out.sort_unstable_by(|&a, &b| magnitude_order(v, a, b));
+        return;
     }
     if v.len() <= TOPK_CHUNK {
-        return top_k_flat(v, k, 0, scratch);
+        top_k_flat_into(v, k, 0, scratch, out);
+        return;
     }
-    top_k_chunked(v, k)
+    out.extend(top_k_chunked(v, k));
 }
 
 /// Flat selection over `v` with indices offset by `base`, reusing
 /// `scratch.idx`. Requires `0 < k < v.len()`.
 fn top_k_flat(v: &[f32], k: usize, base: usize, scratch: &mut TopKScratch) -> Vec<usize> {
+    let mut out = Vec::with_capacity(k);
+    top_k_flat_into(v, k, base, scratch, &mut out);
+    out
+}
+
+fn top_k_flat_into(
+    v: &[f32],
+    k: usize,
+    base: usize,
+    scratch: &mut TopKScratch,
+    out: &mut Vec<usize>,
+) {
     let idx = &mut scratch.idx;
     idx.clear();
     idx.extend(base..base + v.len());
@@ -251,7 +276,7 @@ fn top_k_flat(v: &[f32], k: usize, base: usize, scratch: &mut TopKScratch) -> Ve
     idx.select_nth_unstable_by(k - 1, cmp);
     idx.truncate(k);
     idx.sort_unstable_by(cmp);
-    idx.clone()
+    out.extend_from_slice(idx);
 }
 
 /// Fixed-chunk selection: top-`min(k, chunk)` per chunk (parallel), then an

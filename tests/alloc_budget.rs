@@ -1,0 +1,212 @@
+//! Allocation-budget regression tests for the steady-state hot path.
+//!
+//! The tentpole claim of the workspace-pool refactor is *zero heap
+//! allocations per steady-state round* for the pooled collectives, the
+//! fused quantize+pack kernel, and the sparsifier/THC aggregation rounds.
+//! These tests install [`gcs_alloc::CountingAlloc`] as the global
+//! allocator, warm each path up (first rounds may size buffers), then
+//! measure one more round and assert its allocation-event count.
+//!
+//! Everything runs under `with_threads(1)`: the deterministic runtime takes
+//! its sequential in-thread path there, so the measuring thread observes
+//! every allocation the round makes. (Thread fan-out itself allocates by
+//! design — pools are per-scheme, not per-thread.)
+
+use gcs_alloc::{counting_enabled, measure, CountingAlloc};
+use gradient_utility::collectives::{
+    all_gather_into, broadcast_into, parameter_server_into, reduce_scatter_into,
+    ring_all_reduce_into, tree_all_reduce_into, F32Sum, RingScratch, Traffic,
+};
+use gradient_utility::core::scheme::{AggregationOutcome, CompressionScheme, RoundContext};
+use gradient_utility::core::schemes::powersgd::PowerSgd;
+use gradient_utility::core::schemes::thc::{Thc, ThcAggregation};
+use gradient_utility::core::schemes::topk::TopK;
+use gradient_utility::core::schemes::topkc::TopKC;
+use gradient_utility::core::schemes::topkc_q::TopKCQ;
+use gradient_utility::tensor::bitpack::PackedIntVec;
+use gradient_utility::tensor::hadamard::RotationMode;
+use gradient_utility::tensor::parallel::with_threads;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const N: usize = 4;
+const D: usize = 1024;
+
+fn grads(n: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|w| (0..d).map(|i| ((w * d + i) as f32 * 0.37).sin()).collect())
+        .collect()
+}
+
+/// Warm up twice (buffer sizing, EF memory init), then measure round 3.
+fn steady_events(mut round: impl FnMut()) -> u64 {
+    round();
+    round();
+    let ((), stats) = measure(&mut round);
+    stats.total_events()
+}
+
+#[test]
+fn counting_allocator_is_installed() {
+    assert!(
+        counting_enabled(),
+        "CountingAlloc must be this binary's global allocator"
+    );
+}
+
+#[test]
+fn ring_all_reduce_steady_state_is_allocation_free() {
+    with_threads(1, || {
+        let src = grads(N, D);
+        let mut bufs = src.clone();
+        let mut scratch = RingScratch::default();
+        let mut traffic = Traffic::default();
+        let events = steady_events(|| {
+            for (b, s) in bufs.iter_mut().zip(&src) {
+                b.clear();
+                b.extend_from_slice(s);
+            }
+            ring_all_reduce_into(&mut bufs, &F32Sum, 4.0, &mut scratch, &mut traffic);
+        });
+        assert_eq!(
+            events, 0,
+            "ring_all_reduce must not allocate at steady state"
+        );
+    });
+}
+
+#[test]
+fn tree_all_reduce_steady_state_is_allocation_free() {
+    with_threads(1, || {
+        let src = grads(N, D);
+        let mut bufs = src.clone();
+        let mut traffic = Traffic::default();
+        let events = steady_events(|| {
+            for (b, s) in bufs.iter_mut().zip(&src) {
+                b.clear();
+                b.extend_from_slice(s);
+            }
+            tree_all_reduce_into(&mut bufs, &F32Sum, 4.0, &mut traffic);
+        });
+        assert_eq!(
+            events, 0,
+            "tree_all_reduce must not allocate at steady state"
+        );
+    });
+}
+
+#[test]
+fn reduce_scatter_and_all_gather_steady_state_are_allocation_free() {
+    with_threads(1, || {
+        let src = grads(N, D);
+        let mut segs = Vec::new();
+        let mut gathered = Vec::new();
+        let mut traffic = Traffic::default();
+        let events = steady_events(|| {
+            reduce_scatter_into(&src, &F32Sum, 4.0, &mut segs, &mut traffic);
+            all_gather_into(&segs, 4.0, &mut gathered, &mut traffic);
+        });
+        assert_eq!(events, 0, "reduce_scatter + all_gather must not allocate");
+    });
+}
+
+#[test]
+fn broadcast_and_parameter_server_steady_state_are_allocation_free() {
+    with_threads(1, || {
+        let src = grads(N, D);
+        let mut bufs = src.clone();
+        let mut acc = Vec::new();
+        let mut traffic = Traffic::default();
+        let events = steady_events(|| {
+            for (b, s) in bufs.iter_mut().zip(&src) {
+                b.clear();
+                b.extend_from_slice(s);
+            }
+            broadcast_into(&mut bufs, 1, 4.0, &mut traffic);
+            parameter_server_into(&src, &F32Sum, 4.0, &mut acc, &mut traffic);
+        });
+        assert_eq!(events, 0, "broadcast + parameter_server must not allocate");
+    });
+}
+
+#[test]
+fn fused_quantize_pack_steady_state_is_allocation_free() {
+    with_threads(1, || {
+        let len = 1000;
+        let mut packed = PackedIntVec::from_fn(5, len, |_| 0);
+        let mut round = 0i32;
+        let events = steady_events(|| {
+            round += 1;
+            packed.reset(5, len);
+            packed.pack_with(|i| ((i as i32 + round) % 31) - 15);
+        });
+        assert_eq!(events, 0, "fused quantize+pack must not allocate");
+    });
+}
+
+/// Drives `scheme.aggregate_round_into` with a reused outcome and an
+/// incrementing round counter, returning steady-state allocation events.
+fn scheme_steady_events(scheme: &mut dyn CompressionScheme, n: usize, d: usize) -> u64 {
+    let g = grads(n, d);
+    let mut out = AggregationOutcome::default();
+    let mut round = 0u64;
+    steady_events(move || {
+        let ctx = RoundContext::new(42, round);
+        round += 1;
+        scheme.aggregate_round_into(&g, &ctx, &mut out);
+    })
+}
+
+#[test]
+fn thc_round_steady_state_is_allocation_free() {
+    with_threads(1, || {
+        for agg in [ThcAggregation::Saturating, ThcAggregation::Widened { b: 8 }] {
+            let mut s = Thc::new(4, RotationMode::Full, agg, N);
+            let events = scheme_steady_events(&mut s, N, D);
+            assert_eq!(events, 0, "THC({agg:?}) round must not allocate");
+        }
+    });
+}
+
+#[test]
+fn topkc_round_steady_state_is_allocation_free() {
+    with_threads(1, || {
+        let mut s = TopKC::with_bits(2.0, 64, N, true);
+        let events = scheme_steady_events(&mut s, N, 4096);
+        assert_eq!(events, 0, "TopKC round must not allocate at steady state");
+    });
+}
+
+#[test]
+fn topkc_q_round_steady_state_is_allocation_free() {
+    with_threads(1, || {
+        let mut s = TopKCQ::with_bits(2.0, 64, 4, N);
+        let events = scheme_steady_events(&mut s, N, 4096);
+        assert_eq!(events, 0, "TopKC-Q round must not allocate at steady state");
+    });
+}
+
+#[test]
+fn topk_round_steady_state_is_allocation_free() {
+    with_threads(1, || {
+        let mut s = TopK::with_bits(2.0, N, true);
+        let events = scheme_steady_events(&mut s, N, 4096);
+        assert_eq!(events, 0, "TopK round must not allocate at steady state");
+    });
+}
+
+#[test]
+fn powersgd_round_allocation_budget_is_bounded() {
+    // PowerSGD's matmuls return fresh matrices, so its round is not
+    // zero-allocation — but all O(n·d) staging is pooled, leaving a small
+    // budget proportional to layers × workers, independent of d.
+    with_threads(1, || {
+        let mut s = PowerSgd::new(2, vec![(32, 32)], N);
+        let events = scheme_steady_events(&mut s, N, D);
+        assert!(
+            events <= 256,
+            "PowerSGD steady-state budget blew up: {events} heap events"
+        );
+    });
+}

@@ -1,0 +1,236 @@
+//! Bitwise-identity pins for the workspace-pool refactor.
+//!
+//! The pooled hot path (persistent `RingScratch` staging, per-scheme round
+//! scratch, reused `AggregationOutcome`) must be *bitwise* identical to the
+//! pre-pool behavior — the refactor buys allocations, never different
+//! floats. Two pins, both proptest-driven and repeated at 1, 2, and 4
+//! threads:
+//!
+//! * the staged ring all-reduce against a naive per-step `to_vec()`
+//!   reference (the pre-pool implementation, preserved here verbatim);
+//! * every pooled scheme driven through `aggregate_round_into` with reused
+//!   outcome + warm scratch against a fresh twin instance driven through
+//!   `aggregate_round`, over several rounds (so the reused path runs warm
+//!   while the reference allocates fresh) — estimates, traffic, and comm
+//!   events all equal.
+
+use gradient_utility::collectives::{ring_all_reduce_into, F32Sum, ReduceOp, RingScratch, Traffic};
+use gradient_utility::core::scheme::{AggregationOutcome, CompressionScheme, RoundContext};
+use gradient_utility::core::schemes::powersgd::PowerSgd;
+use gradient_utility::core::schemes::thc::{Thc, ThcAggregation};
+use gradient_utility::core::schemes::topk::TopK;
+use gradient_utility::core::schemes::topkc::TopKC;
+use gradient_utility::core::schemes::topkc_q::TopKCQ;
+use gradient_utility::tensor::hadamard::RotationMode;
+use gradient_utility::tensor::parallel::with_threads;
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn worker_grads() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (2usize..5, 16usize..200).prop_flat_map(|(n, d)| {
+        prop::collection::vec(prop::collection::vec(-10.0f32..10.0, d..=d), n..=n)
+    })
+}
+
+/// The pre-pool ring all-reduce, verbatim: same segment walk and reduction
+/// order, but staging each step's sends via fresh per-worker `to_vec()`.
+fn reference_ring(bufs: &mut [Vec<f32>], op: &dyn ReduceOp<f32>) {
+    let n = bufs.len();
+    let len = bufs[0].len();
+    if n == 1 || len == 0 {
+        return;
+    }
+    let bounds = |seg: usize| {
+        let base = len / n;
+        let extra = len % n;
+        let start = seg * base + seg.min(extra);
+        (start, start + base + usize::from(seg < extra))
+    };
+    for k in 0..n - 1 {
+        let sends: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let (lo, hi) = bounds((i + n - k) % n);
+                bufs[i][lo..hi].to_vec()
+            })
+            .collect();
+        for (i, data) in sends.iter().enumerate() {
+            let (lo, hi) = bounds((i + n - k) % n);
+            op.reduce_slice(&mut bufs[(i + 1) % n][lo..hi], data);
+            debug_assert_eq!(hi - lo, data.len());
+        }
+    }
+    for k in 0..n - 1 {
+        let sends: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let (lo, hi) = bounds((i + 1 + n - k) % n);
+                bufs[i][lo..hi].to_vec()
+            })
+            .collect();
+        for (i, data) in sends.iter().enumerate() {
+            let (lo, hi) = bounds((i + 1 + n - k) % n);
+            bufs[(i + 1) % n][lo..hi].clone_from_slice(data);
+            debug_assert_eq!(hi - lo, data.len());
+        }
+    }
+}
+
+/// Runs `rounds` rounds on two twin instances: `pooled` through
+/// `aggregate_round_into` with one reused outcome, `fresh` through
+/// `aggregate_round`. Panics on the first divergence.
+fn assert_twin_identity(
+    pooled: &mut dyn CompressionScheme,
+    fresh: &mut dyn CompressionScheme,
+    grads: &[Vec<f32>],
+    rounds: u64,
+) {
+    let mut reused = AggregationOutcome::default();
+    for round in 0..rounds {
+        let ctx = RoundContext::new(17, round);
+        pooled.aggregate_round_into(grads, &ctx, &mut reused);
+        let expect = fresh.aggregate_round(grads, &ctx);
+        // Bitwise equality: compare the raw f32 bits, not approximate.
+        prop_assert_eq!(
+            reused.mean_estimate.len(),
+            expect.mean_estimate.len(),
+            "round {}",
+            round
+        );
+        for (i, (a, b)) in reused
+            .mean_estimate
+            .iter()
+            .zip(&expect.mean_estimate)
+            .enumerate()
+        {
+            prop_assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "round {} coord {}: {} vs {}",
+                round,
+                i,
+                a,
+                b
+            );
+        }
+        prop_assert_eq!(
+            &reused.traffic.sent,
+            &expect.traffic.sent,
+            "round {}",
+            round
+        );
+        prop_assert_eq!(
+            &reused.traffic.received,
+            &expect.traffic.received,
+            "round {}",
+            round
+        );
+        prop_assert_eq!(
+            reused.traffic.steps,
+            expect.traffic.steps,
+            "round {}",
+            round
+        );
+        prop_assert_eq!(reused.comm.len(), expect.comm.len(), "round {}", round);
+        for (a, b) in reused.comm.iter().zip(&expect.comm) {
+            prop_assert_eq!(a.collective, b.collective);
+            prop_assert_eq!(a.payload_bytes.to_bits(), b.payload_bytes.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn staged_ring_matches_naive_reference_at_all_thread_counts(grads in worker_grads()) {
+        let mut expect = grads.clone();
+        reference_ring(&mut expect, &F32Sum);
+        for threads in THREADS {
+            with_threads(threads, || {
+                let mut bufs = grads.clone();
+                let mut scratch = RingScratch::default();
+                let mut traffic = Traffic::default();
+                ring_all_reduce_into(&mut bufs, &F32Sum, 4.0, &mut scratch, &mut traffic);
+                for (a, b) in bufs.iter().flatten().zip(expect.iter().flatten()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "threads {}", threads);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn pooled_thc_matches_fresh_instance(grads in worker_grads()) {
+        let n = grads.len();
+        for agg in [ThcAggregation::Saturating, ThcAggregation::Widened { b: 9 }] {
+            for threads in THREADS {
+                with_threads(threads, || {
+                    let mut pooled = Thc::new(4, RotationMode::Full, agg, n);
+                    let mut fresh = Thc::new(4, RotationMode::Full, agg, n);
+                    assert_twin_identity(&mut pooled, &mut fresh, &grads, 3)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_topkc_matches_fresh_instance(grads in worker_grads()) {
+        let n = grads.len();
+        for permute in [false, true] {
+            for threads in THREADS {
+                with_threads(threads, || {
+                    let make = || {
+                        let s = TopKC::with_bits(4.0, 8, n, true);
+                        if permute { s.with_permutation() } else { s }
+                    };
+                    let (mut pooled, mut fresh) = (make(), make());
+                    assert_twin_identity(&mut pooled, &mut fresh, &grads, 3)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_topkc_q_matches_fresh_instance(grads in worker_grads()) {
+        let n = grads.len();
+        for threads in THREADS {
+            with_threads(threads, || {
+                let mut pooled = TopKCQ::with_bits(4.0, 8, 4, n);
+                let mut fresh = TopKCQ::with_bits(4.0, 8, 4, n);
+                assert_twin_identity(&mut pooled, &mut fresh, &grads, 3)
+            });
+        }
+    }
+
+    #[test]
+    fn pooled_topk_matches_fresh_instance(grads in worker_grads()) {
+        let n = grads.len();
+        for delta in [false, true] {
+            for threads in THREADS {
+                with_threads(threads, || {
+                    let make = || {
+                        let s = TopK::with_bits(4.0, n, true);
+                        if delta { s.with_delta_indices() } else { s }
+                    };
+                    let (mut pooled, mut fresh) = (make(), make());
+                    assert_twin_identity(&mut pooled, &mut fresh, &grads, 3)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_powersgd_matches_fresh_instance(grads in worker_grads()) {
+        let n = grads.len();
+        let d = grads[0].len();
+        // Shape covers half the gradient (rounded to a 4-row matrix); the
+        // rest exercises the uncompressed-remainder ring.
+        let shape = (4usize, (d / 8).max(1));
+        for threads in THREADS {
+            with_threads(threads, || {
+                let mut pooled = PowerSgd::new(2, vec![shape], n);
+                let mut fresh = PowerSgd::new(2, vec![shape], n);
+                assert_twin_identity(&mut pooled, &mut fresh, &grads, 3)
+            });
+        }
+    }
+}
