@@ -3,13 +3,15 @@
 //! latency quantiles + throughput), the six collectives (wire bytes +
 //! latency tails), and the zero-allocation hotpath rows (steady-state heap
 //! events per round, measured by a counting global allocator, plus
-//! pooled-vs-unpooled throughput), alongside the other two exporters — a
+//! pooled-vs-unpooled throughput), and a `faults` section summarizing two
+//! canned chaos runs through the fault-injecting transport (one recoverable
+//! degraded plan, one crash plan) — alongside the other two exporters — a
 //! Prometheus text-format snapshot and a JSONL time-series dump — of
 //! everything the run captured into the `gcs-metrics` registry.
 //!
 //! Usage:
 //!   cargo run -p gcs-bench --release --bin bench_report -- [--fast]
-//!       [--id PR4] [--out path.json]
+//!       [--id PR5] [--out path.json]
 //!   cargo run -p gcs-bench --release --bin bench_report -- --validate path.json
 //!
 //! `--fast` shrinks the gradient dimension and round count for CI; the
@@ -53,7 +55,7 @@ struct Cli {
 fn parse_args() -> Cli {
     let mut cli = Cli {
         fast: false,
-        id: "PR4".to_string(),
+        id: "PR5".to_string(),
         out: None,
         validate: None,
     };
@@ -451,6 +453,70 @@ fn main() {
         },
     ];
 
+    // Fault-injection section (ISSUE 5): two canned chaos runs through the
+    // faulty transport. The degraded plan is the one `chaos_collectives`
+    // pins as bitwise-recoverable; the crash plan guarantees the artifact
+    // also records a non-zero aborted count.
+    let faults = {
+        use gcs_faults::{canned_inputs, run_chaos, ChaosOp, FaultPlan, RetryPolicy};
+        let policy = RetryPolicy::fast_test();
+        let ((recov, crash), reg) = gcs_metrics::with_capture(|| {
+            let recov = run_chaos(
+                ChaosOp::Ring,
+                canned_inputs(n, 96),
+                FaultPlan::degraded(2024, 0.2, 0.1, 0.1),
+                policy,
+            );
+            let crash = run_chaos(
+                ChaosOp::Ring,
+                canned_inputs(n, 96),
+                FaultPlan::lossy(2024, 0.05).with_crash(1, 2),
+                policy,
+            );
+            (recov, crash)
+        });
+        merged.merge(&reg);
+        assert!(
+            recov.recovered(),
+            "canned degraded plan must recover: {:?}",
+            recov.results
+        );
+        let mut stats = recov.stats.clone();
+        stats.merge(&crash.stats);
+        let mut lat = stats.recovery_latency_ns.clone();
+        lat.sort_unstable();
+        let quantile = |q: f64| {
+            (!lat.is_empty())
+                .then(|| lat[((lat.len() - 1) as f64 * q).round() as usize] as f64)
+                .map(Json::Num)
+                .unwrap_or(Json::Null)
+        };
+        let recovered_workers = recov.results.len() - recov.aborted_workers() + crash.results.len()
+            - crash.aborted_workers();
+        println!(
+            "  faults injected {:>4}  retried {:>4}  recovered {:>4}  aborted {:>2}  crashed {:>2}",
+            stats.injected(),
+            stats.retries,
+            stats.recovered_frames,
+            stats.aborted_ops,
+            stats.crashes,
+        );
+        obj(vec![
+            ("injected", Json::Num(stats.injected() as f64)),
+            ("retried", Json::Num(stats.retries as f64)),
+            ("recovered", Json::Num(stats.recovered_frames as f64)),
+            ("aborted", Json::Num(stats.aborted_ops as f64)),
+            ("crashed", Json::Num(stats.crashes as f64)),
+            ("recovered_workers", Json::Num(recovered_workers as f64)),
+            (
+                "aborted_workers",
+                Json::Num((recov.aborted_workers() + crash.aborted_workers()) as f64),
+            ),
+            ("recovery_p50_ns", quantile(0.5)),
+            ("recovery_p99_ns", quantile(0.99)),
+        ])
+    };
+
     let doc = obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("id", Json::Str(cli.id.clone())),
@@ -461,6 +527,7 @@ fn main() {
         ("kernels", Json::Array(kernels)),
         ("collectives", Json::Array(collectives)),
         ("hotpath", Json::Array(hotpath)),
+        ("faults", faults),
     ]);
 
     let out = cli.out.unwrap_or_else(|| {

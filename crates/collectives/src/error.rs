@@ -1,0 +1,114 @@
+//! Typed failure modes of distributed collectives.
+//!
+//! The seed transport panicked on any peer disconnect
+//! (`expect("peer disconnected during collective")`), which made every
+//! degraded-network scenario — stragglers, message loss, worker crashes —
+//! unrepresentable. [`CollectiveError`] is the typed surface those scenarios
+//! flow through instead: transports return it, the fault-injection layer
+//! (`gcs-faults`) maps exhausted retries and injected crashes onto it, and
+//! the chaos suite asserts that *every* degraded execution ends in one of
+//! these variants rather than a panic or a deadlock.
+
+use std::fmt;
+
+/// Why a collective participant could not complete its round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// The channel to `peer` disconnected: the peer's thread exited (crash,
+    /// early return, or error propagation) while this worker still needed it.
+    PeerLost {
+        /// Rank of the vanished peer.
+        peer: usize,
+    },
+    /// No (ack for a) message from `peer` arrived within the retry budget.
+    Timeout {
+        /// Rank of the unresponsive peer.
+        peer: usize,
+        /// Send attempts performed before giving up (1 = no retries).
+        attempts: u32,
+    },
+    /// This worker was killed by an injected crash; it must abandon the
+    /// collective immediately (its peers will observe `PeerLost`/`Timeout`).
+    WorkerCrashed {
+        /// Rank of the crashed worker (== the reporting worker).
+        rank: usize,
+    },
+    /// A malformed frame arrived: sequencing was violated in a way the
+    /// sliding-window protocol cannot have produced (indicates a bug, not an
+    /// injected fault — still surfaced as an error so chaos runs never panic).
+    Protocol {
+        /// Offending peer.
+        peer: usize,
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl CollectiveError {
+    /// The peer this error is about (for `WorkerCrashed`, the worker itself).
+    pub fn peer(&self) -> usize {
+        match self {
+            CollectiveError::PeerLost { peer }
+            | CollectiveError::Timeout { peer, .. }
+            | CollectiveError::Protocol { peer, .. } => *peer,
+            CollectiveError::WorkerCrashed { rank } => *rank,
+        }
+    }
+
+    /// True for errors caused by a vanished or unresponsive peer — the
+    /// recoverable-by-reconfiguration class (drop the peer, renormalize the
+    /// ring over survivors, continue).
+    pub fn is_peer_failure(&self) -> bool {
+        matches!(
+            self,
+            CollectiveError::PeerLost { .. } | CollectiveError::Timeout { .. }
+        )
+    }
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::PeerLost { peer } => {
+                write!(f, "peer {peer} disconnected during collective")
+            }
+            CollectiveError::Timeout { peer, attempts } => {
+                write!(f, "peer {peer} unresponsive after {attempts} attempts")
+            }
+            CollectiveError::WorkerCrashed { rank } => {
+                write!(f, "worker {rank} crashed (injected fault)")
+            }
+            CollectiveError::Protocol { peer, detail } => {
+                write!(f, "protocol violation from peer {peer}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_peer() {
+        let e = CollectiveError::PeerLost { peer: 3 };
+        assert!(e.to_string().contains("peer 3"));
+        assert_eq!(e.peer(), 3);
+        assert!(e.is_peer_failure());
+    }
+
+    #[test]
+    fn crash_is_not_a_peer_failure() {
+        let e = CollectiveError::WorkerCrashed { rank: 1 };
+        assert!(!e.is_peer_failure());
+        assert_eq!(e.peer(), 1);
+        let t = CollectiveError::Timeout {
+            peer: 2,
+            attempts: 5,
+        };
+        assert!(t.is_peer_failure());
+        assert!(t.to_string().contains("5 attempts"));
+    }
+}

@@ -22,17 +22,26 @@
 //!   [`transport::ThreadedCluster`] runs one thread per worker; integration
 //!   tests assert the threaded ring all-reduce is bit-identical to the
 //!   sequential reference.
+//! * [`error`] — typed collective failures ([`CollectiveError`]): peer
+//!   loss, retry exhaustion, injected crashes. Transports return these
+//!   instead of panicking, which is what lets the `gcs-faults` layer and
+//!   the chaos suite exercise degraded fabrics.
 
 pub mod advanced;
+pub mod error;
 pub mod ops;
 pub mod reduce;
 pub mod transport;
 
 pub use advanced::{double_tree_all_reduce, hierarchical_ring_all_reduce};
+pub use error::CollectiveError;
 pub use ops::{
     all_gather, all_gather_into, broadcast, broadcast_into, parameter_server,
     parameter_server_into, reduce_scatter, reduce_scatter_into, ring_all_reduce,
     ring_all_reduce_into, tree_all_reduce, tree_all_reduce_into, RingScratch, Traffic,
 };
 pub use reduce::{F16Sum, F32Max, F32Sum, ReduceOp, SaturatingIntSum, WideIntSum, WrappingIntSum};
-pub use transport::{threaded_ring_all_reduce, ThreadedCluster, WorkerLinks};
+pub use transport::{
+    all_gather_worker, broadcast_worker, ring_all_reduce_worker, threaded_ring_all_reduce,
+    MessageLinks, ThreadedCluster, WorkerLinks,
+};

@@ -1,4 +1,4 @@
-//! Message transports: run the ring algorithm over real message-passing.
+//! Message transports: run collective algorithms over real message-passing.
 //!
 //! [`crate::ops`] implements collectives as array shuffles for speed and
 //! determinism. This module provides the *distributed* execution path: each
@@ -10,12 +10,50 @@
 //!   integration tests assert that a threaded ring all-reduce produces
 //!   bit-identical results to the sequential reference.
 //! * The sequential reference lives in `ops`; equivalence is the test.
+//!
+//! Failure semantics: the seed version of this module *panicked* on any
+//! peer disconnect, which made degraded-fabric scenarios untestable. Every
+//! link operation now returns [`CollectiveError`] instead — a vanished peer
+//! surfaces as [`CollectiveError::PeerLost`] on whichever worker observes
+//! it first, and the per-op worker functions propagate it. The
+//! [`MessageLinks`] trait is the seam the fault-injection layer
+//! (`gcs-faults`) plugs into: the same worker bodies run unchanged over
+//! healthy [`WorkerLinks`] or a lossy, delaying, crashing wrapper.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
+use crate::error::CollectiveError;
 use crate::ops::Traffic;
 use crate::reduce::ReduceOp;
+
+/// A worker's view of some transport: typed point-to-point links to every
+/// peer, with typed failures. Implemented by [`WorkerLinks`] (healthy mpsc
+/// mesh) and by `gcs-faults`' `FaultyLinks` (injected delay / drop /
+/// duplication / crash with ack-and-resend recovery).
+///
+/// The per-op worker functions ([`ring_all_reduce_worker`],
+/// [`broadcast_worker`], [`all_gather_worker`]) are generic over this trait,
+/// so a faulty execution runs the *same* algorithm as the reference — which
+/// is what makes "recovered run is bitwise-identical" a meaningful test.
+pub trait MessageLinks<T> {
+    /// This worker's rank.
+    fn rank(&self) -> usize;
+    /// Number of workers in the cluster.
+    fn n(&self) -> usize;
+    /// Sends a message to `peer`. May block (e.g. settling delivery of a
+    /// previous frame under a reliability protocol).
+    fn send(&mut self, peer: usize, data: Vec<T>) -> Result<(), CollectiveError>;
+    /// Blocks until a message from `peer` arrives (bounded by the
+    /// implementation's timeout discipline, if any).
+    fn recv(&mut self, peer: usize) -> Result<Vec<T>, CollectiveError>;
+    /// Settles any outstanding delivery guarantees before the worker
+    /// returns (no-op for transports with fire-and-forget sends).
+    fn flush(&mut self) -> Result<(), CollectiveError> {
+        Ok(())
+    }
+}
 
 /// A worker's view of the cluster: typed point-to-point links to every peer.
 pub struct WorkerLinks<T> {
@@ -38,26 +76,82 @@ impl<T: Send + 'static> WorkerLinks<T> {
 
     /// Sends a message to `peer` (non-blocking, unbounded queue).
     ///
+    /// Returns [`CollectiveError::PeerLost`] if the peer's receiving end has
+    /// been dropped (its thread exited).
+    ///
     /// # Panics
-    /// Panics if `peer` is this worker or out of range, or if the peer has
-    /// hung up.
-    pub fn send(&self, peer: usize, data: Vec<T>) {
+    /// Panics if `peer` is this worker or out of range (those are caller
+    /// bugs, not runtime fabric conditions).
+    pub fn send(&self, peer: usize, data: Vec<T>) -> Result<(), CollectiveError> {
         assert!(peer != self.rank && peer < self.n, "send: bad peer {peer}");
         self.senders[peer]
             .send(data)
-            .expect("peer disconnected during collective");
+            .map_err(|_| CollectiveError::PeerLost { peer })
     }
 
     /// Blocks until a message from `peer` arrives.
     ///
+    /// Returns [`CollectiveError::PeerLost`] if the peer hung up (its
+    /// sending end dropped) with no message pending.
+    ///
     /// # Panics
-    /// Panics if `peer` is this worker or out of range, or if the peer has
-    /// hung up.
-    pub fn recv(&self, peer: usize) -> Vec<T> {
+    /// Panics if `peer` is this worker or out of range.
+    pub fn recv(&self, peer: usize) -> Result<Vec<T>, CollectiveError> {
         assert!(peer != self.rank && peer < self.n, "recv: bad peer {peer}");
         self.receivers[peer]
             .recv()
-            .expect("peer disconnected during collective")
+            .map_err(|_| CollectiveError::PeerLost { peer })
+    }
+
+    /// Non-blocking receive: returns `Ok(None)` when no message from `peer`
+    /// is queued. A disconnected peer reports [`CollectiveError::PeerLost`];
+    /// pollers that merely service side traffic may choose to ignore it and
+    /// let a blocking op that *needs* the peer surface the loss.
+    ///
+    /// # Panics
+    /// Panics if `peer` is this worker or out of range.
+    pub fn try_recv(&self, peer: usize) -> Result<Option<Vec<T>>, CollectiveError> {
+        assert!(peer != self.rank && peer < self.n, "recv: bad peer {peer}");
+        match self.receivers[peer].try_recv() {
+            Ok(data) => Ok(Some(data)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(CollectiveError::PeerLost { peer }),
+        }
+    }
+
+    /// Like [`WorkerLinks::recv`] but gives up after `timeout`, returning
+    /// [`CollectiveError::Timeout`]. The building block of the fault layer's
+    /// bounded-wait discipline (no blocking wait in a degraded cluster may
+    /// be unbounded, or a crash upstream becomes a deadlock here).
+    ///
+    /// # Panics
+    /// Panics if `peer` is this worker or out of range.
+    pub fn recv_timeout(&self, peer: usize, timeout: Duration) -> Result<Vec<T>, CollectiveError> {
+        assert!(peer != self.rank && peer < self.n, "recv: bad peer {peer}");
+        self.receivers[peer]
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => CollectiveError::Timeout { peer, attempts: 1 },
+                RecvTimeoutError::Disconnected => CollectiveError::PeerLost { peer },
+            })
+    }
+}
+
+impl<T: Send + 'static> MessageLinks<T> for WorkerLinks<T> {
+    fn rank(&self) -> usize {
+        WorkerLinks::rank(self)
+    }
+
+    fn n(&self) -> usize {
+        WorkerLinks::n(self)
+    }
+
+    fn send(&mut self, peer: usize, data: Vec<T>) -> Result<(), CollectiveError> {
+        WorkerLinks::send(self, peer, data)
+    }
+
+    fn recv(&mut self, peer: usize) -> Result<Vec<T>, CollectiveError> {
+        WorkerLinks::recv(self, peer)
     }
 }
 
@@ -125,14 +219,17 @@ impl<T: Send + 'static> ThreadedCluster<T> {
     }
 
     /// Runs `body(rank, links)` on one thread per worker and returns each
-    /// worker's output, in rank order.
+    /// worker's output, in rank order. Each worker *owns* its links, so a
+    /// worker that returns early (crash, error) drops its endpoints and its
+    /// peers observe [`CollectiveError::PeerLost`] instead of hanging.
     ///
     /// # Panics
-    /// Propagates any worker panic.
+    /// Propagates any worker panic. (Workers that *fail* should return a
+    /// `Result` rather than panic; the chaos suite enforces this.)
     pub fn run<R, F>(self, body: F) -> Vec<R>
     where
         R: Send + 'static,
-        F: Fn(usize, &WorkerLinks<T>) -> R + Send + Sync + 'static,
+        F: Fn(usize, WorkerLinks<T>) -> R + Send + Sync + 'static,
     {
         let body = Arc::new(body);
         let results: Arc<Mutex<Vec<Option<R>>>> =
@@ -143,7 +240,7 @@ impl<T: Send + 'static> ThreadedCluster<T> {
             let results = Arc::clone(&results);
             handles.push(std::thread::spawn(move || {
                 let rank = links.rank();
-                let out = body(rank, &links);
+                let out = body(rank, links);
                 results.lock().expect("results mutex poisoned")[rank] = Some(out);
             }));
         }
@@ -164,19 +261,22 @@ impl<T: Send + 'static> ThreadedCluster<T> {
 ///
 /// The algorithm (and therefore the reduction order) matches
 /// [`crate::ops::ring_all_reduce`] exactly, so results are bit-identical —
-/// the integration tests rely on this.
+/// the integration tests (and the chaos suite's recovered-run identity
+/// check) rely on this.
 ///
 /// Returns the fully reduced buffer and this worker's traffic counts
-/// `(bytes_sent, bytes_received)`.
-pub fn ring_all_reduce_worker<T, O>(
-    links: &WorkerLinks<T>,
+/// `(bytes_sent, bytes_received)`, or the first [`CollectiveError`] the
+/// transport surfaced.
+pub fn ring_all_reduce_worker<T, O, L>(
+    links: &mut L,
     mut buf: Vec<T>,
     op: &O,
     bytes_per_elem: f64,
-) -> (Vec<T>, u64, u64)
+) -> Result<(Vec<T>, u64, u64), CollectiveError>
 where
     T: Clone + Send + 'static,
     O: ReduceOp<T>,
+    L: MessageLinks<T>,
 {
     let n = links.n();
     let i = links.rank();
@@ -184,7 +284,7 @@ where
     let mut sent = 0u64;
     let mut received = 0u64;
     if n == 1 || len == 0 {
-        return (buf, 0, 0);
+        return Ok((buf, 0, 0));
     }
     let seg_bounds = |seg: usize| -> (usize, usize) {
         let base = len / n;
@@ -199,10 +299,10 @@ where
     for k in 0..n - 1 {
         let send_seg = (i + n - k) % n;
         let (lo, hi) = seg_bounds(send_seg);
-        links.send(next, buf[lo..hi].to_vec());
+        links.send(next, buf[lo..hi].to_vec())?;
         sent += ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
         let recv_seg = (prev + n - k) % n;
-        let data = links.recv(prev);
+        let data = links.recv(prev)?;
         let (lo, hi) = seg_bounds(recv_seg);
         received += ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
         op.reduce_slice(&mut buf[lo..hi], &data);
@@ -211,24 +311,106 @@ where
     for k in 0..n - 1 {
         let send_seg = (i + 1 + n - k) % n;
         let (lo, hi) = seg_bounds(send_seg);
-        links.send(next, buf[lo..hi].to_vec());
+        links.send(next, buf[lo..hi].to_vec())?;
         sent += ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
         let recv_seg = (prev + 1 + n - k) % n;
-        let data = links.recv(prev);
+        let data = links.recv(prev)?;
         let (lo, hi) = seg_bounds(recv_seg);
         received += ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
         buf[lo..hi].clone_from_slice(&data);
     }
-    (buf, sent, received)
+    links.flush()?;
+    Ok((buf, sent, received))
+}
+
+/// Broadcast executed by one worker: the root sends its buffer to every
+/// peer (ascending rank order), everyone else receives from the root.
+/// Result matches [`crate::ops::broadcast`]: every worker returns the
+/// root's buffer.
+pub fn broadcast_worker<T, L>(
+    links: &mut L,
+    buf: Vec<T>,
+    root: usize,
+    bytes_per_elem: f64,
+) -> Result<(Vec<T>, u64, u64), CollectiveError>
+where
+    T: Clone + Send + 'static,
+    L: MessageLinks<T>,
+{
+    let n = links.n();
+    let i = links.rank();
+    assert!(root < n, "broadcast_worker: root {root} out of range");
+    if n == 1 {
+        return Ok((buf, 0, 0));
+    }
+    let bytes = (buf.len() as f64 * bytes_per_elem).ceil() as u64;
+    if i == root {
+        for peer in 0..n {
+            if peer != root {
+                links.send(peer, buf.clone())?;
+            }
+        }
+        links.flush()?;
+        Ok((buf, bytes * (n as u64 - 1), 0))
+    } else {
+        let data = links.recv(root)?;
+        let bytes = (data.len() as f64 * bytes_per_elem).ceil() as u64;
+        links.flush()?;
+        Ok((data, 0, bytes))
+    }
+}
+
+/// All-gather executed by one worker: sends its buffer to every peer and
+/// returns the concatenation of all workers' buffers in rank order —
+/// matching [`crate::ops::all_gather`]'s output exactly.
+pub fn all_gather_worker<T, L>(
+    links: &mut L,
+    buf: Vec<T>,
+    bytes_per_elem: f64,
+) -> Result<(Vec<T>, u64, u64), CollectiveError>
+where
+    T: Clone + Send + 'static,
+    L: MessageLinks<T>,
+{
+    let n = links.n();
+    let i = links.rank();
+    if n == 1 {
+        return Ok((buf, 0, 0));
+    }
+    let own_bytes = (buf.len() as f64 * bytes_per_elem).ceil() as u64;
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    // Push to peers in ring order starting after self (spreads instantaneous
+    // fan-in across the mesh; delivery order per pair is what matters).
+    for k in 1..n {
+        let peer = (i + k) % n;
+        links.send(peer, buf.clone())?;
+        sent += own_bytes;
+    }
+    let mut parts: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
+    parts[i] = Some(buf);
+    for k in 1..n {
+        let peer = (i + k) % n;
+        let data = links.recv(peer)?;
+        received += (data.len() as f64 * bytes_per_elem).ceil() as u64;
+        parts[peer] = Some(data);
+    }
+    links.flush()?;
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend(p.expect("all parts present"));
+    }
+    Ok((out, sent, received))
 }
 
 /// Convenience: runs a full threaded ring all-reduce over the given worker
-/// buffers, returning each worker's reduced buffer plus aggregate traffic.
+/// buffers, returning each worker's reduced buffer plus aggregate traffic,
+/// or the first worker error (lowest rank) on a degraded cluster.
 pub fn threaded_ring_all_reduce<T, O>(
     bufs: Vec<Vec<T>>,
     op: O,
     bytes_per_elem: f64,
-) -> (Vec<Vec<T>>, Traffic)
+) -> Result<(Vec<Vec<T>>, Traffic), CollectiveError>
 where
     T: Clone + Send + 'static,
     O: ReduceOp<T> + Send + Sync + Clone + 'static,
@@ -241,11 +423,11 @@ where
         bufs.into_iter().map(Some).collect::<Vec<Option<Vec<T>>>>(),
     ));
     let bufs_for_run = Arc::clone(&bufs);
-    let results = cluster.run(move |rank, links| {
+    let results = cluster.run(move |rank, mut links| {
         let buf = bufs_for_run.lock().expect("buffer mutex poisoned")[rank]
             .take()
             .expect("buffer taken twice");
-        ring_all_reduce_worker(links, buf, &op, bytes_per_elem)
+        ring_all_reduce_worker(&mut links, buf, &op, bytes_per_elem)
     });
     let mut traffic = Traffic {
         sent: vec![0; n],
@@ -253,7 +435,8 @@ where
         steps: 2 * (n as u32).saturating_sub(2) + 2,
     };
     let mut out = Vec::with_capacity(n);
-    for (rank, (buf, s, r)) in results.into_iter().enumerate() {
+    for (rank, result) in results.into_iter().enumerate() {
+        let (buf, s, r) = result?;
         traffic.sent[rank] = s;
         traffic.received[rank] = r;
         out.push(buf);
@@ -267,7 +450,7 @@ where
         "collective/threaded_ring_all_reduce/wire_bytes",
         traffic.total() as f64,
     );
-    (out, traffic)
+    Ok((out, traffic))
 }
 
 #[cfg(test)]
@@ -283,7 +466,8 @@ mod tests {
                 .collect();
             let mut reference = bufs.clone();
             crate::ops::ring_all_reduce(&mut reference, &F32Sum, 4.0);
-            let (threaded, traffic) = threaded_ring_all_reduce(bufs, F32Sum, 4.0);
+            let (threaded, traffic) =
+                threaded_ring_all_reduce(bufs, F32Sum, 4.0).expect("healthy cluster");
             for (t, r) in threaded.iter().zip(&reference) {
                 assert_eq!(t, r, "n={n}: threaded != sequential");
             }
@@ -295,7 +479,8 @@ mod tests {
     #[test]
     fn single_worker_is_identity() {
         let bufs = vec![vec![1.0f32, 2.0, 3.0]];
-        let (out, traffic) = threaded_ring_all_reduce(bufs.clone(), F32Sum, 4.0);
+        let (out, traffic) =
+            threaded_ring_all_reduce(bufs.clone(), F32Sum, 4.0).expect("healthy cluster");
         assert_eq!(out, bufs);
         assert_eq!(traffic.total(), 0);
     }
@@ -305,12 +490,93 @@ mod tests {
         let cluster: ThreadedCluster<f32> = ThreadedCluster::new(2);
         let results = cluster.run(|rank, links| {
             if rank == 0 {
-                links.send(1, vec![1.0]);
+                links.send(1, vec![1.0]).expect("peer alive");
                 0usize
             } else {
-                links.recv(0).len()
+                links.recv(0).expect("peer alive").len()
             }
         });
         assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn threaded_broadcast_matches_reference() {
+        let n = 4;
+        let payload: Vec<f32> = (0..13).map(|i| (i as f32).cos()).collect();
+        let cluster: ThreadedCluster<f32> = ThreadedCluster::new(n);
+        let root_payload = payload.clone();
+        let results = cluster.run(move |rank, mut links| {
+            let buf = if rank == 1 {
+                root_payload.clone()
+            } else {
+                Vec::new()
+            };
+            broadcast_worker(&mut links, buf, 1, 4.0)
+        });
+        for r in results {
+            let (buf, _, _) = r.expect("healthy cluster");
+            assert_eq!(buf, payload);
+        }
+    }
+
+    #[test]
+    fn threaded_all_gather_matches_reference() {
+        let n = 3;
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|w| (0..5).map(|i| (w * 5 + i) as f32).collect())
+            .collect();
+        let (reference, _) = crate::ops::all_gather(&inputs, 4.0);
+        let cluster: ThreadedCluster<f32> = ThreadedCluster::new(n);
+        let inputs_for_run = inputs.clone();
+        let results = cluster.run(move |rank, mut links| {
+            all_gather_worker(&mut links, inputs_for_run[rank].clone(), 4.0)
+        });
+        for r in results {
+            let (buf, _, _) = r.expect("healthy cluster");
+            assert_eq!(buf, reference);
+        }
+    }
+
+    /// Regression (ISSUE 5 satellite): a worker that disappears before the
+    /// collective must surface as `CollectiveError::PeerLost` on the
+    /// survivors — never a panic, never a hang. The seed code panicked here
+    /// with "peer disconnected during collective".
+    #[test]
+    fn dropped_worker_surfaces_peer_lost_not_panic() {
+        let n = 3;
+        let cluster: ThreadedCluster<f32> = ThreadedCluster::new(n);
+        let results = cluster.run(move |rank, mut links| {
+            if rank == 0 {
+                // Simulated pre-collective death: drop all links immediately.
+                return Err(CollectiveError::WorkerCrashed { rank });
+            }
+            let buf: Vec<f32> = (0..24).map(|i| (rank * 24 + i) as f32).collect();
+            ring_all_reduce_worker(&mut links, buf, &F32Sum, 4.0).map(|_| ())
+        });
+        assert_eq!(results[0], Err(CollectiveError::WorkerCrashed { rank: 0 }));
+        for (rank, r) in results.iter().enumerate().skip(1) {
+            match r {
+                Err(CollectiveError::PeerLost { .. }) => {}
+                other => panic!("worker {rank}: expected PeerLost, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_silent_peer() {
+        let cluster: ThreadedCluster<f32> = ThreadedCluster::new(2);
+        let results = cluster.run(|rank, links| {
+            if rank == 0 {
+                // Never sends; peer 1 must time out rather than hang.
+                std::thread::sleep(Duration::from_millis(20));
+                Ok(vec![])
+            } else {
+                links.recv_timeout(0, Duration::from_millis(5))
+            }
+        });
+        assert!(matches!(
+            results[1],
+            Err(CollectiveError::Timeout { peer: 0, .. })
+        ));
     }
 }

@@ -24,7 +24,8 @@ fn threaded_ring_survives_many_concurrent_invocations() {
             .collect();
         let mut reference = bufs.clone();
         ring_all_reduce(&mut reference, &F32Sum, 4.0);
-        let (threaded, traffic) = threaded_ring_all_reduce(bufs, F32Sum, 4.0);
+        let (threaded, traffic) =
+            threaded_ring_all_reduce(bufs, F32Sum, 4.0).expect("healthy cluster");
         assert_eq!(threaded, reference, "round {round}");
         assert_eq!(traffic.sent.len(), n);
     }
@@ -39,7 +40,7 @@ fn threaded_ring_handles_large_payloads() {
         .collect();
     let mut reference = bufs.clone();
     ring_all_reduce(&mut reference, &F32Sum, 4.0);
-    let (threaded, _) = threaded_ring_all_reduce(bufs, F32Sum, 4.0);
+    let (threaded, _) = threaded_ring_all_reduce(bufs, F32Sum, 4.0).expect("healthy cluster");
     assert_eq!(threaded, reference);
 }
 
@@ -92,7 +93,7 @@ proptest! {
             .collect();
         let mut reference = bufs.clone();
         ring_all_reduce(&mut reference, &F16Sum, 2.0);
-        let (threaded, _) = threaded_ring_all_reduce(bufs, F16Sum, 2.0);
+        let (threaded, _) = threaded_ring_all_reduce(bufs, F16Sum, 2.0).expect("healthy cluster");
         prop_assert_eq!(threaded, reference);
     }
 

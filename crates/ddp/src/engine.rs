@@ -18,6 +18,7 @@
 
 use gcs_core::metrics::{Direction, EarlyStopping, TtaCurve};
 use gcs_core::scheme::{AggregationOutcome, CompressionScheme, RoundContext};
+use gcs_faults::TrainFaultPlan;
 use gcs_nn::{Adam, LrSchedule, Model, Sgd};
 use gcs_tensor::vector::vnmse;
 
@@ -50,6 +51,10 @@ pub struct TrainerConfig {
     pub optimizer: OptimizerKind,
     /// Learning-rate schedule applied on top of `lr`.
     pub lr_schedule: LrSchedule,
+    /// Injected worker crashes (`None`/empty = healthy run). On a crash the
+    /// trainer renormalizes the ring over the survivors and keeps training;
+    /// see [`TrainLog::fault_events`].
+    pub faults: Option<TrainFaultPlan>,
 }
 
 /// Optimizer selection for a training run.
@@ -112,8 +117,21 @@ impl Default for TrainerConfig {
             vnmse_every: 10,
             optimizer: OptimizerKind::Sgd,
             lr_schedule: LrSchedule::Constant,
+            faults: None,
         }
     }
+}
+
+/// One graceful-degradation event recorded during training: a worker
+/// crashed, the ring was renormalized over the survivors, training went on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Round at whose start the crash fired.
+    pub round: u64,
+    /// Worker id that crashed (pre-renormalization numbering of that round).
+    pub worker: usize,
+    /// Active workers *after* renormalization (0 = the run had to stop).
+    pub survivors: usize,
 }
 
 /// The result of a training run.
@@ -133,6 +151,10 @@ pub struct TrainLog {
     pub early_stopped: bool,
     /// Final task metric.
     pub final_metric: f64,
+    /// Injected worker crashes the run absorbed, in firing order.
+    pub fault_events: Vec<FaultEvent>,
+    /// Workers still active at the end of the run.
+    pub survivors: usize,
 }
 
 /// One worker replica plus its per-round outputs, used by the parallel
@@ -254,24 +276,51 @@ impl Trainer {
         // One reusable outcome across rounds: with the pooled schemes the
         // steady-state aggregation path performs no heap allocation.
         let mut outcome = AggregationOutcome::default();
+        // Graceful degradation state: `active` shrinks when an injected
+        // crash fires; survivors are renumbered 0..active-1, which is the
+        // shard assignment an `active`-worker clean run would use.
+        let mut active = cfg.n_workers;
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
 
         for round in 0..cfg.max_rounds {
             gcs_trace::set_round(round);
             let _round_timer = gcs_metrics::timer("train/round_latency_ns");
 
+            // 0. Injected worker crashes scheduled at the top of this round:
+            //    record the event, renormalize the ring over the survivors,
+            //    and keep training. Only a cluster with zero survivors stops.
+            if let Some(plan) = &cfg.faults {
+                for crash in plan.crashes_at(round) {
+                    if crash.worker >= active {
+                        continue; // stale id: that slot is already gone
+                    }
+                    gcs_metrics::counter_add("faults/injected_total", 1.0);
+                    gcs_metrics::counter_add("faults/worker_crash_total", 1.0);
+                    active -= 1;
+                    fault_events.push(FaultEvent {
+                        round,
+                        worker: crash.worker,
+                        survivors: active,
+                    });
+                    if active > 0 {
+                        gcs_metrics::counter_add("faults/recovered_total", 1.0);
+                    } else {
+                        gcs_metrics::counter_add("faults/train_aborted_total", 1.0);
+                    }
+                }
+                slots.truncate(active);
+            }
+            if active == 0 {
+                break;
+            }
+
             // 1. Per-worker gradients on disjoint shards (parallel across
             //    workers when the model supports replication).
             let (grads, loss_acc) = {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compute, "worker_gradients");
-                worker_gradients(
-                    model,
-                    &mut slots,
-                    cfg.batch_per_worker,
-                    cfg.n_workers,
-                    round,
-                )
+                worker_gradients(model, &mut slots, cfg.batch_per_worker, active, round)
             };
-            let mean_loss = loss_acc / cfg.n_workers as f32;
+            let mean_loss = loss_acc / active as f32;
             loss_history.push((round, mean_loss));
             gcs_metrics::series_push("train/loss", mean_loss as f64);
 
@@ -353,6 +402,8 @@ impl Trainer {
             bits_per_coord: bits_sum / rounds_done.max(1) as f64,
             early_stopped,
             final_metric,
+            fault_events,
+            survivors: active,
         }
     }
 
@@ -640,6 +691,54 @@ mod tests {
         let mon = gcs_metrics::TtaMonitor::from_registry(&reg, false, 2);
         assert_eq!(mon.curve().len(), evals);
         assert!(mon.latest().unwrap().is_finite());
+    }
+
+    /// Graceful degradation: an injected mid-run crash shrinks the ring,
+    /// records the event, and the run finishes its full round budget over
+    /// the survivors.
+    #[test]
+    fn injected_crash_shrinks_ring_and_training_continues() {
+        let mut model = BertMini::new(2);
+        let mut scheme = PrecisionBaseline::fp32();
+        let cfg = TrainerConfig {
+            n_workers: 3,
+            max_rounds: 20,
+            eval_every: 10,
+            faults: Some(gcs_faults::TrainFaultPlan::crash_at(5, 1)),
+            ..quick_config()
+        };
+        let log = Trainer::new(cfg).train(&mut model, &mut scheme, 0.5);
+        assert_eq!(log.rounds, 20, "run must finish over the survivors");
+        assert_eq!(log.survivors, 2);
+        assert_eq!(
+            log.fault_events,
+            vec![FaultEvent {
+                round: 5,
+                worker: 1,
+                survivors: 2
+            }]
+        );
+        assert!(log.final_metric.is_finite());
+    }
+
+    /// Killing every worker stops the run at the crash round instead of
+    /// panicking or dividing by zero.
+    #[test]
+    fn crashing_all_workers_stops_the_run() {
+        let mut model = BertMini::new(2);
+        let mut scheme = PrecisionBaseline::fp32();
+        let cfg = TrainerConfig {
+            n_workers: 2,
+            max_rounds: 30,
+            eval_every: 10,
+            faults: Some(gcs_faults::TrainFaultPlan::crash_at(3, 0).and_crash(3, 0)),
+            ..quick_config()
+        };
+        let log = Trainer::new(cfg).train(&mut model, &mut scheme, 0.5);
+        assert_eq!(log.rounds, 3, "training stops once nobody survives");
+        assert_eq!(log.survivors, 0);
+        assert_eq!(log.fault_events.len(), 2);
+        assert_eq!(log.fault_events[1].survivors, 0);
     }
 
     /// The scheme contract extended to the runtime: an entire training run —

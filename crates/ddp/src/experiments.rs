@@ -60,6 +60,7 @@ impl Task {
                 vnmse_every: 10,
                 optimizer: crate::engine::OptimizerKind::Sgd,
                 lr_schedule: gcs_nn::LrSchedule::Constant,
+                faults: None,
             },
             Task::Vgg => TrainerConfig {
                 n_workers: 4,
@@ -74,6 +75,7 @@ impl Task {
                 vnmse_every: 30,
                 optimizer: crate::engine::OptimizerKind::Sgd,
                 lr_schedule: gcs_nn::LrSchedule::Constant,
+                faults: None,
             },
         }
     }

@@ -22,6 +22,6 @@ pub mod experiments;
 pub mod throughput;
 
 pub use bucketing::{bucket_ranges, PipelineModel};
-pub use engine::{OptimizerKind, TrainLog, Trainer, TrainerConfig};
+pub use engine::{FaultEvent, OptimizerKind, TrainLog, Trainer, TrainerConfig};
 pub use experiments::{ExperimentPlan, Task};
 pub use throughput::{StepBreakdown, ThroughputModel};

@@ -1,0 +1,224 @@
+//! Chaos harness: run real collectives over a faulty fabric and compare
+//! against the sequential reference.
+//!
+//! This is the executable form of the layer's central claim: for any
+//! recoverable [`FaultPlan`], a collective over [`FaultyLinks`] returns
+//! **bitwise-identical** results to the fault-free reference in
+//! `gcs-collectives::ops`, and for any unrecoverable plan it returns a typed
+//! [`CollectiveError`] in bounded time — never a panic, never a deadlock.
+//! The proptest suite in `tests/chaos_collectives.rs` drives this harness
+//! over randomized (seed, plan, op) triples; `bench_report` runs it on a
+//! canned plan to publish the `faults` section.
+
+use gcs_collectives::error::CollectiveError;
+use gcs_collectives::reduce::F32Sum;
+use gcs_collectives::transport::{
+    all_gather_worker, broadcast_worker, ring_all_reduce_worker, ThreadedCluster,
+};
+use gcs_collectives::{all_gather, broadcast, ring_all_reduce};
+
+use crate::links::{FaultStats, FaultyLinks, Frame};
+use crate::plan::FaultPlan;
+use crate::policy::RetryPolicy;
+
+/// Which collective a chaos run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosOp {
+    /// Ring all-reduce with exact f32 summation.
+    Ring,
+    /// Broadcast from the given root.
+    Broadcast {
+        /// Root rank.
+        root: usize,
+    },
+    /// All-gather (concatenation in rank order).
+    AllGather,
+}
+
+/// Everything a chaos run produced: per-worker results plus merged stats.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Per-worker result, in rank order.
+    pub results: Vec<Result<Vec<f32>, CollectiveError>>,
+    /// Fault statistics merged across all workers.
+    pub stats: FaultStats,
+}
+
+impl ChaosOutcome {
+    /// True if every worker completed the collective.
+    pub fn recovered(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+
+    /// Number of workers that returned an error.
+    pub fn aborted_workers(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+}
+
+/// Fault-free reference output for `op` over `inputs`: what every worker
+/// must hold after a successful collective, in rank order.
+pub fn reference(op: ChaosOp, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    match op {
+        ChaosOp::Ring => {
+            let mut bufs = inputs.to_vec();
+            ring_all_reduce(&mut bufs, &F32Sum, 4.0);
+            bufs
+        }
+        ChaosOp::Broadcast { root } => {
+            let mut bufs = inputs.to_vec();
+            broadcast(&mut bufs, root, 4.0);
+            bufs
+        }
+        ChaosOp::AllGather => {
+            let (out, _) = all_gather(inputs, 4.0);
+            vec![out; inputs.len()]
+        }
+    }
+}
+
+/// Runs `op` over a threaded cluster whose every link is wrapped in
+/// [`FaultyLinks`] under `plan`/`policy`, merges per-worker stats, and
+/// exports the `faults/*` counters to `gcs-metrics`.
+pub fn run_chaos(
+    op: ChaosOp,
+    inputs: Vec<Vec<f32>>,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+) -> ChaosOutcome {
+    let n = inputs.len();
+    if let ChaosOp::Broadcast { root } = op {
+        assert!(root < n, "run_chaos: root {root} out of range for n={n}");
+    }
+    let cluster: ThreadedCluster<Frame<f32>> = ThreadedCluster::new(n);
+    let worker_results = cluster.run(move |rank, links| {
+        let mut fl = FaultyLinks::new(links, plan.clone(), policy);
+        let buf = inputs[rank].clone();
+        let result = match op {
+            ChaosOp::Ring => ring_all_reduce_worker(&mut fl, buf, &F32Sum, 4.0).map(|(b, _, _)| b),
+            ChaosOp::Broadcast { root } => {
+                broadcast_worker(&mut fl, buf, root, 4.0).map(|(b, _, _)| b)
+            }
+            ChaosOp::AllGather => all_gather_worker(&mut fl, buf, 4.0).map(|(b, _, _)| b),
+        };
+        (result, fl.into_stats())
+    });
+    let mut stats = FaultStats::default();
+    let mut results = Vec::with_capacity(n);
+    for (r, s) in worker_results {
+        stats.merge(&s);
+        results.push(r);
+    }
+    export_metrics(&stats, results.iter().filter(|r| r.is_err()).count());
+    ChaosOutcome { results, stats }
+}
+
+/// Publishes `faults/*` counters and recovery-latency samples for one run.
+pub fn export_metrics(stats: &FaultStats, aborted_workers: usize) {
+    gcs_metrics::counter_add("faults/injected_total", stats.injected() as f64);
+    gcs_metrics::counter_add("faults/retried_total", stats.retries as f64);
+    gcs_metrics::counter_add("faults/recovered_total", stats.recovered_frames as f64);
+    gcs_metrics::counter_add("faults/aborted_total", aborted_workers as f64);
+    gcs_metrics::counter_add("faults/crashed_total", stats.crashes as f64);
+    for &ns in &stats.recovery_latency_ns {
+        gcs_metrics::observe("faults/recovery_latency_ns", ns as f64);
+    }
+}
+
+/// Deterministic per-worker input buffers for chaos and bench runs.
+pub fn canned_inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|w| (0..len).map(|i| ((w * len + i) as f32).sin()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Healthy plan: all three collectives bitwise-match the reference and
+    /// inject nothing.
+    #[test]
+    fn healthy_chaos_is_bitwise_identical() {
+        for op in [
+            ChaosOp::Ring,
+            ChaosOp::Broadcast { root: 1 },
+            ChaosOp::AllGather,
+        ] {
+            let inputs = canned_inputs(4, 23);
+            let expect = reference(op, &inputs);
+            let outcome = run_chaos(op, inputs, FaultPlan::healthy(), RetryPolicy::fast_test());
+            assert!(outcome.recovered(), "{op:?}: {:?}", outcome.results);
+            assert_eq!(outcome.stats.injected(), 0);
+            for (rank, r) in outcome.results.iter().enumerate() {
+                assert_eq!(r.as_ref().unwrap(), &expect[rank], "{op:?} rank {rank}");
+            }
+        }
+    }
+
+    /// Degraded-but-recoverable plan: recovery is exact, and the stats show
+    /// the protocol actually worked for its result.
+    #[test]
+    fn degraded_ring_recovers_bitwise() {
+        let inputs = canned_inputs(4, 31);
+        let expect = reference(ChaosOp::Ring, &inputs);
+        let plan = FaultPlan::degraded(99, 0.2, 0.1, 0.1);
+        let outcome = run_chaos(ChaosOp::Ring, inputs, plan, RetryPolicy::fast_test());
+        assert!(outcome.recovered(), "{:?}", outcome.results);
+        for (rank, r) in outcome.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &expect[rank], "rank {rank}");
+        }
+        assert!(outcome.stats.injected() > 0, "plan injected nothing");
+        assert!(
+            outcome.stats.injected_drops == 0 || outcome.stats.recovered_frames > 0,
+            "drops happened but nothing recovered: {:?}",
+            outcome.stats
+        );
+    }
+
+    /// Crash plan: the crashed rank reports `WorkerCrashed`, survivors get
+    /// typed peer-failure errors, and the `aborted` count is honest.
+    #[test]
+    fn crashed_ring_aborts_with_typed_errors() {
+        let inputs = canned_inputs(3, 17);
+        let plan = FaultPlan::healthy().with_crash(1, 2);
+        let outcome = run_chaos(ChaosOp::Ring, inputs, plan, RetryPolicy::fast_test());
+        assert!(!outcome.recovered());
+        assert_eq!(outcome.stats.crashes, 1);
+        assert!(matches!(
+            outcome.results[1],
+            Err(CollectiveError::WorkerCrashed { rank: 1 })
+        ));
+        for (rank, r) in outcome.results.iter().enumerate() {
+            if rank != 1 {
+                if let Err(e) = r {
+                    assert!(
+                        e.is_peer_failure(),
+                        "rank {rank}: expected peer failure, got {e:?}"
+                    );
+                }
+            }
+        }
+        assert!(outcome.aborted_workers() >= 1);
+    }
+
+    /// Metrics capture: a chaos run publishes the faults/* counters.
+    #[test]
+    fn chaos_run_exports_fault_counters() {
+        let (outcome, registry) = gcs_metrics::with_capture(|| {
+            run_chaos(
+                ChaosOp::Ring,
+                canned_inputs(4, 19),
+                FaultPlan::lossy(7, 0.25),
+                RetryPolicy::fast_test(),
+            )
+        });
+        assert!(outcome.recovered(), "{:?}", outcome.results);
+        let injected = registry.counter("faults/injected_total").unwrap_or(0.0);
+        assert_eq!(injected, outcome.stats.injected() as f64);
+        assert_eq!(
+            registry.counter("faults/aborted_total").unwrap_or(-1.0),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Retry, timeout, and backoff policy for lossy links.
+
+use std::time::Duration;
+
+/// Bounded-exponential-backoff retry policy for the ack-and-resend
+/// protocol. One "attempt" is one transmission of a data frame; the sender
+/// waits `timeout(attempt)` for the ack before retransmitting, and gives up
+/// with `CollectiveError::Timeout` after `max_attempts` transmissions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total transmissions per frame (1 = no retries).
+    pub max_attempts: u32,
+    /// Ack wait after the first transmission.
+    pub base_timeout: Duration,
+    /// Multiplier applied per retry (bounded by `max_timeout`).
+    pub backoff: f64,
+    /// Hard cap on any single ack wait.
+    pub max_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 10,
+            base_timeout: Duration::from_millis(20),
+            backoff: 2.0,
+            max_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A tight policy for tests: small timeouts so unrecoverable plans fail
+    /// fast, still orders of magnitude above in-process delivery latency.
+    pub fn fast_test() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_timeout: Duration::from_millis(10),
+            backoff: 1.5,
+            max_timeout: Duration::from_millis(60),
+        }
+    }
+
+    /// Ack wait before retransmission number `attempt` (0-based:
+    /// `timeout(0)` follows the first transmission).
+    pub fn timeout(&self, attempt: u32) -> Duration {
+        let scaled = self.base_timeout.as_secs_f64() * self.backoff.powi(attempt as i32);
+        Duration::from_secs_f64(scaled.min(self.max_timeout.as_secs_f64()))
+    }
+
+    /// Upper bound on the total time one frame may spend in retransmission
+    /// before the sender gives up.
+    pub fn send_budget(&self) -> Duration {
+        (0..self.max_attempts).map(|a| self.timeout(a)).sum()
+    }
+
+    /// How long a receiver waits for a data frame before concluding the
+    /// sender is gone: the sender's full retry budget plus slack, so a
+    /// receiver never gives up while its sender is still lawfully retrying.
+    pub fn recv_budget(&self) -> Duration {
+        self.send_budget() + self.base_timeout * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let p = RetryPolicy::default();
+        assert!(p.timeout(1) > p.timeout(0));
+        assert!(p.timeout(2) > p.timeout(1));
+        // Far attempts saturate at the cap instead of overflowing.
+        assert_eq!(p.timeout(30), p.max_timeout);
+        assert_eq!(p.timeout(31), p.timeout(30));
+    }
+
+    #[test]
+    fn recv_budget_covers_send_budget() {
+        for p in [RetryPolicy::default(), RetryPolicy::fast_test()] {
+            assert!(p.recv_budget() > p.send_budget());
+            assert!(p.send_budget() >= p.base_timeout * p.max_attempts);
+        }
+    }
+}

@@ -7,13 +7,15 @@
 //! throughput, missing suite) fails the build rather than poisoning the
 //! trajectory.
 //!
-//! Schema (version 2 — version 2 added the required `hotpath` array of
-//! steady-state allocation counts and pooled-vs-unpooled throughput):
+//! Schema (version 3 — version 2 added the required `hotpath` array of
+//! steady-state allocation counts and pooled-vs-unpooled throughput;
+//! version 3 added the required `faults` object summarizing a canned
+//! chaos run through the fault-injecting transport):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
-//!   "id": "PR4",
+//!   "schema_version": 3,
+//!   "id": "PR5",
 //!   "mode": "fast",
 //!   "dim": 16384,
 //!   "rounds": 3,
@@ -30,18 +32,24 @@
 //!   "hotpath": [
 //!     { "name": "ring_all_reduce", "allocs_per_round": 0,
 //!       "pooled_elems_per_s": 4.1e8, "unpooled_elems_per_s": 3.2e8 }
-//!   ]
+//!   ],
+//!   "faults": {
+//!     "injected": 37, "retried": 21, "recovered": 19, "aborted": 1,
+//!     "crashed": 1, "recovered_workers": 4, "aborted_workers": 4,
+//!     "recovery_p50_ns": 10400000.0, "recovery_p99_ns": 31000000.0
+//!   }
 //! }
 //! ```
 //!
-//! `vnmse` may be `null` for schemes where it is undefined; every other
-//! numeric field must be present and finite (the JSON renderer writes
-//! non-finite numbers as `null`, which this validator rejects).
+//! `vnmse` may be `null` for schemes where it is undefined, and the two
+//! `recovery_*_ns` quantiles may be `null` when no frame needed recovery;
+//! every other numeric field must be present and finite (the JSON renderer
+//! writes non-finite numbers as `null`, which this validator rejects).
 
 use crate::json::Json;
 
 /// Current artifact schema version.
-pub const SCHEMA_VERSION: f64 = 2.0;
+pub const SCHEMA_VERSION: f64 = 3.0;
 
 /// Top-level numeric fields every artifact must carry.
 const TOP_NUM_FIELDS: [&str; 4] = ["schema_version", "dim", "rounds", "workers"];
@@ -60,6 +68,18 @@ const HOTPATH_NUM_FIELDS: [&str; 3] = [
     "pooled_elems_per_s",
     "unpooled_elems_per_s",
 ];
+/// Required non-negative counts in the `faults` object (schema v3).
+const FAULT_NUM_FIELDS: [&str; 7] = [
+    "injected",
+    "retried",
+    "recovered",
+    "aborted",
+    "crashed",
+    "recovered_workers",
+    "aborted_workers",
+];
+/// Nullable recovery-latency quantiles in the `faults` object.
+const FAULT_NULLABLE_FIELDS: [&str; 2] = ["recovery_p50_ns", "recovery_p99_ns"];
 
 /// Validates a parsed `BENCH_*.json` document. Returns the first problem
 /// found as a human-readable message.
@@ -134,6 +154,31 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             }
         }
     }
+
+    let faults = doc
+        .get("faults")
+        .ok_or("missing \"faults\" object (schema v3)")?;
+    if faults.as_object().is_none() {
+        return Err("\"faults\" must be a JSON object".to_string());
+    }
+    for field in FAULT_NUM_FIELDS {
+        let v = finite_num(faults, field).map_err(|e| format!("faults: {e}"))?;
+        if v < 0.0 {
+            return Err(format!("faults: {field} must be non-negative"));
+        }
+    }
+    for field in FAULT_NULLABLE_FIELDS {
+        match faults.get(field) {
+            None => return Err(format!("faults: missing field {field:?}")),
+            Some(Json::Null) => {}
+            Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => {}
+            Some(_) => {
+                return Err(format!(
+                    "faults: {field} must be a non-negative finite number or null"
+                ))
+            }
+        }
+    }
     Ok(())
 }
 
@@ -159,7 +204,7 @@ mod tests {
     fn valid_doc() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 2, "id": "PR4", "mode": "fast",
+              "schema_version": 3, "id": "PR5", "mode": "fast",
               "dim": 16384, "rounds": 3, "workers": 4,
               "kernels": [
                 {"name": "topk", "throughput_elems_per_s": 1.0e8,
@@ -178,7 +223,12 @@ mod tests {
                  "pooled_elems_per_s": 4.0e8, "unpooled_elems_per_s": 3.0e8},
                 {"name": "topkc", "allocs_per_round": 0,
                  "pooled_elems_per_s": 2.0e8, "unpooled_elems_per_s": 1.5e8}
-              ]
+              ],
+              "faults": {
+                "injected": 37, "retried": 21, "recovered": 19, "aborted": 1,
+                "crashed": 1, "recovered_workers": 4, "aborted_workers": 4,
+                "recovery_p50_ns": 10400000.0, "recovery_p99_ns": null
+              }
             }"#,
         )
         .unwrap()
@@ -228,6 +278,11 @@ mod tests {
             (&["collectives"][..], "wire_bytes"),
             (&["hotpath"][..], "allocs_per_round"),
             (&["hotpath"][..], "pooled_elems_per_s"),
+            (&[][..], "faults"),
+            (&["faults"][..], "injected"),
+            (&["faults"][..], "recovered"),
+            (&["faults"][..], "aborted"),
+            (&["faults"][..], "recovery_p50_ns"),
         ] {
             let doc = without_field(&valid_doc(), path, field);
             assert!(
@@ -264,10 +319,10 @@ mod tests {
             .render()
             .replace("\"mode\":\"fast\"", "\"mode\":\"warp\"");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
-        // Pre-hotpath version-1 artifacts are rejected by the v2 validator.
+        // Pre-faults version-2 artifacts are rejected by the v3 validator.
         let text = valid_doc()
             .render()
-            .replace("\"schema_version\":2", "\"schema_version\":1");
+            .replace("\"schema_version\":3", "\"schema_version\":2");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
     }
 
@@ -278,5 +333,25 @@ mod tests {
             .replace("\"allocs_per_round\":0", "\"allocs_per_round\":-1");
         let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
         assert!(err.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn fault_counts_must_be_non_negative_and_quantiles_nullable() {
+        let text = valid_doc()
+            .render()
+            .replace("\"aborted\":1", "\"aborted\":-1");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("aborted"), "{err}");
+        // Null quantile is legal (no frame needed recovery)…
+        let text = valid_doc()
+            .render()
+            .replace("\"recovery_p50_ns\":10400000", "\"recovery_p50_ns\":null");
+        assert_eq!(validate_bench_json(&Json::parse(&text).unwrap()), Ok(()));
+        // …but a string is not.
+        let text = valid_doc().render().replace(
+            "\"recovery_p50_ns\":10400000",
+            "\"recovery_p50_ns\":\"slow\"",
+        );
+        assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
     }
 }

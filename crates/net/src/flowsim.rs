@@ -26,13 +26,28 @@ pub struct Flow {
 /// Result of simulating a set of flows.
 #[derive(Clone, Debug)]
 pub struct FlowReport {
-    /// Completion time of each flow, seconds, same order as the input.
+    /// Completion time of each flow, seconds, same order as the input. For
+    /// an aborted flow this is the *abort* time (the instant the simulator
+    /// proved it could never finish), so the report stays finite.
     pub completion: Vec<f64>,
     /// Time at which the last flow completed (the step's makespan).
     pub makespan: f64,
+    /// Per-flow abort flag: `true` if the flow was stranded with zero rate
+    /// and no future capacity event could revive it (e.g. its only path
+    /// crosses a link degraded to zero). Same order as the input.
+    pub aborted: Vec<bool>,
 }
 
 impl FlowReport {
+    /// Number of flows that could not complete.
+    pub fn aborted_count(&self) -> usize {
+        self.aborted.iter().filter(|&&a| a).count()
+    }
+
+    /// True if every flow completed.
+    pub fn all_completed(&self) -> bool {
+        self.aborted_count() == 0
+    }
     /// Pairs each flow's completion time with its *source* node — the worker
     /// that was sending — in input order. This is the feed format
     /// `gcs_metrics::StragglerMonitor::ingest_flows` consumes for per-worker
@@ -46,12 +61,49 @@ impl FlowReport {
     }
 }
 
+/// A scheduled mid-simulation capacity change on one node's links: at time
+/// `at`, the node's egress/ingress capacities become `factor × baseline`.
+/// Factors in `(0, 1)` model stragglers (slow NIC, congested ToR port),
+/// `0.0` models a dead link, and factors `> 1` model recovery/upgrades.
+/// This is the knob the fault-injection layer (`gcs-faults`) turns to make
+/// `StragglerMonitor` observe *injected* degradation end-to-end.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Degradation {
+    /// Simulation time (seconds) at which the change takes effect.
+    pub at: f64,
+    /// Node whose links degrade.
+    pub node: usize,
+    /// Multiplier on the node's baseline egress capacity.
+    pub egress_factor: f64,
+    /// Multiplier on the node's baseline ingress capacity.
+    pub ingress_factor: f64,
+}
+
+impl Degradation {
+    /// Symmetric slowdown: both directions scaled by `factor`.
+    pub fn slowdown(at: f64, node: usize, factor: f64) -> Degradation {
+        Degradation {
+            at,
+            node,
+            egress_factor: factor,
+            ingress_factor: factor,
+        }
+    }
+
+    /// Total link cut: both directions to zero.
+    pub fn cut(at: f64, node: usize) -> Degradation {
+        Degradation::slowdown(at, node, 0.0)
+    }
+}
+
 /// A network of `n` nodes, each with independent egress and ingress
-/// capacity (full-duplex NIC model).
+/// capacity (full-duplex NIC model), plus an optional schedule of mid-run
+/// capacity changes ([`Degradation`]).
 #[derive(Clone, Debug)]
 pub struct Network {
     egress: Vec<f64>,
     ingress: Vec<f64>,
+    degradations: Vec<Degradation>,
 }
 
 impl Network {
@@ -61,6 +113,7 @@ impl Network {
         Network {
             egress: vec![capacity; n],
             ingress: vec![capacity; n],
+            degradations: Vec::new(),
         }
     }
 
@@ -68,6 +121,32 @@ impl Network {
     pub fn with_node_capacity(mut self, node: usize, egress: f64, ingress: f64) -> Network {
         self.egress[node] = egress;
         self.ingress[node] = ingress;
+        self
+    }
+
+    /// Schedules a mid-simulation capacity change. Factors apply to the
+    /// node's *baseline* capacities (piecewise-constant, last event wins),
+    /// so two successive events don't compound.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range node, a negative factor, or a
+    /// non-finite/negative time — malformed schedules are caller bugs.
+    pub fn with_degradation(mut self, d: Degradation) -> Network {
+        assert!(
+            d.node < self.len(),
+            "degradation: node {} out of range",
+            d.node
+        );
+        assert!(
+            d.at.is_finite() && d.at >= 0.0,
+            "degradation: bad time {}",
+            d.at
+        );
+        assert!(
+            d.egress_factor >= 0.0 && d.ingress_factor >= 0.0,
+            "degradation: negative factor"
+        );
+        self.degradations.push(d);
         self
     }
 
@@ -81,17 +160,14 @@ impl Network {
         self.egress.is_empty()
     }
 
-    /// Max-min fair rates for the given set of active flows
-    /// (progressive filling).
-    fn fair_rates(&self, flows: &[(usize, usize)]) -> Vec<f64> {
-        let n = self.len();
+    /// Max-min fair rates for the given set of active flows under the given
+    /// *effective* capacities (progressive filling). A flow crossing a
+    /// zero-capacity link freezes at rate 0 — the caller decides whether a
+    /// future [`Degradation`] can revive it or the flow must abort.
+    fn fair_rates(egress: &[f64], ingress: &[f64], flows: &[(usize, usize)]) -> Vec<f64> {
+        let n = egress.len();
         // Link layout: 0..n egress, n..2n ingress.
-        let mut cap: Vec<f64> = self
-            .egress
-            .iter()
-            .chain(self.ingress.iter())
-            .copied()
-            .collect();
+        let mut cap: Vec<f64> = egress.iter().chain(ingress.iter()).copied().collect();
         let mut users: Vec<usize> = vec![0; 2 * n];
         for &(s, d) in flows {
             users[s] += 1;
@@ -141,7 +217,15 @@ impl Network {
     }
 
     /// Simulates the given flows starting simultaneously at t=0; rates are
-    /// recomputed (max-min) after every completion event.
+    /// recomputed (max-min) after every completion *and every scheduled
+    /// [`Degradation`]* (piecewise-constant capacities).
+    ///
+    /// The seed version of this loop asserted `dt.is_finite()` and panicked
+    /// when flows were stranded. Stranded flows are now a *reported*
+    /// condition: a flow with zero rate and no future capacity event that
+    /// could revive it is marked aborted at the current time, the
+    /// `faults/flow_aborted_total` counter is bumped, and the report stays
+    /// finite — degraded fabrics are data, not crashes.
     ///
     /// An empty flow list is a valid degenerate input (a collective step
     /// with nothing to send) and yields a zero report rather than touching
@@ -151,13 +235,29 @@ impl Network {
             return FlowReport {
                 completion: Vec::new(),
                 makespan: 0.0,
+                aborted: Vec::new(),
             };
         }
+        // Effective capacities evolve as degradation events fire.
+        let mut egress = self.egress.clone();
+        let mut ingress = self.ingress.clone();
+        let mut events = self.degradations.clone();
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite event times"));
+        let mut next_event = 0usize;
+
         let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.max(0.0)).collect();
         let mut completion = vec![0.0f64; flows.len()];
+        let mut aborted = vec![false; flows.len()];
         let mut done: Vec<bool> = remaining.iter().map(|&b| b == 0.0).collect();
         let mut now = 0.0f64;
         loop {
+            // Fire every event due at (or before) the current time.
+            while next_event < events.len() && events[next_event].at <= now + 1e-12 {
+                let d = events[next_event];
+                egress[d.node] = self.egress[d.node] * d.egress_factor;
+                ingress[d.node] = self.ingress[d.node] * d.ingress_factor;
+                next_event += 1;
+            }
             let active: Vec<usize> = (0..flows.len()).filter(|&i| !done[i]).collect();
             if active.is_empty() {
                 break;
@@ -166,7 +266,7 @@ impl Network {
                 .iter()
                 .map(|&i| (flows[i].src, flows[i].dst))
                 .collect();
-            let rates = self.fair_rates(&endpoints);
+            let rates = Self::fair_rates(&egress, &ingress, &endpoints);
             // Earliest completion among active flows.
             let mut dt = f64::INFINITY;
             for (k, &i) in active.iter().enumerate() {
@@ -174,10 +274,25 @@ impl Network {
                     dt = dt.min(remaining[i] / rates[k]);
                 }
             }
-            assert!(dt.is_finite(), "flows cannot make progress");
-            now += dt;
+            let horizon = events.get(next_event).map(|e| e.at);
+            if !dt.is_finite() && horizon.is_none() {
+                // No flow can progress and no event can change that: abort
+                // the stranded flows at the current instant.
+                for &i in &active {
+                    done[i] = true;
+                    aborted[i] = true;
+                    completion[i] = now;
+                }
+                break;
+            }
+            // Advance to the earlier of next completion and next event.
+            let step = match horizon {
+                Some(t) if t - now < dt => (t - now).max(0.0),
+                _ => dt,
+            };
+            now += step;
             for (k, &i) in active.iter().enumerate() {
-                remaining[i] -= rates[k] * dt;
+                remaining[i] -= rates[k] * step;
                 if remaining[i] <= 1e-6 {
                     remaining[i] = 0.0;
                     done[i] = true;
@@ -185,12 +300,19 @@ impl Network {
                 }
             }
         }
-        for &t in &completion {
-            gcs_metrics::observe("flowsim/fct_s", t);
+        let n_aborted = aborted.iter().filter(|&&a| a).count();
+        if n_aborted > 0 {
+            gcs_metrics::counter_add("faults/flow_aborted_total", n_aborted as f64);
+        }
+        for (i, &t) in completion.iter().enumerate() {
+            if !aborted[i] {
+                gcs_metrics::observe("flowsim/fct_s", t);
+            }
         }
         FlowReport {
             makespan: completion.iter().copied().fold(0.0, f64::max),
             completion,
+            aborted,
         }
     }
 
@@ -431,5 +553,120 @@ mod tests {
             bytes: 0.0,
         }]);
         assert_eq!(r.makespan, 0.0);
+        assert!(r.all_completed());
+    }
+
+    #[test]
+    fn mid_simulation_slowdown_stretches_completion() {
+        // 10 GB at 10 GB/s would finish at t=1; halving the sender's egress
+        // at t=0.5 leaves 5 GB to move at 5 GB/s -> finish at 1.5 s.
+        let net =
+            Network::homogeneous(2, 10.0 * GB).with_degradation(Degradation::slowdown(0.5, 0, 0.5));
+        let r = net.simulate(&[Flow {
+            src: 0,
+            dst: 1,
+            bytes: 10.0 * GB,
+        }]);
+        assert!(r.all_completed());
+        assert!((r.makespan - 1.5).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn capacity_cut_aborts_stranded_flow_finitely() {
+        // The sender's link dies at t=0.5 with half the bytes still queued:
+        // the flow must abort *at* 0.5, not hang or panic.
+        let net = Network::homogeneous(2, 10.0 * GB).with_degradation(Degradation::cut(0.5, 0));
+        let r = net.simulate(&[Flow {
+            src: 0,
+            dst: 1,
+            bytes: 10.0 * GB,
+        }]);
+        assert_eq!(r.aborted, vec![true]);
+        assert_eq!(r.aborted_count(), 1);
+        assert!(r.makespan.is_finite());
+        assert!((r.completion[0] - 0.5).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn zero_capacity_link_aborts_at_time_zero_and_counts() {
+        let net = Network::homogeneous(3, 10.0 * GB).with_degradation(Degradation::cut(0.0, 1));
+        let flows = vec![
+            Flow {
+                src: 0,
+                dst: 2,
+                bytes: 10.0 * GB,
+            },
+            Flow {
+                src: 1,
+                dst: 2,
+                bytes: 10.0 * GB,
+            },
+        ];
+        let (r, reg) = gcs_metrics::with_capture(|| net.simulate(&flows));
+        // The healthy flow still completes; the dead-sender flow aborts at 0.
+        assert!(!r.aborted[0]);
+        assert!((r.completion[0] - 1.0).abs() < 1e-6, "{r:?}");
+        assert!(r.aborted[1]);
+        assert_eq!(
+            r.completion[1], 1.0,
+            "stranded flow aborts once nothing else can change: {r:?}"
+        );
+        assert!(r.makespan.is_finite());
+        if gcs_metrics::is_captured() {
+            assert_eq!(reg.counter("faults/flow_aborted_total"), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn degradation_recovery_revives_a_stalled_flow() {
+        // Link dies at 0.2 and comes back at 0.7: 2 GB moved, 0.5 s stall,
+        // then the remaining 8 GB at line rate -> 0.7 + 0.8 = 1.5 s.
+        let net = Network::homogeneous(2, 10.0 * GB)
+            .with_degradation(Degradation::cut(0.2, 0))
+            .with_degradation(Degradation::slowdown(0.7, 0, 1.0));
+        let r = net.simulate(&[Flow {
+            src: 0,
+            dst: 1,
+            bytes: 10.0 * GB,
+        }]);
+        assert!(r.all_completed(), "{r:?}");
+        assert!((r.makespan - 1.5).abs() < 1e-6, "{r:?}");
+    }
+
+    /// End-to-end: an injected straggler slowdown in the flow simulator is
+    /// visible to `StragglerMonitor` — the degraded worker is reported
+    /// slowest with the expected flow skew.
+    #[test]
+    fn straggler_monitor_sees_injected_degradation() {
+        let net = Network::homogeneous(4, 10.0 * GB)
+            .with_degradation(Degradation::slowdown(0.0, 1, 0.25));
+        let flows = vec![
+            Flow {
+                src: 0,
+                dst: 2,
+                bytes: 10.0 * GB,
+            },
+            Flow {
+                src: 1,
+                dst: 3,
+                bytes: 10.0 * GB,
+            },
+        ];
+        let r = net.simulate(&flows);
+        assert!(r.all_completed());
+        assert!((r.completion[0] - 1.0).abs() < 1e-6, "{r:?}");
+        assert!((r.completion[1] - 4.0).abs() < 1e-6, "{r:?}");
+        let mut mon = gcs_metrics::StragglerMonitor::new();
+        mon.ingest_flows(&r.worker_completions(&flows));
+        let report = mon.report();
+        let skew = report.flow_skew.expect("two workers recorded");
+        // max/mean = 4.0 / 2.5 = 1.6.
+        assert!((skew - 1.6).abs() < 1e-6, "skew = {skew}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degradation_rejects_bad_node() {
+        let _ = Network::homogeneous(2, GB).with_degradation(Degradation::cut(0.0, 5));
     }
 }

@@ -1,7 +1,7 @@
 //! Property tests for the network models: conservation laws, fairness, and
 //! agreement between the closed forms and the flow-level simulator.
 
-use gcs_netsim::flowsim::{all_gather_flows, ring_all_reduce_phases, Flow, Network};
+use gcs_netsim::flowsim::{all_gather_flows, ring_all_reduce_phases, Degradation, Flow, Network};
 use gcs_netsim::{ClusterSpec, Collective, HierarchicalSpec};
 use proptest::prelude::*;
 
@@ -101,6 +101,64 @@ proptest! {
         let t1 = c.collective_seconds(coll, payload);
         let t2 = c.collective_seconds(coll, payload * scale);
         prop_assert!((t2 / t1 - scale).abs() < 1e-6, "{coll:?} not linear");
+    }
+
+    #[test]
+    fn degraded_capacity_is_still_max_min_fair(
+        n in 3usize..7,
+        factor in 0.1f64..0.9,
+        bytes in 1e8f64..1e10,
+    ) {
+        // Cut one sender's egress by `factor` from t=0; all flows target one
+        // receiver. Max-min fairness must hold under the degraded capacity:
+        // nobody beats line rate on their (possibly degraded) egress, the
+        // receiver's ingress is never oversubscribed, and completions are
+        // monotone in effective sender capacity.
+        let bw = 1e10;
+        let net = Network::homogeneous(n, bw)
+            .with_degradation(Degradation::slowdown(0.0, 0, factor));
+        let flows: Vec<Flow> = (0..n - 1)
+            .map(|s| Flow { src: s, dst: n - 1, bytes })
+            .collect();
+        let report = net.simulate(&flows);
+        prop_assert!(report.all_completed());
+        // Line-rate bound per sender under its effective egress.
+        prop_assert!(report.completion[0] >= bytes / (bw * factor) - 1e-9);
+        for t in &report.completion[1..] {
+            prop_assert!(*t >= bytes / bw - 1e-9);
+        }
+        // Receiver ingress conservation: total bytes through one ingress
+        // link cannot move faster than the link.
+        let total = bytes * (n - 1) as f64;
+        prop_assert!(report.makespan >= total / bw - 1e-6);
+        // The degraded sender never finishes before an undegraded one.
+        let healthy_max = report.completion[1..].iter().cloned().fold(0.0, f64::max);
+        prop_assert!(report.completion[0] >= healthy_max - 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_always_aborts_finitely(
+        n in 2usize..6,
+        cut_at in 0.0f64..2.0,
+        bytes in 1e9f64..1e11,
+    ) {
+        // Whatever the cut time and flow size, a dead egress either lets the
+        // flow finish first or aborts it at exactly the stranding instant —
+        // the report is always finite and the abort flag is always honest.
+        let bw = 1e9;
+        let net = Network::homogeneous(n, bw)
+            .with_degradation(Degradation::cut(cut_at, 0));
+        let flows = vec![Flow { src: 0, dst: n - 1, bytes }];
+        let report = net.simulate(&flows);
+        prop_assert!(report.makespan.is_finite());
+        prop_assert!(report.completion[0].is_finite());
+        let unimpeded = bytes / bw;
+        if unimpeded <= cut_at + 1e-9 {
+            prop_assert!(report.all_completed(), "{report:?}");
+        } else {
+            prop_assert!(report.aborted[0], "{report:?}");
+            prop_assert!((report.completion[0] - cut_at).abs() < 1e-9, "{report:?}");
+        }
     }
 
     #[test]

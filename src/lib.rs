@@ -7,6 +7,7 @@
 pub use gcs_collectives as collectives;
 pub use gcs_core as core;
 pub use gcs_ddp as ddp;
+pub use gcs_faults as faults;
 pub use gcs_gpusim as gpusim;
 pub use gcs_metrics as metrics;
 pub use gcs_netsim as netsim;

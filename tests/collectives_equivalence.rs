@@ -26,7 +26,7 @@ fn threaded_ring_is_bit_identical_to_sequential_for_f32() {
         let bufs = grads(n, 101);
         let mut seq = bufs.clone();
         ring_all_reduce(&mut seq, &F32Sum, 4.0);
-        let (thr, _) = threaded_ring_all_reduce(bufs, F32Sum, 4.0);
+        let (thr, _) = threaded_ring_all_reduce(bufs, F32Sum, 4.0).expect("healthy cluster");
         assert_eq!(thr, seq, "n={n}");
     }
 }
@@ -39,7 +39,7 @@ fn threaded_ring_is_bit_identical_for_non_associative_f16() {
         let bufs: Vec<_> = grads(n, 64).iter().map(|g| encode_f16(g)).collect();
         let mut seq = bufs.clone();
         ring_all_reduce(&mut seq, &F16Sum, 2.0);
-        let (thr, _) = threaded_ring_all_reduce(bufs, F16Sum, 2.0);
+        let (thr, _) = threaded_ring_all_reduce(bufs, F16Sum, 2.0).expect("healthy cluster");
         for (a, b) in thr.iter().zip(&seq) {
             assert_eq!(decode_f16(a), decode_f16(b), "n={n}");
         }
@@ -52,7 +52,7 @@ fn threaded_ring_matches_for_saturating_lanes() {
     let op = SaturatingIntSum::new(4);
     let mut seq = bufs.clone();
     ring_all_reduce(&mut seq, &op, 0.5);
-    let (thr, _) = threaded_ring_all_reduce(bufs, op, 0.5);
+    let (thr, _) = threaded_ring_all_reduce(bufs, op, 0.5).expect("healthy cluster");
     assert_eq!(thr, seq);
 }
 

@@ -144,7 +144,11 @@ macro_rules! tuple_strategy {
 
 tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
     A.0, B.1, C.2, D.3, E.4
-)(A.0, B.1, C.2, D.3, E.4, F.5));
+)(A.0, B.1, C.2, D.3, E.4, F.5)(
+    A.0, B.1, C.2, D.3, E.4, F.5, G.6
+)(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)(
+    A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8
+)(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9));
 
 /// See [`Strategy::prop_flat_map`].
 pub struct FlatMap<S, F> {
