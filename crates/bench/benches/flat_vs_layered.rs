@@ -1,0 +1,164 @@
+//! Flat-arena vs per-layer storage: the tentpole measurement.
+//!
+//! With arena-backed model storage a whole model's gradient is ONE
+//! contiguous slice, so the per-round operations the DDP engine performs —
+//! the aggregation collective, replica parameter sync, the optimizer step —
+//! each become a single whole-model call. The pre-arena layout stored one
+//! `Vec<f32>` per layer, turning each of those into a loop of per-layer
+//! calls: same flops and bytes, but L× the fixed costs (ring setup, bounds
+//! checks, loop/dispatch overhead) and no cross-layer vectorization at the
+//! seams.
+//!
+//! Every pair below does identical arithmetic on identical values —
+//! `tests/flat_arena.rs` pins the bitwise identity — so the delta is purely
+//! the layout's fixed-cost amplification. Throughput is reported in
+//! elements/s over the model's parameter count; `bench_report` lifts the
+//! `collective` pair into the BENCH schema's `hotpath.flat` section.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcs_collectives::{ring_all_reduce_into, F32Sum, RingScratch, Traffic};
+use gcs_nn::{Model, Sgd, VggMini};
+
+const N: usize = 4;
+
+/// Per-worker whole-model gradients, plus the same data split per layer
+/// (the pre-arena storage discipline).
+struct Fixture {
+    offsets: Vec<usize>,
+    flat: Vec<Vec<f32>>,
+    layered: Vec<Vec<Vec<f32>>>,
+}
+
+fn fixture() -> Fixture {
+    let model = VggMini::new(7);
+    let d = model.param_count();
+    let offsets: Vec<usize> = model.net().param_arena().offsets().to_vec();
+    let flat: Vec<Vec<f32>> = (0..N)
+        .map(|w| (0..d).map(|i| ((w * d + i) as f32 * 0.37).sin()).collect())
+        .collect();
+    // layered[l][w] = worker w's gradient for layer l.
+    let layered: Vec<Vec<Vec<f32>>> = offsets
+        .windows(2)
+        .map(|w| {
+            flat.iter()
+                .map(|g| g[w[0]..w[1]].to_vec())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    Fixture {
+        offsets,
+        flat,
+        layered,
+    }
+}
+
+fn bench_collective(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("flat_vs_layered/collective");
+
+    g.bench_function("whole_model", |b| {
+        let mut bufs = fx.flat.clone();
+        let mut scratch = RingScratch::default();
+        let mut traffic = Traffic::default();
+        b.iter(|| {
+            for (dst, src) in bufs.iter_mut().zip(&fx.flat) {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
+            ring_all_reduce_into(
+                black_box(&mut bufs),
+                &F32Sum,
+                4.0,
+                &mut scratch,
+                &mut traffic,
+            );
+            traffic.steps
+        })
+    });
+
+    g.bench_function("per_layer", |b| {
+        let mut bufs = fx.layered.clone();
+        let mut scratch = RingScratch::default();
+        let mut traffic = Traffic::default();
+        b.iter(|| {
+            let mut steps = 0u32;
+            for (layer, src) in bufs.iter_mut().zip(&fx.layered) {
+                for (dst, s) in layer.iter_mut().zip(src) {
+                    dst.clear();
+                    dst.extend_from_slice(s);
+                }
+                ring_all_reduce_into(black_box(layer), &F32Sum, 4.0, &mut scratch, &mut traffic);
+                steps += traffic.steps;
+            }
+            steps
+        })
+    });
+    g.finish();
+}
+
+fn bench_replica_sync(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("flat_vs_layered/replica_sync");
+    let src = fx.flat[0].clone();
+    let src_layered: Vec<Vec<f32>> = fx.layered.iter().map(|l| l[0].clone()).collect();
+
+    g.bench_function("whole_model", |b| {
+        let mut replica = VggMini::new(7);
+        b.iter(|| {
+            replica.set_flat_params(black_box(&src));
+            replica.params_flat()[0]
+        })
+    });
+
+    g.bench_function("per_layer", |b| {
+        let mut replica = VggMini::new(7);
+        let offsets = fx.offsets.clone();
+        b.iter(|| {
+            let params = replica.params_flat_mut();
+            for (w, layer) in offsets.windows(2).zip(black_box(&src_layered)) {
+                params[w[0]..w[1]].copy_from_slice(layer);
+            }
+            params[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimizer_step(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("flat_vs_layered/optimizer_step");
+    let grad = fx.flat[0].clone();
+
+    g.bench_function("whole_model", |b| {
+        let mut model = VggMini::new(7);
+        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+        b.iter(|| {
+            opt.step_into(model.params_flat_mut(), black_box(&grad));
+            model.params_flat()[0]
+        })
+    });
+
+    g.bench_function("per_layer", |b| {
+        let mut model = VggMini::new(7);
+        let offsets = fx.offsets.clone();
+        let mut opts: Vec<Sgd> = (1..offsets.len())
+            .map(|_| Sgd::new(0.05, 0.9, 1e-4))
+            .collect();
+        b.iter(|| {
+            let params = model.params_flat_mut();
+            for (l, w) in offsets.windows(2).enumerate() {
+                opts[l].step_into(&mut params[w[0]..w[1]], black_box(&grad[w[0]..w[1]]));
+            }
+            params[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collective,
+    bench_replica_sync,
+    bench_optimizer_step
+);
+criterion_main!(benches);

@@ -3,15 +3,18 @@
 //! latency quantiles + throughput), the six collectives (wire bytes +
 //! latency tails), and the zero-allocation hotpath rows (steady-state heap
 //! events per round, measured by a counting global allocator, plus
-//! pooled-vs-unpooled throughput), and a `faults` section summarizing two
-//! canned chaos runs through the fault-injecting transport (one recoverable
-//! degraded plan, one crash plan) — alongside the other two exporters — a
-//! Prometheus text-format snapshot and a JSONL time-series dump — of
-//! everything the run captured into the `gcs-metrics` registry.
+//! pooled-vs-unpooled throughput, and — schema v4 — a `flat` subsection
+//! timing a whole-model single-call collective round over a real model's
+//! arena-backed flat gradient against the pre-arena per-layer storage
+//! discipline), and a `faults` section summarizing two canned chaos runs
+//! through the fault-injecting transport (one recoverable degraded plan,
+//! one crash plan) — alongside the other two exporters — a Prometheus
+//! text-format snapshot and a JSONL time-series dump — of everything the
+//! run captured into the `gcs-metrics` registry.
 //!
 //! Usage:
 //!   cargo run -p gcs-bench --release --bin bench_report -- [--fast]
-//!       [--id PR5] [--out path.json]
+//!       [--id PR6] [--out path.json]
 //!   cargo run -p gcs-bench --release --bin bench_report -- --validate path.json
 //!
 //! `--fast` shrinks the gradient dimension and round count for CI; the
@@ -33,6 +36,7 @@ use gcs_core::schemes::topk::TopK;
 use gcs_core::schemes::topkc::TopKC;
 use gcs_core::schemes::topkc_q::TopKCQ;
 use gcs_metrics::{validate_bench_json, Histogram, Json, Registry, SCHEMA_VERSION};
+use gcs_nn::{Model, VggMini};
 use gcs_tensor::bitpack::PackedIntVec;
 use gcs_tensor::parallel::with_threads;
 use rand::{Rng, SeedableRng};
@@ -55,7 +59,7 @@ struct Cli {
 fn parse_args() -> Cli {
     let mut cli = Cli {
         fast: false,
-        id: "PR5".to_string(),
+        id: "PR6".to_string(),
         out: None,
         validate: None,
     };
@@ -453,6 +457,74 @@ fn main() {
         },
     ];
 
+    // Flat-arena subsection (ISSUE 6): the tentpole payoff measured on a
+    // real model's layer layout. With arena-backed storage a model replica's
+    // gradient is ONE contiguous slice, so an aggregation round is a single
+    // whole-model pooled collective; the pre-arena layout stored one
+    // `Vec<f32>` per layer, turning the same round into a loop of per-layer
+    // collectives — identical flops and wire bytes, L× the fixed costs.
+    let flat = {
+        let model = VggMini::new(7);
+        let dm = model.param_count();
+        let offsets: Vec<usize> = model.net().param_arena().offsets().to_vec();
+        let src = grads(n, dm, 11);
+        let mut bufs = src.clone();
+        let mut scratch = RingScratch::default();
+        let mut traffic = Traffic::default();
+        let src_layered: Vec<Vec<Vec<f32>>> = offsets
+            .windows(2)
+            .map(|w| src.iter().map(|g| g[w[0]..w[1]].to_vec()).collect())
+            .collect();
+        let mut bufs_layered = src_layered.clone();
+
+        let mut flat_round = || {
+            for (b, s) in bufs.iter_mut().zip(&src) {
+                b.clear();
+                b.extend_from_slice(s);
+            }
+            ring_all_reduce_into(&mut bufs, &F32Sum, 4.0, &mut scratch, &mut traffic);
+        };
+        let allocs = with_threads(1, || {
+            flat_round();
+            flat_round();
+            let ((), stats) = measure(&mut flat_round);
+            stats.total_events()
+        });
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            flat_round();
+        }
+        let whole_tp = (dm as f64 * rounds as f64) / t0.elapsed().as_secs_f64();
+
+        let mut scratch_l = RingScratch::default();
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for (layer, sl) in bufs_layered.iter_mut().zip(&src_layered) {
+                for (b, s) in layer.iter_mut().zip(sl) {
+                    b.clear();
+                    b.extend_from_slice(s);
+                }
+                ring_all_reduce_into(layer, &F32Sum, 4.0, &mut scratch_l, &mut traffic);
+            }
+        }
+        let layer_tp = (dm as f64 * rounds as f64) / t0.elapsed().as_secs_f64();
+
+        let ((), reg) = gcs_metrics::with_capture(|| {
+            gcs_metrics::gauge_set("hotpath/flat/allocs_per_round", allocs as f64);
+            gcs_metrics::gauge_set("hotpath/flat/whole_model_elems_per_s", whole_tp);
+            gcs_metrics::gauge_set("hotpath/flat/per_layer_elems_per_s", layer_tp);
+        });
+        merged.merge(&reg);
+        println!(
+            "  hotpath flat ({dm} params)  allocs/round {allocs:>4}  whole-model {whole_tp:>9.2e} elems/s  per-layer {layer_tp:>9.2e} elems/s"
+        );
+        obj(vec![
+            ("allocs_per_round", Json::Num(allocs as f64)),
+            ("whole_model_elems_per_s", Json::Num(whole_tp)),
+            ("per_layer_elems_per_s", Json::Num(layer_tp)),
+        ])
+    };
+
     // Fault-injection section (ISSUE 5): two canned chaos runs through the
     // faulty transport. The degraded plan is the one `chaos_collectives`
     // pins as bitwise-recoverable; the crash plan guarantees the artifact
@@ -526,7 +598,10 @@ fn main() {
         ("workers", Json::Num(n as f64)),
         ("kernels", Json::Array(kernels)),
         ("collectives", Json::Array(collectives)),
-        ("hotpath", Json::Array(hotpath)),
+        (
+            "hotpath",
+            obj(vec![("paths", Json::Array(hotpath)), ("flat", flat)]),
+        ),
         ("faults", faults),
     ]);
 

@@ -22,22 +22,31 @@ use crate::scheme::{AggregationOutcome, CommEvent, CompressionScheme, RoundConte
 use gcs_collectives::{ring_all_reduce_into, F32Sum, RingScratch, Traffic};
 use gcs_gpusim::{ops, DeviceSpec};
 use gcs_netsim::Collective;
-use gcs_tensor::matrix::{orthonormalize_columns, Matrix};
+use gcs_tensor::matrix::{
+    matmul_bt_into, matmul_into, orthonormalize_columns_slice, transpose_matmul_into, GsScratch,
+    Matrix,
+};
 use gcs_tensor::pool::WorkerBufs;
 use gcs_tensor::rng::{SharedSeed, Stream};
 use rand::Rng;
 
-/// Round scratch owned across rounds. Unlike the sparsifiers, PowerSGD is
-/// not fully allocation-free at steady state — the per-layer matmuls
-/// return freshly allocated matrices — but all O(n·d) staging (EF,
-/// per-worker P/Q/rest buffers, ring staging) is pooled, leaving a small
-/// per-round allocation budget bounded by the factor sizes.
+/// Round scratch owned across rounds. Every buffer the round touches —
+/// EF-corrected gradients, per-worker P/Q factors, the orthonormalized P̂,
+/// Gram–Schmidt staging, ring staging — lives here and is refilled in
+/// place, so the steady-state round performs no heap allocation (asserted
+/// by `tests/alloc_budget.rs`). The per-layer matmuls write straight into
+/// these buffers via the `_into` matrix free functions.
 #[derive(Clone, Debug, Default)]
 struct PowerSgdScratch {
     corrected: Vec<Vec<f32>>,
     sent: WorkerBufs<f32>,
     p_bufs: WorkerBufs<f32>,
+    /// Per-worker `Mᵢᵀ P̂`, kept un-reduced for the EF contributions.
+    q_locals: WorkerBufs<f32>,
     q_bufs: WorkerBufs<f32>,
+    /// The summed-and-orthonormalized P factor for the current layer.
+    p_hat: Vec<f32>,
+    gs: GsScratch,
     rest: WorkerBufs<f32>,
     ring: RingScratch<f32>,
     stage_traffic: Traffic,
@@ -180,94 +189,107 @@ impl CompressionScheme for PowerSgd {
         out.mean_estimate.clear();
         out.mean_estimate.resize(d, 0.0);
         let estimate = &mut out.mean_estimate;
-        let sent = scratch.sent.prepare(n);
-        for s in sent.iter_mut() {
-            s.resize(d, 0.0);
-        }
         out.traffic.reset(n);
         let mut p_bytes = 0.0f64;
         let mut q_bytes = 0.0f64;
         let mut offset = 0usize;
-        let corrected = &scratch.corrected;
+        let PowerSgdScratch {
+            corrected,
+            sent,
+            p_bufs,
+            q_locals,
+            q_bufs,
+            p_hat,
+            gs,
+            rest,
+            ring,
+            stage_traffic,
+        } = &mut scratch;
+        for s in sent.prepare(n).iter_mut() {
+            s.resize(d, 0.0);
+        }
 
         for (l, &(rows, cols)) in self.shapes.iter().enumerate() {
             let len = rows * cols;
             let r = self.layer_rank(rows, cols);
             let q_prev = &self.q_states[l];
 
-            // P_i = M_i Q, all-reduced.
-            let ms: Vec<Matrix> = corrected
-                .iter()
-                .map(|c| Matrix::from_vec(rows, cols, c[offset..offset + len].to_vec()))
-                .collect();
+            // P_i = M_i Q, all-reduced. Each worker's matrix is the layer
+            // slice of its corrected gradient — viewed in place, never
+            // copied.
             {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_matmul_p");
-                let p_bufs = scratch.p_bufs.prepare(n);
-                for (buf, m) in p_bufs.iter_mut().zip(&ms) {
-                    buf.extend_from_slice(m.matmul(q_prev).data());
+                for (buf, c) in p_bufs.prepare(n).iter_mut().zip(corrected.iter()) {
+                    buf.resize(rows * r, 0.0);
+                    matmul_into(&c[offset..offset + len], rows, cols, q_prev.data(), r, buf);
                 }
             }
-            ring_all_reduce_into(
-                scratch.p_bufs.slice_mut(n),
-                &F32Sum,
-                4.0,
-                &mut scratch.ring,
-                &mut scratch.stage_traffic,
-            );
-            out.traffic.merge(&scratch.stage_traffic);
+            ring_all_reduce_into(p_bufs.slice_mut(n), &F32Sum, 4.0, ring, stage_traffic);
+            out.traffic.merge(stage_traffic);
             p_bytes += (rows * r * 4) as f64;
 
-            // Orthonormalize the summed P.
-            let mut p_hat = Matrix::from_vec(rows, r, scratch.p_bufs.slice(n)[0].clone());
+            // Orthonormalize the summed P in the persistent P̂ buffer.
+            p_hat.clear();
+            p_hat.extend_from_slice(&p_bufs.slice(n)[0]);
             {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compress, "gram_schmidt");
-                orthonormalize_columns(&mut p_hat);
+                orthonormalize_columns_slice(p_hat, rows, r, gs);
             }
 
-            // Q_i = M_iᵀ P̂, all-reduced then averaged.
-            let q_locals: Vec<Matrix> = {
-                let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_matmul_q");
-                ms.iter().map(|m| m.transpose_matmul(&p_hat)).collect()
-            };
+            // Q_i = M_iᵀ P̂, kept per worker for the EF contributions, with
+            // a copy all-reduced then averaged.
             {
-                let q_bufs = scratch.q_bufs.prepare(n);
-                for (buf, q) in q_bufs.iter_mut().zip(&q_locals) {
-                    buf.extend_from_slice(q.data());
+                let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_matmul_q");
+                for (buf, c) in q_locals.prepare(n).iter_mut().zip(corrected.iter()) {
+                    buf.resize(cols * r, 0.0);
+                    transpose_matmul_into(&c[offset..offset + len], rows, cols, p_hat, r, buf);
                 }
             }
-            ring_all_reduce_into(
-                scratch.q_bufs.slice_mut(n),
-                &F32Sum,
-                4.0,
-                &mut scratch.ring,
-                &mut scratch.stage_traffic,
-            );
-            out.traffic.merge(&scratch.stage_traffic);
+            for (buf, q) in q_bufs.prepare(n).iter_mut().zip(q_locals.slice(n)) {
+                buf.extend_from_slice(q);
+            }
+            ring_all_reduce_into(q_bufs.slice_mut(n), &F32Sum, 4.0, ring, stage_traffic);
+            out.traffic.merge(stage_traffic);
             q_bytes += (cols * r * 4) as f64;
-            let mut q_mean = Matrix::from_vec(cols, r, scratch.q_bufs.slice(n)[0].clone());
-            gcs_tensor::vector::scale(q_mean.data_mut(), 1.0 / n as f32);
 
-            // Estimate = P̂ Q_meanᵀ (mean of per-worker approximations).
-            let est_l = {
+            // Average the summed Q straight into the warm-start state
+            // (same shape every round, so this is a pure overwrite).
+            let q_state = &mut self.q_states[l];
+            q_state.data_mut().copy_from_slice(&q_bufs.slice(n)[0]);
+            gcs_tensor::vector::scale(q_state.data_mut(), 1.0 / n as f32);
+
+            // Estimate = P̂ Q_meanᵀ (mean of per-worker approximations),
+            // written directly into the outcome's layer slice.
+            {
                 let _s = gcs_trace::span(gcs_trace::Phase::Decompress, "powersgd_estimate");
-                p_hat.matmul(&q_mean.transpose())
-            };
-            estimate[offset..offset + len].copy_from_slice(est_l.data());
+                matmul_bt_into(
+                    p_hat,
+                    rows,
+                    r,
+                    q_state.data(),
+                    cols,
+                    &mut estimate[offset..offset + len],
+                );
+            }
 
             // Per-worker contributions for EF: P̂ (M_iᵀ P̂)ᵀ. Only needed
             // when EF is on — `sent` feeds `update_all`, which no-ops when
             // disabled, so skip the n_workers extra matmuls in that case.
             if self.ef.enabled() {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compress, "powersgd_ef_contrib");
-                let sent = scratch.sent.slice_mut(n);
-                for (w, q_local) in q_locals.iter().enumerate() {
-                    let approx = p_hat.matmul(&q_local.transpose());
-                    sent[w][offset..offset + len].copy_from_slice(approx.data());
+                let sent = sent.slice_mut(n);
+                for (w, q_local) in q_locals.slice(n).iter().enumerate() {
+                    matmul_bt_into(
+                        p_hat,
+                        rows,
+                        r,
+                        q_local,
+                        cols,
+                        &mut sent[w][offset..offset + len],
+                    );
                 }
             }
 
-            // Warm start.
-            self.q_states[l] = q_mean;
             offset += len;
         }
 
@@ -275,28 +297,16 @@ impl CompressionScheme for PowerSgd {
         // FP32 — matching PowerSGD deployments, which only compress matrix
         // parameters.
         if offset < d {
-            {
-                let rest_bufs = scratch.rest.prepare(n);
-                for (buf, c) in rest_bufs.iter_mut().zip(corrected) {
-                    buf.extend_from_slice(&c[offset..]);
-                }
+            for (buf, c) in rest.prepare(n).iter_mut().zip(corrected.iter()) {
+                buf.extend_from_slice(&c[offset..]);
             }
-            ring_all_reduce_into(
-                scratch.rest.slice_mut(n),
-                &F32Sum,
-                4.0,
-                &mut scratch.ring,
-                &mut scratch.stage_traffic,
-            );
-            out.traffic.merge(&scratch.stage_traffic);
+            ring_all_reduce_into(rest.slice_mut(n), &F32Sum, 4.0, ring, stage_traffic);
+            out.traffic.merge(stage_traffic);
             q_bytes += ((d - offset) * 4) as f64;
-            let rest = &scratch.rest.slice(n)[0];
-            let sent = scratch.sent.slice_mut(n);
+            let rest = &rest.slice(n)[0];
+            let sent = sent.slice_mut(n);
             for (i, &v) in rest.iter().enumerate() {
                 estimate[offset + i] = v / n as f32;
-                for s in sent.iter_mut() {
-                    s[offset + i] = 0.0; // updated below from corrected
-                }
             }
             for (w, s) in sent.iter_mut().enumerate() {
                 s[offset..].copy_from_slice(&corrected[w][offset..]);
@@ -304,8 +314,7 @@ impl CompressionScheme for PowerSgd {
         }
 
         // EF update (batched, parallel across workers).
-        self.ef
-            .update_all(&scratch.corrected, scratch.sent.slice(n));
+        self.ef.update_all(corrected, sent.slice(n));
 
         out.comm.clear();
         out.comm.push(CommEvent {

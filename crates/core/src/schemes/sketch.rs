@@ -21,7 +21,7 @@ use gcs_collectives::{ring_all_reduce, F32Sum};
 use gcs_gpusim::{ops, DeviceSpec};
 use gcs_netsim::Collective;
 use gcs_tensor::rng::{SharedSeed, Stream};
-use gcs_tensor::sketch::CountSketch;
+use gcs_tensor::sketch::{CountSketch, SketchScratch};
 
 /// FetchSGD-style sketched compression.
 #[derive(Clone, Debug)]
@@ -32,6 +32,9 @@ pub struct SketchScheme {
     /// Heavy hitters recovered per round, as a fraction of `d`.
     k_frac: f64,
     ef: ErrorFeedback,
+    /// Estimation scratch owned across rounds: the `O(d·rows)` recovery
+    /// pass reuses these buffers instead of allocating per coordinate.
+    scratch: SketchScratch,
 }
 
 impl SketchScheme {
@@ -52,6 +55,7 @@ impl SketchScheme {
             width_frac: bits / (32.0 * rows as f64),
             k_frac,
             ef: ErrorFeedback::new(n_workers, true),
+            scratch: SketchScratch::new(),
         }
     }
 
@@ -103,12 +107,15 @@ impl CompressionScheme for SketchScheme {
         let mut agg = CountSketch::new(self.rows, width, seed);
         agg.table_mut().copy_from_slice(&tables[0]);
 
-        // Recover the aggregate's heavy hitters.
+        // Recover the aggregate's heavy hitters through the pooled
+        // estimation scratch (median buffer + TopK selection scratch).
         let decode_span = gcs_trace::span(gcs_trace::Phase::Decompress, "sketch_recover");
-        let hitters = agg.heavy_hitters(d, k);
+        let mut hitters = Vec::with_capacity(k);
+        agg.heavy_hitters_into(d, k, &mut self.scratch, &mut hitters);
+        let mut vals = Vec::with_capacity(self.rows);
         let mut mean = vec![0.0f32; d];
         for &i in &hitters {
-            mean[i] = agg.estimate(i) / n as f32;
+            mean[i] = agg.estimate_with(i, &mut vals) / n as f32;
         }
         drop(decode_span);
 
@@ -119,7 +126,7 @@ impl CompressionScheme for SketchScheme {
             own.insert(corrected);
             let mut sent = vec![0.0f32; d];
             for &i in &hitters {
-                sent[i] = own.estimate(i);
+                sent[i] = own.estimate_with(i, &mut vals);
             }
             self.ef.update(w, corrected, &sent);
         }

@@ -82,21 +82,21 @@ impl AnyOptimizer {
         }
     }
 
-    fn step(&mut self, params: &[f32], grad: &[f32], lr_factor: f32) -> Vec<f32> {
+    /// Takes one scheduled-LR step in place on the model's flat parameter
+    /// slice — no delta vector, no allocation in steady state.
+    fn step_into(&mut self, params: &mut [f32], grad: &[f32], lr_factor: f32) {
         match self {
             AnyOptimizer::Sgd(o) => {
                 let base = o.lr;
                 o.lr = base * lr_factor;
-                let d = o.step(params, grad);
+                o.step_into(params, grad);
                 o.lr = base;
-                d
             }
             AnyOptimizer::Adam(o) => {
                 let base = o.lr;
                 o.lr = base * lr_factor;
-                let d = o.step(params, grad);
+                o.step_into(params, grad);
                 o.lr = base;
-                d
             }
         }
     }
@@ -158,7 +158,8 @@ pub struct TrainLog {
 }
 
 /// One worker replica plus its per-round outputs, used by the parallel
-/// gradient path.
+/// gradient path. `grads` is a persistent buffer refilled by
+/// `copy_from_slice` every round, so the steady state allocates nothing.
 struct WorkerSlot {
     model: Box<dyn Model + Send>,
     loss: f32,
@@ -187,9 +188,12 @@ fn make_worker_slots(model: &dyn Model, n_workers: usize) -> Vec<WorkerSlot> {
     slots
 }
 
-/// Computes all per-worker gradients for one round: in parallel on the
-/// replicas in `slots` (synced to `model`'s current parameters), or
-/// sequentially on `model` itself when `slots` is empty.
+/// Computes all per-worker gradients for one round into the caller's
+/// persistent `grads` buffers: in parallel on the replicas in `slots`
+/// (synced to `model`'s current parameters with one whole-arena
+/// `copy_from_slice`), or sequentially on `model` itself when `slots` is
+/// empty. Buffers are sized on first use and refilled in place afterwards,
+/// so the steady state performs no heap allocation.
 ///
 /// Both paths produce bitwise-identical losses and gradients: a worker's
 /// gradient depends only on (parameters, batch), each replica carries the
@@ -198,35 +202,47 @@ fn make_worker_slots(model: &dyn Model, n_workers: usize) -> Vec<WorkerSlot> {
 fn worker_gradients(
     model: &mut dyn Model,
     slots: &mut [WorkerSlot],
+    grads: &mut Vec<Vec<f32>>,
     batch_per_worker: usize,
     n_workers: usize,
     round: u64,
-) -> (Vec<Vec<f32>>, f32) {
+) -> f32 {
+    let d = model.param_count();
+    if grads.len() != n_workers {
+        grads.resize_with(n_workers, Vec::new);
+    }
     if slots.is_empty() {
-        let mut grads = Vec::with_capacity(n_workers);
         let mut loss_acc = 0.0f32;
-        for w in 0..n_workers {
+        for (w, gbuf) in grads.iter_mut().enumerate() {
             let batch = model.train_batch(batch_per_worker, w, round);
             loss_acc += model.forward_backward(&batch);
-            grads.push(model.flat_grads());
+            if gbuf.len() != d {
+                gbuf.resize(d, 0.0);
+            }
+            gbuf.copy_from_slice(model.grads_flat());
         }
-        return (grads, loss_acc);
+        return loss_acc;
     }
-    let params = model.flat_params();
+    // Replica sync is one contiguous copy of the parameter arena per worker.
+    let params: &[f32] = model.params_flat();
     gcs_tensor::parallel::for_each_chunk_mut(slots, 1, |w, slot| {
         let s = &mut slot[0];
-        s.model.set_flat_params(&params);
+        s.model.set_flat_params(params);
         let batch = s.model.train_batch(batch_per_worker, w, round);
         s.loss = s.model.forward_backward(&batch);
-        s.grads = s.model.flat_grads();
+        if s.grads.len() != d {
+            s.grads.resize(d, 0.0);
+        }
+        s.grads.copy_from_slice(s.model.grads_flat());
     });
-    let mut grads = Vec::with_capacity(slots.len());
     let mut loss_acc = 0.0f32;
-    for s in slots.iter_mut() {
+    for (s, gbuf) in slots.iter_mut().zip(grads.iter_mut()) {
         loss_acc += s.loss;
-        grads.push(std::mem::take(&mut s.grads));
+        // Alternate ownership of the two full-size buffers instead of
+        // copying: allocation-free once both are warm.
+        std::mem::swap(&mut s.grads, gbuf);
     }
-    (grads, loss_acc)
+    loss_acc
 }
 
 /// Drives a model + scheme to convergence.
@@ -273,9 +289,11 @@ impl Trainer {
         let mut rounds_done = 0u64;
         let mut last_eval_round = 0u64;
         let mut slots = make_worker_slots(model, cfg.n_workers);
-        // One reusable outcome across rounds: with the pooled schemes the
-        // steady-state aggregation path performs no heap allocation.
+        // One reusable outcome and one set of per-worker gradient buffers
+        // across rounds: with the pooled schemes the steady-state
+        // aggregation path performs no heap allocation.
         let mut outcome = AggregationOutcome::default();
+        let mut grads: Vec<Vec<f32>> = Vec::new();
         // Graceful degradation state: `active` shrinks when an injected
         // crash fires; survivors are renumbered 0..active-1, which is the
         // shard assignment an `active`-worker clean run would use.
@@ -316,9 +334,16 @@ impl Trainer {
 
             // 1. Per-worker gradients on disjoint shards (parallel across
             //    workers when the model supports replication).
-            let (grads, loss_acc) = {
+            let loss_acc = {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compute, "worker_gradients");
-                worker_gradients(model, &mut slots, cfg.batch_per_worker, active, round)
+                worker_gradients(
+                    model,
+                    &mut slots,
+                    &mut grads,
+                    cfg.batch_per_worker,
+                    active,
+                    round,
+                )
             };
             let mean_loss = loss_acc / active as f32;
             loss_history.push((round, mean_loss));
@@ -341,16 +366,15 @@ impl Trainer {
                 gcs_metrics::series_push("train/vnmse", sample);
             }
 
-            // 3. Optimizer step on the aggregate (scheduled LR).
+            // 3. Optimizer step on the aggregate (scheduled LR), in place
+            //    on the model's flat parameter arena.
             {
                 let _s = gcs_trace::span(gcs_trace::Phase::Optimizer, "optimizer_step");
-                let params = model.flat_params();
-                let delta = opt.step(
-                    &params,
+                opt.step_into(
+                    model.params_flat_mut(),
                     &outcome.mean_estimate,
                     cfg.lr_schedule.factor(round),
                 );
-                model.apply_flat_delta(&delta);
             }
             rounds_done = round + 1;
 
@@ -422,18 +446,20 @@ impl Trainer {
         let mut sum = 0.0f64;
         let mut slots = make_worker_slots(model, cfg.n_workers);
         let mut outcome = AggregationOutcome::default();
+        let mut grads: Vec<Vec<f32>> = Vec::new();
         for round in 0..rounds {
             gcs_trace::set_round(round);
-            let (grads, _) = {
+            {
                 let _s = gcs_trace::span(gcs_trace::Phase::Compute, "worker_gradients");
                 worker_gradients(
                     model,
                     &mut slots,
+                    &mut grads,
                     cfg.batch_per_worker,
                     cfg.n_workers,
                     round,
-                )
-            };
+                );
+            }
             scheme.aggregate_round_into(&grads, &RoundContext::new(cfg.seed, round), &mut outcome);
             let exact = gcs_tensor::vector::mean(&grads);
             let sample = vnmse(&outcome.mean_estimate, &exact);
@@ -442,9 +468,7 @@ impl Trainer {
             // Keep training (on the *exact* mean, so every scheme sees the
             // same gradient distribution — the paper's vNMSE protocol
             // measures compression error, not compounded trajectories).
-            let params = model.flat_params();
-            let delta = opt.step(&params, &exact);
-            model.apply_flat_delta(&delta);
+            opt.step_into(model.params_flat_mut(), &exact);
         }
         sum / rounds.max(1) as f64
     }

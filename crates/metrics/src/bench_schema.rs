@@ -7,15 +7,18 @@
 //! throughput, missing suite) fails the build rather than poisoning the
 //! trajectory.
 //!
-//! Schema (version 3 — version 2 added the required `hotpath` array of
+//! Schema (version 4 — version 2 added the required `hotpath` rows of
 //! steady-state allocation counts and pooled-vs-unpooled throughput;
 //! version 3 added the required `faults` object summarizing a canned
-//! chaos run through the fault-injecting transport):
+//! chaos run through the fault-injecting transport; version 4 restructured
+//! `hotpath` into an object with the per-path `paths` rows plus a required
+//! `flat` subsection comparing a whole-model single-call collective round
+//! against the pre-arena per-layer storage discipline):
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
-//!   "id": "PR5",
+//!   "schema_version": 4,
+//!   "id": "PR6",
 //!   "mode": "fast",
 //!   "dim": 16384,
 //!   "rounds": 3,
@@ -29,10 +32,17 @@
 //!     { "name": "ring_all_reduce", "wire_bytes": 393216,
 //!       "p50_ns": 120000.0, "p99_ns": 150000.0, "count": 3 }
 //!   ],
-//!   "hotpath": [
-//!     { "name": "ring_all_reduce", "allocs_per_round": 0,
-//!       "pooled_elems_per_s": 4.1e8, "unpooled_elems_per_s": 3.2e8 }
-//!   ],
+//!   "hotpath": {
+//!     "paths": [
+//!       { "name": "ring_all_reduce", "allocs_per_round": 0,
+//!         "pooled_elems_per_s": 4.1e8, "unpooled_elems_per_s": 3.2e8 }
+//!     ],
+//!     "flat": {
+//!       "allocs_per_round": 0,
+//!       "whole_model_elems_per_s": 5.0e8,
+//!       "per_layer_elems_per_s": 3.8e8
+//!     }
+//!   },
 //!   "faults": {
 //!     "injected": 37, "retried": 21, "recovered": 19, "aborted": 1,
 //!     "crashed": 1, "recovered_workers": 4, "aborted_workers": 4,
@@ -49,7 +59,7 @@
 use crate::json::Json;
 
 /// Current artifact schema version.
-pub const SCHEMA_VERSION: f64 = 3.0;
+pub const SCHEMA_VERSION: f64 = 4.0;
 
 /// Top-level numeric fields every artifact must carry.
 const TOP_NUM_FIELDS: [&str; 4] = ["schema_version", "dim", "rounds", "workers"];
@@ -62,11 +72,20 @@ const KERNEL_NUM_FIELDS: [&str; 4] = [
 ];
 /// Required finite numeric fields per collective entry.
 const COLLECTIVE_NUM_FIELDS: [&str; 4] = ["wire_bytes", "p50_ns", "p99_ns", "count"];
-/// Required finite numeric fields per hotpath entry (schema v2).
+/// Required finite numeric fields per `hotpath.paths` entry (schema v2,
+/// nested under `paths` since v4).
 const HOTPATH_NUM_FIELDS: [&str; 3] = [
     "allocs_per_round",
     "pooled_elems_per_s",
     "unpooled_elems_per_s",
+];
+/// Required finite numeric fields in the `hotpath.flat` subsection
+/// (schema v4): the whole-model single-call collective round vs the
+/// pre-arena per-layer discipline, plus its steady-state allocation count.
+const HOTPATH_FLAT_NUM_FIELDS: [&str; 3] = [
+    "allocs_per_round",
+    "whole_model_elems_per_s",
+    "per_layer_elems_per_s",
 ];
 /// Required non-negative counts in the `faults` object (schema v3).
 const FAULT_NUM_FIELDS: [&str; 7] = [
@@ -138,20 +157,36 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         }
     }
 
-    let hotpath = doc
-        .get("hotpath")
-        .and_then(Json::as_array)
-        .ok_or("missing \"hotpath\" array")?;
-    if hotpath.is_empty() {
-        return Err("\"hotpath\" must not be empty".to_string());
+    let hotpath = doc.get("hotpath").ok_or("missing \"hotpath\" object")?;
+    if hotpath.as_object().is_none() {
+        return Err("\"hotpath\" must be a JSON object (schema v4)".to_string());
     }
-    for (i, entry) in hotpath.iter().enumerate() {
-        let name = non_empty_str(entry, "name").map_err(|e| format!("hotpath[{i}]: {e}"))?;
+    let paths = hotpath
+        .get("paths")
+        .and_then(Json::as_array)
+        .ok_or("hotpath: missing \"paths\" array")?;
+    if paths.is_empty() {
+        return Err("\"hotpath.paths\" must not be empty".to_string());
+    }
+    for (i, entry) in paths.iter().enumerate() {
+        let name = non_empty_str(entry, "name").map_err(|e| format!("hotpath.paths[{i}]: {e}"))?;
         for field in HOTPATH_NUM_FIELDS {
             let v = finite_num(entry, field).map_err(|e| format!("hotpath {name:?}: {e}"))?;
             if v < 0.0 {
                 return Err(format!("hotpath {name:?}: {field} must be non-negative"));
             }
+        }
+    }
+    let flat = hotpath
+        .get("flat")
+        .ok_or("hotpath: missing \"flat\" subsection (schema v4)")?;
+    if flat.as_object().is_none() {
+        return Err("\"hotpath.flat\" must be a JSON object".to_string());
+    }
+    for field in HOTPATH_FLAT_NUM_FIELDS {
+        let v = finite_num(flat, field).map_err(|e| format!("hotpath.flat: {e}"))?;
+        if v < 0.0 {
+            return Err(format!("hotpath.flat: {field} must be non-negative"));
         }
     }
 
@@ -204,7 +239,7 @@ mod tests {
     fn valid_doc() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 3, "id": "PR5", "mode": "fast",
+              "schema_version": 4, "id": "PR6", "mode": "fast",
               "dim": 16384, "rounds": 3, "workers": 4,
               "kernels": [
                 {"name": "topk", "throughput_elems_per_s": 1.0e8,
@@ -218,12 +253,19 @@ mod tests {
                 {"name": "ring_all_reduce", "wire_bytes": 1024,
                  "p50_ns": 10.0, "p99_ns": 20.0, "count": 3}
               ],
-              "hotpath": [
-                {"name": "ring_all_reduce", "allocs_per_round": 0,
-                 "pooled_elems_per_s": 4.0e8, "unpooled_elems_per_s": 3.0e8},
-                {"name": "topkc", "allocs_per_round": 0,
-                 "pooled_elems_per_s": 2.0e8, "unpooled_elems_per_s": 1.5e8}
-              ],
+              "hotpath": {
+                "paths": [
+                  {"name": "ring_all_reduce", "allocs_per_round": 0,
+                   "pooled_elems_per_s": 4.0e8, "unpooled_elems_per_s": 3.0e8},
+                  {"name": "topkc", "allocs_per_round": 0,
+                   "pooled_elems_per_s": 2.0e8, "unpooled_elems_per_s": 1.5e8}
+                ],
+                "flat": {
+                  "allocs_per_round": 0,
+                  "whole_model_elems_per_s": 5.0e8,
+                  "per_layer_elems_per_s": 3.8e8
+                }
+              },
               "faults": {
                 "injected": 37, "retried": 21, "recovered": 19, "aborted": 1,
                 "crashed": 1, "recovered_workers": 4, "aborted_workers": 4,
@@ -276,8 +318,12 @@ mod tests {
             (&["kernels"][..], "throughput_elems_per_s"),
             (&["kernels"][..], "p99_ns"),
             (&["collectives"][..], "wire_bytes"),
-            (&["hotpath"][..], "allocs_per_round"),
-            (&["hotpath"][..], "pooled_elems_per_s"),
+            (&["hotpath"][..], "paths"),
+            (&["hotpath"][..], "flat"),
+            (&["hotpath", "paths"][..], "allocs_per_round"),
+            (&["hotpath", "paths"][..], "pooled_elems_per_s"),
+            (&["hotpath", "flat"][..], "whole_model_elems_per_s"),
+            (&["hotpath", "flat"][..], "per_layer_elems_per_s"),
             (&[][..], "faults"),
             (&["faults"][..], "injected"),
             (&["faults"][..], "recovered"),
@@ -319,10 +365,10 @@ mod tests {
             .render()
             .replace("\"mode\":\"fast\"", "\"mode\":\"warp\"");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
-        // Pre-faults version-2 artifacts are rejected by the v3 validator.
+        // Pre-flat-arena version-3 artifacts are rejected by the v4 validator.
         let text = valid_doc()
             .render()
-            .replace("\"schema_version\":3", "\"schema_version\":2");
+            .replace("\"schema_version\":4", "\"schema_version\":3");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
     }
 

@@ -12,14 +12,14 @@ use crate::layers::{Layer, ParamSegment};
 ///
 /// Input: `[batch × (seq · dim)]` (concatenated token embeddings);
 /// output: same shape. Parameters: square Q/K/V/O projections (`dim×dim`
-/// each, no biases).
+/// each, no biases), viewed as this layer's slice of the model arena.
 #[derive(Clone)]
 pub struct SelfAttention {
     seq: usize,
     dim: usize,
-    /// `[Wq | Wk | Wv | Wo]`, each `dim × dim` row-major.
-    theta: Vec<f32>,
-    grad: Vec<f32>,
+    /// Initial `[Wq | Wk | Wv | Wo]`, each `dim × dim` row-major; consumed
+    /// into the arena by `Sequential::new`.
+    init: Vec<f32>,
     // Forward caches.
     cached_input: Vec<f32>,
     cached_q: Vec<f32>,
@@ -33,14 +33,13 @@ impl SelfAttention {
     /// Creates the layer for sequences of `seq` tokens of `dim` features.
     pub fn new(seq: usize, dim: usize, rng: &mut impl rand::Rng) -> SelfAttention {
         let bound = (3.0 / dim as f32).sqrt();
-        let theta: Vec<f32> = (0..4 * dim * dim)
+        let init: Vec<f32> = (0..4 * dim * dim)
             .map(|_| rng.gen_range(-bound..bound))
             .collect();
         SelfAttention {
             seq,
             dim,
-            grad: vec![0.0; theta.len()],
-            theta,
+            init,
             cached_input: Vec::new(),
             cached_q: Vec::new(),
             cached_k: Vec::new(),
@@ -50,15 +49,12 @@ impl SelfAttention {
         }
     }
 
-    fn w(&self, which: usize) -> &[f32] {
-        let dd = self.dim * self.dim;
-        &self.theta[which * dd..(which + 1) * dd]
-    }
-
-    /// `out[t] = W x[t]` for every token (x: [seq×dim]).
-    fn project(&self, which: usize, x: &[f32], out: &mut [f32]) {
+    /// `out[t] = W x[t]` for every token (x: [seq×dim]); `params` is the
+    /// layer's full arena slice, `which` selects the projection.
+    fn project(&self, which: usize, x: &[f32], out: &mut [f32], params: &[f32]) {
         let d = self.dim;
-        let w = self.w(which);
+        let dd = d * d;
+        let w = &params[which * dd..(which + 1) * dd];
         for t in 0..self.seq {
             let xi = &x[t * d..(t + 1) * d];
             let oi = &mut out[t * d..(t + 1) * d];
@@ -70,7 +66,15 @@ impl SelfAttention {
     }
 
     /// Accumulates `dW += dy[t] ⊗ x[t]` and `dx[t] += Wᵀ dy[t]`.
-    fn project_backward(&mut self, which: usize, x: &[f32], dy: &[f32], dx: &mut [f32]) {
+    fn project_backward(
+        &self,
+        which: usize,
+        x: &[f32],
+        dy: &[f32],
+        dx: &mut [f32],
+        params: &[f32],
+        grads: &mut [f32],
+    ) {
         let d = self.dim;
         let dd = d * d;
         for t in 0..self.seq {
@@ -81,8 +85,8 @@ impl SelfAttention {
                     continue;
                 }
                 for c in 0..d {
-                    self.grad[which * dd + r * d + c] += g * xi[c];
-                    dx[t * d + c] += g * self.theta[which * dd + r * d + c];
+                    grads[which * dd + r * d + c] += g * xi[c];
+                    dx[t * d + c] += g * params[which * dd + r * d + c];
                 }
             }
         }
@@ -90,7 +94,7 @@ impl SelfAttention {
 }
 
 impl Layer for SelfAttention {
-    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+    fn forward(&mut self, input: &[f32], batch: usize, params: &[f32]) -> Vec<f32> {
         let (s, d) = (self.seq, self.dim);
         let sample = s * d;
         assert_eq!(input.len(), batch * sample, "SelfAttention: bad input");
@@ -109,9 +113,9 @@ impl Layer for SelfAttention {
                 &mut self.cached_k[b * sample..(b + 1) * sample].to_vec(),
                 &mut self.cached_v[b * sample..(b + 1) * sample].to_vec(),
             );
-            self.project(0, x, q);
-            self.project(1, x, k);
-            self.project(2, x, v);
+            self.project(0, x, q, params);
+            self.project(1, x, k, params);
+            self.project(2, x, v, params);
             self.cached_q[b * sample..(b + 1) * sample].copy_from_slice(q);
             self.cached_k[b * sample..(b + 1) * sample].copy_from_slice(k);
             self.cached_v[b * sample..(b + 1) * sample].copy_from_slice(v);
@@ -142,13 +146,19 @@ impl Layer for SelfAttention {
             }
             self.cached_ctx[b * sample..(b + 1) * sample].copy_from_slice(&ctx);
             let mut o = vec![0.0f32; sample];
-            self.project(3, &ctx, &mut o);
+            self.project(3, &ctx, &mut o, params);
             out[b * sample..(b + 1) * sample].copy_from_slice(&o);
         }
         out
     }
 
-    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+    fn backward(
+        &mut self,
+        grad_out: &[f32],
+        batch: usize,
+        params: &[f32],
+        grads: &mut [f32],
+    ) -> Vec<f32> {
         let (s, d) = (self.seq, self.dim);
         let sample = s * d;
         let scale = 1.0 / (d as f32).sqrt();
@@ -163,7 +173,7 @@ impl Layer for SelfAttention {
 
             // Through Wo.
             let mut dctx = vec![0.0f32; sample];
-            self.project_backward(3, &ctx, dy, &mut dctx);
+            self.project_backward(3, &ctx, dy, &mut dctx, params, grads);
 
             // Through the attention mix: dV and dA.
             let mut dv = vec![0.0f32; sample];
@@ -206,25 +216,19 @@ impl Layer for SelfAttention {
             }
             // Through the Q/K/V projections into dX.
             let mut dx = vec![0.0f32; sample];
-            self.project_backward(0, &x, &dq, &mut dx);
-            self.project_backward(1, &x, &dk, &mut dx);
-            self.project_backward(2, &x, &dv, &mut dx);
+            self.project_backward(0, &x, &dq, &mut dx, params, grads);
+            self.project_backward(1, &x, &dk, &mut dx, params, grads);
+            self.project_backward(2, &x, &dv, &mut dx, params, grads);
             grad_in[b * sample..(b + 1) * sample].copy_from_slice(&dx);
         }
         grad_in
     }
 
-    fn params(&self) -> &[f32] {
-        &self.theta
+    fn param_len(&self) -> usize {
+        4 * self.dim * self.dim
     }
-    fn params_mut(&mut self) -> &mut [f32] {
-        &mut self.theta
-    }
-    fn grads(&self) -> &[f32] {
-        &self.grad
-    }
-    fn zero_grads(&mut self) {
-        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    fn take_init(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.init)
     }
     fn out_dim(&self, in_dim: usize) -> usize {
         in_dim
@@ -251,8 +255,9 @@ mod tests {
     fn output_shape_and_attention_rows_sum_to_one() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut layer = SelfAttention::new(3, 4, &mut rng);
+        let params = layer.take_init();
         let input: Vec<f32> = (0..2 * 12).map(|i| (i as f32 * 0.3).sin()).collect();
-        let out = layer.forward(&input, 2);
+        let out = layer.forward(&input, 2, &params);
         assert_eq!(out.len(), 24);
         for b in 0..2 {
             for i in 0..3 {
@@ -266,27 +271,35 @@ mod tests {
     fn parameter_gradient_check() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let mut layer = SelfAttention::new(3, 4, &mut rng);
+        let mut params = layer.take_init();
+        let mut grads = vec![0.0f32; params.len()];
         let input: Vec<f32> = (0..12).map(|i| (i as f32 * 0.7).cos()).collect();
         // Loss = 0.5 sum(out^2).
-        let out = layer.forward(&input, 1);
-        layer.zero_grads();
-        let _ = layer.backward(&out, 1);
-        let analytic = layer.grads().to_vec();
+        let out = layer.forward(&input, 1, &params);
+        let _ = layer.backward(&out, 1, &params, &mut grads);
         let eps = 1e-3f32;
-        let n = layer.params().len();
+        let n = params.len();
         for pi in (0..n).step_by(7) {
-            let orig = layer.params()[pi];
-            layer.params_mut()[pi] = orig + eps;
-            let lp: f32 = layer.forward(&input, 1).iter().map(|x| 0.5 * x * x).sum();
-            layer.params_mut()[pi] = orig - eps;
-            let lm: f32 = layer.forward(&input, 1).iter().map(|x| 0.5 * x * x).sum();
-            layer.params_mut()[pi] = orig;
+            let orig = params[pi];
+            params[pi] = orig + eps;
+            let lp: f32 = layer
+                .forward(&input, 1, &params)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum();
+            params[pi] = orig - eps;
+            let lm: f32 = layer
+                .forward(&input, 1, &params)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum();
+            params[pi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            let denom = analytic[pi].abs().max(numeric.abs()).max(0.5);
+            let denom = grads[pi].abs().max(numeric.abs()).max(0.5);
             assert!(
-                (analytic[pi] - numeric).abs() / denom < 3e-2,
+                (grads[pi] - numeric).abs() / denom < 3e-2,
                 "param {pi}: analytic {} vs numeric {numeric}",
-                analytic[pi]
+                grads[pi]
             );
         }
     }
@@ -295,18 +308,27 @@ mod tests {
     fn input_gradient_check() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mut layer = SelfAttention::new(2, 3, &mut rng);
+        let params = layer.take_init();
+        let mut grads = vec![0.0f32; params.len()];
         let input: Vec<f32> = (0..6).map(|i| (i as f32 * 1.1).sin()).collect();
-        let out = layer.forward(&input, 1);
-        layer.zero_grads();
-        let gin = layer.backward(&out, 1);
+        let out = layer.forward(&input, 1, &params);
+        let gin = layer.backward(&out, 1, &params, &mut grads);
         let eps = 1e-3f32;
         for i in 0..6 {
             let mut ip = input.clone();
             ip[i] += eps;
-            let lp: f32 = layer.forward(&ip, 1).iter().map(|x| 0.5 * x * x).sum();
+            let lp: f32 = layer
+                .forward(&ip, 1, &params)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum();
             let mut im = input.clone();
             im[i] -= eps;
-            let lm: f32 = layer.forward(&im, 1).iter().map(|x| 0.5 * x * x).sum();
+            let lm: f32 = layer
+                .forward(&im, 1, &params)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             let denom = gin[i].abs().max(numeric.abs()).max(0.5);
             assert!(
@@ -324,6 +346,6 @@ mod tests {
         let layout = layer.layout();
         assert_eq!(layout.len(), 4);
         let total: usize = layout.iter().map(|s| s.len()).sum();
-        assert_eq!(total, layer.params().len());
+        assert_eq!(total, layer.param_len());
     }
 }

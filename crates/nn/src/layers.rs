@@ -1,34 +1,48 @@
-//! Neural-network layers with flat parameter/gradient storage.
+//! Neural-network layers over arena-backed flat parameter storage.
 //!
-//! Every layer stores its parameters and gradients as contiguous `f32`
-//! slices, and a [`Sequential`] concatenates them — so a whole model's
-//! gradient is one flat vector, exactly the view PyTorch DDP's flat buckets
-//! give a gradient-compression hook. All `forward`/`backward` methods work
-//! on `[batch × features]` row-major activations.
+//! Layers do **not** own their parameters. A [`Sequential`] owns two
+//! [`ParamArena`]s — one for parameters, one for gradients — and passes each
+//! layer its slice on every `forward`/`backward` call. The payoff is the view
+//! a gradient-compression system wants: a whole model's parameters (and its
+//! whole gradient) is *one contiguous slice*, so replica sync is a single
+//! `copy_from_slice`, optimizers update in place, and collectives operate on
+//! the full model in one pooled call instead of per-layer fragments.
+//!
+//! Construction still draws initial values inside each layer's constructor
+//! (preserving the exact RNG consumption order of the per-layer storage era,
+//! so model initialization is bitwise-identical); `Sequential::new` then
+//! moves those values into the arena via [`Layer::take_init`].
 //!
 //! Correctness is guarded by finite-difference gradient checks in the test
 //! module (the strongest test a hand-written backprop can have).
 
-/// A differentiable layer.
+use gcs_tensor::ParamArena;
+
+/// A differentiable layer viewing externally owned parameter storage.
 pub trait Layer {
-    /// Forward pass over a batch; caches whatever backward needs.
-    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32>;
+    /// Forward pass over a batch; caches whatever backward needs. `params`
+    /// is this layer's slice of the model arena (`param_len()` values).
+    fn forward(&mut self, input: &[f32], batch: usize, params: &[f32]) -> Vec<f32>;
 
-    /// Backward pass: consumes `d(loss)/d(output)`, **accumulates** into the
-    /// parameter gradients, and returns `d(loss)/d(input)`.
-    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32>;
+    /// Backward pass: consumes `d(loss)/d(output)`, **accumulates** into
+    /// `grads` (this layer's slice of the gradient arena), and returns
+    /// `d(loss)/d(input)`.
+    fn backward(
+        &mut self,
+        grad_out: &[f32],
+        batch: usize,
+        params: &[f32],
+        grads: &mut [f32],
+    ) -> Vec<f32>;
 
-    /// Flat view of this layer's parameters.
-    fn params(&self) -> &[f32];
+    /// Number of parameters this layer owns in the arena.
+    fn param_len(&self) -> usize;
 
-    /// Mutable flat view of this layer's parameters.
-    fn params_mut(&mut self) -> &mut [f32];
-
-    /// Flat view of accumulated parameter gradients.
-    fn grads(&self) -> &[f32];
-
-    /// Zeroes the accumulated gradients.
-    fn zero_grads(&mut self);
+    /// Takes the initial parameter values drawn at construction time
+    /// (consumed once by [`Sequential::new`] when filling the arena).
+    fn take_init(&mut self) -> Vec<f32> {
+        Vec::new()
+    }
 
     /// Output features per sample given input features per sample.
     fn out_dim(&self, in_dim: usize) -> usize;
@@ -37,18 +51,18 @@ pub trait Layer {
     /// by low-rank compression to find weight matrices. Defaults to one
     /// opaque vector segment.
     fn layout(&self) -> Vec<ParamSegment> {
-        if self.params().is_empty() {
+        if self.param_len() == 0 {
             Vec::new()
         } else {
             vec![ParamSegment::Vector {
-                len: self.params().len(),
+                len: self.param_len(),
             }]
         }
     }
 
-    /// Deep copy of the layer (parameters, gradients, caches), boxed and
-    /// `Send` so whole models can be replicated onto worker threads for
-    /// parallel per-worker gradient computation.
+    /// Deep copy of the layer (caches and dims; parameters live in the
+    /// arena), boxed and `Send` so whole models can be replicated onto
+    /// worker threads for parallel per-worker gradient computation.
     fn clone_layer(&self) -> Box<dyn Layer + Send>;
 }
 
@@ -57,9 +71,8 @@ pub trait Layer {
 pub struct Dense {
     in_dim: usize,
     out_dim: usize,
-    /// `[weights (out*in) | bias (out)]`
-    theta: Vec<f32>,
-    grad: Vec<f32>,
+    /// Initial `[weights (out*in) | bias (out)]`, consumed into the arena.
+    init: Vec<f32>,
     cached_input: Vec<f32>,
 }
 
@@ -67,26 +80,25 @@ impl Dense {
     /// Creates a dense layer with Kaiming-uniform initialization.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl rand::Rng) -> Dense {
         let bound = (6.0 / in_dim as f32).sqrt();
-        let mut theta = Vec::with_capacity(out_dim * in_dim + out_dim);
+        let mut init = Vec::with_capacity(out_dim * in_dim + out_dim);
         for _ in 0..out_dim * in_dim {
-            theta.push(rng.gen_range(-bound..bound));
+            init.push(rng.gen_range(-bound..bound));
         }
-        theta.extend(std::iter::repeat_n(0.0, out_dim));
+        init.extend(std::iter::repeat_n(0.0, out_dim));
         Dense {
             in_dim,
             out_dim,
-            grad: vec![0.0; theta.len()],
-            theta,
+            init,
             cached_input: Vec::new(),
         }
     }
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+    fn forward(&mut self, input: &[f32], batch: usize, params: &[f32]) -> Vec<f32> {
         assert_eq!(input.len(), batch * self.in_dim, "Dense: bad input size");
         self.cached_input = input.to_vec();
-        let (w, b) = self.theta.split_at(self.out_dim * self.in_dim);
+        let (w, b) = params.split_at(self.out_dim * self.in_dim);
         let mut out = vec![0.0f32; batch * self.out_dim];
         for s in 0..batch {
             let x = &input[s * self.in_dim..(s + 1) * self.in_dim];
@@ -99,7 +111,13 @@ impl Layer for Dense {
         out
     }
 
-    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+    fn backward(
+        &mut self,
+        grad_out: &[f32],
+        batch: usize,
+        params: &[f32],
+        grads: &mut [f32],
+    ) -> Vec<f32> {
         assert_eq!(grad_out.len(), batch * self.out_dim, "Dense: bad grad size");
         let wlen = self.out_dim * self.in_dim;
         let mut grad_in = vec![0.0f32; batch * self.in_dim];
@@ -111,26 +129,20 @@ impl Layer for Dense {
                 let wrow = o * self.in_dim;
                 // dW[o][i] += g * x[i]; dx[i] += g * W[o][i]
                 for i in 0..self.in_dim {
-                    self.grad[wrow + i] += g * x[i];
-                    gx[i] += g * self.theta[wrow + i];
+                    grads[wrow + i] += g * x[i];
+                    gx[i] += g * params[wrow + i];
                 }
-                self.grad[wlen + o] += g;
+                grads[wlen + o] += g;
             }
         }
         grad_in
     }
 
-    fn params(&self) -> &[f32] {
-        &self.theta
+    fn param_len(&self) -> usize {
+        self.out_dim * self.in_dim + self.out_dim
     }
-    fn params_mut(&mut self) -> &mut [f32] {
-        &mut self.theta
-    }
-    fn grads(&self) -> &[f32] {
-        &self.grad
-    }
-    fn zero_grads(&mut self) {
-        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    fn take_init(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.init)
     }
     fn out_dim(&self, _in: usize) -> usize {
         self.out_dim
@@ -163,27 +175,26 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &[f32], _batch: usize) -> Vec<f32> {
+    fn forward(&mut self, input: &[f32], _batch: usize, _params: &[f32]) -> Vec<f32> {
         self.mask = input.iter().map(|&x| x > 0.0).collect();
         input.iter().map(|&x| x.max(0.0)).collect()
     }
-    fn backward(&mut self, grad_out: &[f32], _batch: usize) -> Vec<f32> {
+    fn backward(
+        &mut self,
+        grad_out: &[f32],
+        _batch: usize,
+        _params: &[f32],
+        _grads: &mut [f32],
+    ) -> Vec<f32> {
         grad_out
             .iter()
             .zip(&self.mask)
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect()
     }
-    fn params(&self) -> &[f32] {
-        &[]
+    fn param_len(&self) -> usize {
+        0
     }
-    fn params_mut(&mut self) -> &mut [f32] {
-        &mut []
-    }
-    fn grads(&self) -> &[f32] {
-        &[]
-    }
-    fn zero_grads(&mut self) {}
     fn out_dim(&self, in_dim: usize) -> usize {
         in_dim
     }
@@ -199,9 +210,8 @@ pub struct Conv3x3 {
     out_ch: usize,
     h: usize,
     w: usize,
-    /// `[weights (out*in*9) | bias (out)]`
-    theta: Vec<f32>,
-    grad: Vec<f32>,
+    /// Initial `[weights (out*in*9) | bias (out)]`, consumed into the arena.
+    init: Vec<f32>,
     cached_input: Vec<f32>,
 }
 
@@ -217,18 +227,17 @@ impl Conv3x3 {
         let fan_in = in_ch * 9;
         let bound = (6.0 / fan_in as f32).sqrt();
         let wlen = out_ch * in_ch * 9;
-        let mut theta = Vec::with_capacity(wlen + out_ch);
+        let mut init = Vec::with_capacity(wlen + out_ch);
         for _ in 0..wlen {
-            theta.push(rng.gen_range(-bound..bound));
+            init.push(rng.gen_range(-bound..bound));
         }
-        theta.extend(std::iter::repeat_n(0.0, out_ch));
+        init.extend(std::iter::repeat_n(0.0, out_ch));
         Conv3x3 {
             in_ch,
             out_ch,
             h,
             w,
-            grad: vec![0.0; theta.len()],
-            theta,
+            init,
             cached_input: Vec::new(),
         }
     }
@@ -240,7 +249,7 @@ impl Conv3x3 {
 }
 
 impl Layer for Conv3x3 {
-    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+    fn forward(&mut self, input: &[f32], batch: usize, params: &[f32]) -> Vec<f32> {
         let (h, w) = (self.h, self.w);
         let in_sz = self.in_ch * h * w;
         assert_eq!(input.len(), batch * in_sz, "Conv3x3: bad input size");
@@ -250,7 +259,7 @@ impl Layer for Conv3x3 {
         for s in 0..batch {
             let xin = &input[s * in_sz..(s + 1) * in_sz];
             for o in 0..self.out_ch {
-                let bias = self.theta[wlen + o];
+                let bias = params[wlen + o];
                 for y in 0..h {
                     for x in 0..w {
                         let mut acc = bias;
@@ -267,7 +276,7 @@ impl Layer for Conv3x3 {
                                         continue;
                                     }
                                     let sx = sx - 1;
-                                    acc += self.theta[self.widx(o, c, ky, kx)]
+                                    acc += params[self.widx(o, c, ky, kx)]
                                         * xin[(c * h + sy) * w + sx];
                                 }
                             }
@@ -280,7 +289,13 @@ impl Layer for Conv3x3 {
         out
     }
 
-    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+    fn backward(
+        &mut self,
+        grad_out: &[f32],
+        batch: usize,
+        params: &[f32],
+        grads: &mut [f32],
+    ) -> Vec<f32> {
         let (h, w) = (self.h, self.w);
         let in_sz = self.in_ch * h * w;
         let out_sz = self.out_ch * h * w;
@@ -297,7 +312,7 @@ impl Layer for Conv3x3 {
                         if g == 0.0 {
                             continue;
                         }
-                        self.grad[wlen + o] += g;
+                        grads[wlen + o] += g;
                         for c in 0..self.in_ch {
                             for ky in 0..3usize {
                                 let sy = y + ky;
@@ -312,9 +327,8 @@ impl Layer for Conv3x3 {
                                     }
                                     let sx = sx - 1;
                                     let wi = self.widx(o, c, ky, kx);
-                                    self.grad[wi] += g * xin[(c * h + sy) * w + sx];
-                                    grad_in[s * in_sz + (c * h + sy) * w + sx] +=
-                                        g * self.theta[wi];
+                                    grads[wi] += g * xin[(c * h + sy) * w + sx];
+                                    grad_in[s * in_sz + (c * h + sy) * w + sx] += g * params[wi];
                                 }
                             }
                         }
@@ -325,17 +339,11 @@ impl Layer for Conv3x3 {
         grad_in
     }
 
-    fn params(&self) -> &[f32] {
-        &self.theta
+    fn param_len(&self) -> usize {
+        self.out_ch * self.in_ch * 9 + self.out_ch
     }
-    fn params_mut(&mut self) -> &mut [f32] {
-        &mut self.theta
-    }
-    fn grads(&self) -> &[f32] {
-        &self.grad
-    }
-    fn zero_grads(&mut self) {
-        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    fn take_init(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.init)
     }
     fn out_dim(&self, _in: usize) -> usize {
         self.out_ch * self.h * self.w
@@ -383,7 +391,7 @@ impl MaxPool2 {
 }
 
 impl Layer for MaxPool2 {
-    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+    fn forward(&mut self, input: &[f32], batch: usize, _params: &[f32]) -> Vec<f32> {
         let (h, w) = (self.h, self.w);
         let (oh, ow) = (h / 2, w / 2);
         let in_sz = self.ch * h * w;
@@ -415,7 +423,13 @@ impl Layer for MaxPool2 {
         out
     }
 
-    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+    fn backward(
+        &mut self,
+        grad_out: &[f32],
+        batch: usize,
+        _params: &[f32],
+        _grads: &mut [f32],
+    ) -> Vec<f32> {
         let in_sz = self.ch * self.h * self.w;
         let mut grad_in = vec![0.0f32; batch * in_sz];
         for (oidx, &g) in grad_out.iter().enumerate() {
@@ -424,16 +438,9 @@ impl Layer for MaxPool2 {
         grad_in
     }
 
-    fn params(&self) -> &[f32] {
-        &[]
+    fn param_len(&self) -> usize {
+        0
     }
-    fn params_mut(&mut self) -> &mut [f32] {
-        &mut []
-    }
-    fn grads(&self) -> &[f32] {
-        &[]
-    }
-    fn zero_grads(&mut self) {}
     fn out_dim(&self, in_dim: usize) -> usize {
         in_dim / 4
     }
@@ -471,7 +478,7 @@ impl LayerNorm {
 }
 
 impl Layer for LayerNorm {
-    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+    fn forward(&mut self, input: &[f32], batch: usize, _params: &[f32]) -> Vec<f32> {
         let f = self.features;
         assert_eq!(input.len(), batch * f, "LayerNorm: bad input size");
         let mut out = vec![0.0f32; input.len()];
@@ -492,7 +499,13 @@ impl Layer for LayerNorm {
         out
     }
 
-    fn backward(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+    fn backward(
+        &mut self,
+        grad_out: &[f32],
+        batch: usize,
+        _params: &[f32],
+        _grads: &mut [f32],
+    ) -> Vec<f32> {
         let f = self.features;
         let mut grad_in = vec![0.0f32; grad_out.len()];
         for s in 0..batch {
@@ -508,16 +521,9 @@ impl Layer for LayerNorm {
         grad_in
     }
 
-    fn params(&self) -> &[f32] {
-        &[]
+    fn param_len(&self) -> usize {
+        0
     }
-    fn params_mut(&mut self) -> &mut [f32] {
-        &mut []
-    }
-    fn grads(&self) -> &[f32] {
-        &[]
-    }
-    fn zero_grads(&mut self) {}
     fn out_dim(&self, in_dim: usize) -> usize {
         in_dim
     }
@@ -533,8 +539,7 @@ pub struct Embedding {
     vocab: usize,
     dim: usize,
     ctx: usize,
-    theta: Vec<f32>,
-    grad: Vec<f32>,
+    init: Vec<f32>,
     cached_ids: Vec<usize>,
 }
 
@@ -542,20 +547,19 @@ impl Embedding {
     /// Creates an embedding table for `vocab` tokens of `dim` dimensions,
     /// consuming `ctx` tokens per sample.
     pub fn new(vocab: usize, dim: usize, ctx: usize, rng: &mut impl rand::Rng) -> Embedding {
-        let theta: Vec<f32> = (0..vocab * dim).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let init: Vec<f32> = (0..vocab * dim).map(|_| rng.gen_range(-0.1..0.1)).collect();
         Embedding {
             vocab,
             dim,
             ctx,
-            grad: vec![0.0; theta.len()],
-            theta,
+            init,
             cached_ids: Vec::new(),
         }
     }
 }
 
 impl Layer for Embedding {
-    fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
+    fn forward(&mut self, input: &[f32], batch: usize, params: &[f32]) -> Vec<f32> {
         assert_eq!(input.len(), batch * self.ctx, "Embedding: bad input size");
         self.cached_ids = input
             .iter()
@@ -568,18 +572,21 @@ impl Layer for Embedding {
         let mut out = vec![0.0f32; batch * self.ctx * self.dim];
         for (slot, &id) in self.cached_ids.iter().enumerate() {
             out[slot * self.dim..(slot + 1) * self.dim]
-                .copy_from_slice(&self.theta[id * self.dim..(id + 1) * self.dim]);
+                .copy_from_slice(&params[id * self.dim..(id + 1) * self.dim]);
         }
         out
     }
 
-    fn backward(&mut self, grad_out: &[f32], _batch: usize) -> Vec<f32> {
+    fn backward(
+        &mut self,
+        grad_out: &[f32],
+        _batch: usize,
+        _params: &[f32],
+        grads: &mut [f32],
+    ) -> Vec<f32> {
         for (slot, &id) in self.cached_ids.iter().enumerate() {
             let g = &grad_out[slot * self.dim..(slot + 1) * self.dim];
-            for (gi, gv) in self.grad[id * self.dim..(id + 1) * self.dim]
-                .iter_mut()
-                .zip(g)
-            {
+            for (gi, gv) in grads[id * self.dim..(id + 1) * self.dim].iter_mut().zip(g) {
                 *gi += gv;
             }
         }
@@ -587,17 +594,11 @@ impl Layer for Embedding {
         vec![0.0; self.cached_ids.len()]
     }
 
-    fn params(&self) -> &[f32] {
-        &self.theta
+    fn param_len(&self) -> usize {
+        self.vocab * self.dim
     }
-    fn params_mut(&mut self) -> &mut [f32] {
-        &mut self.theta
-    }
-    fn grads(&self) -> &[f32] {
-        &self.grad
-    }
-    fn zero_grads(&mut self) {
-        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    fn take_init(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.init)
     }
     fn out_dim(&self, _in: usize) -> usize {
         self.ctx * self.dim
@@ -613,100 +614,135 @@ impl Layer for Embedding {
     }
 }
 
-/// A sequential stack of layers with flat parameter/gradient access.
+/// A sequential stack of layers over one parameter arena and one gradient
+/// arena: layer `i` views `params.layer(i)` / `grads.layer(i)`, and the
+/// whole model's parameters and gradient are each a single contiguous slice.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer + Send>>,
+    params: ParamArena,
+    grads: ParamArena,
 }
 
 impl Clone for Sequential {
     fn clone(&self) -> Sequential {
         Sequential {
             layers: self.layers.iter().map(|l| l.clone_layer()).collect(),
+            params: self.params.clone(),
+            grads: self.grads.clone(),
         }
     }
 }
 
 impl Sequential {
-    /// Builds from boxed layers.
-    pub fn new(layers: Vec<Box<dyn Layer + Send>>) -> Sequential {
-        Sequential { layers }
+    /// Builds from boxed layers, moving each layer's construction-time
+    /// initial values into the parameter arena.
+    pub fn new(mut layers: Vec<Box<dyn Layer + Send>>) -> Sequential {
+        let lens: Vec<usize> = layers.iter().map(|l| l.param_len()).collect();
+        let mut params = ParamArena::from_layer_lens(&lens);
+        let grads = ParamArena::from_layer_lens(&lens);
+        for (i, l) in layers.iter_mut().enumerate() {
+            let init = l.take_init();
+            assert_eq!(
+                init.len(),
+                lens[i],
+                "Sequential: layer {i} init/param_len mismatch"
+            );
+            params.layer_mut(i).copy_from_slice(&init);
+        }
+        Sequential {
+            layers,
+            params,
+            grads,
+        }
     }
 
     /// Forward through all layers.
     pub fn forward(&mut self, input: &[f32], batch: usize) -> Vec<f32> {
         let mut act = input.to_vec();
-        for l in &mut self.layers {
-            act = l.forward(&act, batch);
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            act = l.forward(&act, batch, self.params.layer(i));
         }
         act
     }
 
     /// Backward through all layers (after a forward pass).
     pub fn backward(&mut self, grad_out: &[f32], batch: usize) {
+        let Sequential {
+            layers,
+            params,
+            grads,
+        } = self;
         let mut g = grad_out.to_vec();
-        for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g, batch);
+        for (i, l) in layers.iter_mut().enumerate().rev() {
+            g = l.backward(&g, batch, params.layer(i), grads.layer_mut(i));
         }
     }
 
     /// Total parameter count.
     pub fn param_count(&self) -> usize {
-        self.layers.iter().map(|l| l.params().len()).sum()
+        self.params.len()
+    }
+
+    /// The whole model's parameters as one contiguous slice.
+    pub fn params_flat(&self) -> &[f32] {
+        self.params.as_slice()
+    }
+
+    /// Mutable whole-model parameter slice (in-place optimizer updates).
+    pub fn params_flat_mut(&mut self) -> &mut [f32] {
+        self.params.as_mut_slice()
+    }
+
+    /// The whole model's accumulated gradient as one contiguous slice.
+    pub fn grads_flat(&self) -> &[f32] {
+        self.grads.as_slice()
+    }
+
+    /// The parameter arena (per-layer offsets included).
+    pub fn param_arena(&self) -> &ParamArena {
+        &self.params
+    }
+
+    /// The gradient arena (per-layer offsets included).
+    pub fn grad_arena(&self) -> &ParamArena {
+        &self.grads
     }
 
     /// Copies all parameters into one flat vector.
     pub fn flat_params(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.param_count());
-        for l in &self.layers {
-            out.extend_from_slice(l.params());
-        }
-        out
+        self.params_flat().to_vec()
     }
 
-    /// Overwrites all parameters from a flat vector.
+    /// Overwrites all parameters from a flat vector — one `copy_from_slice`
+    /// over the arena.
     ///
     /// # Panics
     /// Panics on length mismatch.
     pub fn set_flat_params(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count(), "set_flat_params: size");
-        let mut off = 0;
-        for l in &mut self.layers {
-            let p = l.params_mut();
-            p.copy_from_slice(&flat[off..off + p.len()]);
-            off += p.len();
-        }
+        self.params.copy_from(flat);
     }
 
     /// Copies all gradients into one flat vector.
     pub fn flat_grads(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.param_count());
-        for l in &self.layers {
-            out.extend_from_slice(l.grads());
-        }
-        out
+        self.grads_flat().to_vec()
     }
 
-    /// Adds `delta` to the parameters (`params += delta`).
+    /// Adds `delta` to the parameters (`params += delta`), one pass over the
+    /// flat arena.
     ///
     /// # Panics
     /// Panics on length mismatch.
     pub fn apply_flat_delta(&mut self, delta: &[f32]) {
-        assert_eq!(delta.len(), self.param_count(), "apply_flat_delta: size");
-        let mut off = 0;
-        for l in &mut self.layers {
-            let p = l.params_mut();
-            for (pi, &di) in p.iter_mut().zip(&delta[off..]) {
-                *pi += di;
-            }
-            off += p.len();
+        let p = self.params.as_mut_slice();
+        assert_eq!(delta.len(), p.len(), "apply_flat_delta: size");
+        for (pi, &di) in p.iter_mut().zip(delta) {
+            *pi += di;
         }
     }
 
-    /// Zeroes all gradients.
+    /// Zeroes all gradients (one `fill` over the flat arena).
     pub fn zero_grads(&mut self) {
-        for l in &mut self.layers {
-            l.zero_grads();
-        }
+        self.grads.zero();
     }
 
     /// Per-layer parameter shapes as `(rows, cols)` for low-rank schemes:
@@ -774,32 +810,35 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    /// Finite-difference gradient check for a layer + squared-error loss.
+    /// Finite-difference gradient check for a layer + squared-error loss,
+    /// with the parameter/gradient storage held externally (as the arena
+    /// does in a real model).
     fn grad_check(layer: &mut dyn Layer, input: &[f32], batch: usize, tol: f32) {
+        let mut params = layer.take_init();
+        assert_eq!(params.len(), layer.param_len());
+        let mut grads = vec![0.0f32; params.len()];
         // Loss = 0.5 * sum(out^2); dLoss/dout = out.
-        let out = layer.forward(input, batch);
-        layer.zero_grads();
-        let _ = layer.backward(&out, batch);
-        let analytic = layer.grads().to_vec();
+        let out = layer.forward(input, batch, &params);
+        let _ = layer.backward(&out, batch, &params, &mut grads);
         let eps = 1e-3f32;
-        let n_params = layer.params().len();
+        let n_params = params.len();
         for pi in (0..n_params).step_by((n_params / 24).max(1)) {
-            let orig = layer.params()[pi];
-            layer.params_mut()[pi] = orig + eps;
+            let orig = params[pi];
+            params[pi] = orig + eps;
             let lp: f32 = layer
-                .forward(input, batch)
+                .forward(input, batch, &params)
                 .iter()
                 .map(|x| 0.5 * x * x)
                 .sum();
-            layer.params_mut()[pi] = orig - eps;
+            params[pi] = orig - eps;
             let lm: f32 = layer
-                .forward(input, batch)
+                .forward(input, batch, &params)
                 .iter()
                 .map(|x| 0.5 * x * x)
                 .sum();
-            layer.params_mut()[pi] = orig;
+            params[pi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            let a = analytic[pi];
+            let a = grads[pi];
             let denom = a.abs().max(numeric.abs()).max(1.0);
             assert!(
                 (a - numeric).abs() / denom < tol,
@@ -839,7 +878,7 @@ mod tests {
     #[test]
     fn layernorm_normalizes_and_gradient_checks() {
         let mut l = LayerNorm::new(4);
-        let out = l.forward(&[1.0, 2.0, 3.0, 4.0], 1);
+        let out = l.forward(&[1.0, 2.0, 3.0, 4.0], 1, &[]);
         let mean: f32 = out.iter().sum::<f32>() / 4.0;
         let var: f32 = out.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
         assert!(mean.abs() < 1e-5 && (var - 1.0).abs() < 1e-3);
@@ -850,15 +889,15 @@ mod tests {
         let input = vec![0.5f32, -1.0, 2.0, 0.3];
         let w = [1.0f32, 2.0, -1.0, 0.5];
         let loss = |l: &mut LayerNorm, x: &[f32]| -> f32 {
-            l.forward(x, 1)
+            l.forward(x, 1, &[])
                 .iter()
                 .zip(&w)
                 .map(|(y, wi)| 0.5 * (y * wi) * (y * wi))
                 .sum()
         };
-        let y = l.forward(&input, 1);
+        let y = l.forward(&input, 1, &[]);
         let gy: Vec<f32> = y.iter().zip(&w).map(|(yi, wi)| yi * wi * wi).collect();
-        let gin = l.backward(&gy, 1);
+        let gin = l.backward(&gy, 1, &[], &mut []);
         let eps = 1e-3;
         for i in 0..4 {
             let mut xp = input.clone();
@@ -877,18 +916,18 @@ mod tests {
     #[test]
     fn relu_masks_gradient() {
         let mut l = Relu::new();
-        let out = l.forward(&[-1.0, 2.0, 0.0, 3.0], 1);
+        let out = l.forward(&[-1.0, 2.0, 0.0, 3.0], 1, &[]);
         assert_eq!(out, vec![0.0, 2.0, 0.0, 3.0]);
-        let gin = l.backward(&[1.0, 1.0, 1.0, 1.0], 1);
+        let gin = l.backward(&[1.0, 1.0, 1.0, 1.0], 1, &[], &mut []);
         assert_eq!(gin, vec![0.0, 1.0, 0.0, 1.0]);
     }
 
     #[test]
     fn maxpool_routes_gradient_to_argmax() {
         let mut l = MaxPool2::new(1, 2, 2);
-        let out = l.forward(&[1.0, 5.0, 2.0, 3.0], 1);
+        let out = l.forward(&[1.0, 5.0, 2.0, 3.0], 1, &[]);
         assert_eq!(out, vec![5.0]);
-        let gin = l.backward(&[7.0], 1);
+        let gin = l.backward(&[7.0], 1, &[], &mut []);
         assert_eq!(gin, vec![0.0, 7.0, 0.0, 0.0]);
     }
 
@@ -897,18 +936,27 @@ mod tests {
         // Check d(loss)/d(input) too, via finite differences on the input.
         let mut r = rng();
         let mut layer = Dense::new(4, 3, &mut r);
+        let params = layer.take_init();
+        let mut grads = vec![0.0f32; params.len()];
         let input: Vec<f32> = (0..4).map(|i| (i as f32 * 0.9).sin()).collect();
-        let out = layer.forward(&input, 1);
-        layer.zero_grads();
-        let gin = layer.backward(&out, 1);
+        let out = layer.forward(&input, 1, &params);
+        let gin = layer.backward(&out, 1, &params, &mut grads);
         let eps = 1e-3;
         for i in 0..4 {
             let mut ip = input.clone();
             ip[i] += eps;
-            let lp: f32 = layer.forward(&ip, 1).iter().map(|x| 0.5 * x * x).sum();
+            let lp: f32 = layer
+                .forward(&ip, 1, &params)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum();
             let mut im = input.clone();
             im[i] -= eps;
-            let lm: f32 = layer.forward(&im, 1).iter().map(|x| 0.5 * x * x).sum();
+            let lm: f32 = layer
+                .forward(&im, 1, &params)
+                .iter()
+                .map(|x| 0.5 * x * x)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (gin[i] - numeric).abs() / numeric.abs().max(1.0) < 2e-2,
@@ -934,6 +982,26 @@ mod tests {
         assert_eq!(seq.flat_params()[0], 42.0);
         seq.apply_flat_delta(&vec![1.0; p.len()]);
         assert_eq!(seq.flat_params()[0], 43.0);
+    }
+
+    #[test]
+    fn arena_layers_are_views_into_the_flat_params() {
+        let mut r = rng();
+        let seq = Sequential::new(vec![
+            Box::new(Dense::new(3, 2, &mut r)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(2, 4, &mut r)),
+        ]);
+        let arena = seq.param_arena();
+        assert_eq!(arena.n_layers(), 3);
+        assert_eq!(arena.layer_len(0), 3 * 2 + 2);
+        assert_eq!(arena.layer_len(1), 0);
+        assert_eq!(arena.layer_len(2), 2 * 4 + 4);
+        // Layer slices concatenate to exactly the flat view, in order.
+        let flat = seq.params_flat();
+        assert_eq!(&flat[..arena.layer_len(0)], arena.layer(0));
+        assert_eq!(&flat[arena.offset_of(2)..], arena.layer(2));
+        assert_eq!(arena.len(), flat.len());
     }
 
     #[test]

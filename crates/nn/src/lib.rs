@@ -12,10 +12,13 @@
 //! * [`models::BertMini`] — a next-token language model over synthetic
 //!   Markov text (perplexity metric).
 //!
-//! Layers expose parameters and gradients as **flat slices** so the whole
-//! model's gradient concatenates into one vector — exactly the view a
-//! gradient-compression system has of a model. Backprop correctness is
-//! finite-difference checked in the layer tests.
+//! Parameters and gradients live in **arena-backed flat storage**
+//! ([`gcs_tensor::ParamArena`]): each [`layers::Sequential`] owns one
+//! contiguous parameter arena and one gradient arena that its layers view
+//! as slices, so a whole model's gradient *is* one flat slice — exactly the
+//! view a gradient-compression system has of a model — and replica sync /
+//! optimizer updates are single-pass operations over that slice. Backprop
+//! correctness is finite-difference checked in the layer tests.
 
 pub mod attention;
 pub mod data;

@@ -27,20 +27,52 @@ pub trait Model {
     fn param_count(&self) -> usize;
 
     /// Computes the mean loss and its gradient on `batch`, leaving the
-    /// gradient readable via [`Model::flat_grads`].
+    /// gradient readable via [`Model::grads_flat`].
     fn forward_backward(&mut self, batch: &Batch) -> f32;
 
-    /// The flat gradient from the last [`Model::forward_backward`].
-    fn flat_grads(&self) -> Vec<f32>;
+    /// The whole-model gradient from the last [`Model::forward_backward`]
+    /// as one contiguous arena slice (no copy).
+    fn grads_flat(&self) -> &[f32];
+
+    /// The whole-model parameters as one contiguous arena slice (no copy).
+    fn params_flat(&self) -> &[f32];
+
+    /// Mutable whole-model parameter slice for in-place optimizer updates
+    /// and `copy_from_slice` replica sync.
+    fn params_flat_mut(&mut self) -> &mut [f32];
+
+    /// The flat gradient from the last [`Model::forward_backward`]
+    /// (copying convenience over [`Model::grads_flat`]).
+    fn flat_grads(&self) -> Vec<f32> {
+        self.grads_flat().to_vec()
+    }
 
     /// Adds `delta` to the flat parameters.
-    fn apply_flat_delta(&mut self, delta: &[f32]);
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    fn apply_flat_delta(&mut self, delta: &[f32]) {
+        let p = self.params_flat_mut();
+        assert_eq!(delta.len(), p.len(), "apply_flat_delta: size");
+        for (pi, &di) in p.iter_mut().zip(delta) {
+            *pi += di;
+        }
+    }
 
     /// Copies the flat parameters.
-    fn flat_params(&self) -> Vec<f32>;
+    fn flat_params(&self) -> Vec<f32> {
+        self.params_flat().to_vec()
+    }
 
-    /// Overwrites the flat parameters.
-    fn set_flat_params(&mut self, params: &[f32]);
+    /// Overwrites the flat parameters (one `copy_from_slice`).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    fn set_flat_params(&mut self, params: &[f32]) {
+        let p = self.params_flat_mut();
+        assert_eq!(params.len(), p.len(), "set_flat_params: size");
+        p.copy_from_slice(params);
+    }
 
     /// Evaluates the task metric on a held-out batch. Higher-is-better is
     /// reported by [`Model::higher_is_better`].
@@ -101,6 +133,12 @@ impl VggMini {
         }
     }
 
+    /// The underlying network, exposing the parameter/gradient arenas
+    /// (layer offsets, per-layer views) for layout-sensitive callers.
+    pub fn net(&self) -> &Sequential {
+        &self.net
+    }
+
     fn loss_grad(&mut self, batch: &Batch) -> f32 {
         let n = batch.targets.len();
         let logits = self.net.forward(&batch.inputs, n);
@@ -121,17 +159,14 @@ impl Model for VggMini {
     fn forward_backward(&mut self, batch: &Batch) -> f32 {
         self.loss_grad(batch)
     }
-    fn flat_grads(&self) -> Vec<f32> {
-        self.net.flat_grads()
+    fn grads_flat(&self) -> &[f32] {
+        self.net.grads_flat()
     }
-    fn apply_flat_delta(&mut self, delta: &[f32]) {
-        self.net.apply_flat_delta(delta);
+    fn params_flat(&self) -> &[f32] {
+        self.net.params_flat()
     }
-    fn flat_params(&self) -> Vec<f32> {
-        self.net.flat_params()
-    }
-    fn set_flat_params(&mut self, params: &[f32]) {
-        self.net.set_flat_params(params);
+    fn params_flat_mut(&mut self) -> &mut [f32] {
+        self.net.params_flat_mut()
     }
     fn evaluate(&mut self) -> f64 {
         let n = self.eval_batch.targets.len();
@@ -195,6 +230,12 @@ impl BertMini {
             eval_batch,
         }
     }
+
+    /// The underlying network, exposing the parameter/gradient arenas
+    /// (layer offsets, per-layer views) for layout-sensitive callers.
+    pub fn net(&self) -> &Sequential {
+        &self.net
+    }
 }
 
 impl Model for BertMini {
@@ -212,17 +253,14 @@ impl Model for BertMini {
         self.net.backward(&grad, n);
         loss
     }
-    fn flat_grads(&self) -> Vec<f32> {
-        self.net.flat_grads()
+    fn grads_flat(&self) -> &[f32] {
+        self.net.grads_flat()
     }
-    fn apply_flat_delta(&mut self, delta: &[f32]) {
-        self.net.apply_flat_delta(delta);
+    fn params_flat(&self) -> &[f32] {
+        self.net.params_flat()
     }
-    fn flat_params(&self) -> Vec<f32> {
-        self.net.flat_params()
-    }
-    fn set_flat_params(&mut self, params: &[f32]) {
-        self.net.set_flat_params(params);
+    fn params_flat_mut(&mut self) -> &mut [f32] {
+        self.net.params_flat_mut()
     }
     fn evaluate(&mut self) -> f64 {
         let n = self.eval_batch.targets.len();
@@ -303,17 +341,14 @@ impl Model for TransformerMini {
         self.net.backward(&grad, n);
         loss
     }
-    fn flat_grads(&self) -> Vec<f32> {
-        self.net.flat_grads()
+    fn grads_flat(&self) -> &[f32] {
+        self.net.grads_flat()
     }
-    fn apply_flat_delta(&mut self, delta: &[f32]) {
-        self.net.apply_flat_delta(delta);
+    fn params_flat(&self) -> &[f32] {
+        self.net.params_flat()
     }
-    fn flat_params(&self) -> Vec<f32> {
-        self.net.flat_params()
-    }
-    fn set_flat_params(&mut self, params: &[f32]) {
-        self.net.set_flat_params(params);
+    fn params_flat_mut(&mut self) -> &mut [f32] {
+        self.net.params_flat_mut()
     }
     fn evaluate(&mut self) -> f64 {
         let n = self.eval_batch.targets.len();

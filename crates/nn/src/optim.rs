@@ -26,11 +26,37 @@ impl Sgd {
         }
     }
 
+    /// Takes one step **in place**: updates `params` directly from an
+    /// (aggregated) gradient, allocating nothing after the first call
+    /// (which sizes the velocity buffer). Bitwise-identical to applying
+    /// the delta the deprecated [`Sgd::step`] returns, since
+    /// `θ − η·v ≡ θ + (−(η·v))` in IEEE-754.
+    ///
+    /// # Panics
+    /// Panics if the gradient dimension changes between steps.
+    pub fn step_into(&mut self, params: &mut [f32], grad: &[f32]) {
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; grad.len()];
+        }
+        assert_eq!(
+            self.velocity.len(),
+            grad.len(),
+            "Sgd: gradient dimension changed"
+        );
+        assert_eq!(params.len(), grad.len(), "Sgd: params/grad mismatch");
+        for i in 0..grad.len() {
+            let g = grad[i] + self.weight_decay * params[i];
+            self.velocity[i] = self.momentum * self.velocity[i] + g;
+            params[i] -= self.lr * self.velocity[i];
+        }
+    }
+
     /// Computes the parameter delta for one step from an (aggregated)
     /// gradient; the caller applies it.
     ///
     /// # Panics
     /// Panics if the gradient dimension changes between steps.
+    #[deprecated(since = "0.6.0", note = "use the allocation-free `step_into`")]
     pub fn step(&mut self, params: &[f32], grad: &[f32]) -> Vec<f32> {
         if self.velocity.is_empty() {
             self.velocity = vec![0.0; grad.len()];
@@ -93,10 +119,39 @@ impl Adam {
         }
     }
 
+    /// Takes one AdamW step **in place**: updates `params` directly,
+    /// allocating nothing after the first call (which sizes the moment
+    /// buffers). Bitwise-identical to applying the delta the deprecated
+    /// [`Adam::step`] returns.
+    ///
+    /// # Panics
+    /// Panics if the gradient dimension changes between steps.
+    pub fn step_into(&mut self, params: &mut [f32], grad: &[f32]) {
+        if self.m.is_empty() {
+            self.m = vec![0.0; grad.len()];
+            self.v = vec![0.0; grad.len()];
+        }
+        assert_eq!(self.m.len(), grad.len(), "Adam: gradient dimension changed");
+        assert_eq!(params.len(), grad.len(), "Adam: params/grad mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..grad.len() {
+            let g = grad[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -=
+                self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * params[i]);
+        }
+    }
+
     /// Computes the parameter delta for one step.
     ///
     /// # Panics
     /// Panics if the gradient dimension changes between steps.
+    #[deprecated(since = "0.6.0", note = "use the allocation-free `step_into`")]
     pub fn step(&mut self, params: &[f32], grad: &[f32]) -> Vec<f32> {
         if self.m.is_empty() {
             self.m = vec![0.0; grad.len()];
@@ -187,22 +242,24 @@ mod tests {
     #[test]
     fn adam_minimizes_a_quadratic() {
         let mut opt = Adam::new(0.1, 0.0);
-        let mut x = 0.0f32;
+        let mut x = [0.0f32];
         for _ in 0..200 {
-            let g = 2.0 * (x - 3.0);
-            let d = opt.step(&[x], &[g]);
-            x += d[0];
+            let g = 2.0 * (x[0] - 3.0);
+            opt.step_into(&mut x, &[g]);
         }
-        assert!((x - 3.0).abs() < 0.1, "x = {x}");
+        assert!((x[0] - 3.0).abs() < 0.1, "x = {}", x[0]);
     }
 
     #[test]
     fn adam_normalizes_gradient_scale() {
         // First-step delta magnitude ~= lr regardless of gradient scale.
         let mut a = Adam::new(0.01, 0.0);
-        let d_small = a.step(&[0.0], &[1e-4])[0].abs();
+        let mut xa = [0.0f32];
+        a.step_into(&mut xa, &[1e-4]);
         let mut b = Adam::new(0.01, 0.0);
-        let d_big = b.step(&[0.0], &[1e4])[0].abs();
+        let mut xb = [0.0f32];
+        b.step_into(&mut xb, &[1e4]);
+        let (d_small, d_big) = (xa[0].abs(), xb[0].abs());
         assert!(
             (d_small - d_big).abs() / d_big < 0.01,
             "{d_small} vs {d_big}"
@@ -212,8 +269,9 @@ mod tests {
     #[test]
     fn adam_weight_decay_shrinks_params() {
         let mut opt = Adam::new(0.1, 0.1);
-        let d = opt.step(&[10.0], &[0.0]);
-        assert!(d[0] < 0.0);
+        let mut x = [10.0f32];
+        opt.step_into(&mut x, &[0.0]);
+        assert!(x[0] < 10.0);
     }
 
     #[test]
@@ -248,44 +306,82 @@ mod tests {
     #[test]
     fn plain_sgd_step() {
         let mut opt = Sgd::new(0.1, 0.0, 0.0);
-        let delta = opt.step(&[1.0, 2.0], &[0.5, -0.5]);
-        assert_eq!(delta, vec![-0.05, 0.05]);
+        let mut x = [1.0f32, 2.0];
+        opt.step_into(&mut x, &[0.5, -0.5]);
+        assert_eq!(x, [0.95, 2.05]);
     }
 
     #[test]
     fn momentum_accumulates() {
         let mut opt = Sgd::new(1.0, 0.9, 0.0);
-        let d1 = opt.step(&[0.0], &[1.0]);
-        let d2 = opt.step(&[0.0], &[1.0]);
-        assert_eq!(d1, vec![-1.0]);
-        assert!((d2[0] - (-1.9)).abs() < 1e-6);
+        let mut x = [0.0f32];
+        opt.step_into(&mut x, &[1.0]);
+        let after_first = x[0];
+        opt.step_into(&mut x, &[1.0]);
+        let second_delta = x[0] - after_first;
+        assert_eq!(after_first, -1.0);
+        assert!((second_delta - (-1.9)).abs() < 1e-6);
     }
 
     #[test]
     fn weight_decay_pulls_toward_zero() {
         let mut opt = Sgd::new(0.1, 0.0, 0.1);
-        let delta = opt.step(&[10.0], &[0.0]);
-        assert!(delta[0] < 0.0);
+        let mut x = [10.0f32];
+        opt.step_into(&mut x, &[0.0]);
+        assert!(x[0] < 10.0);
     }
 
     #[test]
     fn minimizes_a_quadratic() {
         // f(x) = (x - 3)^2, grad = 2(x - 3).
         let mut opt = Sgd::new(0.1, 0.9, 0.0);
-        let mut x = 0.0f32;
+        let mut x = [0.0f32];
         for _ in 0..100 {
-            let g = 2.0 * (x - 3.0);
-            let d = opt.step(&[x], &[g]);
-            x += d[0];
+            let g = 2.0 * (x[0] - 3.0);
+            opt.step_into(&mut x, &[g]);
         }
-        assert!((x - 3.0).abs() < 0.05, "x = {x}");
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
     }
 
     #[test]
     #[should_panic(expected = "dimension changed")]
     fn dimension_change_detected() {
         let mut opt = Sgd::new(0.1, 0.9, 0.0);
-        opt.step(&[0.0], &[1.0]);
-        opt.step(&[0.0, 0.0], &[1.0, 1.0]);
+        opt.step_into(&mut [0.0], &[1.0]);
+        opt.step_into(&mut [0.0, 0.0], &[1.0, 1.0]);
+    }
+
+    /// The deprecated delta-returning forms and the in-place forms walk the
+    /// exact same trajectory bit for bit (θ += −η·v ≡ θ −= η·v).
+    #[test]
+    #[allow(deprecated)]
+    fn step_into_matches_deprecated_step_bitwise() {
+        let grads = [[0.7f32, -0.3], [0.1, 0.9], [-0.5, 0.2], [0.0, -1.0]];
+
+        let mut sgd_a = Sgd::new(0.1, 0.9, 0.01);
+        let mut sgd_b = sgd_a.clone();
+        let mut xa = [1.0f32, -2.0];
+        let mut xb = xa;
+        for g in &grads {
+            sgd_a.step_into(&mut xa, g);
+            let d = sgd_b.step(&xb, g);
+            for (x, di) in xb.iter_mut().zip(&d) {
+                *x += di;
+            }
+        }
+        assert_eq!(xa.map(f32::to_bits), xb.map(f32::to_bits));
+
+        let mut adam_a = Adam::new(0.01, 0.1);
+        let mut adam_b = adam_a.clone();
+        let mut ya = [0.5f32, 3.0];
+        let mut yb = ya;
+        for g in &grads {
+            adam_a.step_into(&mut ya, g);
+            let d = adam_b.step(&yb, g);
+            for (y, di) in yb.iter_mut().zip(&d) {
+                *y += di;
+            }
+        }
+        assert_eq!(ya.map(f32::to_bits), yb.map(f32::to_bits));
     }
 }

@@ -1,0 +1,161 @@
+//! Contiguous, offset-indexed parameter/gradient arena.
+//!
+//! Per-layer `Vec<f32>` storage forces every collective, replica sync and
+//! compression round into fragmented per-layer calls — exactly the overhead
+//! regime where compression stops paying for itself (HotNets'24 §3). A
+//! [`ParamArena`] instead owns **one** `Box<[f32]>` per model replica plus a
+//! layer-offset table, so:
+//!
+//! * a full model gradient is a single slice ([`ParamArena::as_slice`]),
+//!   letting collectives run one pooled whole-model call per round;
+//! * replica sync is a single `copy_from_slice` ([`ParamArena::copy_from`]);
+//! * layers view their parameters as sub-slices ([`ParamArena::layer`]),
+//!   with no storage of their own.
+//!
+//! Layout invariants (pinned by tests and relied on across crates):
+//!
+//! 1. `offsets.len() == n_layers + 1`, `offsets[0] == 0`,
+//!    `offsets[n_layers] == data.len()`, offsets non-decreasing.
+//! 2. Layer `i` occupies `data[offsets[i]..offsets[i + 1]]`; layers are
+//!    contiguous with no padding, so concatenating the layer slices in
+//!    order is bitwise-identical to the whole-arena slice.
+//! 3. Offsets are expressed in `f32` elements (not bytes). `Box<[f32]>` is
+//!    at least 4-byte aligned; kernels that want wider SIMD alignment must
+//!    handle unaligned heads/tails themselves (they do — see
+//!    `gcs_tensor::simd`).
+
+/// One contiguous `f32` buffer shared by all layers of a model replica,
+/// indexed by a layer-offset table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamArena {
+    data: Box<[f32]>,
+    /// `offsets[i]..offsets[i + 1]` is layer `i`; length `n_layers + 1`.
+    offsets: Vec<usize>,
+}
+
+impl ParamArena {
+    /// Builds a zero-filled arena from per-layer parameter counts.
+    /// Zero-length layers (parameter-free layers such as ReLU or pooling)
+    /// are legal and occupy an empty slice.
+    pub fn from_layer_lens(lens: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(lens.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &len in lens {
+            total += len;
+            offsets.push(total);
+        }
+        Self {
+            data: vec![0.0; total].into_boxed_slice(),
+            offsets,
+        }
+    }
+
+    /// Number of layers the offset table describes.
+    pub fn n_layers(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of `f32` elements across all layers.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the arena holds no parameters at all.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Start offset (in elements) of layer `i`.
+    pub fn offset_of(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Element count of layer `i`.
+    pub fn layer_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The offset table: `n_layers + 1` entries, first 0, last `len()`.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Layer `i` as an immutable slice.
+    pub fn layer(&self, i: usize) -> &[f32] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Layer `i` as a mutable slice.
+    pub fn layer_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// The whole model as one flat slice (layer-concatenation order).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The whole model as one flat mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Replica sync: one memcpy of the whole model. Panics if `src` length
+    /// differs from this arena's.
+    pub fn copy_from(&mut self, src: &[f32]) {
+        self.data.copy_from_slice(src);
+    }
+
+    /// Zeroes every element (e.g. gradient clear between rounds).
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_invariants_hold() {
+        let a = ParamArena::from_layer_lens(&[6, 0, 4, 10]);
+        assert_eq!(a.n_layers(), 4);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.offsets(), &[0, 6, 6, 10, 20]);
+        assert_eq!(a.layer_len(1), 0);
+        assert!(a.layer(1).is_empty());
+        assert_eq!(a.offset_of(2), 6);
+        assert_eq!(a.layer(3).len(), 10);
+    }
+
+    #[test]
+    fn layers_are_views_into_the_flat_slice() {
+        let mut a = ParamArena::from_layer_lens(&[3, 2]);
+        a.layer_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        a.layer_mut(1).copy_from_slice(&[4.0, 5.0]);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Concatenating layer views reproduces the flat slice bitwise.
+        let concat: Vec<f32> = (0..a.n_layers())
+            .flat_map(|i| a.layer(i).to_vec())
+            .collect();
+        assert_eq!(concat, a.as_slice());
+    }
+
+    #[test]
+    fn copy_from_and_zero_cover_the_whole_arena() {
+        let mut a = ParamArena::from_layer_lens(&[2, 2]);
+        a.copy_from(&[9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(a.layer(1), &[7.0, 6.0]);
+        a.zero();
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_arena_is_legal() {
+        let a = ParamArena::from_layer_lens(&[]);
+        assert!(a.is_empty());
+        assert_eq!(a.n_layers(), 0);
+        assert_eq!(a.offsets(), &[0]);
+    }
+}

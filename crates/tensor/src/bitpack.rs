@@ -173,10 +173,23 @@ impl PackedIntVec {
     /// lane order is part of the contract. Bitwise-identical to
     /// `from_signed(q, &collected_values)`.
     ///
+    /// The kernel is shaped chunked-by-lane for the optimizer: lanes are
+    /// quantized and masked into a fixed stack block first, then a separate
+    /// tight loop shifts them into the word stream. Splitting the quantizer
+    /// calls from the bit arithmetic means the shift loop's body is pure
+    /// registers — no opaque closure call between iterations — so the
+    /// release build unrolls it (the loop itself stays scalar by nature:
+    /// `acc` carries packed bits from one lane into the next, a serial
+    /// dependency no lane width short of a full word can break).
+    ///
     /// # Panics
     /// Panics (in debug builds) if any produced value is outside the
     /// `q`-bit signed range; release builds truncate.
+    #[inline]
     pub fn pack_with(&mut self, mut quantize: impl FnMut(usize) -> i32) {
+        /// Lanes quantized per stack block; one block of raws packs into at
+        /// most `64·32/64 + 1` words, far below any cache concern.
+        const LANE_BLOCK: usize = 64;
         let q = self.q;
         let mask = self.lane_mask();
         let lane_min = self.lane_min();
@@ -187,21 +200,31 @@ impl PackedIntVec {
         let mut acc = 0u64;
         let mut nbits = 0u32;
         let mut w = 0usize;
-        for i in 0..self.len {
-            let x = quantize(i);
-            debug_assert!(
-                x >= lane_min && x <= lane_max,
-                "value {x} does not fit in {q} signed bits"
-            );
-            let raw = (x as u64) & mask;
-            acc |= raw << nbits;
-            nbits += q;
-            if nbits >= 64 {
-                self.words[w] = acc;
-                w += 1;
-                nbits -= 64;
-                acc = if nbits == 0 { 0 } else { raw >> (q - nbits) };
+        let mut raws = [0u64; LANE_BLOCK];
+        let mut base = 0usize;
+        while base < self.len {
+            let m = LANE_BLOCK.min(self.len - base);
+            // Pass 1: quantize + mask into the block, in strict lane order.
+            for (j, raw) in raws[..m].iter_mut().enumerate() {
+                let x = quantize(base + j);
+                debug_assert!(
+                    x >= lane_min && x <= lane_max,
+                    "value {x} does not fit in {q} signed bits"
+                );
+                *raw = (x as u64) & mask;
             }
+            // Pass 2: shift the block into the word stream.
+            for &raw in &raws[..m] {
+                acc |= raw << nbits;
+                nbits += q;
+                if nbits >= 64 {
+                    self.words[w] = acc;
+                    w += 1;
+                    nbits -= 64;
+                    acc = if nbits == 0 { 0 } else { raw >> (q - nbits) };
+                }
+            }
+            base += m;
         }
         if nbits > 0 {
             self.words[w] = acc;

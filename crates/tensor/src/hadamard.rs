@@ -55,35 +55,25 @@ pub fn fwht(data: &mut [f32]) {
 
 /// The sequential stage loop; also the within-chunk worker of the parallel
 /// path (each aligned power-of-two chunk runs its local stages with exactly
-/// this code, so parallel results are bitwise-identical).
+/// this code, so parallel results are bitwise-identical). Every stage routes
+/// through [`butterfly_halves`], so the SIMD fast path applies here too once
+/// the stage width reaches a register.
 fn fwht_seq(data: &mut [f32], iters: usize) {
-    let n = data.len();
-    let inv_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
     let mut h = 1usize;
     for _ in 0..iters {
-        let mut i = 0;
-        while i < n {
-            for j in i..i + h {
-                let a = data[j];
-                let b = data[j + h];
-                data[j] = (a + b) * inv_sqrt2;
-                data[j + h] = (a - b) * inv_sqrt2;
-            }
-            i += h * 2;
+        for window in data.chunks_mut(h * 2) {
+            let (lo, hi) = window.split_at_mut(h);
+            butterfly_halves(lo, hi);
         }
         h *= 2;
     }
 }
 
 /// One butterfly stage over an aligned `2h` window, given its two halves.
+/// The butterfly is element-wise `(a+b)/√2, (a−b)/√2`, so the AVX2 path in
+/// [`crate::simd`] is bitwise-identical to the scalar loop.
 fn butterfly_halves(lo: &mut [f32], hi: &mut [f32]) {
-    let inv_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
-    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-        let x = *a;
-        let y = *b;
-        *a = (x + y) * inv_sqrt2;
-        *b = (x - y) * inv_sqrt2;
-    }
+    crate::simd::butterfly(lo, hi, std::f32::consts::FRAC_1_SQRT_2);
 }
 
 /// Runs only the first `iters` butterfly stages of the FWHT on `data`.

@@ -9,6 +9,13 @@
 //!   ([`half::Bf16`]) and NVIDIA TF32 rounding, with round-to-nearest-even
 //!   semantics. Gradient *communication* precision is modelled bit-exactly.
 //! * [`vector`] — flat `f32` vector kernels (norms, dot, axpy, reductions).
+//! * [`arena`] — [`arena::ParamArena`]: one contiguous `Box<[f32]>` +
+//!   layer-offset table per model replica, so a full model gradient is a
+//!   single slice and replica sync is one `copy_from_slice`.
+//! * [`simd`] — explicit x86-64 SIMD fast paths (AVX2/SSE2, runtime
+//!   detected) for the four hottest kernels, each bitwise-identical to its
+//!   scalar reference; the scalar path runs on non-x86 targets and when
+//!   feature detection fails.
 //! * [`matrix`] — a small row-major dense [`matrix::Matrix`] with matmul and the
 //!   modified Gram–Schmidt orthogonalization that PowerSGD depends on.
 //! * [`hadamard`] — the (randomized) fast Walsh–Hadamard transform, both the
@@ -32,6 +39,7 @@
 //! the multi-threaded paths, which are scheduled so that thread count never
 //! changes a single output bit.
 
+pub mod arena;
 pub mod bitpack;
 pub mod hadamard;
 pub mod half;
@@ -39,9 +47,11 @@ pub mod matrix;
 pub mod parallel;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 pub mod sketch;
 pub mod vector;
 
 pub use crate::half::{Bf16, F16};
+pub use arena::ParamArena;
 pub use bitpack::PackedIntVec;
 pub use matrix::Matrix;

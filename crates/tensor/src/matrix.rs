@@ -102,40 +102,6 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Accumulates output row `i` of `self * other` into `crow` using the
-    /// kj (streaming) inner order — shared by the sequential and parallel
-    /// matmul paths so both produce identical bits.
-    #[inline]
-    fn matmul_row_into(&self, other: &Matrix, i: usize, crow: &mut [f32]) {
-        for k in 0..self.cols {
-            let a = self.get(i, k);
-            if a == 0.0 {
-                continue;
-            }
-            let orow = other.row(k);
-            for (c, &b) in crow.iter_mut().zip(orow) {
-                *c += a * b;
-            }
-        }
-    }
-
-    /// Accumulates output row `i` of `selfᵀ * other` into `crow`. Per
-    /// element, terms are added in ascending `k` — the same order the
-    /// sequential k-outer loop applies them.
-    #[inline]
-    fn transpose_matmul_row_into(&self, other: &Matrix, i: usize, crow: &mut [f32]) {
-        for k in 0..self.rows {
-            let a = self.get(k, i);
-            if a == 0.0 {
-                continue;
-            }
-            let brow = other.row(k);
-            for (c, &b) in crow.iter_mut().zip(brow) {
-                *c += a * b;
-            }
-        }
-    }
-
     /// `self * other` — returns an `m×p` product.
     ///
     /// Fans out over output rows when the flop count warrants it; each row is
@@ -151,19 +117,14 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let p = other.cols;
-        let work = self.rows * self.cols * p;
-        if p > 0 && work >= MATMUL_PAR_MIN && parallel::max_threads() > 1 {
-            // One output row per chunk: chunk index == row index.
-            parallel::for_each_chunk_mut(&mut out.data, p, |i, crow| {
-                self.matmul_row_into(other, i, crow);
-            });
-        } else {
-            // ikj loop order: streaming access on `other` and `out` rows.
-            for i in 0..self.rows {
-                self.matmul_row_into(other, i, out.row_mut(i));
-            }
-        }
+        matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 
@@ -182,28 +143,14 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        let p = other.cols;
-        let work = self.rows * self.cols * p;
-        if p > 0 && work >= MATMUL_PAR_MIN && parallel::max_threads() > 1 {
-            parallel::for_each_chunk_mut(&mut out.data, p, |i, crow| {
-                self.transpose_matmul_row_into(other, i, crow);
-            });
-        } else {
-            // k-outer loop order: streaming access on `self` and `other` rows.
-            for k in 0..self.rows {
-                let arow = self.row(k);
-                let brow = other.row(k);
-                for (i, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let crow = out.row_mut(i);
-                    for (c, &b) in crow.iter_mut().zip(brow) {
-                        *c += a * b;
-                    }
-                }
-            }
-        }
+        transpose_matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 
@@ -236,6 +183,153 @@ impl Matrix {
     }
 }
 
+/// Accumulates row `i` of `A(ar×ac) · B(ac×bc)` into `crow` using the kj
+/// (streaming) inner order — shared by every sequential and parallel matmul
+/// path so all produce identical bits.
+#[inline]
+fn matmul_row(a: &[f32], ac: usize, b: &[f32], bc: usize, i: usize, crow: &mut [f32]) {
+    let arow = &a[i * ac..(i + 1) * ac];
+    for (k, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[k * bc..(k + 1) * bc];
+        for (c, &bv) in crow.iter_mut().zip(brow) {
+            *c += av * bv;
+        }
+    }
+}
+
+/// Accumulates row `i` of `A(ar×ac)ᵀ · B(ar×bc)` into `crow`. Per element,
+/// terms are added in ascending `k` — the sequential k-outer order.
+#[inline]
+fn transpose_matmul_row(
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    bc: usize,
+    i: usize,
+    crow: &mut [f32],
+) {
+    for k in 0..ar {
+        let av = a[k * ac + i];
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[k * bc..(k + 1) * bc];
+        for (c, &bv) in crow.iter_mut().zip(brow) {
+            *c += av * bv;
+        }
+    }
+}
+
+/// `out = A(ar×ac) · B(ac×bc)` over row-major slices — the pooled-buffer
+/// matmul: callers keep `out` in reusable scratch, so a steady-state round
+/// performs no allocation. `out` is overwritten. Fans out over output rows
+/// above the flop threshold with the same per-row accumulation order as the
+/// sequential loop, so results are bitwise-identical for any thread count.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the shapes.
+pub fn matmul_into(a: &[f32], ar: usize, ac: usize, b: &[f32], bc: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), ar * ac, "matmul_into: lhs size mismatch");
+    assert_eq!(b.len(), ac * bc, "matmul_into: rhs size mismatch");
+    assert_eq!(out.len(), ar * bc, "matmul_into: out size mismatch");
+    out.fill(0.0);
+    let work = ar * ac * bc;
+    if bc > 0 && work >= MATMUL_PAR_MIN && parallel::max_threads() > 1 {
+        // One output row per chunk: chunk index == row index.
+        parallel::for_each_chunk_mut(out, bc, |i, crow| {
+            matmul_row(a, ac, b, bc, i, crow);
+        });
+    } else {
+        // ikj loop order: streaming access on `b` and `out` rows.
+        for (i, crow) in out.chunks_exact_mut(bc.max(1)).enumerate() {
+            matmul_row(a, ac, b, bc, i, crow);
+        }
+    }
+}
+
+/// `out = A(ar×ac)ᵀ · B(ar×bc)` over row-major slices, without
+/// materializing the transpose; `out` (ac×bc) is overwritten. Same pooled,
+/// thread-count-invariant contract as [`matmul_into`].
+///
+/// # Panics
+/// Panics if slice lengths disagree with the shapes.
+pub fn transpose_matmul_into(
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    bc: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), ar * ac, "transpose_matmul_into: lhs size mismatch");
+    assert_eq!(b.len(), ar * bc, "transpose_matmul_into: rhs size mismatch");
+    assert_eq!(
+        out.len(),
+        ac * bc,
+        "transpose_matmul_into: out size mismatch"
+    );
+    out.fill(0.0);
+    let work = ar * ac * bc;
+    if bc > 0 && work >= MATMUL_PAR_MIN && parallel::max_threads() > 1 {
+        parallel::for_each_chunk_mut(out, bc, |i, crow| {
+            transpose_matmul_row(a, ar, ac, b, bc, i, crow);
+        });
+    } else {
+        for (i, crow) in out.chunks_exact_mut(bc.max(1)).enumerate() {
+            transpose_matmul_row(a, ar, ac, b, bc, i, crow);
+        }
+    }
+}
+
+/// `out = A(ar×ac) · B(br×ac)ᵀ` over row-major slices; `out` (ar×br) is
+/// overwritten. Every output element is a dot of two *contiguous* rows, so
+/// this runs on [`crate::simd::dot_folded`] directly — no transpose is
+/// materialized and no scratch is needed. The fold shape is fixed, so the
+/// result is identical for any thread count or SIMD dispatch.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the shapes.
+pub fn matmul_bt_into(a: &[f32], ar: usize, ac: usize, b: &[f32], br: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), ar * ac, "matmul_bt_into: lhs size mismatch");
+    assert_eq!(b.len(), br * ac, "matmul_bt_into: rhs size mismatch");
+    assert_eq!(out.len(), ar * br, "matmul_bt_into: out size mismatch");
+    let work = ar * ac * br;
+    let row_body = |i: usize, crow: &mut [f32]| {
+        let arow = &a[i * ac..(i + 1) * ac];
+        for (j, c) in crow.iter_mut().enumerate() {
+            *c = crate::simd::dot_folded(arow, &b[j * ac..(j + 1) * ac]);
+        }
+    };
+    if br > 0 && work >= MATMUL_PAR_MIN && parallel::max_threads() > 1 {
+        parallel::for_each_chunk_mut(out, br, |i, crow| row_body(i, crow));
+    } else {
+        for (i, crow) in out.chunks_exact_mut(br.max(1)).enumerate() {
+            row_body(i, crow);
+        }
+    }
+}
+
+/// Reusable scratch for Gram–Schmidt: a column-major staging buffer that
+/// makes every inner loop run over *contiguous* memory, which is what lets
+/// the [`crate::simd`] dot/axpy fast paths apply. Grown on first use and
+/// reused — [`orthonormalize_columns_with`] performs no heap allocation
+/// once the scratch has reached its high-water mark.
+#[derive(Clone, Default, Debug)]
+pub struct GsScratch {
+    colmajor: Vec<f32>,
+}
+
+impl GsScratch {
+    /// An empty scratch; the staging buffer grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Orthonormalizes the **columns** of `m` in place using modified
 /// Gram–Schmidt.
 ///
@@ -249,40 +343,80 @@ impl Matrix {
 /// particular — matching the "add epsilon" fallback of practical
 /// implementations and keeping downstream matmuls finite.
 pub fn orthonormalize_columns(m: &mut Matrix) {
+    orthonormalize_columns_with(m, &mut GsScratch::new());
+}
+
+/// [`orthonormalize_columns`] with caller-owned scratch — the
+/// zero-allocation steady-state entry point for PowerSGD's per-round call.
+pub fn orthonormalize_columns_with(m: &mut Matrix, scratch: &mut GsScratch) {
+    let (rows, cols) = (m.rows, m.cols);
+    orthonormalize_columns_slice(&mut m.data, rows, cols, scratch);
+}
+
+/// Slice form of [`orthonormalize_columns_with`] for row-major data held in
+/// pooled buffers rather than a [`Matrix`].
+///
+/// The matrix is staged column-major in `scratch` so the Gram–Schmidt inner
+/// loops (projection dots, subtraction axpys, normalization scales) all run
+/// over contiguous columns and dispatch to the SIMD primitives. The dots
+/// use [`crate::simd::dot_folded`]'s fixed lane-fold shape, so results are
+/// identical whichever path (scalar or AVX2) executes, and the computation
+/// involves no data-dependent partitioning — thread count and call site
+/// cannot change a bit.
+///
+/// # Panics
+/// Panics if `data.len() != rows * cols`.
+pub fn orthonormalize_columns_slice(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    scratch: &mut GsScratch,
+) {
+    assert_eq!(
+        data.len(),
+        rows * cols,
+        "orthonormalize_columns_slice: size mismatch"
+    );
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let buf = &mut scratch.colmajor;
+    buf.clear();
+    buf.resize(rows * cols, 0.0);
+    for (r, row) in data.chunks_exact(cols).enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            buf[c * rows + r] = v;
+        }
+    }
     // "Twice is enough" (Kahan/Parlett): a single modified-GS pass can
     // leave O(eps·kappa) non-orthogonality for ill-conditioned inputs,
     // which downstream error feedback amplifies round over round (PowerSGD
     // at rank >> true gradient rank hits exactly this). A second pass
     // restores orthogonality to machine precision.
-    orthonormalize_columns_once(m);
-    orthonormalize_columns_once(m);
+    orthonormalize_contig_once(buf, rows, cols);
+    orthonormalize_contig_once(buf, rows, cols);
+    for (r, row) in data.chunks_exact_mut(cols).enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = buf[c * rows + r];
+        }
+    }
 }
 
-fn orthonormalize_columns_once(m: &mut Matrix) {
-    let (rows, cols) = (m.rows, m.cols);
+/// One modified-GS pass over a column-major buffer with contiguous columns.
+fn orthonormalize_contig_once(buf: &mut [f32], rows: usize, cols: usize) {
     for c in 0..cols {
+        let (done, rest) = buf.split_at_mut(c * rows);
+        let cur = &mut rest[..rows];
         // Subtract projections onto previous columns (modified GS: use the
         // already-orthonormalized columns one at a time).
         for prev in 0..c {
-            let mut proj = 0.0f32;
-            for r in 0..rows {
-                proj += m.get(r, prev) * m.get(r, c);
-            }
-            for r in 0..rows {
-                let v = m.get(r, c) - proj * m.get(r, prev);
-                m.set(r, c, v);
-            }
+            let pcol = &done[prev * rows..(prev + 1) * rows];
+            let proj = crate::simd::dot_folded(pcol, cur);
+            crate::simd::axpy(-proj, pcol, cur);
         }
-        let mut nrm = 0.0f32;
-        for r in 0..rows {
-            nrm += m.get(r, c) * m.get(r, c);
-        }
-        let nrm = nrm.sqrt();
+        let nrm = crate::simd::dot_folded(cur, cur).sqrt();
         if nrm > 1e-6 {
-            let inv = 1.0 / nrm;
-            for r in 0..rows {
-                m.set(r, c, m.get(r, c) * inv);
-            }
+            crate::simd::scale(cur, 1.0 / nrm);
         } else {
             // Degenerate column (linearly dependent input): substitute a
             // canonical basis vector, re-orthogonalized against the
@@ -291,29 +425,17 @@ fn orthonormalize_columns_once(m: &mut Matrix) {
             let mut placed = false;
             for attempt in 0..rows {
                 let pivot = (c + attempt) % rows;
-                for r in 0..rows {
-                    m.set(r, c, if r == pivot { 1.0 } else { 0.0 });
+                for (r, x) in cur.iter_mut().enumerate() {
+                    *x = if r == pivot { 1.0 } else { 0.0 };
                 }
                 for prev in 0..c {
-                    let mut proj = 0.0f32;
-                    for r in 0..rows {
-                        proj += m.get(r, prev) * m.get(r, c);
-                    }
-                    for r in 0..rows {
-                        let v = m.get(r, c) - proj * m.get(r, prev);
-                        m.set(r, c, v);
-                    }
+                    let pcol = &done[prev * rows..(prev + 1) * rows];
+                    let proj = crate::simd::dot_folded(pcol, cur);
+                    crate::simd::axpy(-proj, pcol, cur);
                 }
-                let mut nrm2 = 0.0f32;
-                for r in 0..rows {
-                    nrm2 += m.get(r, c) * m.get(r, c);
-                }
-                let nrm2 = nrm2.sqrt();
+                let nrm2 = crate::simd::dot_folded(cur, cur).sqrt();
                 if nrm2 > 1e-4 {
-                    let inv = 1.0 / nrm2;
-                    for r in 0..rows {
-                        m.set(r, c, m.get(r, c) * inv);
-                    }
+                    crate::simd::scale(cur, 1.0 / nrm2);
                     placed = true;
                     break;
                 }
@@ -321,9 +443,7 @@ fn orthonormalize_columns_once(m: &mut Matrix) {
             if !placed {
                 // cols > rows: no orthogonal direction remains; zero the
                 // column (its contribution to any P Qᵀ product vanishes).
-                for r in 0..rows {
-                    m.set(r, c, 0.0);
-                }
+                cur.fill(0.0);
             }
         }
     }

@@ -10,6 +10,28 @@
 //! aggregate are then recovered from the summed sketch by median estimation.
 
 use crate::rng::{splitmix64, SharedSeed};
+use crate::vector::TopKScratch;
+
+/// Reusable scratch for heavy-hitter recovery: the estimation path touches
+/// all `d` coordinates (`O(d·rows)` — the recovery cost §3 prices in), and
+/// threading this through [`CountSketch::heavy_hitters_into`] keeps the
+/// per-round work free of the `O(d)` estimate/selection allocations.
+#[derive(Clone, Debug, Default)]
+pub struct SketchScratch {
+    /// Per-coordinate median estimates.
+    est: Vec<f32>,
+    /// Median-of-rows working buffer (one slot per hash row).
+    vals: Vec<f32>,
+    /// Selection scratch for the final top-k over the estimates.
+    topk: TopKScratch,
+}
+
+impl SketchScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A count-sketch over `d`-dimensional vectors.
 #[derive(Clone, Debug)]
@@ -90,12 +112,19 @@ impl CountSketch {
 
     /// Median-of-rows estimate of coordinate `i`.
     pub fn estimate(&self, i: usize) -> f32 {
-        let mut vals: Vec<f32> = (0..self.rows)
-            .map(|row| {
-                let (b, s) = self.bucket_and_sign(row, i);
-                s * self.table[row * self.width + b]
-            })
-            .collect();
+        self.estimate_with(i, &mut Vec::with_capacity(self.rows))
+    }
+
+    /// [`CountSketch::estimate`] with a caller-owned median buffer — the
+    /// per-call allocation is the entire cost of estimation loops, so hot
+    /// paths (heavy-hitter recovery, per-worker EF contributions) reuse one
+    /// buffer across all `d` coordinates.
+    pub fn estimate_with(&self, i: usize, vals: &mut Vec<f32>) -> f32 {
+        vals.clear();
+        vals.extend((0..self.rows).map(|row| {
+            let (b, s) = self.bucket_and_sign(row, i);
+            s * self.table[row * self.width + b]
+        }));
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let m = vals.len() / 2;
         if vals.len() % 2 == 1 {
@@ -108,8 +137,27 @@ impl CountSketch {
     /// Estimates all `d` coordinates and returns the indices of the `k`
     /// largest-magnitude estimates (heavy-hitter recovery).
     pub fn heavy_hitters(&self, d: usize, k: usize) -> Vec<usize> {
-        let est: Vec<f32> = (0..d).map(|i| self.estimate(i)).collect();
-        crate::vector::top_k_indices(&est, k)
+        let mut out = Vec::with_capacity(k.min(d));
+        self.heavy_hitters_into(d, k, &mut SketchScratch::new(), &mut out);
+        out
+    }
+
+    /// [`CountSketch::heavy_hitters`] writing into caller-owned scratch and
+    /// output — the allocation-free estimation path: estimates stage in
+    /// `scratch.est`, each median reuses `scratch.vals`, and the final
+    /// selection threads `scratch.topk` through
+    /// [`crate::vector::top_k_indices_into`].
+    pub fn heavy_hitters_into(
+        &self,
+        d: usize,
+        k: usize,
+        scratch: &mut SketchScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let SketchScratch { est, vals, topk } = scratch;
+        est.clear();
+        est.extend((0..d).map(|i| self.estimate_with(i, vals)));
+        crate::vector::top_k_indices_into(est, k, topk, out);
     }
 
     /// Element-wise addition of another sketch (linearity). Both must share

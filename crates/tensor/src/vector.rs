@@ -71,18 +71,14 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     parallel::for_each_chunk_mut(y, ELEMWISE_CHUNK, |i, chunk| {
         let lo = i * ELEMWISE_CHUNK;
         let hi = lo + chunk.len();
-        for (yi, xi) in chunk.iter_mut().zip(&x[lo..hi]) {
-            *yi += alpha * xi;
-        }
+        crate::simd::axpy(alpha, &x[lo..hi], chunk);
     });
 }
 
 /// Scales `v` in place by `alpha`.
 pub fn scale(v: &mut [f32], alpha: f32) {
     parallel::for_each_chunk_mut(v, ELEMWISE_CHUNK, |_, chunk| {
-        for x in chunk.iter_mut() {
-            *x *= alpha;
-        }
+        crate::simd::scale(chunk, alpha);
     });
 }
 
@@ -190,10 +186,12 @@ fn magnitude_order(v: &[f32], a: usize, b: usize) -> std::cmp::Ordering {
 
 /// Reusable scratch for [`top_k_indices_with`]: hot loops (per-worker TopK
 /// compression, per-round chunk scoring) call selection thousands of times,
-/// and reusing the index buffer avoids an `O(d)` allocation each call.
+/// and reusing the index/key buffers avoids `O(d)` allocations each call.
 #[derive(Clone, Default, Debug)]
 pub struct TopKScratch {
     idx: Vec<usize>,
+    keys: Vec<u32>,
+    sel: Vec<u32>,
 }
 
 impl TopKScratch {
@@ -257,6 +255,16 @@ fn top_k_flat(v: &[f32], k: usize, base: usize, scratch: &mut TopKScratch) -> Ve
     out
 }
 
+/// Threshold-scan flat selection. Magnitudes are materialized as `u32` sort
+/// keys (`|v[i]|.to_bits()` — unsigned key order is exactly `total_cmp` of
+/// absolute values once the sign bit is cleared, NaN above infinity), the
+/// k-th largest key `T` is found by integer partial selection, and a SIMD
+/// scan ([`crate::simd::collect_indices_above`]) collects every `key > T`
+/// in ascending index order. Keys *equal* to `T` fill the remaining slots
+/// by ascending index — the same tie-break as [`magnitude_order`] — and the
+/// final `k` are sorted `(key desc, index asc)`. Each step preserves the
+/// comparator path's unique total order, so the output is bitwise-identical
+/// to the previous `select_nth_unstable_by` implementation.
 fn top_k_flat_into(
     v: &[f32],
     k: usize,
@@ -264,18 +272,36 @@ fn top_k_flat_into(
     scratch: &mut TopKScratch,
     out: &mut Vec<usize>,
 ) {
+    let n = v.len();
+    debug_assert!(k > 0 && k < n);
+    let keys = &mut scratch.keys;
+    keys.clear();
+    keys.resize(n, 0);
+    crate::simd::abs_keys_into(v, keys);
+
+    // Integer partial selection on a key copy: ascending position n-k holds
+    // the k-th largest key.
+    let sel = &mut scratch.sel;
+    sel.clear();
+    sel.extend_from_slice(keys);
+    let (_, &mut threshold, _) = sel.select_nth_unstable(n - k);
+
     let idx = &mut scratch.idx;
     idx.clear();
-    idx.extend(base..base + v.len());
-    let cmp = |&a: &usize, &b: &usize| {
-        v[b - base]
-            .abs()
-            .total_cmp(&v[a - base].abs())
-            .then(a.cmp(&b))
-    };
-    idx.select_nth_unstable_by(k - 1, cmp);
-    idx.truncate(k);
-    idx.sort_unstable_by(cmp);
+    crate::simd::collect_indices_above(keys, threshold, base, idx);
+    debug_assert!(idx.len() < k, "more than k-1 keys above the k-th largest");
+    // Fill the remaining slots with threshold ties, lowest index first.
+    let mut need = k - idx.len();
+    for (i, &key) in keys.iter().enumerate() {
+        if need == 0 {
+            break;
+        }
+        if key == threshold {
+            idx.push(base + i);
+            need -= 1;
+        }
+    }
+    idx.sort_unstable_by(|&a, &b| keys[b - base].cmp(&keys[a - base]).then(a.cmp(&b)));
     out.extend_from_slice(idx);
 }
 

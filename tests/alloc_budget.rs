@@ -23,6 +23,7 @@ use gradient_utility::core::schemes::thc::{Thc, ThcAggregation};
 use gradient_utility::core::schemes::topk::TopK;
 use gradient_utility::core::schemes::topkc::TopKC;
 use gradient_utility::core::schemes::topkc_q::TopKCQ;
+use gradient_utility::nn::{Adam, Model, Sgd, VggMini};
 use gradient_utility::tensor::bitpack::PackedIntVec;
 use gradient_utility::tensor::hadamard::RotationMode;
 use gradient_utility::tensor::parallel::with_threads;
@@ -198,15 +199,67 @@ fn topk_round_steady_state_is_allocation_free() {
 
 #[test]
 fn powersgd_round_allocation_budget_is_bounded() {
-    // PowerSGD's matmuls return fresh matrices, so its round is not
-    // zero-allocation — but all O(n·d) staging is pooled, leaving a small
-    // budget proportional to layers × workers, independent of d.
+    // PowerSGD's matmuls write into pooled factor buffers (`matmul_into`
+    // and friends) and Gram–Schmidt stages through a persistent scratch,
+    // so the steady-state round — like the sparsifiers' — is allocation
+    // free.
     with_threads(1, || {
         let mut s = PowerSgd::new(2, vec![(32, 32)], N);
         let events = scheme_steady_events(&mut s, N, D);
-        assert!(
-            events <= 256,
-            "PowerSGD steady-state budget blew up: {events} heap events"
+        assert_eq!(
+            events, 0,
+            "PowerSGD round must not allocate at steady state"
+        );
+    });
+}
+
+#[test]
+fn optimizer_step_into_steady_state_is_allocation_free() {
+    // The deprecated `step` forms returned fresh parameter vectors every
+    // round; `step_into` updates in place, with optimizer state sized once
+    // on the first call (covered by the warm-up rounds).
+    with_threads(1, || {
+        let g = grads(1, D);
+        let mut params = vec![0.1f32; D];
+        let mut sgd = Sgd::new(0.05, 0.9, 1e-4);
+        let events = steady_events(|| sgd.step_into(&mut params, &g[0]));
+        assert_eq!(events, 0, "Sgd::step_into must not allocate");
+
+        let mut params = vec![0.1f32; D];
+        let mut adam = Adam::new(0.002, 1e-4);
+        let events = steady_events(|| adam.step_into(&mut params, &g[0]));
+        assert_eq!(events, 0, "Adam::step_into must not allocate");
+    });
+}
+
+#[test]
+fn whole_model_collective_round_steady_state_is_allocation_free() {
+    // The flat-arena payoff: a full model's gradient is ONE contiguous
+    // slice, so a round is one pooled whole-model collective over
+    // `param_count` elements plus one in-place optimizer step on the
+    // model's flat parameter slice — and none of it allocates.
+    with_threads(1, || {
+        let mut model = VggMini::new(7);
+        let d = model.param_count();
+        let src = grads(N, d);
+        let mut bufs = src.clone();
+        let mut scratch = RingScratch::default();
+        let mut traffic = Traffic::default();
+        let mut mean = vec![0.0f32; d];
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let events = steady_events(|| {
+            for (b, s) in bufs.iter_mut().zip(&src) {
+                b.clear();
+                b.extend_from_slice(s);
+            }
+            ring_all_reduce_into(&mut bufs, &F32Sum, 4.0, &mut scratch, &mut traffic);
+            mean.copy_from_slice(&bufs[0]);
+            gradient_utility::tensor::vector::scale(&mut mean, 1.0 / N as f32);
+            opt.step_into(model.params_flat_mut(), &mean);
+        });
+        assert_eq!(
+            events, 0,
+            "whole-model collective + flat optimizer step must not allocate"
         );
     });
 }
