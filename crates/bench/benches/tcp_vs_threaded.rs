@@ -1,0 +1,89 @@
+//! Socket mesh vs in-process channels: what does a real transport cost?
+//!
+//! Both sides run the *identical* `ring_all_reduce_worker` body — the
+//! differential suite (`tests/tcp_vs_threaded.rs`) pins the outputs as
+//! bitwise-equal — so every nanosecond of delta here is transport: frame
+//! encode/decode, syscalls, loopback TCP, and thread wakeups, versus an
+//! in-process channel hop. A third group prices the elastic-membership
+//! machinery itself (registry rendezvous + full mesh build), the fixed
+//! cost a late joiner pays before its first round.
+//!
+//! `bench_report` lifts the same comparison into the BENCH schema's
+//! `transport` section; this bench gives it criterion-grade statistics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_collectives::tcp::TcpCluster;
+use gcs_collectives::transport::{ring_all_reduce_worker, ThreadedCluster};
+use gcs_collectives::F32Sum;
+
+const N: usize = 4;
+
+fn inputs(len: usize) -> Vec<Vec<f32>> {
+    (0..N)
+        .map(|w| {
+            (0..len)
+                .map(|i| ((w * len + i) as f32 * 0.37).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_vs_threaded/ring_all_reduce");
+    for len in [256usize, 4096] {
+        let bufs = inputs(len);
+        g.bench_with_input(BenchmarkId::new("threaded", len), &bufs, |b, bufs| {
+            b.iter(|| {
+                let bufs = bufs.clone();
+                let out = ThreadedCluster::<f32>::new(N).run(move |rank, mut links| {
+                    ring_all_reduce_worker(&mut links, bufs[rank].clone(), &F32Sum, 4.0)
+                        .expect("healthy threaded ring")
+                        .0
+                });
+                black_box(out.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tcp", len), &bufs, |b, bufs| {
+            b.iter(|| {
+                let bufs = bufs.clone();
+                let out = TcpCluster::run(N, move |rank, links: &mut _| {
+                    ring_all_reduce_worker(links, bufs[rank].clone(), &F32Sum, 4.0)
+                        .expect("healthy tcp ring")
+                        .0
+                });
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mesh_formation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_vs_threaded/mesh_formation");
+    // Rendezvous + n·(n−1) connection mesh + one tiny round: the fixed cost
+    // of forming (or re-forming, after a membership change) the fleet.
+    g.bench_function("tcp_form_and_round", |b| {
+        b.iter(|| {
+            let out = TcpCluster::run(N, |rank, links: &mut _| {
+                ring_all_reduce_worker(links, vec![rank as f32; 8], &F32Sum, 4.0)
+                    .expect("healthy tcp ring")
+                    .0
+            });
+            black_box(out.len())
+        })
+    });
+    g.bench_function("threaded_form_and_round", |b| {
+        b.iter(|| {
+            let out = ThreadedCluster::<f32>::new(N).run(|rank, mut links| {
+                ring_all_reduce_worker(&mut links, vec![rank as f32; 8], &F32Sum, 4.0)
+                    .expect("healthy threaded ring")
+                    .0
+            });
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_mesh_formation);
+criterion_main!(benches);

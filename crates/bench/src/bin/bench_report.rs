@@ -6,15 +6,20 @@
 //! pooled-vs-unpooled throughput, and — schema v4 — a `flat` subsection
 //! timing a whole-model single-call collective round over a real model's
 //! arena-backed flat gradient against the pre-arena per-layer storage
-//! discipline), and a `faults` section summarizing two canned chaos runs
+//! discipline), a `faults` section summarizing two canned chaos runs
 //! through the fault-injecting transport (one recoverable degraded plan,
-//! one crash plan) — alongside the other two exporters — a Prometheus
-//! text-format snapshot and a JSONL time-series dump — of everything the
-//! run captured into the `gcs-metrics` registry.
+//! one crash plan), and — schema v5 — a `transport` section racing the
+//! socket mesh (`TcpCluster`) against the in-process channel transport
+//! (`ThreadedCluster`) on the same ring-all-reduce worker body (latency
+//! tails, wire bytes, join/reconnect counters, a bitwise-identity flag)
+//! plus the nullable first/final metrics of a quick training run —
+//! alongside the other two exporters — a Prometheus text-format snapshot
+//! and a JSONL time-series dump — of everything the run captured into the
+//! `gcs-metrics` registry.
 //!
 //! Usage:
 //!   cargo run -p gcs-bench --release --bin bench_report -- [--fast]
-//!       [--id PR6] [--out path.json]
+//!       [--id PR7] [--out path.json]
 //!   cargo run -p gcs-bench --release --bin bench_report -- --validate path.json
 //!
 //! `--fast` shrinks the gradient dimension and round count for CI; the
@@ -59,7 +64,7 @@ struct Cli {
 fn parse_args() -> Cli {
     let mut cli = Cli {
         fast: false,
-        id: "PR6".to_string(),
+        id: "PR7".to_string(),
         out: None,
         validate: None,
     };
@@ -589,6 +594,112 @@ fn main() {
         ])
     };
 
+    // Transport section (ISSUE 7): the socket mesh vs the in-process
+    // channel transport on the *same* ring-all-reduce worker body. The two
+    // must agree bitwise (the differential suite's property, re-checked
+    // here on every artifact), and the latency gap quantifies what real
+    // framing/syscalls cost over loopback. The fleet metrics come from a
+    // quick training run through the nullable `TrainLog` accessors — a run
+    // that records no evals lands as `null`, never as an abort.
+    let transport = {
+        use gcs_collectives::tcp::TcpCluster;
+        use gcs_collectives::transport::{ring_all_reduce_worker, ThreadedCluster};
+
+        let iters = rounds;
+        let mut threaded_ns = Histogram::new();
+        let mut threaded_out: Vec<Vec<f32>> = Vec::new();
+        for i in 0..iters {
+            let bufs = grads(n, len, 500 + i);
+            let t0 = Instant::now();
+            threaded_out = ThreadedCluster::<f32>::new(n).run(move |rank, mut links| {
+                ring_all_reduce_worker(&mut links, bufs[rank].clone(), &F32Sum, 4.0)
+                    .expect("healthy threaded ring")
+                    .0
+            });
+            threaded_ns.record(t0.elapsed().as_nanos() as f64);
+        }
+
+        let mut tcp_ns = Histogram::new();
+        let mut tcp_out: Vec<Vec<f32>> = Vec::new();
+        let ((), reg) = gcs_metrics::with_capture(|| {
+            for i in 0..iters {
+                let bufs = grads(n, len, 500 + i);
+                let t0 = Instant::now();
+                tcp_out = TcpCluster::run(n, move |rank, links: &mut _| {
+                    ring_all_reduce_worker(links, bufs[rank].clone(), &F32Sum, 4.0)
+                        .expect("healthy tcp ring")
+                        .0
+                });
+                tcp_ns.record(t0.elapsed().as_nanos() as f64);
+            }
+        });
+        let counter = |name: &str| {
+            reg.counters()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        let wire_bytes = counter("transport/tcp/wire_bytes_total");
+        let joins = counter("transport/tcp/joins_total");
+        let reconnects = counter("transport/tcp/reconnects_total");
+        merged.merge(&reg);
+        let identical = threaded_out.len() == tcp_out.len()
+            && threaded_out.iter().zip(&tcp_out).all(|(a, b)| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            });
+
+        let log = {
+            use gcs_ddp::{Trainer, TrainerConfig};
+            let mut model = VggMini::new(7);
+            let mut scheme = PrecisionBaseline::fp32();
+            let cfg = TrainerConfig {
+                n_workers: n,
+                batch_per_worker: 8,
+                max_rounds: if cli.fast { 6 } else { 20 },
+                eval_every: if cli.fast { 3 } else { 10 },
+                lr: 0.05,
+                momentum: 0.9,
+                ..TrainerConfig::default()
+            };
+            Trainer::new(cfg).train(&mut model, &mut scheme, 0.5)
+        };
+        println!(
+            "  transport ring p50 threaded {:>9.0} ns  tcp {:>9.0} ns  wire {wire_bytes:>10} B  identical {identical}",
+            threaded_ns.p50().unwrap_or(f64::NAN),
+            tcp_ns.p50().unwrap_or(f64::NAN),
+        );
+        obj(vec![
+            (
+                "threaded_ring_p50_ns",
+                Json::Num(threaded_ns.p50().unwrap_or(f64::NAN)),
+            ),
+            (
+                "threaded_ring_p99_ns",
+                Json::Num(threaded_ns.p99().unwrap_or(f64::NAN)),
+            ),
+            (
+                "tcp_ring_p50_ns",
+                Json::Num(tcp_ns.p50().unwrap_or(f64::NAN)),
+            ),
+            (
+                "tcp_ring_p99_ns",
+                Json::Num(tcp_ns.p99().unwrap_or(f64::NAN)),
+            ),
+            ("wire_bytes_total", Json::Num(wire_bytes)),
+            ("joins", Json::Num(joins)),
+            ("reconnects", Json::Num(reconnects)),
+            ("identical", Json::Num(if identical { 1.0 } else { 0.0 })),
+            (
+                "fleet_first_metric",
+                log.first_metric().map(Json::Num).unwrap_or(Json::Null),
+            ),
+            (
+                "fleet_final_metric",
+                log.last_eval().map(Json::Num).unwrap_or(Json::Null),
+            ),
+        ])
+    };
+
     let doc = obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("id", Json::Str(cli.id.clone())),
@@ -603,6 +714,7 @@ fn main() {
             obj(vec![("paths", Json::Array(hotpath)), ("flat", flat)]),
         ),
         ("faults", faults),
+        ("transport", transport),
     ]);
 
     let out = cli.out.unwrap_or_else(|| {

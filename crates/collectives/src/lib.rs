@@ -26,11 +26,19 @@
 //!   loss, retry exhaustion, injected crashes. Transports return these
 //!   instead of panicking, which is what lets the `gcs-faults` layer and
 //!   the chaos suite exercise degraded fabrics.
+//! * [`tcp`] — the socket transport: length-prefixed frames over localhost
+//!   TCP in a connection-per-directed-link mesh, plus the rendezvous
+//!   registry and join/leave membership protocol that make the fleet
+//!   *elastic* (workers can die **or join** mid-run; ranks renumber over
+//!   the live roster each epoch). The same worker bodies run over
+//!   [`tcp::TcpLinks`] and [`transport::WorkerLinks`], differential-tested
+//!   bitwise.
 
 pub mod advanced;
 pub mod error;
 pub mod ops;
 pub mod reduce;
+pub mod tcp;
 pub mod transport;
 
 pub use advanced::{double_tree_all_reduce, hierarchical_ring_all_reduce};
@@ -41,6 +49,9 @@ pub use ops::{
     ring_all_reduce_into, tree_all_reduce, tree_all_reduce_into, RingScratch, Traffic,
 };
 pub use reduce::{F16Sum, F32Max, F32Sum, ReduceOp, SaturatingIntSum, WideIntSum, WrappingIntSum};
+pub use tcp::{
+    FleetWorker, Registry, RoundStart, TcpCluster, TcpLinks, TcpMesh, TcpTimeouts, WireElem,
+};
 pub use transport::{
     all_gather_worker, broadcast_worker, ring_all_reduce_worker, threaded_ring_all_reduce,
     MessageLinks, ThreadedCluster, WorkerLinks,

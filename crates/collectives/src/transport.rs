@@ -55,12 +55,19 @@ pub trait MessageLinks<T> {
     }
 }
 
+/// Default bound on a blocking [`WorkerLinks::recv`]. Generous enough that
+/// no healthy in-process collective ever hits it, small enough that a wedged
+/// peer (thread alive, never sends) surfaces as a typed
+/// [`CollectiveError::Timeout`] instead of hanging the run forever.
+pub const DEFAULT_RECV_DEADLINE: Duration = Duration::from_secs(30);
+
 /// A worker's view of the cluster: typed point-to-point links to every peer.
 pub struct WorkerLinks<T> {
     rank: usize,
     n: usize,
     senders: Vec<Sender<Vec<T>>>,
     receivers: Vec<Receiver<Vec<T>>>,
+    recv_deadline: Duration,
 }
 
 impl<T: Send + 'static> WorkerLinks<T> {
@@ -89,18 +96,32 @@ impl<T: Send + 'static> WorkerLinks<T> {
             .map_err(|_| CollectiveError::PeerLost { peer })
     }
 
-    /// Blocks until a message from `peer` arrives.
+    /// Blocks until a message from `peer` arrives, bounded by the link's
+    /// receive deadline ([`DEFAULT_RECV_DEADLINE`] unless overridden via
+    /// [`WorkerLinks::set_recv_deadline`]).
     ///
     /// Returns [`CollectiveError::PeerLost`] if the peer hung up (its
-    /// sending end dropped) with no message pending.
+    /// sending end dropped) with no message pending, and
+    /// [`CollectiveError::Timeout`] if the peer is still alive but sent
+    /// nothing within the deadline — a wedged peer must surface as a typed
+    /// error, never as a hung collective.
     ///
     /// # Panics
     /// Panics if `peer` is this worker or out of range.
     pub fn recv(&self, peer: usize) -> Result<Vec<T>, CollectiveError> {
-        assert!(peer != self.rank && peer < self.n, "recv: bad peer {peer}");
-        self.receivers[peer]
-            .recv()
-            .map_err(|_| CollectiveError::PeerLost { peer })
+        self.recv_timeout(peer, self.recv_deadline)
+    }
+
+    /// Overrides the deadline that bounds blocking [`WorkerLinks::recv`]
+    /// calls on this worker's links. Tests use a short deadline to pin the
+    /// wedged-peer behaviour without waiting out the generous default.
+    pub fn set_recv_deadline(&mut self, deadline: Duration) {
+        self.recv_deadline = deadline;
+    }
+
+    /// The deadline currently bounding blocking receives.
+    pub fn recv_deadline(&self) -> Duration {
+        self.recv_deadline
     }
 
     /// Non-blocking receive: returns `Ok(None)` when no message from `peer`
@@ -212,10 +233,19 @@ impl<T: Send + 'static> ThreadedCluster<T> {
                     n,
                     senders: s,
                     receivers: r,
+                    recv_deadline: DEFAULT_RECV_DEADLINE,
                 }
             })
             .collect();
         ThreadedCluster { links }
+    }
+
+    /// Overrides the blocking-receive deadline on every worker's links
+    /// (see [`WorkerLinks::set_recv_deadline`]).
+    pub fn set_recv_deadline(&mut self, deadline: Duration) {
+        for links in &mut self.links {
+            links.set_recv_deadline(deadline);
+        }
     }
 
     /// Runs `body(rank, links)` on one thread per worker and returns each
@@ -560,6 +590,41 @@ mod tests {
                 other => panic!("worker {rank}: expected PeerLost, got {other:?}"),
             }
         }
+    }
+
+    /// Regression (ISSUE 7 satellite): a *wedged* peer — thread alive,
+    /// links held open, but never sending — used to hang `recv` forever
+    /// because the blocking path had no deadline. It must now surface as a
+    /// typed `CollectiveError::Timeout` within the configured deadline.
+    #[test]
+    fn wedged_peer_surfaces_timeout_not_hang() {
+        use std::sync::mpsc::channel;
+        let mut cluster: ThreadedCluster<f32> = ThreadedCluster::new(2);
+        cluster.set_recv_deadline(Duration::from_millis(30));
+        let (release_tx, release_rx) = channel::<()>();
+        let release_rx = Mutex::new(Some(release_rx));
+        let results = cluster.run(move |rank, mut links| {
+            if rank == 0 {
+                // Wedge: keep the links alive (so no PeerLost fires) and
+                // send nothing until the peer has had time to give up.
+                let rx = release_rx
+                    .lock()
+                    .expect("release rx lock")
+                    .take()
+                    .expect("single wedged worker");
+                let _ = rx.recv_timeout(Duration::from_secs(5));
+                Ok(vec![])
+            } else {
+                let out = MessageLinks::recv(&mut links, 0);
+                let _ = release_tx.send(());
+                out
+            }
+        });
+        assert!(
+            matches!(results[1], Err(CollectiveError::Timeout { peer: 0, .. })),
+            "expected Timeout from a wedged peer, got {:?}",
+            results[1]
+        );
     }
 
     #[test]

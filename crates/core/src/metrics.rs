@@ -117,6 +117,13 @@ impl TtaCurve {
             .reduce(|a, b| self.direction.better(a, b))
     }
 
+    /// The first recorded metric. `None` when the curve is empty — a run
+    /// that crashed before its first eval produces exactly that, so
+    /// consumers must not unwrap.
+    pub fn first_metric(&self) -> Option<f64> {
+        self.points.first().map(|&(_, m)| m)
+    }
+
     /// The final (last-point) metric.
     pub fn final_metric(&self) -> Option<f64> {
         self.points.last().map(|&(_, m)| m)

@@ -157,6 +157,23 @@ pub struct TrainLog {
     pub survivors: usize,
 }
 
+impl TrainLog {
+    /// First recorded eval metric, or `None` when the run crashed before
+    /// its first eval (empty curve). Reporters must treat `None` as a
+    /// null field, not a panic — all-workers-dead-at-round-0 is a valid
+    /// degraded outcome.
+    pub fn first_metric(&self) -> Option<f64> {
+        self.curve.first_metric()
+    }
+
+    /// Last *recorded* eval metric, or `None` on an empty curve. Unlike
+    /// [`TrainLog::final_metric`] (which falls back to a fresh
+    /// `model.evaluate()`), this reflects only what the curve captured.
+    pub fn last_eval(&self) -> Option<f64> {
+        self.curve.final_metric()
+    }
+}
+
 /// One worker replica plus its per-round outputs, used by the parallel
 /// gradient path. `grads` is a persistent buffer refilled by
 /// `copy_from_slice` every round, so the steady state allocates nothing.
@@ -498,7 +515,7 @@ mod tests {
         let mut model = BertMini::new(2);
         let mut scheme = PrecisionBaseline::fp32();
         let log = Trainer::new(quick_config()).train(&mut model, &mut scheme, 0.5);
-        let first = log.curve.points.first().unwrap().1;
+        let first = log.first_metric().expect("run recorded evals");
         let last = log.final_metric;
         assert!(last < first, "perplexity should fall: {first} -> {last}");
         assert!((log.bits_per_coord - 32.0).abs() < 0.5);
@@ -511,7 +528,7 @@ mod tests {
         let mut scheme = TopKC::with_bits(2.0, 64, 2, true);
         let log = Trainer::new(quick_config()).train(&mut model, &mut scheme, 0.25);
         assert!(log.mean_vnmse > 1e-4, "vNMSE = {}", log.mean_vnmse);
-        assert!(log.final_metric < log.curve.points[0].1);
+        assert!(log.final_metric < log.first_metric().expect("run recorded evals"));
         assert!((log.bits_per_coord - 2.0).abs() < 0.5);
     }
 
@@ -550,7 +567,7 @@ mod tests {
         assert_eq!(times, vec![20.0, 40.0, 60.0, 74.0]);
         // final_metric is the metric of that last point, i.e. the model
         // after all 37 rounds — not the stale round-30 evaluation.
-        let last = log.curve.points.last().unwrap().1;
+        let last = log.last_eval().expect("run recorded evals");
         assert_eq!(log.final_metric, last);
         assert_eq!(log.final_metric, model.evaluate());
     }
@@ -568,7 +585,7 @@ mod tests {
         };
         let log = Trainer::new(cfg).train(&mut model, &mut scheme, 2.0);
         assert_eq!(log.curve.points.len(), 4);
-        assert_eq!(log.curve.points.last().unwrap().0, 80.0);
+        assert_eq!(log.curve.total_time(), 80.0);
     }
 
     #[test]
@@ -604,7 +621,7 @@ mod tests {
             ..quick_config()
         };
         let log = Trainer::new(cfg).train(&mut model, &mut scheme, 0.5);
-        let first = log.curve.points.first().unwrap().1;
+        let first = log.first_metric().expect("run recorded evals");
         assert!(
             log.final_metric < first,
             "Adam run did not improve: {first} -> {}",
@@ -763,6 +780,32 @@ mod tests {
         assert_eq!(log.survivors, 0);
         assert_eq!(log.fault_events.len(), 2);
         assert_eq!(log.fault_events[1].survivors, 0);
+    }
+
+    /// Regression for the reporter-panic bug: a run whose workers all die
+    /// before the first eval produces an *empty* TTA curve. The `Option`
+    /// accessors must surface that as `None` — consumers used to call
+    /// `curve.points.first().unwrap()` and abort the whole report.
+    #[test]
+    fn run_dead_before_first_eval_yields_none_not_panic() {
+        let mut model = BertMini::new(2);
+        let mut scheme = PrecisionBaseline::fp32();
+        let cfg = TrainerConfig {
+            n_workers: 2,
+            max_rounds: 30,
+            eval_every: 10,
+            faults: Some(gcs_faults::TrainFaultPlan::crash_at(0, 0).and_crash(0, 0)),
+            ..quick_config()
+        };
+        let log = Trainer::new(cfg).train(&mut model, &mut scheme, 0.5);
+        assert_eq!(log.rounds, 0);
+        assert_eq!(log.survivors, 0);
+        assert!(log.curve.points.is_empty());
+        assert_eq!(log.first_metric(), None);
+        assert_eq!(log.last_eval(), None);
+        // The struct-level final_metric still falls back to a live eval so
+        // downstream f64 consumers stay finite.
+        assert!(log.final_metric.is_finite());
     }
 
     /// The scheme contract extended to the runtime: an entire training run —

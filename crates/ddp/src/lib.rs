@@ -15,13 +15,20 @@
 //!   compression scheme's advantage survives overlap (the Espresso/CUPCAKE
 //!   dimension of Table 1).
 //! * [`experiments`] — canned configurations reproducing each figure.
+//! * [`fleet`] — transport-generic training rounds over the `MessageLinks`
+//!   seam: the same round body runs in-process (`ThreadedCluster`) or
+//!   across processes (`TcpLinks`), with a parameter checksum for bitwise
+//!   cross-transport comparison and elastic re-sync after membership
+//!   changes.
 
 pub mod bucketing;
 pub mod engine;
 pub mod experiments;
+pub mod fleet;
 pub mod throughput;
 
 pub use bucketing::{bucket_ranges, PipelineModel};
 pub use engine::{FaultEvent, OptimizerKind, TrainLog, Trainer, TrainerConfig};
 pub use experiments::{ExperimentPlan, Task};
+pub use fleet::{fleet_round, param_checksum, sync_params, FleetRoundOutcome};
 pub use throughput::{StepBreakdown, ThroughputModel};

@@ -10,16 +10,20 @@
 //! over randomized (seed, plan, op) triples; `bench_report` runs it on a
 //! canned plan to publish the `faults` section.
 
+use std::sync::{Arc, Mutex};
+
 use gcs_collectives::error::CollectiveError;
 use gcs_collectives::reduce::F32Sum;
+use gcs_collectives::tcp::{FleetWorker, Registry, TcpTimeouts};
 use gcs_collectives::transport::{
-    all_gather_worker, broadcast_worker, ring_all_reduce_worker, ThreadedCluster,
+    all_gather_worker, broadcast_worker, ring_all_reduce_worker, MessageLinks, ThreadedCluster,
 };
 use gcs_collectives::{all_gather, broadcast, ring_all_reduce};
 
 use crate::links::{FaultStats, FaultyLinks, Frame};
 use crate::plan::FaultPlan;
 use crate::policy::RetryPolicy;
+use crate::tcp::TcpFrameLinks;
 
 /// Which collective a chaos run exercises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +81,20 @@ pub fn reference(op: ChaosOp, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
     }
 }
 
+/// Runs `op`'s worker body over any [`MessageLinks`] — the shared core of
+/// the channel and socket chaos harnesses.
+fn run_op<L: MessageLinks<f32>>(
+    op: ChaosOp,
+    links: &mut L,
+    buf: Vec<f32>,
+) -> Result<Vec<f32>, CollectiveError> {
+    match op {
+        ChaosOp::Ring => ring_all_reduce_worker(links, buf, &F32Sum, 4.0).map(|(b, _, _)| b),
+        ChaosOp::Broadcast { root } => broadcast_worker(links, buf, root, 4.0).map(|(b, _, _)| b),
+        ChaosOp::AllGather => all_gather_worker(links, buf, 4.0).map(|(b, _, _)| b),
+    }
+}
+
 /// Runs `op` over a threaded cluster whose every link is wrapped in
 /// [`FaultyLinks`] under `plan`/`policy`, merges per-worker stats, and
 /// exports the `faults/*` counters to `gcs-metrics`.
@@ -94,18 +112,76 @@ pub fn run_chaos(
     let worker_results = cluster.run(move |rank, links| {
         let mut fl = FaultyLinks::new(links, plan.clone(), policy);
         let buf = inputs[rank].clone();
-        let result = match op {
-            ChaosOp::Ring => ring_all_reduce_worker(&mut fl, buf, &F32Sum, 4.0).map(|(b, _, _)| b),
-            ChaosOp::Broadcast { root } => {
-                broadcast_worker(&mut fl, buf, root, 4.0).map(|(b, _, _)| b)
-            }
-            ChaosOp::AllGather => all_gather_worker(&mut fl, buf, 4.0).map(|(b, _, _)| b),
-        };
+        let result = run_op(op, &mut fl, buf);
         (result, fl.into_stats())
     });
     let mut stats = FaultStats::default();
     let mut results = Vec::with_capacity(n);
     for (r, s) in worker_results {
+        stats.merge(&s);
+        results.push(r);
+    }
+    export_metrics(&stats, results.iter().filter(|r| r.is_err()).count());
+    ChaosOutcome { results, stats }
+}
+
+/// [`run_chaos`] over real sockets: the same fault plan, policy, and worker
+/// bodies, but every link is a TCP connection ([`TcpFrameLinks`] over a
+/// registry-rendezvoused mesh). A worker that crashes (injected
+/// `WorkerCrashed`) returns early and *drops its sockets* — so its peers
+/// observe the loss the way a real fleet would (reset/EOF), not through a
+/// shared-memory side channel. The chaos suite runs both harnesses and
+/// asserts identical recovery semantics.
+pub fn run_chaos_tcp(
+    op: ChaosOp,
+    inputs: Vec<Vec<f32>>,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+) -> ChaosOutcome {
+    let n = inputs.len();
+    if let ChaosOp::Broadcast { root } = op {
+        assert!(
+            root < n,
+            "run_chaos_tcp: root {root} out of range for n={n}"
+        );
+    }
+    let registry = Registry::spawn(n).expect("chaos registry bind");
+    let addr = registry.addr();
+    type WorkerSlot = Option<(Result<Vec<f32>, CollectiveError>, FaultStats)>;
+    let inputs = Arc::new(inputs);
+    let slots: Arc<Mutex<Vec<WorkerSlot>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let mut handles = Vec::new();
+    for _ in 0..n {
+        let inputs = Arc::clone(&inputs);
+        let slots = Arc::clone(&slots);
+        let plan = plan.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut worker =
+                FleetWorker::join(addr, TcpTimeouts::fast_test()).expect("chaos worker join");
+            let rs = worker.next_round(0).expect("chaos rendezvous");
+            let mut fl =
+                FaultyLinks::new(TcpFrameLinks::<f32>::new(worker.mesh_mut()), plan, policy);
+            let result = run_op(op, &mut fl, inputs[rs.rank].clone());
+            let stats = fl.into_stats();
+            slots.lock().expect("chaos slots")[rs.rank] = Some((result, stats));
+            // Graceful workers deregister; crashed/errored ones just drop
+            // (sockets close, registry sees EOF) — like a real process exit.
+            let _ = worker.leave();
+        }));
+    }
+    for h in handles {
+        h.join().expect("chaos tcp worker panicked");
+    }
+    registry.shutdown();
+    let worker_results = Arc::try_unwrap(slots)
+        .unwrap_or_else(|_| panic!("chaos slots still shared"))
+        .into_inner()
+        .expect("chaos slots");
+    let mut stats = FaultStats::default();
+    let mut results = Vec::with_capacity(n);
+    for slot in worker_results {
+        let (r, s) = slot.expect("chaos worker produced no result");
         stats.merge(&s);
         results.push(r);
     }
@@ -200,6 +276,41 @@ mod tests {
             }
         }
         assert!(outcome.aborted_workers() >= 1);
+    }
+
+    /// The socket harness obeys the same contract as the channel harness:
+    /// recoverable plans recover bitwise, crash plans end in typed errors.
+    #[test]
+    fn tcp_chaos_matches_channel_semantics() {
+        let inputs = canned_inputs(3, 19);
+        let expect = reference(ChaosOp::Ring, &inputs);
+        let plan = FaultPlan::degraded(41, 0.15, 0.1, 0.1);
+        let outcome = run_chaos_tcp(
+            ChaosOp::Ring,
+            inputs.clone(),
+            plan,
+            RetryPolicy::fast_test(),
+        );
+        assert!(outcome.recovered(), "{:?}", outcome.results);
+        for (rank, r) in outcome.results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &expect[rank], "rank {rank}");
+        }
+
+        let plan = FaultPlan::healthy().with_crash(1, 2);
+        let outcome = run_chaos_tcp(ChaosOp::Ring, inputs, plan, RetryPolicy::fast_test());
+        assert!(!outcome.recovered());
+        assert_eq!(outcome.stats.crashes, 1);
+        assert!(matches!(
+            outcome.results[1],
+            Err(CollectiveError::WorkerCrashed { rank: 1 })
+        ));
+        for (rank, r) in outcome.results.iter().enumerate() {
+            if rank != 1 {
+                if let Err(e) = r {
+                    assert!(e.is_peer_failure(), "rank {rank}: {e:?}");
+                }
+            }
+        }
     }
 
     /// Metrics capture: a chaos run publishes the faults/* counters.

@@ -24,6 +24,11 @@
 //! * [`chaos`] — the differential harness: run a real collective over
 //!   [`FaultyLinks`] and compare bitwise against the sequential reference;
 //!   exports `faults/*` counters and recovery-latency histograms.
+//! * [`tcp`] — the socket carrier: [`FaultyLinks`] is generic over
+//!   [`FrameTransport`], and [`TcpFrameLinks`] implements it over
+//!   `gcs-collectives`' `TcpMesh`, so the same chaos suite reruns over real
+//!   TCP connections (`run_chaos_tcp`) with process-realistic failure
+//!   signatures (reset/EOF instead of dropped channel ends).
 
 #![warn(missing_docs)]
 
@@ -31,8 +36,10 @@ pub mod chaos;
 pub mod links;
 pub mod plan;
 pub mod policy;
+pub mod tcp;
 
-pub use chaos::{canned_inputs, run_chaos, ChaosOp, ChaosOutcome};
-pub use links::{FaultStats, FaultyLinks, Frame};
+pub use chaos::{canned_inputs, run_chaos, run_chaos_tcp, ChaosOp, ChaosOutcome};
+pub use links::{FaultStats, FaultyLinks, Frame, FrameTransport};
 pub use plan::{CrashPoint, FaultPlan, Injection, TrainFaultPlan, WorkerCrash};
 pub use policy::RetryPolicy;
+pub use tcp::TcpFrameLinks;

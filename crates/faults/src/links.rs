@@ -55,6 +55,54 @@ pub enum Frame<T> {
     },
 }
 
+/// The carrier a [`FaultyLinks`] injects faults *over*: anything that can
+/// move [`Frame`]s point-to-point with bounded waits. Two implementations:
+/// [`WorkerLinks<Frame<T>>`] (in-process channels, the original PR 5 shape)
+/// and the TCP carrier in [`crate::tcp`] — so the same fault-injection
+/// protocol, and the same chaos suite, runs over real sockets unchanged.
+pub trait FrameTransport<T> {
+    /// This worker's rank.
+    fn rank(&self) -> usize;
+    /// Cluster size.
+    fn n(&self) -> usize;
+    /// Ships one frame to `peer`.
+    fn send_frame(&mut self, peer: usize, frame: Frame<T>) -> Result<(), CollectiveError>;
+    /// Blocks up to `timeout` for at least one frame from `peer`.
+    fn recv_frames(
+        &mut self,
+        peer: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Frame<T>>, CollectiveError>;
+    /// Non-blocking poll: `Ok(None)` when nothing from `peer` is queued.
+    fn try_recv_frames(&mut self, peer: usize) -> Result<Option<Vec<Frame<T>>>, CollectiveError>;
+}
+
+impl<T: Send + 'static> FrameTransport<T> for WorkerLinks<Frame<T>> {
+    fn rank(&self) -> usize {
+        WorkerLinks::rank(self)
+    }
+
+    fn n(&self) -> usize {
+        WorkerLinks::n(self)
+    }
+
+    fn send_frame(&mut self, peer: usize, frame: Frame<T>) -> Result<(), CollectiveError> {
+        WorkerLinks::send(self, peer, vec![frame])
+    }
+
+    fn recv_frames(
+        &mut self,
+        peer: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Frame<T>>, CollectiveError> {
+        WorkerLinks::recv_timeout(self, peer, timeout)
+    }
+
+    fn try_recv_frames(&mut self, peer: usize) -> Result<Option<Vec<Frame<T>>>, CollectiveError> {
+        WorkerLinks::try_recv(self, peer)
+    }
+}
+
 /// Counters describing what a run injected and how the protocol coped.
 /// Deterministic for a given plan and message schedule (latency samples are
 /// wall-clock and vary, but the *counts* do not).
@@ -113,11 +161,12 @@ struct Pending<T> {
     first_sent: Instant,
 }
 
-/// A worker's faulty view of the cluster: wraps [`WorkerLinks`] carrying
-/// [`Frame`]s, injects the plan's faults on transmission, and recovers via
-/// ack-and-resend under the policy's bounded backoff.
-pub struct FaultyLinks<T> {
-    inner: WorkerLinks<Frame<T>>,
+/// A worker's faulty view of the cluster: wraps a [`FrameTransport`]
+/// carrying [`Frame`]s (in-process channels by default, TCP via
+/// [`crate::tcp`]), injects the plan's faults on transmission, and recovers
+/// via ack-and-resend under the policy's bounded backoff.
+pub struct FaultyLinks<T, R = WorkerLinks<Frame<T>>> {
+    inner: R,
     plan: FaultPlan,
     policy: RetryPolicy,
     /// Link operations performed (crash-trigger clock).
@@ -135,9 +184,9 @@ pub struct FaultyLinks<T> {
     pub stats: FaultStats,
 }
 
-impl<T: Clone + Send + 'static> FaultyLinks<T> {
+impl<T: Clone + Send + 'static, R: FrameTransport<T>> FaultyLinks<T, R> {
     /// Wraps `inner` with the given plan and policy.
-    pub fn new(inner: WorkerLinks<Frame<T>>, plan: FaultPlan, policy: RetryPolicy) -> Self {
+    pub fn new(inner: R, plan: FaultPlan, policy: RetryPolicy) -> Self {
         let n = inner.n();
         FaultyLinks {
             inner,
@@ -213,7 +262,7 @@ impl<T: Clone + Send + 'static> FaultyLinks<T> {
     /// acks stay readable. If the send fails and a buffered ack settles the
     /// pending frame, nothing was actually lost.
     fn send_data(&mut self, peer: usize, frame: Frame<T>) -> Result<(), CollectiveError> {
-        match self.inner.send(peer, vec![frame]) {
+        match self.inner.send_frame(peer, frame) {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.try_drain(peer)?;
@@ -226,13 +275,9 @@ impl<T: Clone + Send + 'static> FaultyLinks<T> {
         }
     }
 
-    fn send_frame(&self, peer: usize, frame: Frame<T>) -> Result<(), CollectiveError> {
-        self.inner.send(peer, vec![frame])
-    }
-
     /// Non-blocking drain of one peer's channel.
     fn try_drain(&mut self, peer: usize) -> Result<(), CollectiveError> {
-        while let Ok(Some(frames)) = self.inner.try_recv(peer) {
+        while let Ok(Some(frames)) = self.inner.try_recv_frames(peer) {
             for frame in frames {
                 match frame {
                     Frame::Ack { seq } => self.on_ack(peer, seq),
@@ -269,13 +314,13 @@ impl<T: Clone + Send + 'static> FaultyLinks<T> {
                 self.recv_seq[peer] += 1;
                 // Best-effort ack: a peer that vanished after sending will
                 // surface as PeerLost on the next op that truly needs it.
-                let _ = self.send_frame(peer, Frame::Ack { seq });
+                let _ = self.inner.send_frame(peer, Frame::Ack { seq });
                 self.inbox[peer].push_back(payload);
                 Ok(())
             }
             Ordering::Less => {
                 self.stats.dups_discarded += 1;
-                let _ = self.send_frame(peer, Frame::Ack { seq });
+                let _ = self.inner.send_frame(peer, Frame::Ack { seq });
                 Ok(())
             }
             Ordering::Greater => Err(CollectiveError::Protocol {
@@ -290,7 +335,7 @@ impl<T: Clone + Send + 'static> FaultyLinks<T> {
 
     /// Drains one incoming frame from `peer` within `timeout`.
     fn pump(&mut self, peer: usize, timeout: Duration) -> Result<(), CollectiveError> {
-        let frames = self.inner.recv_timeout(peer, timeout)?;
+        let frames = self.inner.recv_frames(peer, timeout)?;
         for frame in frames {
             match frame {
                 Frame::Ack { seq } => self.on_ack(peer, seq),
@@ -369,7 +414,7 @@ impl<T: Clone + Send + 'static> FaultyLinks<T> {
     }
 }
 
-impl<T: Clone + Send + 'static> MessageLinks<T> for FaultyLinks<T> {
+impl<T: Clone + Send + 'static, R: FrameTransport<T>> MessageLinks<T> for FaultyLinks<T, R> {
     fn rank(&self) -> usize {
         self.inner.rank()
     }

@@ -7,17 +7,21 @@
 //! throughput, missing suite) fails the build rather than poisoning the
 //! trajectory.
 //!
-//! Schema (version 4 — version 2 added the required `hotpath` rows of
+//! Schema (version 5 — version 2 added the required `hotpath` rows of
 //! steady-state allocation counts and pooled-vs-unpooled throughput;
 //! version 3 added the required `faults` object summarizing a canned
 //! chaos run through the fault-injecting transport; version 4 restructured
 //! `hotpath` into an object with the per-path `paths` rows plus a required
 //! `flat` subsection comparing a whole-model single-call collective round
-//! against the pre-arena per-layer storage discipline):
+//! against the pre-arena per-layer storage discipline; version 5 added the
+//! required `transport` subsection comparing the socket mesh against the
+//! in-process channel transport — ring latency tails on both, total wire
+//! bytes, join/reconnect counters, a bitwise-identity flag, and the
+//! nullable first/final metrics of a quick fleet training run):
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "id": "PR6",
 //!   "mode": "fast",
 //!   "dim": 16384,
@@ -47,19 +51,29 @@
 //!     "injected": 37, "retried": 21, "recovered": 19, "aborted": 1,
 //!     "crashed": 1, "recovered_workers": 4, "aborted_workers": 4,
 //!     "recovery_p50_ns": 10400000.0, "recovery_p99_ns": 31000000.0
+//!   },
+//!   "transport": {
+//!     "threaded_ring_p50_ns": 210000.0, "threaded_ring_p99_ns": 410000.0,
+//!     "tcp_ring_p50_ns": 830000.0, "tcp_ring_p99_ns": 1400000.0,
+//!     "wire_bytes_total": 786432, "joins": 4, "reconnects": 0,
+//!     "identical": 1,
+//!     "fleet_first_metric": 2.31, "fleet_final_metric": 2.05
 //!   }
 //! }
 //! ```
 //!
-//! `vnmse` may be `null` for schemes where it is undefined, and the two
-//! `recovery_*_ns` quantiles may be `null` when no frame needed recovery;
-//! every other numeric field must be present and finite (the JSON renderer
-//! writes non-finite numbers as `null`, which this validator rejects).
+//! `vnmse` may be `null` for schemes where it is undefined, the two
+//! `recovery_*_ns` quantiles may be `null` when no frame needed recovery,
+//! and the two `fleet_*_metric` fields may be `null` when the fleet run
+//! recorded no eval points (a run that died before its first eval —
+//! reporters emit the null rather than aborting); every other numeric
+//! field must be present and finite (the JSON renderer writes non-finite
+//! numbers as `null`, which this validator rejects).
 
 use crate::json::Json;
 
 /// Current artifact schema version.
-pub const SCHEMA_VERSION: f64 = 4.0;
+pub const SCHEMA_VERSION: f64 = 5.0;
 
 /// Top-level numeric fields every artifact must carry.
 const TOP_NUM_FIELDS: [&str; 4] = ["schema_version", "dim", "rounds", "workers"];
@@ -99,6 +113,20 @@ const FAULT_NUM_FIELDS: [&str; 7] = [
 ];
 /// Nullable recovery-latency quantiles in the `faults` object.
 const FAULT_NULLABLE_FIELDS: [&str; 2] = ["recovery_p50_ns", "recovery_p99_ns"];
+/// Required non-negative numerics in the `transport` object (schema v5).
+const TRANSPORT_NUM_FIELDS: [&str; 8] = [
+    "threaded_ring_p50_ns",
+    "threaded_ring_p99_ns",
+    "tcp_ring_p50_ns",
+    "tcp_ring_p99_ns",
+    "wire_bytes_total",
+    "joins",
+    "reconnects",
+    "identical",
+];
+/// Nullable fleet-training metrics in the `transport` object: null when
+/// the run recorded no eval points (empty TTA curve).
+const TRANSPORT_NULLABLE_FIELDS: [&str; 2] = ["fleet_first_metric", "fleet_final_metric"];
 
 /// Validates a parsed `BENCH_*.json` document. Returns the first problem
 /// found as a human-readable message.
@@ -214,6 +242,37 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             }
         }
     }
+
+    let transport = doc
+        .get("transport")
+        .ok_or("missing \"transport\" object (schema v5)")?;
+    if transport.as_object().is_none() {
+        return Err("\"transport\" must be a JSON object".to_string());
+    }
+    for field in TRANSPORT_NUM_FIELDS {
+        let v = finite_num(transport, field).map_err(|e| format!("transport: {e}"))?;
+        if v < 0.0 {
+            return Err(format!("transport: {field} must be non-negative"));
+        }
+    }
+    let identical = finite_num(transport, "identical")?;
+    if identical != 0.0 && identical != 1.0 {
+        return Err(format!(
+            "transport: identical must be 0 or 1, got {identical}"
+        ));
+    }
+    for field in TRANSPORT_NULLABLE_FIELDS {
+        match transport.get(field) {
+            None => return Err(format!("transport: missing field {field:?}")),
+            Some(Json::Null) => {}
+            Some(Json::Num(v)) if v.is_finite() => {}
+            Some(_) => {
+                return Err(format!(
+                    "transport: {field} must be a finite number or null"
+                ))
+            }
+        }
+    }
     Ok(())
 }
 
@@ -239,7 +298,7 @@ mod tests {
     fn valid_doc() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 4, "id": "PR6", "mode": "fast",
+              "schema_version": 5, "id": "PR7", "mode": "fast",
               "dim": 16384, "rounds": 3, "workers": 4,
               "kernels": [
                 {"name": "topk", "throughput_elems_per_s": 1.0e8,
@@ -270,6 +329,13 @@ mod tests {
                 "injected": 37, "retried": 21, "recovered": 19, "aborted": 1,
                 "crashed": 1, "recovered_workers": 4, "aborted_workers": 4,
                 "recovery_p50_ns": 10400000.0, "recovery_p99_ns": null
+              },
+              "transport": {
+                "threaded_ring_p50_ns": 210000.0, "threaded_ring_p99_ns": 410000.0,
+                "tcp_ring_p50_ns": 830000.0, "tcp_ring_p99_ns": 1400000.0,
+                "wire_bytes_total": 786432, "joins": 4, "reconnects": 0,
+                "identical": 1,
+                "fleet_first_metric": 2.31, "fleet_final_metric": null
               }
             }"#,
         )
@@ -329,6 +395,12 @@ mod tests {
             (&["faults"][..], "recovered"),
             (&["faults"][..], "aborted"),
             (&["faults"][..], "recovery_p50_ns"),
+            (&[][..], "transport"),
+            (&["transport"][..], "tcp_ring_p50_ns"),
+            (&["transport"][..], "wire_bytes_total"),
+            (&["transport"][..], "identical"),
+            (&["transport"][..], "fleet_first_metric"),
+            (&["transport"][..], "fleet_final_metric"),
         ] {
             let doc = without_field(&valid_doc(), path, field);
             assert!(
@@ -365,10 +437,31 @@ mod tests {
             .render()
             .replace("\"mode\":\"fast\"", "\"mode\":\"warp\"");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
-        // Pre-flat-arena version-3 artifacts are rejected by the v4 validator.
+        // Pre-transport version-4 artifacts are rejected by the v5 validator.
         let text = valid_doc()
             .render()
-            .replace("\"schema_version\":4", "\"schema_version\":3");
+            .replace("\"schema_version\":5", "\"schema_version\":4");
+        assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn transport_identity_flag_and_null_fleet_metrics() {
+        // `identical` must be exactly 0 or 1…
+        let text = valid_doc()
+            .render()
+            .replace("\"identical\":1", "\"identical\":0.5");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("identical"), "{err}");
+        // …a null fleet metric is legal (run died before its first eval)…
+        let text = valid_doc()
+            .render()
+            .replace("\"fleet_first_metric\":2.31", "\"fleet_first_metric\":null");
+        assert_eq!(validate_bench_json(&Json::parse(&text).unwrap()), Ok(()));
+        // …but a string is not.
+        let text = valid_doc().render().replace(
+            "\"fleet_first_metric\":2.31",
+            "\"fleet_first_metric\":\"nan\"",
+        );
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
     }
 

@@ -96,6 +96,57 @@ impl Degradation {
     }
 }
 
+/// Why a [`Degradation`] cannot be admitted into a schedule. Rejecting the
+/// bad event *at insertion* is what lets the event loop sort with
+/// `f64::total_cmp` and never meet a NaN mid-simulation (the seed sorted
+/// with `partial_cmp(..).expect("finite event times")`, which panicked at
+/// simulation time — long after the buggy value was constructed, e.g. by a
+/// `0/0` in a degraded-link computation).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlowSimError {
+    /// The event's node id does not exist in this network.
+    NodeOutOfRange {
+        /// Offending node id.
+        node: usize,
+        /// Number of nodes in the network.
+        len: usize,
+    },
+    /// The event time is NaN, infinite, or negative.
+    BadEventTime {
+        /// Offending time.
+        at: f64,
+    },
+    /// A capacity factor is NaN, infinite, or negative.
+    BadFactor {
+        /// Offending factor (egress or ingress).
+        factor: f64,
+    },
+}
+
+impl std::fmt::Display for FlowSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowSimError::NodeOutOfRange { node, len } => {
+                write!(
+                    f,
+                    "degradation: node {node} out of range (network has {len})"
+                )
+            }
+            FlowSimError::BadEventTime { at } => {
+                write!(f, "degradation: bad time {at} (must be finite and >= 0)")
+            }
+            FlowSimError::BadFactor { factor } => {
+                write!(
+                    f,
+                    "degradation: bad factor {factor} (must be finite and >= 0)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowSimError {}
+
 /// A network of `n` nodes, each with independent egress and ingress
 /// capacity (full-duplex NIC model), plus an optional schedule of mid-run
 /// capacity changes ([`Degradation`]).
@@ -128,26 +179,40 @@ impl Network {
     /// node's *baseline* capacities (piecewise-constant, last event wins),
     /// so two successive events don't compound.
     ///
-    /// # Panics
-    /// Panics on an out-of-range node, a negative factor, or a
-    /// non-finite/negative time — malformed schedules are caller bugs.
-    pub fn with_degradation(mut self, d: Degradation) -> Network {
-        assert!(
-            d.node < self.len(),
-            "degradation: node {} out of range",
-            d.node
-        );
-        assert!(
-            d.at.is_finite() && d.at >= 0.0,
-            "degradation: bad time {}",
-            d.at
-        );
-        assert!(
-            d.egress_factor >= 0.0 && d.ingress_factor >= 0.0,
-            "degradation: negative factor"
-        );
+    /// Rejects malformed events with a typed [`FlowSimError`]: out-of-range
+    /// node, non-finite/negative time (NaN from a `0/0` in a degraded-link
+    /// computation lands here, at insertion, instead of panicking the event
+    /// sort mid-simulation), or non-finite/negative factor.
+    pub fn try_with_degradation(mut self, d: Degradation) -> Result<Network, FlowSimError> {
+        if d.node >= self.len() {
+            return Err(FlowSimError::NodeOutOfRange {
+                node: d.node,
+                len: self.len(),
+            });
+        }
+        if !d.at.is_finite() || d.at < 0.0 {
+            return Err(FlowSimError::BadEventTime { at: d.at });
+        }
+        for factor in [d.egress_factor, d.ingress_factor] {
+            if !factor.is_finite() || factor < 0.0 {
+                return Err(FlowSimError::BadFactor { factor });
+            }
+        }
         self.degradations.push(d);
-        self
+        Ok(self)
+    }
+
+    /// Panicking convenience over [`Network::try_with_degradation`] for
+    /// builder chains whose schedules are statically known good.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range node, a non-finite/negative factor, or a
+    /// non-finite/negative time — malformed schedules are caller bugs.
+    pub fn with_degradation(self, d: Degradation) -> Network {
+        match self.try_with_degradation(d) {
+            Ok(net) => net,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of nodes.
@@ -242,7 +307,9 @@ impl Network {
         let mut egress = self.egress.clone();
         let mut ingress = self.ingress.clone();
         let mut events = self.degradations.clone();
-        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite event times"));
+        // Total order: insertion validation guarantees finite times, and
+        // `total_cmp` cannot panic even if that invariant is ever violated.
+        events.sort_by(|a, b| a.at.total_cmp(&b.at));
         let mut next_event = 0usize;
 
         let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.max(0.0)).collect();
@@ -668,5 +735,62 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn degradation_rejects_bad_node() {
         let _ = Network::homogeneous(2, GB).with_degradation(Degradation::cut(0.0, 5));
+    }
+
+    #[test]
+    fn try_with_degradation_returns_typed_errors() {
+        let net = || Network::homogeneous(2, GB);
+        assert_eq!(
+            net()
+                .try_with_degradation(Degradation::cut(0.0, 5))
+                .unwrap_err(),
+            FlowSimError::NodeOutOfRange { node: 5, len: 2 }
+        );
+        match net().try_with_degradation(Degradation::cut(f64::NAN, 0)) {
+            Err(FlowSimError::BadEventTime { at }) => assert!(at.is_nan()),
+            other => panic!("NaN time admitted: {other:?}"),
+        }
+        assert_eq!(
+            net()
+                .try_with_degradation(Degradation::cut(-1.0, 0))
+                .unwrap_err(),
+            FlowSimError::BadEventTime { at: -1.0 }
+        );
+        match net().try_with_degradation(Degradation::slowdown(0.0, 0, f64::NAN)) {
+            Err(FlowSimError::BadFactor { factor }) => assert!(factor.is_nan()),
+            other => panic!("NaN factor admitted: {other:?}"),
+        }
+        // The seed's asserts let +inf through (`inf >= 0.0` holds); the
+        // typed path rejects every non-finite factor.
+        assert_eq!(
+            net()
+                .try_with_degradation(Degradation::slowdown(0.0, 0, f64::INFINITY))
+                .unwrap_err(),
+            FlowSimError::BadFactor {
+                factor: f64::INFINITY
+            }
+        );
+        // A good event is admitted and the error type renders usefully.
+        assert!(net().try_with_degradation(Degradation::cut(1.0, 1)).is_ok());
+        let msg = FlowSimError::BadEventTime { at: f64::NAN }.to_string();
+        assert!(msg.contains("bad time"), "{msg}");
+    }
+
+    #[test]
+    fn zero_capacity_zero_size_flow_stays_finite() {
+        // Degenerate corner the ISSUE pins: a link cut to zero capacity at
+        // t=0 carrying a zero-byte flow. Nothing needs to move, so the flow
+        // completes instantly instead of aborting or dividing 0/0 into the
+        // event queue.
+        let net = Network::homogeneous(2, GB).with_degradation(Degradation::cut(0.0, 0));
+        let r = net.simulate(&[Flow {
+            src: 0,
+            dst: 1,
+            bytes: 0.0,
+        }]);
+        assert_eq!(r.completion, vec![0.0]);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.aborted_count(), 0);
+        assert!(r.completion.iter().all(|t| t.is_finite()));
     }
 }

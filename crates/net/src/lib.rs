@@ -27,5 +27,5 @@
 pub mod flowsim;
 pub mod timing;
 
-pub use flowsim::{Degradation, Flow, FlowReport, Network};
+pub use flowsim::{Degradation, Flow, FlowReport, FlowSimError, Network};
 pub use timing::{ClusterSpec, Collective, HierarchicalSpec};

