@@ -12,14 +12,19 @@
 //! socket mesh (`TcpCluster`) against the in-process channel transport
 //! (`ThreadedCluster`) on the same ring-all-reduce worker body (latency
 //! tails, wire bytes, join/reconnect counters, a bitwise-identity flag)
-//! plus the nullable first/final metrics of a quick training run —
-//! alongside the other two exporters — a Prometheus text-format snapshot
-//! and a JSONL time-series dump — of everything the run captured into the
-//! `gcs-metrics` registry.
+//! plus the nullable first/final metrics of a quick training run, and —
+//! schema v6 — a `fleet_observability` section exercising the telemetry
+//! plane end-to-end in-process (four shippers against a live collector:
+//! clock-handshake offsets, per-round ship latency vs a training round, a
+//! real HTTP scrape, merged-trace span counts, flight-recorder depth, and
+//! membership-event accounting, with the merged Chrome trace written
+//! alongside the artifact) — alongside the other two exporters — a
+//! Prometheus text-format snapshot and a JSONL time-series dump — of
+//! everything the run captured into the `gcs-metrics` registry.
 //!
 //! Usage:
 //!   cargo run -p gcs-bench --release --bin bench_report -- [--fast]
-//!       [--id PR7] [--out path.json]
+//!       [--id PR8] [--out path.json]
 //!   cargo run -p gcs-bench --release --bin bench_report -- --validate path.json
 //!
 //! `--fast` shrinks the gradient dimension and round count for CI; the
@@ -64,7 +69,7 @@ struct Cli {
 fn parse_args() -> Cli {
     let mut cli = Cli {
         fast: false,
-        id: "PR7".to_string(),
+        id: "PR8".to_string(),
         out: None,
         validate: None,
     };
@@ -700,6 +705,146 @@ fn main() {
         ])
     };
 
+    // Fleet-observability section (ISSUE 8): the telemetry plane measured
+    // end-to-end in one process — four shippers clock-handshake against a
+    // live collector, ship representative per-round payloads (trace +
+    // registry snapshot + flight JSONL), and the scrape/merge/membership
+    // surfaces are exercised for real. `overhead_pct` is the headline
+    // contract: shipping one round's telemetry vs computing one round.
+    let (fleet_obs, fleet_trace) = {
+        use gcs_collectives::telemetry::{TelemetryCollector, TelemetryConfig, TelemetryShipper};
+        use gcs_metrics::fleet::{FlightRecorder, ROUND_HIST, WIRE_BYTES_COUNTER};
+        use gcs_nn::Sgd;
+        use std::io::{Read, Write};
+
+        let workers = n as u64;
+        let collector = TelemetryCollector::spawn(TelemetryConfig::default()).expect("collector");
+        let mut shippers: Vec<TelemetryShipper> = (0..workers)
+            .map(|w| TelemetryShipper::connect(collector.addr(), 100 + w).expect("shipper"))
+            .collect();
+        let clock_offset_max_abs_ns = shippers
+            .iter()
+            .map(|s| s.clock_offset_ns().unsigned_abs())
+            .max()
+            .unwrap_or(0);
+
+        // The denominator: one local training round, timed the same way the
+        // worker binary feeds `fleet/round_ns`.
+        let mut model = VggMini::new(7);
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let mut round_hist = Histogram::new();
+        let iters = if cli.fast { 3 } else { 7 };
+        for r in 0..iters {
+            let t0 = Instant::now();
+            let batch = model.train_batch(8, 0, r);
+            let _loss = model.forward_backward(&batch);
+            let g = model.grads_flat().to_vec();
+            opt.step_into(model.params_flat_mut(), &g);
+            round_hist.record(t0.elapsed().as_nanos() as f64);
+        }
+
+        // Representative per-round payloads: a recorded round's spans, a
+        // populated registry, a warm flight recorder.
+        let trace = gcs_trace::with_recording(|| {
+            for _ in 0..8 {
+                let _c = gcs_trace::span(gcs_trace::Phase::Compute, "bench_compute");
+                let _s = gcs_trace::span(gcs_trace::Phase::Network, "bench_all_reduce");
+                gcs_trace::counter("fleet_wire_bytes", 4096.0);
+            }
+        });
+        let mut snapshot = Registry::new();
+        for r in 0..16 {
+            snapshot.observe(ROUND_HIST, 1.0e6 + r as f64 * 1.0e4);
+            snapshot.counter_add(WIRE_BYTES_COUNTER, 4096.0);
+        }
+        let mut flight = FlightRecorder::new();
+        flight.record_trace(&trace);
+        flight.record_event("bench", "fleet observability section");
+        let jsonl = flight.to_jsonl();
+
+        // The numerator: every shipper sends one full round of telemetry,
+        // each send timed into the ship histogram.
+        let mut ship_hist = Histogram::new();
+        for _ in 0..iters.max(5) {
+            for (r, s) in shippers.iter_mut().enumerate() {
+                let t0 = Instant::now();
+                s.ship_trace(r as u64, &trace).expect("ship trace");
+                s.ship_snapshot(r as u64, 1, &snapshot)
+                    .expect("ship snapshot");
+                s.ship_flight(r as u64, &jsonl).expect("ship flight");
+                ship_hist.record(t0.elapsed().as_nanos() as f64);
+            }
+        }
+
+        // A real HTTP scrape of the live collector.
+        let scrape_bytes = {
+            let mut stream = std::net::TcpStream::connect(collector.addr()).expect("scrape");
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+                .expect("scrape request");
+            let mut response = String::new();
+            stream
+                .read_to_string(&mut response)
+                .expect("scrape response");
+            assert!(
+                response.starts_with("HTTP/1.1 200"),
+                "scrape failed: {response}"
+            );
+            response
+                .split_once("\r\n\r\n")
+                .map(|(_, body)| body.len())
+                .unwrap_or(0) as u64
+        };
+
+        // Membership churn: three shippers leave cleanly, one dies (socket
+        // dropped without BYE) — the collector must account all of it.
+        for (i, mut s) in shippers.into_iter().enumerate() {
+            if i > 0 {
+                s.bye().expect("bye");
+            } // i == 0: dropped without BYE → death
+        }
+        let deadline = Instant::now() + std::time::Duration::from_secs(20);
+        let events = loop {
+            let ev = collector.events();
+            let deaths = ev.iter().filter(|e| e.kind == "death").count();
+            let leaves = ev.iter().filter(|e| e.kind == "leave").count();
+            if (deaths >= 1 && leaves >= workers as usize - 1) || Instant::now() > deadline {
+                break ev;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let merged_trace = collector.merged_chrome_json();
+        let merged_spans = merged_trace.matches("\"ph\":\"X\"").count() as u64;
+        let (frames_total, bytes_total) = collector.aggregator().transfer_totals();
+        let ship_p50 = ship_hist.p50().unwrap_or(f64::NAN);
+        let round_p50 = round_hist.p50().unwrap_or(f64::NAN);
+        let overhead_pct = ship_p50 / round_p50 * 100.0;
+        println!(
+            "  fleet-obs ship p50 {ship_p50:>9.0} ns  round p50 {round_p50:>11.0} ns  overhead {overhead_pct:.4}%  spans {merged_spans}  events {}",
+            events.len()
+        );
+        (
+            obj(vec![
+                ("workers", Json::Num(workers as f64)),
+                ("frames_total", Json::Num(frames_total as f64)),
+                ("bytes_total", Json::Num(bytes_total as f64)),
+                ("scrape_bytes", Json::Num(scrape_bytes as f64)),
+                ("merged_spans", Json::Num(merged_spans as f64)),
+                (
+                    "clock_offset_max_abs_ns",
+                    Json::Num(clock_offset_max_abs_ns as f64),
+                ),
+                ("ship_p50_ns", Json::Num(ship_p50)),
+                ("round_p50_ns", Json::Num(round_p50)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+                ("flight_entries", Json::Num(flight.len() as f64)),
+                ("membership_events", Json::Num(events.len() as f64)),
+            ]),
+            merged_trace,
+        )
+    };
+
     let doc = obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("id", Json::Str(cli.id.clone())),
@@ -715,6 +860,7 @@ fn main() {
         ),
         ("faults", faults),
         ("transport", transport),
+        ("fleet_observability", fleet_obs),
     ]);
 
     let out = cli.out.unwrap_or_else(|| {
@@ -726,6 +872,15 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
     std::fs::write(&out, doc.render_pretty()).expect("write BENCH json");
+
+    // The merged Chrome trace from the fleet-observability section lands
+    // next to the artifact — loadable in chrome://tracing / Perfetto.
+    let trace_out = out
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join(format!("fleet_trace_{}.json", cli.id));
+    std::fs::write(&trace_out, &fleet_trace).expect("write fleet trace");
+    println!("wrote {}", trace_out.display());
 
     // Self-validate the artifact we just wrote: round-trip through the
     // parser and the schema checker, so a fast CI run proves the contract.

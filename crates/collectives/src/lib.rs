@@ -26,6 +26,11 @@
 //!   loss, retry exhaustion, injected crashes. Transports return these
 //!   instead of panicking, which is what lets the `gcs-faults` layer and
 //!   the chaos suite exercise degraded fabrics.
+//! * [`telemetry`] — the fleet telemetry plane: each worker ships registry
+//!   snapshots, trace spans, and its crash flight recorder over a second
+//!   framed TCP connection to a [`telemetry::TelemetryCollector`], which
+//!   merges fleet-wide aggregates, aligns clocks, serves a live Prometheus
+//!   `GET /metrics` scrape, and dumps a dead worker's last flight recorder.
 //! * [`tcp`] — the socket transport: length-prefixed frames over localhost
 //!   TCP in a connection-per-directed-link mesh, plus the rendezvous
 //!   registry and join/leave membership protocol that make the fleet
@@ -39,6 +44,7 @@ pub mod error;
 pub mod ops;
 pub mod reduce;
 pub mod tcp;
+pub mod telemetry;
 pub mod transport;
 
 pub use advanced::{double_tree_all_reduce, hierarchical_ring_all_reduce};
@@ -51,6 +57,9 @@ pub use ops::{
 pub use reduce::{F16Sum, F32Max, F32Sum, ReduceOp, SaturatingIntSum, WideIntSum, WrappingIntSum};
 pub use tcp::{
     FleetWorker, Registry, RoundStart, TcpCluster, TcpLinks, TcpMesh, TcpTimeouts, WireElem,
+};
+pub use telemetry::{
+    FleetEvent, TelemetryCollector, TelemetryConfig, TelemetryShipper, TELEMETRY_MAGIC,
 };
 pub use transport::{
     all_gather_worker, broadcast_worker, ring_all_reduce_worker, threaded_ring_all_reduce,

@@ -139,7 +139,7 @@ pub fn decode_elems<T: WireElem>(bytes: &[u8], peer: usize) -> Result<Vec<T>, Co
 // ---------------------------------------------------------------------------
 
 /// Why a frame read ended without a frame.
-enum RecvFail {
+pub(crate) enum RecvFail {
     /// The peer closed the connection (process exit, SIGKILL, reset).
     Closed,
     /// Nothing (or an incomplete frame) arrived within the deadline.
@@ -150,13 +150,13 @@ enum RecvFail {
 
 /// A `TcpStream` carrying `u32`-length-prefixed frames, with a read-side
 /// reassembly buffer so bounded reads never lose partial frames.
-struct FramedStream {
+pub(crate) struct FramedStream {
     stream: TcpStream,
     rbuf: Vec<u8>,
 }
 
 impl FramedStream {
-    fn new(stream: TcpStream) -> FramedStream {
+    pub(crate) fn new(stream: TcpStream) -> FramedStream {
         let _ = stream.set_nodelay(true);
         FramedStream {
             stream,
@@ -165,7 +165,7 @@ impl FramedStream {
     }
 
     /// Writes one frame (length prefix + payload) in a single `write_all`.
-    fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+    pub(crate) fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
         let mut buf = Vec::with_capacity(4 + payload.len());
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(payload);
@@ -173,7 +173,7 @@ impl FramedStream {
     }
 
     /// Pops a complete frame from the reassembly buffer, if one is there.
-    fn pop_frame(&mut self) -> Result<Option<Vec<u8>>, RecvFail> {
+    pub(crate) fn pop_frame(&mut self) -> Result<Option<Vec<u8>>, RecvFail> {
         if self.rbuf.len() < 4 {
             return Ok(None);
         }
@@ -193,7 +193,7 @@ impl FramedStream {
     }
 
     /// Blocks for up to `deadline` assembling one frame.
-    fn recv_frame(&mut self, deadline: Duration) -> Result<Vec<u8>, RecvFail> {
+    pub(crate) fn recv_frame(&mut self, deadline: Duration) -> Result<Vec<u8>, RecvFail> {
         let t0 = Instant::now();
         let mut chunk = [0u8; 64 * 1024];
         loop {
@@ -221,7 +221,7 @@ impl FramedStream {
 
     /// Non-blocking poll: drains whatever bytes are ready, then pops at most
     /// one frame.
-    fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, RecvFail> {
+    pub(crate) fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, RecvFail> {
         let mut chunk = [0u8; 64 * 1024];
         let _ = self.stream.set_nonblocking(true);
         let drained = loop {

@@ -63,15 +63,25 @@ pub fn fleet_round<L: MessageLinks<f32>>(
 ) -> Result<FleetRoundOutcome, CollectiveError> {
     let rank = links.rank();
     let n = links.n();
-    let batch = model.train_batch(batch_per_worker, rank, round);
-    let loss = model.forward_backward(&batch);
-    let grads = model.grads_flat().to_vec();
-    let (mut sum, bytes_sent, bytes_received) = ring_all_reduce_worker(links, grads, &F32Sum, 4.0)?;
-    let inv = 1.0 / n as f32;
-    for g in &mut sum {
-        *g *= inv;
+    let (loss, grads) = {
+        let _s = gcs_trace::span(gcs_trace::Phase::Compute, "fleet_compute");
+        let batch = model.train_batch(batch_per_worker, rank, round);
+        let loss = model.forward_backward(&batch);
+        (loss, model.grads_flat().to_vec())
+    };
+    let (mut sum, bytes_sent, bytes_received) = {
+        let _s = gcs_trace::span(gcs_trace::Phase::Network, "fleet_all_reduce");
+        ring_all_reduce_worker(links, grads, &F32Sum, 4.0)?
+    };
+    gcs_trace::counter("fleet_wire_bytes", (bytes_sent + bytes_received) as f64);
+    {
+        let _s = gcs_trace::span(gcs_trace::Phase::Optimizer, "fleet_sgd_step");
+        let inv = 1.0 / n as f32;
+        for g in &mut sum {
+            *g *= inv;
+        }
+        opt.step_into(model.params_flat_mut(), &sum);
     }
-    opt.step_into(model.params_flat_mut(), &sum);
     Ok(FleetRoundOutcome {
         loss,
         bytes_sent,
@@ -91,6 +101,7 @@ pub fn sync_params<L: MessageLinks<f32>>(
     opt: &mut Sgd,
     links: &mut L,
 ) -> Result<(), CollectiveError> {
+    let _s = gcs_trace::span(gcs_trace::Phase::Network, "fleet_sync_params");
     let params = model.params_flat().to_vec();
     let (params, _, _) = broadcast_worker(links, params, 0, 4.0)?;
     model.set_flat_params(&params);

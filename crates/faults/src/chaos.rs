@@ -149,8 +149,7 @@ pub fn run_chaos_tcp(
     let addr = registry.addr();
     type WorkerSlot = Option<(Result<Vec<f32>, CollectiveError>, FaultStats)>;
     let inputs = Arc::new(inputs);
-    let slots: Arc<Mutex<Vec<WorkerSlot>>> =
-        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let slots: Arc<Mutex<Vec<WorkerSlot>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
     let mut handles = Vec::new();
     for _ in 0..n {
         let inputs = Arc::clone(&inputs);

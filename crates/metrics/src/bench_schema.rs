@@ -17,11 +17,16 @@
 //! required `transport` subsection comparing the socket mesh against the
 //! in-process channel transport — ring latency tails on both, total wire
 //! bytes, join/reconnect counters, a bitwise-identity flag, and the
-//! nullable first/final metrics of a quick fleet training run):
+//! nullable first/final metrics of a quick fleet training run; version 6
+//! added the required `fleet_observability` subsection measuring the
+//! telemetry plane end to end — shipped frame/byte totals, scrape payload
+//! size, merged-trace span count, worst clock-offset magnitude, the
+//! p50 cost of one ship versus one training round and their ratio, plus
+//! flight-recorder and membership-event counts):
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "id": "PR6",
 //!   "mode": "fast",
 //!   "dim": 16384,
@@ -58,6 +63,13 @@
 //!     "wire_bytes_total": 786432, "joins": 4, "reconnects": 0,
 //!     "identical": 1,
 //!     "fleet_first_metric": 2.31, "fleet_final_metric": 2.05
+//!   },
+//!   "fleet_observability": {
+//!     "workers": 4, "frames_total": 28, "bytes_total": 61440,
+//!     "scrape_bytes": 8192, "merged_spans": 96,
+//!     "clock_offset_max_abs_ns": 41000.0,
+//!     "ship_p50_ns": 180000.0, "round_p50_ns": 21000000.0,
+//!     "overhead_pct": 0.86, "flight_entries": 64, "membership_events": 5
 //!   }
 //! }
 //! ```
@@ -73,7 +85,7 @@
 use crate::json::Json;
 
 /// Current artifact schema version.
-pub const SCHEMA_VERSION: f64 = 5.0;
+pub const SCHEMA_VERSION: f64 = 6.0;
 
 /// Top-level numeric fields every artifact must carry.
 const TOP_NUM_FIELDS: [&str; 4] = ["schema_version", "dim", "rounds", "workers"];
@@ -127,6 +139,21 @@ const TRANSPORT_NUM_FIELDS: [&str; 8] = [
 /// Nullable fleet-training metrics in the `transport` object: null when
 /// the run recorded no eval points (empty TTA curve).
 const TRANSPORT_NULLABLE_FIELDS: [&str; 2] = ["fleet_first_metric", "fleet_final_metric"];
+/// Required non-negative numerics in the `fleet_observability` object
+/// (schema v6): the telemetry plane measured end to end.
+const FLEET_OBS_NUM_FIELDS: [&str; 11] = [
+    "workers",
+    "frames_total",
+    "bytes_total",
+    "scrape_bytes",
+    "merged_spans",
+    "clock_offset_max_abs_ns",
+    "ship_p50_ns",
+    "round_p50_ns",
+    "overhead_pct",
+    "flight_entries",
+    "membership_events",
+];
 
 /// Validates a parsed `BENCH_*.json` document. Returns the first problem
 /// found as a human-readable message.
@@ -273,6 +300,19 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             }
         }
     }
+
+    let fleet_obs = doc
+        .get("fleet_observability")
+        .ok_or("missing \"fleet_observability\" object (schema v6)")?;
+    if fleet_obs.as_object().is_none() {
+        return Err("\"fleet_observability\" must be a JSON object".to_string());
+    }
+    for field in FLEET_OBS_NUM_FIELDS {
+        let v = finite_num(fleet_obs, field).map_err(|e| format!("fleet_observability: {e}"))?;
+        if v < 0.0 {
+            return Err(format!("fleet_observability: {field} must be non-negative"));
+        }
+    }
     Ok(())
 }
 
@@ -298,7 +338,7 @@ mod tests {
     fn valid_doc() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 5, "id": "PR7", "mode": "fast",
+              "schema_version": 6, "id": "PR8", "mode": "fast",
               "dim": 16384, "rounds": 3, "workers": 4,
               "kernels": [
                 {"name": "topk", "throughput_elems_per_s": 1.0e8,
@@ -336,6 +376,14 @@ mod tests {
                 "wire_bytes_total": 786432, "joins": 4, "reconnects": 0,
                 "identical": 1,
                 "fleet_first_metric": 2.31, "fleet_final_metric": null
+              },
+              "fleet_observability": {
+                "workers": 4, "frames_total": 28, "bytes_total": 61440,
+                "scrape_bytes": 8192, "merged_spans": 96,
+                "clock_offset_max_abs_ns": 41000.0,
+                "ship_p50_ns": 180000.0, "round_p50_ns": 21000000.0,
+                "overhead_pct": 0.86, "flight_entries": 64,
+                "membership_events": 5
               }
             }"#,
         )
@@ -401,6 +449,13 @@ mod tests {
             (&["transport"][..], "identical"),
             (&["transport"][..], "fleet_first_metric"),
             (&["transport"][..], "fleet_final_metric"),
+            (&[][..], "fleet_observability"),
+            (&["fleet_observability"][..], "frames_total"),
+            (&["fleet_observability"][..], "scrape_bytes"),
+            (&["fleet_observability"][..], "merged_spans"),
+            (&["fleet_observability"][..], "overhead_pct"),
+            (&["fleet_observability"][..], "flight_entries"),
+            (&["fleet_observability"][..], "membership_events"),
         ] {
             let doc = without_field(&valid_doc(), path, field);
             assert!(
@@ -437,11 +492,26 @@ mod tests {
             .render()
             .replace("\"mode\":\"fast\"", "\"mode\":\"warp\"");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
-        // Pre-transport version-4 artifacts are rejected by the v5 validator.
+        // Pre-observability version-5 artifacts are rejected by the v6
+        // validator.
         let text = valid_doc()
             .render()
-            .replace("\"schema_version\":5", "\"schema_version\":4");
+            .replace("\"schema_version\":6", "\"schema_version\":5");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn negative_fleet_observability_values_are_rejected() {
+        let text = valid_doc()
+            .render()
+            .replace("\"overhead_pct\":0.86", "\"overhead_pct\":-0.1");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("overhead_pct"), "{err}");
+        let text = valid_doc()
+            .render()
+            .replace("\"merged_spans\":96", "\"merged_spans\":null");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("merged_spans"), "{err}");
     }
 
     #[test]

@@ -190,6 +190,54 @@ impl Histogram {
             .iter()
             .map(|(&idx, &n)| (bucket_lower(idx), bucket_lower(idx + 1), n))
     }
+
+    /// Appends the fleet wire encoding of this histogram: scalar state, then
+    /// `(bucket_index, count)` pairs. The bucket layout is a compile-time
+    /// constant ([`SUB_BITS`]), so shipping raw indices is lossless.
+    pub(crate) fn wire_encode(&self, out: &mut Vec<u8>) {
+        use crate::wirefmt::{put_f64, put_u32, put_u64};
+        put_u64(out, self.non_positive);
+        put_u64(out, self.count);
+        put_f64(out, self.sum);
+        put_f64(out, self.min);
+        put_f64(out, self.max);
+        put_u32(out, self.counts.len() as u32);
+        for (&idx, &n) in &self.counts {
+            put_u32(out, idx);
+            put_u64(out, n);
+        }
+    }
+
+    /// Inverse of [`Histogram::wire_encode`]; rejects bucket counts that
+    /// could not fit in the remaining payload.
+    pub(crate) fn wire_decode(r: &mut crate::wirefmt::Reader) -> Result<Histogram, String> {
+        let non_positive = r.u64()?;
+        let count = r.u64()?;
+        let sum = r.f64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        let n_buckets = r.u32()? as usize;
+        // Each bucket occupies 12 bytes; a prefix past the payload is corrupt.
+        if n_buckets.saturating_mul(12) > r.remaining() {
+            return Err(format!(
+                "fleet wire: histogram bucket count {n_buckets} exceeds payload"
+            ));
+        }
+        let mut counts = BTreeMap::new();
+        for _ in 0..n_buckets {
+            let idx = r.u32()?;
+            let n = r.u64()?;
+            counts.insert(idx, n);
+        }
+        Ok(Histogram {
+            counts,
+            non_positive,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
 }
 
 #[cfg(test)]

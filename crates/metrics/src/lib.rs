@@ -38,14 +38,20 @@
 //! ```
 
 mod bench_schema;
+pub mod fleet;
 mod hist;
 mod json;
 mod registry;
 mod series;
 mod straggler;
 mod tta;
+mod wirefmt;
 
 pub use bench_schema::{validate_bench_json, SCHEMA_VERSION};
+pub use fleet::{
+    decode_registry, encode_registry, FleetAggregator, FleetMember, FlightEntry, FlightRecorder,
+    FLEET_WIRE_VERSION, FLIGHT_CAPACITY,
+};
 pub use hist::{Histogram, REL_ERROR, SUB_BITS};
 pub use json::Json;
 pub use registry::Registry;

@@ -146,6 +146,12 @@ impl Registry {
         }
     }
 
+    /// Installs a fully-built histogram under `name`, replacing any existing
+    /// one — the fleet wire decoder's entry point.
+    pub(crate) fn insert_hist(&mut self, name: String, h: Histogram) {
+        self.hists.insert(name, h);
+    }
+
     /// Bridges a raw trace into aggregated telemetry:
     ///
     /// - every span becomes a sample in histogram `span/<phase>/<name>_ns`
@@ -187,18 +193,30 @@ impl Registry {
     /// `_count`; time series contribute their latest value as a gauge with a
     /// `_latest` suffix.
     pub fn to_prometheus(&self) -> String {
+        // Sanitization can collide distinct registry names (`a/b` and `a-b`
+        // both become `gcs_a_b`); the exposition format allows repeated
+        // sample lines but at most one `# TYPE` per metric name, so TYPE
+        // lines are deduplicated across all four sections.
+        let mut typed = std::collections::BTreeSet::new();
+        let mut type_line = |out: &mut String, m: &str, kind: &str| {
+            if typed.insert(m.to_string()) {
+                out.push_str(&format!("# TYPE {m} {kind}\n"));
+            }
+        };
         let mut out = String::new();
         for (name, v) in &self.counters {
             let m = prom_name(name);
-            out.push_str(&format!("# TYPE {m} counter\n{m} {}\n", prom_value(*v)));
+            type_line(&mut out, &m, "counter");
+            out.push_str(&format!("{m} {}\n", prom_value(*v)));
         }
         for (name, v) in &self.gauges {
             let m = prom_name(name);
-            out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", prom_value(*v)));
+            type_line(&mut out, &m, "gauge");
+            out.push_str(&format!("{m} {}\n", prom_value(*v)));
         }
         for (name, h) in &self.hists {
             let m = prom_name(name);
-            out.push_str(&format!("# TYPE {m} summary\n"));
+            type_line(&mut out, &m, "summary");
             for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
                 if let Some(v) = h.quantile(q) {
                     out.push_str(&format!("{m}{{quantile=\"{label}\"}} {}\n", prom_value(v)));
@@ -210,8 +228,10 @@ impl Registry {
         for (name, s) in &self.series {
             if let Some((round, v)) = s.latest() {
                 let m = prom_name(name);
+                let label = prom_label_value(&round.to_string());
+                type_line(&mut out, &format!("{m}_latest"), "gauge");
                 out.push_str(&format!(
-                    "# TYPE {m}_latest gauge\n{m}_latest{{round=\"{round}\"}} {}\n",
+                    "{m}_latest{{round=\"{label}\"}} {}\n",
                     prom_value(v)
                 ));
             }
@@ -285,6 +305,21 @@ fn prom_name(name: &str) -> String {
             out.push(ch);
         } else {
             out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside `label="..."`.
+fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
         }
     }
     out
@@ -395,6 +430,62 @@ mod tests {
                 "bad value in line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn prometheus_sanitizes_hostile_metric_names() {
+        // Slashes, dashes, dots, leading digits, and unicode must never
+        // reach the exposition output: metric names are
+        // `[a-zA-Z_:][a-zA-Z0-9_:]*` only.
+        let mut r = Registry::new();
+        r.counter_add("scheme/top-k/1bit.wire_bytes", 8.0);
+        r.gauge_set("9rank/π/skew", 1.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE gcs_scheme_top_k_1bit_wire_bytes counter"));
+        assert!(text.contains("gcs_scheme_top_k_1bit_wire_bytes 8"));
+        assert!(text.contains("gcs_9rank___skew 1"));
+        for line in text.lines() {
+            let name = if let Some(rest) = line.strip_prefix("# TYPE ") {
+                rest.split(' ').next().unwrap()
+            } else {
+                line.split(['{', ' ']).next().unwrap()
+            };
+            assert!(
+                name.chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "unsanitized metric name in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn colliding_sanitized_names_emit_one_type_line_but_all_samples() {
+        // `a/b` and `a-b` both sanitize to `gcs_a_b`; Prometheus rejects
+        // duplicate `# TYPE` lines for one metric name, so the exporter
+        // must emit the TYPE once and keep both sample lines.
+        let mut r = Registry::new();
+        r.counter_add("a/b", 1.0);
+        r.counter_add("a-b", 2.0);
+        let text = r.to_prometheus();
+        let type_lines = text
+            .lines()
+            .filter(|l| *l == "# TYPE gcs_a_b counter")
+            .count();
+        assert_eq!(type_lines, 1, "{text}");
+        let sample_lines = text.lines().filter(|l| l.starts_with("gcs_a_b ")).count();
+        assert_eq!(sample_lines, 2, "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(prom_label_value("plain"), "plain");
+        assert_eq!(prom_label_value("a\"b"), "a\\\"b");
+        assert_eq!(prom_label_value("a\\b"), "a\\\\b");
+        assert_eq!(prom_label_value("a\nb"), "a\\nb");
     }
 
     #[test]

@@ -221,6 +221,46 @@ mod tests {
     }
 
     #[test]
+    fn mid_run_membership_never_panics_the_report() {
+        // Elastic-fleet hardening: ranks that join mid-run (only NaN or
+        // empty feeds so far) or die mid-window (all-zero durations) must
+        // degrade to filtered-out rows / `None` skew — never panic.
+        let mut m = StragglerMonitor::new();
+        // Rank 7 joined but every probe it sent so far was non-finite.
+        m.record_worker(7, f64::NAN);
+        m.record_worker(7, f64::INFINITY);
+        let r = m.report();
+        assert!(r.workers.is_empty(), "NaN-only worker must be filtered");
+        assert_eq!(r.span_skew, None);
+        assert_eq!(r.slowest_worker, None);
+        // Rank 2 died mid-window leaving only zero-duration guards.
+        m.record_worker(2, 0.0);
+        m.record_worker(2, 0.0);
+        let r = m.report();
+        assert_eq!(r.workers.len(), 1);
+        assert_eq!(r.span_skew, None, "all-zero means give no skew ratio");
+        // A healthy rank arriving later restores a finite skew.
+        m.record_worker(0, 500.0);
+        let r = m.report();
+        let skew = r.span_skew.unwrap();
+        assert!(skew.is_finite() && skew >= 1.0, "skew = {skew}");
+        assert_eq!(r.slowest_worker, Some(0));
+    }
+
+    #[test]
+    fn partial_flow_feeds_never_panic() {
+        let mut m = StragglerMonitor::new();
+        m.ingest_flows(&[]);
+        assert_eq!(m.report().flow_skew, None);
+        m.ingest_flows(&[(4, f64::NAN)]);
+        assert_eq!(m.report().flow_skew, None);
+        m.ingest_flows(&[(4, 0.0)]);
+        assert_eq!(m.report().flow_skew, None, "zero-only flow means");
+        m.ingest_flows(&[(5, 2.0)]);
+        assert!(m.report().flow_skew.unwrap().is_finite());
+    }
+
+    #[test]
     fn op_tails_capture_p50_and_p99() {
         let mut m = StragglerMonitor::new();
         for i in 1..=100 {

@@ -283,6 +283,43 @@ mod tests {
     }
 
     #[test]
+    fn partial_and_empty_curves_answer_queries_with_none() {
+        // Elastic-fleet hardening: a rank that joined mid-run (no evals
+        // yet) or died mid-window (registry missing one of the two eval
+        // series) must yield empty/None answers, never a panic.
+        let empty = TtaMonitor::new(false, 3);
+        assert_eq!(empty.latest(), None);
+        assert_eq!(empty.best(), None);
+        assert_eq!(empty.time_to_target(0.5), None);
+        assert!(!empty.diverged());
+        let other = TtaMonitor::new(false, 3);
+        assert_eq!(empty.utility_vs_baseline(&other, 0.5), None);
+
+        // Registry with only the metric series (time series died with the
+        // rank): every point is unpaired, so the curve stays empty.
+        let mut reg = Registry::new();
+        reg.series_push(EVAL_METRIC_SERIES, 0, 1.0);
+        reg.series_push(EVAL_METRIC_SERIES, 1, 0.5);
+        let mon = TtaMonitor::from_registry(&reg, false, 2);
+        assert!(mon.curve().is_empty());
+        assert_eq!(mon.time_to_target(0.9), None);
+
+        // Only the time series present: same degradation.
+        let mut reg = Registry::new();
+        reg.series_push(EVAL_TIME_SERIES, 0, 10.0);
+        let mon = TtaMonitor::from_registry(&reg, false, 2);
+        assert!(mon.curve().is_empty());
+
+        // Zero-time first eval makes self-TTA zero: utility is None, not
+        // a division blow-up.
+        let mut zero_t = TtaMonitor::new(false, 1);
+        zero_t.observe(0.0, 0.1);
+        let mut base = TtaMonitor::new(false, 1);
+        base.observe(5.0, 0.1);
+        assert_eq!(zero_t.utility_vs_baseline(&base, 0.2), None);
+    }
+
+    #[test]
     fn from_registry_pairs_series_by_round() {
         let mut reg = Registry::new();
         for round in 0..4u64 {

@@ -1,0 +1,123 @@
+//! Tiny little-endian byte codec shared by the fleet wire format.
+//!
+//! The metrics crate has no serialization dependency, so the fleet module
+//! ([`crate::fleet`]) encodes registries by hand. These helpers keep the
+//! byte-twiddling in one place: writers append to a `Vec<u8>`, and
+//! [`Reader`] is a bounds-checked cursor that turns every truncation or
+//! over-long length prefix into an `Err` instead of a panic or a giant
+//! allocation.
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Writes a `u32` length prefix followed by the UTF-8 bytes.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian cursor over an untrusted byte slice.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("fleet wire: truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "fleet wire: non-UTF-8 string".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.5);
+        put_str(&mut buf, "scheme/topk/round_ns");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), -0.5);
+        assert_eq!(r.str().unwrap(), "scheme/topk/round_ns");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_and_oversized_prefixes_error() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "abc");
+        assert!(Reader::new(&buf[..buf.len() - 1]).str().is_err());
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX); // length prefix far past the buffer
+        assert!(Reader::new(&huge).str().is_err());
+        assert!(Reader::new(&[]).u64().is_err());
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let mut buf = Vec::new();
+        put_f64(&mut buf, f64::NAN);
+        assert!(Reader::new(&buf).f64().unwrap().is_nan());
+    }
+}

@@ -119,4 +119,62 @@ proptest! {
             prop_assert_eq!(left.quantile(q), combined.quantile(q));
         }
     }
+
+    // The fleet-aggregation contract: quantiles of a merged histogram stay
+    // within REL_ERROR of the *exact* quantiles of the concatenated sample
+    // stream — merging per-rank histograms loses no more accuracy than
+    // recording every rank's samples into one histogram would have.
+    #[test]
+    fn merged_quantiles_track_exact_concatenated_stream(
+        a in prop::collection::vec(1e-3f64..1e3, 1..200),
+        b in prop::collection::vec(1e-3f64..1e3, 1..200),
+    ) {
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for &v in &a {
+            left.record(v);
+        }
+        for &v in &b {
+            right.record(v);
+        }
+        left.merge(&right);
+        let mut concatenated = a.clone();
+        concatenated.extend_from_slice(&b);
+        for q in [0.5, 0.9, 0.99] {
+            let got = left.quantile(q).unwrap();
+            let exact = exact_quantile(&concatenated, q);
+            let tol = exact.abs() * REL_ERROR + f64::EPSILON;
+            prop_assert!(
+                (got - exact).abs() <= tol,
+                "q={}: merged {} vs exact {} (tol {})", q, got, exact, tol
+            );
+        }
+    }
+
+    // Registry-level merge semantics: counters add, gauges take the
+    // incoming (latest) value. Integer-valued f64s keep addition exact.
+    #[test]
+    fn registry_merge_adds_counters_and_overwrites_gauges(
+        ca in prop::collection::vec(0u32..1_000_000, 1..20),
+        cb in prop::collection::vec(0u32..1_000_000, 1..20),
+        ga in -1e9f64..1e9,
+        gb in -1e9f64..1e9,
+    ) {
+        let mut a = gcs_metrics::Registry::new();
+        let mut b = gcs_metrics::Registry::new();
+        let mut total = 0u64;
+        for &v in &ca {
+            a.counter_add("fleet/wire_bytes_total", v as f64);
+            total += v as u64;
+        }
+        for &v in &cb {
+            b.counter_add("fleet/wire_bytes_total", v as f64);
+            total += v as u64;
+        }
+        a.gauge_set("train/loss", ga);
+        b.gauge_set("train/loss", gb);
+        a.merge(&b);
+        prop_assert_eq!(a.counter("fleet/wire_bytes_total"), Some(total as f64));
+        prop_assert_eq!(a.gauge("train/loss"), Some(gb));
+    }
 }

@@ -53,7 +53,7 @@ pub fn to_chrome_json(trace: &Trace) -> String {
     out
 }
 
-fn sep(out: &mut String, first: &mut bool) {
+pub(crate) fn sep(out: &mut String, first: &mut bool) {
     if *first {
         *first = false;
     } else {
@@ -61,15 +61,15 @@ fn sep(out: &mut String, first: &mut bool) {
     }
 }
 
-fn ns_to_us(ns: u64) -> f64 {
+pub(crate) fn ns_to_us(ns: u64) -> f64 {
     ns as f64 / 1000.0
 }
 
-fn push_u64(out: &mut String, v: u64) {
+pub(crate) fn push_u64(out: &mut String, v: u64) {
     out.push_str(&v.to_string());
 }
 
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
     } else {
@@ -77,7 +77,7 @@ fn push_f64(out: &mut String, v: f64) {
     }
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),

@@ -55,9 +55,11 @@
 
 mod chrome;
 mod report;
+pub mod wire;
 
 pub use chrome::to_chrome_json;
 pub use report::{CounterStat, OpStat, Report};
+pub use wire::{merged_chrome_json, OwnedCounter, OwnedSpan, OwnedTrace, RankTrace};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -113,6 +115,12 @@ impl Phase {
             Phase::Optimizer => "optimizer",
             Phase::Eval => "eval",
         }
+    }
+
+    /// Inverse of [`Phase::as_str`]; `None` for unknown names. The wire
+    /// codec uses this to reject corrupt phase tags instead of guessing.
+    pub fn parse(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.as_str() == name)
     }
 }
 
@@ -232,11 +240,29 @@ pub struct CounterStats {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static ROUND: AtomicU64 = AtomicU64::new(0);
 
+/// The process-wide monotonic origin every timestamp in this crate is
+/// relative to — span `start_ns`, counter `at_ns`, and [`now_ns`] all share
+/// it, which is what makes a clock-offset estimated over [`now_ns`]
+/// applicable to shipped span timestamps. Pinned on first use.
+static ORIGIN: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+
+fn origin() -> Instant {
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since this process's monotonic origin — the exact
+/// timebase of recorded span timestamps. Available with or without the
+/// `capture` feature, so transports can run clock-alignment handshakes
+/// (ping/pong offset estimation) against the same clock spans use.
+pub fn now_ns() -> u64 {
+    Instant::now().duration_since(origin()).as_nanos() as u64
+}
+
 #[cfg(feature = "capture")]
 mod recorder {
     use super::*;
     use std::cell::RefCell;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::Mutex;
 
     pub(super) struct Sink {
         pub spans: Vec<SpanRecord>,
@@ -249,15 +275,9 @@ mod recorder {
     });
 
     static NEXT_TID: AtomicU64 = AtomicU64::new(0);
-    static ORIGIN: OnceLock<Instant> = OnceLock::new();
-
-    /// Monotonic origin shared by all threads; pinned on first use.
-    pub(super) fn origin() -> Instant {
-        *ORIGIN.get_or_init(Instant::now)
-    }
 
     pub(super) fn elapsed_ns(at: Instant) -> u64 {
-        at.duration_since(origin()).as_nanos() as u64
+        at.duration_since(super::origin()).as_nanos() as u64
     }
 
     /// Per-thread buffer: probes append here without any synchronization;
@@ -321,7 +341,7 @@ pub fn enabled() -> bool {
 pub fn enable() {
     #[cfg(feature = "capture")]
     {
-        recorder::origin();
+        origin();
         ENABLED.store(true, Ordering::Relaxed);
     }
 }

@@ -1,0 +1,88 @@
+//! Golden-file pin for the merged multi-rank Chrome exporter.
+//!
+//! A deterministic 2-rank trace is merged and compared byte-for-byte
+//! against `tests/golden/merged_2rank.json`. Any change to the emitted
+//! shape — event order, pid/tid tagging, clock alignment, metadata
+//! events — shows up as a diff here and must be blessed deliberately by
+//! re-running with `GCS_BLESS_GOLDEN=1`.
+
+use gcs_trace::{merged_chrome_json, OwnedCounter, OwnedSpan, OwnedTrace, Phase, RankTrace};
+
+const GOLDEN_PATH: &str = "tests/golden/merged_2rank.json";
+const GOLDEN: &str = include_str!("golden/merged_2rank.json");
+
+fn span(phase: Phase, name: &str, start_ns: u64, dur_ns: u64, round: u64, tid: u64) -> OwnedSpan {
+    OwnedSpan {
+        phase,
+        name: name.to_string(),
+        start_ns,
+        dur_ns,
+        round,
+        tid,
+    }
+}
+
+/// Two ranks, integer-microsecond timestamps, rank 1 shifted by a 2 ms
+/// clock offset. Covers spans, a counter, and both metadata events.
+fn two_rank_fixture() -> Vec<RankTrace> {
+    let rank0 = OwnedTrace {
+        spans: vec![
+            span(Phase::Compute, "forward_backward", 1_000, 5_000, 0, 0),
+            span(Phase::Network, "ring_all_reduce", 7_000, 4_000, 0, 0),
+        ],
+        counters: vec![OwnedCounter {
+            name: "wire_bytes".to_string(),
+            value: 2048.0,
+            at_ns: 11_000,
+            round: 0,
+            tid: 0,
+        }],
+    };
+    let rank1 = OwnedTrace {
+        spans: vec![
+            span(Phase::Compute, "forward_backward", 1_000, 6_000, 0, 1),
+            span(Phase::Network, "ring_all_reduce", 8_000, 3_000, 0, 1),
+        ],
+        counters: Vec::new(),
+    };
+    vec![
+        RankTrace {
+            pid: 0,
+            label: "rank 0 (worker 11)".to_string(),
+            clock_offset_ns: 0,
+            trace: rank0,
+        },
+        RankTrace {
+            pid: 1,
+            label: "rank 1 (worker 12)".to_string(),
+            clock_offset_ns: 2_000_000,
+            trace: rank1,
+        },
+    ]
+}
+
+#[test]
+fn merged_two_rank_trace_matches_golden() {
+    let json = merged_chrome_json(&two_rank_fixture());
+    if std::env::var_os("GCS_BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("bless golden");
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN,
+        "merged Chrome output drifted from golden; \
+         re-bless with GCS_BLESS_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn golden_contains_both_rank_pids_and_aligned_timestamps() {
+    // Sanity on the checked-in artifact itself, independent of the emitter:
+    // both process swimlanes are present and rank 1's first span lands at
+    // 1 µs (local) + 2000 µs (offset) = 2001 µs.
+    assert!(GOLDEN.contains("\"pid\":0"));
+    assert!(GOLDEN.contains("\"pid\":1"));
+    assert!(GOLDEN.contains("\"name\":\"rank 0 (worker 11)\""));
+    assert!(GOLDEN.contains("\"name\":\"rank 1 (worker 12)\""));
+    assert!(GOLDEN.contains("\"ts\":2001,"));
+}

@@ -8,6 +8,12 @@
 //! and compares against the in-process `ThreadedCluster` reference for
 //! the healthy founders' configuration.
 //!
+//! The run is fully instrumented: an in-process [`TelemetryCollector`]
+//! receives every worker's metrics, traces, and flight recorders, and
+//! the example ends by printing a mid-run-scrapable `/metrics` excerpt
+//! and writing the merged Chrome trace to
+//! `target/experiment-results/fleet_trace_example.json`.
+//!
 //! ```text
 //! cargo run --release --example tcp_fleet
 //! GCS_FLEET_N=16 cargo run --release --example tcp_fleet
@@ -21,6 +27,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 
 use gcs_collectives::tcp::Registry;
+use gcs_collectives::telemetry::{TelemetryCollector, TelemetryConfig};
 
 const ROUNDS: u64 = 3;
 const BATCH: usize = 4;
@@ -39,7 +46,12 @@ fn worker_bin() -> PathBuf {
     dir.join("gcs_tcp_worker")
 }
 
-fn spawn_worker(bin: &PathBuf, registry: std::net::SocketAddr, stall_ms: u64) -> Child {
+fn spawn_worker(
+    bin: &PathBuf,
+    registry: std::net::SocketAddr,
+    telemetry: std::net::SocketAddr,
+    stall_ms: u64,
+) -> Child {
     Command::new(bin)
         .args([
             "--registry",
@@ -52,6 +64,8 @@ fn spawn_worker(bin: &PathBuf, registry: std::net::SocketAddr, stall_ms: u64) ->
             &SEED.to_string(),
             "--stall-ms",
             &stall_ms.to_string(),
+            "--telemetry",
+            &telemetry.to_string(),
         ])
         .stdout(Stdio::piped())
         .spawn()
@@ -77,9 +91,16 @@ fn main() {
 
     let registry = Registry::spawn(n).expect("registry");
     let addr = registry.addr();
+    let collector = TelemetryCollector::spawn(TelemetryConfig::default()).expect("collector");
+    println!(
+        "fleet: live Prometheus scrape at http://{}/metrics while the run is up",
+        collector.addr()
+    );
     // A small inter-round stall keeps the run open long enough for the
     // late joiner to land mid-run even on a loaded box.
-    let mut children: Vec<Child> = (0..n).map(|_| spawn_worker(&bin, addr, 200)).collect();
+    let mut children: Vec<Child> = (0..n)
+        .map(|_| spawn_worker(&bin, addr, collector.addr(), 200))
+        .collect();
 
     // Wait for the fleet to demonstrably start (first LOSS line from
     // founder 0), then admit one extra worker.
@@ -98,7 +119,7 @@ fn main() {
             lines0.push(l);
             if is_loss0 {
                 println!("fleet: founders finished round 0 — admitting late joiner");
-                children.push(spawn_worker(&bin, addr, 200));
+                children.push(spawn_worker(&bin, addr, collector.addr(), 200));
                 break;
             }
         }
@@ -130,4 +151,32 @@ fn main() {
         .expect("founder 0 printed RESULT");
     println!("fleet: founder 0 {result}");
     println!("fleet: all {} workers exited cleanly", n + 1);
+
+    // The telemetry plane saw the whole fleet: print the fleet-level
+    // gauges and drop the merged clock-aligned Chrome trace on disk.
+    let prom = collector.prometheus();
+    for line in prom.lines().filter(|l| {
+        l.starts_with("gcs_fleet_members")
+            || l.starts_with("gcs_fleet_membership_")
+            || l.starts_with("gcs_fleet_telemetry_")
+    }) {
+        println!("fleet: scrape  {line}");
+    }
+    let trace_out = PathBuf::from("target/experiment-results/fleet_trace_example.json");
+    std::fs::create_dir_all(trace_out.parent().unwrap()).expect("results dir");
+    collector
+        .write_merged_trace(&trace_out)
+        .expect("write merged trace");
+    let (joins, deaths, _, _) = collector.aggregator().membership_totals();
+    assert_eq!(
+        joins,
+        (n + 1) as u64,
+        "every worker should have joined telemetry"
+    );
+    assert_eq!(deaths, 0, "clean run should record no deaths");
+    println!(
+        "fleet: merged Chrome trace ({} workers) written to {}",
+        joins,
+        trace_out.display()
+    );
 }

@@ -1,9 +1,9 @@
 //! Elastic TCP fleet worker: one OS process in a data-parallel training
 //! fleet coordinated by a `gcs_collectives::tcp::Registry`.
 //!
-//! Spawned by `tests/tcp_fleet.rs` and `examples/tcp_fleet.rs`; speaks a
-//! line-oriented protocol on stdout so the parent can follow progress and
-//! compare results across processes:
+//! Spawned by `tests/tcp_fleet.rs`, `tests/fleet_observability.rs`, and
+//! `examples/tcp_fleet.rs`; speaks a line-oriented protocol on stdout so
+//! the parent can follow progress and compare results across processes:
 //!
 //! ```text
 //! ID <worker_id>
@@ -22,13 +22,25 @@
 //! [`fleet_round`], and on a peer failure simply go back to the barrier —
 //! the registry renumbers the survivors and the round is retried under the
 //! new `(rank, n)`.
+//!
+//! With `--telemetry <addr>` the worker additionally joins the fleet
+//! telemetry plane: trace and metrics capture are enabled, each round's
+//! spans and a full registry snapshot are shipped to the
+//! `TelemetryCollector` at `addr`, and a bounded flight recorder is both
+//! shipped and (with `--flight <path>`) persisted locally every round —
+//! so a SIGKILL leaves a post-mortem JSONL on disk *and* at the collector.
+//! Telemetry failure is never fatal: a lost collector downgrades the
+//! worker to silent training, printed once as `EVENT telemetry_error`.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gcs_collectives::tcp::{FleetWorker, TcpTimeouts};
+use gcs_collectives::telemetry::TelemetryShipper;
 use gcs_ddp::fleet::{fleet_round, param_checksum, sync_params};
+use gcs_metrics::fleet::{FlightRecorder, ROUND_HIST, WIRE_BYTES_COUNTER};
 use gcs_nn::{Sgd, VggMini};
 
 struct Config {
@@ -38,6 +50,8 @@ struct Config {
     seed: u64,
     lr: f32,
     stall: Duration,
+    telemetry: Option<SocketAddr>,
+    flight: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -47,6 +61,8 @@ fn parse_args() -> Result<Config, String> {
     let mut seed = 11u64;
     let mut lr = 0.05f32;
     let mut stall = Duration::ZERO;
+    let mut telemetry = None;
+    let mut flight = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -72,6 +88,14 @@ fn parse_args() -> Result<Config, String> {
                         .map_err(|e| format!("bad --stall-ms: {e}"))?,
                 )
             }
+            "--telemetry" => {
+                telemetry = Some(
+                    value()?
+                        .parse::<SocketAddr>()
+                        .map_err(|e| format!("bad --telemetry: {e}"))?,
+                )
+            }
+            "--flight" => flight = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -82,12 +106,102 @@ fn parse_args() -> Result<Config, String> {
         seed,
         lr,
         stall,
+        telemetry,
+        flight,
     })
+}
+
+/// The worker's telemetry half: optional shipper, always-on flight
+/// recorder, optional local flight persistence. Every operation degrades
+/// silently — telemetry must never fail training.
+struct Telemetry {
+    shipper: Option<TelemetryShipper>,
+    flight: FlightRecorder,
+    flight_path: Option<PathBuf>,
+    errored: bool,
+}
+
+impl Telemetry {
+    fn start(cfg: &Config, worker_id: u64) -> Telemetry {
+        let shipper =
+            cfg.telemetry
+                .and_then(|addr| match TelemetryShipper::connect(addr, worker_id) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        println!("EVENT telemetry_error {e}");
+                        None
+                    }
+                });
+        if shipper.is_some() || cfg.flight.is_some() {
+            gcs_trace::enable();
+            gcs_metrics::enable();
+        }
+        Telemetry {
+            shipper,
+            flight: FlightRecorder::new(),
+            flight_path: cfg.flight.clone(),
+            errored: false,
+        }
+    }
+
+    fn drop_shipper(&mut self, e: String) {
+        if !self.errored {
+            println!("EVENT telemetry_error {e}");
+            self.errored = true;
+        }
+        self.shipper = None;
+    }
+
+    /// Records a lifecycle/fault event into the flight recorder and ships
+    /// it (best-effort).
+    fn event(&mut self, rank: u64, kind: &str, detail: &str) {
+        self.flight.record_event(kind, detail);
+        if let Some(s) = self.shipper.as_mut() {
+            if let Err(e) = s.ship_event(rank, kind, detail) {
+                self.drop_shipper(e);
+            }
+        }
+        self.persist();
+    }
+
+    /// End-of-round shipping: drain the trace into the flight recorder,
+    /// ship spans + a full registry snapshot + the flight JSONL, and
+    /// rewrite the local flight file (tmp+rename, SIGKILL-safe).
+    fn ship_round(&mut self, rank: u64, epoch: u64) {
+        let trace = gcs_trace::take();
+        gcs_trace::enable(); // take() disables; re-arm for the next round
+        self.flight.record_trace(&trace);
+        if let Some(s) = self.shipper.as_mut() {
+            let snapshot = gcs_metrics::snapshot();
+            let shipped = s
+                .ship_trace(rank, &trace)
+                .and_then(|()| s.ship_snapshot(rank, epoch, &snapshot))
+                .and_then(|()| s.ship_flight(rank, &self.flight.to_jsonl()));
+            if let Err(e) = shipped {
+                self.drop_shipper(e);
+            }
+        }
+        self.persist();
+    }
+
+    fn persist(&self) {
+        if let Some(path) = &self.flight_path {
+            let _ = self.flight.write_to(path);
+        }
+    }
+
+    fn finish(&mut self, rank: u64) {
+        self.event(rank, "shutdown", "worker finished all rounds");
+        if let Some(s) = self.shipper.as_mut() {
+            let _ = s.bye();
+        }
+    }
 }
 
 fn run(cfg: &Config) -> Result<(), gcs_collectives::error::CollectiveError> {
     let mut worker = FleetWorker::join(cfg.registry, TcpTimeouts::default())?;
     println!("ID {}", worker.worker_id);
+    let mut tele = Telemetry::start(cfg, worker.worker_id);
 
     let mut model = VggMini::new(cfg.seed);
     let mut opt = Sgd::new(cfg.lr, 0.9, 0.0);
@@ -101,6 +215,7 @@ fn run(cfg: &Config) -> Result<(), gcs_collectives::error::CollectiveError> {
         round = rs.round;
         last = (rs.rank, rs.n);
         println!("ROUND {} {} {} {}", rs.round, rs.epoch, rs.rank, rs.n);
+        gcs_trace::set_round(round);
 
         // Roster changed (or this is a post-formation joiner): survivors'
         // parameters are authoritative, so rank 0 broadcasts and everyone
@@ -110,11 +225,18 @@ fn run(cfg: &Config) -> Result<(), gcs_collectives::error::CollectiveError> {
         // what keeps healthy runs bitwise-equal to the threaded reference.
         let epoch_changed = last_epoch.map_or(rs.epoch > 1, |e| e != rs.epoch);
         if epoch_changed {
+            gcs_metrics::counter_add("fleet/membership/churn_total", 1.0);
+            tele.event(
+                rs.rank as u64,
+                "epoch_change",
+                &format!("epoch {} rank {} n {}", rs.epoch, rs.rank, rs.n),
+            );
             let mut links = worker.links::<f32>();
             match sync_params(&mut model, &mut opt, &mut links) {
                 Ok(()) => {}
                 Err(e) if e.is_peer_failure() => {
                     println!("EVENT collective_error {e}");
+                    tele.event(rs.rank as u64, "collective_error", &e.to_string());
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -124,20 +246,32 @@ fn run(cfg: &Config) -> Result<(), gcs_collectives::error::CollectiveError> {
             epochs_seen += 1;
         }
         last_epoch = Some(rs.epoch);
+        gcs_metrics::gauge_set("fleet/epoch", rs.epoch as f64);
 
         let mut links = worker.links::<f32>();
+        let t0 = Instant::now();
         match fleet_round(&mut model, &mut opt, &mut links, cfg.batch, round) {
             Ok(out) => {
+                gcs_metrics::observe(ROUND_HIST, t0.elapsed().as_nanos() as f64);
+                gcs_metrics::counter_add(
+                    WIRE_BYTES_COUNTER,
+                    (out.bytes_sent + out.bytes_received) as f64,
+                );
                 // Loss printed as f32 bits so the parent can compare
                 // *bitwise*, not through a lossy decimal round-trip.
                 println!("LOSS {} {:08x}", round, out.loss.to_bits());
+                tele.ship_round(rs.rank as u64, rs.epoch);
                 round += 1;
             }
             Err(e) if e.is_peer_failure() => {
                 println!("EVENT collective_error {e}");
+                tele.event(rs.rank as u64, "collective_error", &e.to_string());
                 continue;
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                tele.event(rs.rank as u64, "fatal", &e.to_string());
+                return Err(e);
+            }
         }
         if !cfg.stall.is_zero() {
             std::thread::sleep(cfg.stall);
@@ -152,6 +286,7 @@ fn run(cfg: &Config) -> Result<(), gcs_collectives::error::CollectiveError> {
         last.1,
         last.0,
     );
+    tele.finish(last.0 as u64);
     worker.leave()
 }
 
