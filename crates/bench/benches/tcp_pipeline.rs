@@ -1,0 +1,114 @@
+//! Steady-state pipelined TCP ring rounds vs stop-and-wait (ISSUE 9).
+//!
+//! `tcp_vs_threaded` prices a *cold* cluster — registry rendezvous + mesh
+//! build + one round per iteration — which is the fixed cost a joiner pays
+//! once, not what a training loop pays per step. This bench holds a
+//! persistent fleet (mesh built once, links and scratch warm) and measures
+//! the per-round cost alone, sweeping message sizes 2^8..2^20 in pairs:
+//!
+//! * `pipelined` — the default 64 KiB chunking, so each ring hop's send is
+//!   posted while the previous chunk's receive is drained and reduced;
+//! * `stop_and_wait` — an effectively infinite chunk, i.e. one frame per
+//!   segment with no overlap: PR 7's data-path behaviour on the new code.
+//!
+//! `bench_report` lifts the same pair into the BENCH schema's
+//! `transport.pipeline` subsection; this bench gives it criterion-grade
+//! statistics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_collectives::tcp::{FleetWorker, Registry, TcpTimeouts};
+use gcs_collectives::transport::ring_all_reduce_worker_into;
+use gcs_collectives::F32Sum;
+use std::sync::mpsc;
+
+const N: usize = 4;
+
+/// A persistent in-process TCP fleet: N worker threads holding one mesh,
+/// driven round-by-round from the bench thread. Only the rounds are
+/// measured; rendezvous and mesh build happen once at construction.
+struct Fleet {
+    go: Vec<mpsc::Sender<bool>>,
+    done: mpsc::Receiver<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    _registry: Registry,
+}
+
+impl Fleet {
+    fn new(len: usize, chunk_bytes: usize) -> Fleet {
+        let registry = Registry::spawn(N).expect("registry");
+        let addr = registry.addr();
+        let (done_tx, done) = mpsc::channel();
+        let mut go = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..N {
+            let (tx, rx) = mpsc::channel::<bool>();
+            go.push(tx);
+            let done_tx = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut w = FleetWorker::join(addr, TcpTimeouts::fast_test()).expect("join");
+                let rs = w.next_round(0).expect("rendezvous round");
+                w.mesh_mut().set_chunk_bytes(chunk_bytes);
+                let src: Vec<f32> = (0..len)
+                    .map(|i| ((rs.rank * len + i) as f32 * 0.37).sin())
+                    .collect();
+                let mut buf = src.clone();
+                let mut scratch = Vec::new();
+                let mut links = w.links::<f32>();
+                while let Ok(true) = rx.recv() {
+                    buf.copy_from_slice(&src);
+                    ring_all_reduce_worker_into(&mut links, &mut buf, &F32Sum, 4.0, &mut scratch)
+                        .expect("healthy fleet");
+                    done_tx.send(()).expect("done channel");
+                }
+                drop(links);
+                w.leave().expect("leave");
+            }));
+        }
+        Fleet {
+            go,
+            done,
+            handles,
+            _registry: registry,
+        }
+    }
+
+    /// One synchronous all-worker ring round.
+    fn round(&self) {
+        for tx in &self.go {
+            tx.send(true).expect("go channel");
+        }
+        for _ in 0..N {
+            self.done.recv().expect("round completion");
+        }
+    }
+
+    fn stop(self) {
+        for tx in &self.go {
+            let _ = tx.send(false);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_pipeline/ring_round");
+    for exp in [8u32, 12, 16, 20] {
+        let len = 1usize << exp;
+        for (mode, chunk_bytes) in [("pipelined", 64 * 1024), ("stop_and_wait", usize::MAX)] {
+            let fleet = Fleet::new(len, chunk_bytes);
+            g.bench_with_input(BenchmarkId::new(mode, len), &len, |b, _| {
+                b.iter(|| {
+                    fleet.round();
+                    black_box(())
+                })
+            });
+            fleet.stop();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

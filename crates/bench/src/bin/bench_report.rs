@@ -18,13 +18,20 @@
 //! clock-handshake offsets, per-round ship latency vs a training round, a
 //! real HTTP scrape, merged-trace span counts, flight-recorder depth, and
 //! membership-event accounting, with the merged Chrome trace written
-//! alongside the artifact) — alongside the other two exporters — a
-//! Prometheus text-format snapshot and a JSONL time-series dump — of
-//! everything the run captured into the `gcs-metrics` registry.
+//! alongside the artifact), and — schema v7 — a `transport.pipeline`
+//! subsection characterizing the zero-copy chunked TCP data path:
+//! steady-state per-round latency tails on a *persistent* mesh across a
+//! message-size sweep, the measured heap-event count of one warm round
+//! (summed over all ranks), and the speedup of a warm pipelined round
+//! over the cold-cluster stop-and-wait methodology that the pre-v7
+//! `tcp_ring_p50_ns` trajectory was recorded with — alongside the other
+//! two exporters — a Prometheus text-format snapshot and a JSONL
+//! time-series dump — of everything the run captured into the
+//! `gcs-metrics` registry.
 //!
 //! Usage:
 //!   cargo run -p gcs-bench --release --bin bench_report -- [--fast]
-//!       [--id PR8] [--out path.json]
+//!       [--id PR9] [--out path.json]
 //!   cargo run -p gcs-bench --release --bin bench_report -- --validate path.json
 //!
 //! `--fast` shrinks the gradient dimension and round count for CI; the
@@ -69,7 +76,7 @@ struct Cli {
 fn parse_args() -> Cli {
     let mut cli = Cli {
         fast: false,
-        id: "PR8".to_string(),
+        id: "PR9".to_string(),
         out: None,
         validate: None,
     };
@@ -653,6 +660,144 @@ fn main() {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
             });
 
+        // Pipeline subsection (ISSUE 9, schema v7): per-round cost on a
+        // *persistent* mesh — registry rendezvous and mesh build paid once,
+        // links, frame buffers, and reduce scratch all warm — across a
+        // message-size sweep. `speedup_vs_pr7` divides the cold-cluster p50
+        // above (the exact methodology the pre-v7 `tcp_ring_p50_ns`
+        // trajectory was recorded with, at this same payload length) by the
+        // warm pipelined p50 at that length. `allocs_per_round` is the
+        // counting allocator's event total across all ranks for one warm
+        // round at the standard length — the steady state must not touch
+        // the heap at all.
+        let pipeline = {
+            use gcs_collectives::tcp::{FleetWorker, Registry as TcpRegistry, TcpTimeouts};
+            use gcs_collectives::transport::ring_all_reduce_worker_into;
+            use std::sync::mpsc;
+
+            // One fleet per size: two warm rounds, one alloc-measured round
+            // (inside each worker thread — the counters are thread-local),
+            // then `iters` timed rounds driven in lockstep from here.
+            let fleet_rounds = |elems: usize, iters: u64| -> (f64, f64, u64, usize) {
+                let registry = TcpRegistry::spawn(n).expect("pipeline registry");
+                let addr = registry.addr();
+                let (done_tx, done_rx) = mpsc::channel();
+                let mut go = Vec::new();
+                let mut handles = Vec::new();
+                for _ in 0..n {
+                    let (tx, rx) = mpsc::channel::<bool>();
+                    go.push(tx);
+                    let done_tx = done_tx.clone();
+                    handles.push(std::thread::spawn(move || {
+                        let mut w =
+                            FleetWorker::join(addr, TcpTimeouts::fast_test()).expect("join");
+                        let rs = w.next_round(0).expect("rendezvous round");
+                        let src: Vec<f32> = (0..elems)
+                            .map(|i| ((rs.rank * elems + i) as f32 * 0.37).sin())
+                            .collect();
+                        let mut buf = src.clone();
+                        let mut scratch = Vec::new();
+                        let chunk = w.mesh_mut().chunk_bytes();
+                        let mut links = w.links::<f32>();
+                        let mut events = 0u64;
+                        let mut k = 0u64;
+                        while let Ok(true) = rx.recv() {
+                            buf.copy_from_slice(&src);
+                            let mut round = || {
+                                ring_all_reduce_worker_into(
+                                    &mut links,
+                                    &mut buf,
+                                    &F32Sum,
+                                    4.0,
+                                    &mut scratch,
+                                )
+                                .expect("healthy pipeline fleet");
+                            };
+                            if k == 2 {
+                                let ((), stats) = measure(&mut round);
+                                events = stats.total_events();
+                            } else {
+                                round();
+                            }
+                            k += 1;
+                            done_tx.send(()).expect("done channel");
+                        }
+                        w.leave().expect("leave");
+                        (events, chunk)
+                    }));
+                }
+                let round = || {
+                    for tx in &go {
+                        tx.send(true).expect("go channel");
+                    }
+                    for _ in 0..n {
+                        done_rx.recv().expect("round completion");
+                    }
+                };
+                for _ in 0..3 {
+                    round();
+                }
+                let mut lat = Histogram::new();
+                for _ in 0..iters {
+                    let t0 = Instant::now();
+                    round();
+                    lat.record(t0.elapsed().as_nanos() as f64);
+                }
+                for tx in &go {
+                    let _ = tx.send(false);
+                }
+                let mut allocs = 0u64;
+                let mut chunk_bytes = 0usize;
+                for h in handles {
+                    let (events, chunk) = h.join().expect("pipeline worker");
+                    allocs += events;
+                    chunk_bytes = chunk;
+                }
+                registry.shutdown();
+                (
+                    lat.p50().unwrap_or(f64::NAN),
+                    lat.p99().unwrap_or(f64::NAN),
+                    allocs,
+                    chunk_bytes,
+                )
+            };
+
+            let pipe_iters = (rounds * 3).max(9);
+            let mut sweep: Vec<usize> = vec![1 << 8, len, 1 << 16];
+            sweep.sort_unstable();
+            sweep.dedup();
+            let mut std_p50 = f64::NAN;
+            let mut allocs_per_round = 0u64;
+            let mut chunk_bytes = 0usize;
+            let mut sizes = Vec::new();
+            for &elems in &sweep {
+                let (p50, p99, allocs, chunk) = fleet_rounds(elems, pipe_iters);
+                if elems == len {
+                    std_p50 = p50;
+                    allocs_per_round = allocs;
+                    chunk_bytes = chunk;
+                }
+                println!(
+                    "  pipeline ring {elems:>8} elems  p50 {p50:>9.0} ns  p99 {p99:>9.0} ns  allocs/round {allocs}"
+                );
+                sizes.push(obj(vec![
+                    ("elems", Json::Num(elems as f64)),
+                    ("p50_ns", Json::Num(p50)),
+                    ("p99_ns", Json::Num(p99)),
+                ]));
+            }
+            let speedup = tcp_ns.p50().unwrap_or(f64::NAN) / std_p50;
+            println!(
+                "  pipeline chunk {chunk_bytes} B  speedup vs cold stop-and-wait {speedup:>6.1}x"
+            );
+            obj(vec![
+                ("chunk_bytes", Json::Num(chunk_bytes as f64)),
+                ("sizes", Json::Array(sizes)),
+                ("allocs_per_round", Json::Num(allocs_per_round as f64)),
+                ("speedup_vs_pr7", Json::Num(speedup)),
+            ])
+        };
+
         let log = {
             use gcs_ddp::{Trainer, TrainerConfig};
             let mut model = VggMini::new(7);
@@ -702,6 +847,7 @@ fn main() {
                 "fleet_final_metric",
                 log.last_eval().map(Json::Num).unwrap_or(Json::Null),
             ),
+            ("pipeline", pipeline),
         ])
     };
 

@@ -8,7 +8,7 @@
 //! tested within float tolerance).
 
 use crate::ops::Traffic;
-use crate::reduce::ReduceOp;
+use crate::reduce::{copy_lanes, reduce_lanes, ReduceOp};
 
 /// Double binary tree all-reduce \[42\]: the payload is split in half; each
 /// half is reduced up + broadcast down a different binary tree, with the
@@ -27,6 +27,22 @@ pub fn double_tree_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
+    let mut traffic = Traffic::default();
+    double_tree_all_reduce_into(bufs, op, bytes_per_elem, &mut traffic);
+    traffic
+}
+
+/// [`double_tree_all_reduce`] with a caller-owned traffic accumulator:
+/// after the first round the simulated data path is allocation-free — the
+/// per-segment staging `to_vec()`s are replaced by in-place
+/// [`reduce_lanes`] / [`copy_lanes`] split-borrow hops (ISSUE 9
+/// satellite), and `traffic` is [`Traffic::reset`] rather than rebuilt.
+pub fn double_tree_all_reduce_into<T: Clone>(
+    bufs: &mut [Vec<T>],
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+    traffic: &mut Traffic,
+) {
     let _span = gcs_trace::span(gcs_trace::Phase::Network, "double_tree_all_reduce");
     let _timer = gcs_metrics::timer("collective/double_tree_all_reduce/latency_ns");
     let n = bufs.len();
@@ -36,13 +52,9 @@ pub fn double_tree_all_reduce<T: Clone>(
         bufs.iter().all(|b| b.len() == len),
         "double_tree_all_reduce: ragged buffers"
     );
-    let mut traffic = Traffic {
-        sent: vec![0; n],
-        received: vec![0; n],
-        steps: 0,
-    };
+    traffic.reset(n);
     if n == 1 || len == 0 {
-        return traffic;
+        return;
     }
     let half = len / 2;
 
@@ -60,9 +72,7 @@ pub fn double_tree_all_reduce<T: Clone>(
                 if v % (2 * dstep) == dstep {
                     let src = map(v);
                     let dst = map(v - dstep);
-                    let data: Vec<T> = bufs[src][lo..hi].to_vec();
-                    // Split borrow: read src then write dst.
-                    op.reduce_slice(&mut bufs[dst][lo..hi], &data);
+                    reduce_lanes(bufs, op, dst, src, lo, hi);
                     traffic.sent[src] += bytes;
                     traffic.received[dst] += bytes;
                 }
@@ -77,8 +87,7 @@ pub fn double_tree_all_reduce<T: Clone>(
                 if v % (2 * dstep) == dstep {
                     let src = map(v - dstep);
                     let dst = map(v);
-                    let data: Vec<T> = bufs[src][lo..hi].to_vec();
-                    bufs[dst][lo..hi].clone_from_slice(&data);
+                    copy_lanes(bufs, dst, src, lo, hi);
                     traffic.sent[src] += bytes;
                     traffic.received[dst] += bytes;
                 }
@@ -100,7 +109,6 @@ pub fn double_tree_all_reduce<T: Clone>(
         "collective/double_tree_all_reduce/wire_bytes",
         traffic.total() as f64,
     );
-    traffic
 }
 
 /// Two-level hierarchical ring all-reduce: ranks are grouped into nodes of
@@ -120,6 +128,22 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
     op: &dyn ReduceOp<T>,
     bytes_per_elem: f64,
 ) -> Traffic {
+    let mut traffic = Traffic::default();
+    hierarchical_ring_all_reduce_into(bufs, group, op, bytes_per_elem, &mut traffic);
+    traffic
+}
+
+/// [`hierarchical_ring_all_reduce`] with a caller-owned traffic
+/// accumulator; the per-shard staging `to_vec()`s of all three phases go
+/// through [`reduce_lanes`] / [`copy_lanes`] instead, so reruns are
+/// allocation-free (ISSUE 9 satellite).
+pub fn hierarchical_ring_all_reduce_into<T: Clone>(
+    bufs: &mut [Vec<T>],
+    group: usize,
+    op: &dyn ReduceOp<T>,
+    bytes_per_elem: f64,
+    traffic: &mut Traffic,
+) {
     let _span = gcs_trace::span(gcs_trace::Phase::Network, "hierarchical_ring_all_reduce");
     let _timer = gcs_metrics::timer("collective/hierarchical_ring_all_reduce/latency_ns");
     let n = bufs.len();
@@ -134,13 +158,9 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
         "hierarchical_ring: ragged buffers"
     );
     let nodes = n / group;
-    let mut traffic = Traffic {
-        sent: vec![0; n],
-        received: vec![0; n],
-        steps: 0,
-    };
+    traffic.reset(n);
     if len == 0 {
-        return traffic;
+        return;
     }
 
     let shard_bounds = |s: usize| -> (usize, usize) {
@@ -159,8 +179,7 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
             let bytes = ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
             for j in 1..group {
                 let src = node * group + (s + j) % group;
-                let data: Vec<T> = bufs[src][lo..hi].to_vec();
-                op.reduce_slice(&mut bufs[owner][lo..hi], &data);
+                reduce_lanes(bufs, op, owner, src, lo, hi);
                 traffic.sent[src] += bytes;
                 traffic.received[owner] += bytes;
             }
@@ -177,15 +196,13 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
             let owner0 = s; // node 0's owner of shard s
             for node in 1..nodes {
                 let src = node * group + s;
-                let data: Vec<T> = bufs[src][lo..hi].to_vec();
-                op.reduce_slice(&mut bufs[owner0][lo..hi], &data);
+                reduce_lanes(bufs, op, owner0, src, lo, hi);
                 traffic.sent[src] += bytes;
                 traffic.received[owner0] += bytes;
             }
             for node in 1..nodes {
                 let dst = node * group + s;
-                let data: Vec<T> = bufs[owner0][lo..hi].to_vec();
-                bufs[dst][lo..hi].clone_from_slice(&data);
+                copy_lanes(bufs, dst, owner0, lo, hi);
                 traffic.sent[owner0] += bytes;
                 traffic.received[dst] += bytes;
             }
@@ -201,8 +218,7 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
             let bytes = ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
             for j in 1..group {
                 let dst = node * group + (s + j) % group;
-                let data: Vec<T> = bufs[owner][lo..hi].to_vec();
-                bufs[dst][lo..hi].clone_from_slice(&data);
+                copy_lanes(bufs, dst, owner, lo, hi);
                 traffic.sent[owner] += bytes;
                 traffic.received[dst] += bytes;
             }
@@ -218,7 +234,6 @@ pub fn hierarchical_ring_all_reduce<T: Clone>(
         "collective/hierarchical_ring_all_reduce/wire_bytes",
         traffic.total() as f64,
     );
-    traffic
 }
 
 #[cfg(test)]

@@ -47,21 +47,28 @@ pub mod tcp;
 pub mod telemetry;
 pub mod transport;
 
-pub use advanced::{double_tree_all_reduce, hierarchical_ring_all_reduce};
+pub use advanced::{
+    double_tree_all_reduce, double_tree_all_reduce_into, hierarchical_ring_all_reduce,
+    hierarchical_ring_all_reduce_into,
+};
 pub use error::CollectiveError;
 pub use ops::{
     all_gather, all_gather_into, broadcast, broadcast_into, parameter_server,
     parameter_server_into, reduce_scatter, reduce_scatter_into, ring_all_reduce,
     ring_all_reduce_into, tree_all_reduce, tree_all_reduce_into, RingScratch, Traffic,
 };
-pub use reduce::{F16Sum, F32Max, F32Sum, ReduceOp, SaturatingIntSum, WideIntSum, WrappingIntSum};
+pub use reduce::{
+    copy_lanes, reduce_lanes, F16Sum, F32Max, F32Sum, ReduceOp, SaturatingIntSum, WideIntSum,
+    WrappingIntSum,
+};
 pub use tcp::{
-    FleetWorker, Registry, RoundStart, TcpCluster, TcpLinks, TcpMesh, TcpTimeouts, WireElem,
+    decode_elems, decode_elems_into, encode_elems, encode_elems_into, FleetWorker, Registry,
+    RoundStart, TcpCluster, TcpLinks, TcpMesh, TcpTimeouts, WireElem, DEFAULT_TCP_CHUNK_BYTES,
 };
 pub use telemetry::{
     FleetEvent, TelemetryCollector, TelemetryConfig, TelemetryShipper, TELEMETRY_MAGIC,
 };
 pub use transport::{
-    all_gather_worker, broadcast_worker, ring_all_reduce_worker, threaded_ring_all_reduce,
-    MessageLinks, ThreadedCluster, WorkerLinks,
+    all_gather_worker, broadcast_worker, ring_all_reduce_worker, ring_all_reduce_worker_into,
+    threaded_ring_all_reduce, MessageLinks, ThreadedCluster, WorkerLinks,
 };

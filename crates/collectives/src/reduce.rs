@@ -44,6 +44,53 @@ pub trait ReduceOp<T>: Sync {
     }
 }
 
+/// Disjoint `(dst, src)` lane access into a set of worker buffers — the
+/// split-borrow that lets in-process collective simulations reduce one
+/// worker's segment into another's without cloning either side.
+fn lane_pair<T>(bufs: &mut [Vec<T>], dst: usize, src: usize) -> (&mut Vec<T>, &Vec<T>) {
+    assert_ne!(dst, src, "lane_pair: dst and src must differ");
+    if dst < src {
+        let (lo, hi) = bufs.split_at_mut(src);
+        (&mut lo[dst], &hi[0])
+    } else {
+        let (lo, hi) = bufs.split_at_mut(dst);
+        (&mut hi[0], &lo[src])
+    }
+}
+
+/// Reduces `bufs[src][lo..hi]` into `bufs[dst][lo..hi]` in place.
+///
+/// The in-process collective simulations (double tree, hierarchical ring)
+/// previously staged every such segment through an `a.to_vec()` clone; this
+/// operates directly on the two lanes via a split borrow, so the simulated
+/// data path allocates nothing per hop — the property the `alloc_budget`
+/// suite asserts (ISSUE 9 satellite).
+///
+/// # Panics
+/// Panics if `dst == src` or the range is out of bounds for either lane.
+pub fn reduce_lanes<T>(
+    bufs: &mut [Vec<T>],
+    op: &dyn ReduceOp<T>,
+    dst: usize,
+    src: usize,
+    lo: usize,
+    hi: usize,
+) {
+    let (d, s) = lane_pair(bufs, dst, src);
+    op.reduce_slice(&mut d[lo..hi], &s[lo..hi]);
+}
+
+/// Copies `bufs[src][lo..hi]` over `bufs[dst][lo..hi]` in place — the
+/// broadcast-down counterpart of [`reduce_lanes`], same split-borrow, same
+/// zero-allocation guarantee.
+///
+/// # Panics
+/// Panics if `dst == src` or the range is out of bounds for either lane.
+pub fn copy_lanes<T: Clone>(bufs: &mut [Vec<T>], dst: usize, src: usize, lo: usize, hi: usize) {
+    let (d, s) = lane_pair(bufs, dst, src);
+    d[lo..hi].clone_from_slice(&s[lo..hi]);
+}
+
 /// Exact f32 addition.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct F32Sum;
@@ -215,5 +262,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn saturating_rejects_bad_width() {
         SaturatingIntSum::new(1);
+    }
+
+    #[test]
+    fn reduce_lanes_is_in_place_and_direction_agnostic() {
+        let mut bufs = vec![vec![1.0f32, 2.0, 3.0], vec![10.0, 20.0, 30.0]];
+        reduce_lanes(&mut bufs, &F32Sum, 0, 1, 1, 3); // dst < src
+        assert_eq!(bufs[0], vec![1.0, 22.0, 33.0]);
+        assert_eq!(bufs[1], vec![10.0, 20.0, 30.0], "src untouched");
+        reduce_lanes(&mut bufs, &F32Sum, 1, 0, 0, 1); // dst > src
+        assert_eq!(bufs[1], vec![11.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn copy_lanes_overwrites_only_the_range() {
+        let mut bufs = vec![vec![1i32, 2, 3], vec![7, 8, 9]];
+        copy_lanes(&mut bufs, 1, 0, 0, 2);
+        assert_eq!(bufs[1], vec![1, 2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dst and src must differ")]
+    fn lane_helpers_reject_aliased_lanes() {
+        let mut bufs = vec![vec![0.0f32; 2]; 2];
+        reduce_lanes(&mut bufs, &F32Sum, 1, 1, 0, 1);
     }
 }

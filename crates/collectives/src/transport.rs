@@ -53,6 +53,56 @@ pub trait MessageLinks<T> {
     fn flush(&mut self) -> Result<(), CollectiveError> {
         Ok(())
     }
+    /// Borrow-based send (ISSUE 9): transmits `data` without taking
+    /// ownership. The default routes through the owned [`MessageLinks::send`]
+    /// — one clone, exactly what the pre-seam worker bodies paid — so
+    /// channel transports and `gcs-faults`' `FaultyLinks` work unchanged.
+    /// Byte-oriented transports override this to encode straight from the
+    /// caller's slice into persistent scratch (zero allocations per send).
+    fn send_slice(&mut self, peer: usize, data: &[T]) -> Result<(), CollectiveError>
+    where
+        T: Clone,
+    {
+        self.send(peer, data.to_vec())
+    }
+    /// Borrow-based receive (ISSUE 9): blocks for one message from `peer`
+    /// and decodes it into `out`, which must be exactly the message's
+    /// element count (a mismatch is a [`CollectiveError::Protocol`] framing
+    /// bug, not a resize request). The default routes through the owned
+    /// [`MessageLinks::recv`]; byte-oriented transports override it to
+    /// decode in place from their reassembly buffer.
+    fn recv_into(&mut self, peer: usize, out: &mut [T]) -> Result<(), CollectiveError>
+    where
+        T: Clone,
+    {
+        let data = self.recv(peer)?;
+        if data.len() != out.len() {
+            return Err(CollectiveError::Protocol {
+                peer,
+                detail: format!(
+                    "recv_into expected {} elements, peer sent {}",
+                    out.len(),
+                    data.len()
+                ),
+            });
+        }
+        out.clone_from_slice(&data);
+        Ok(())
+    }
+    /// Preferred elements-per-message for pipelined segment streaming.
+    /// Worker bodies split larger transfers into messages of at most this
+    /// many elements, posting the next message's send while the previous
+    /// receive drains — which is what lets reduce compute overlap wire
+    /// transfer on a socket transport. The default (`usize::MAX`) disables
+    /// chunking: in-process channels gain nothing from it, and the fault
+    /// layer's frame protocol keeps its one-message-per-hop shape.
+    ///
+    /// Both sides of a link derive the chunk count from the same value
+    /// (process-wide config) and the same element count, so the frame
+    /// sequence always agrees without any length prelude on the wire.
+    fn chunk_elems(&self) -> usize {
+        usize::MAX
+    }
 }
 
 /// Default bound on a blocking [`WorkerLinks::recv`]. Generous enough that
@@ -308,13 +358,58 @@ where
     O: ReduceOp<T>,
     L: MessageLinks<T>,
 {
+    let mut scratch = Vec::new();
+    let (sent, received) =
+        ring_all_reduce_worker_into(links, &mut buf, op, bytes_per_elem, &mut scratch)?;
+    Ok((buf, sent, received))
+}
+
+/// How many messages a transfer of `len` elements becomes under `chunk`.
+/// Zero-length transfers still cost one (empty) message, preserving the
+/// per-hop frame count of the unchunked algorithm.
+fn chunk_count(len: usize, chunk: usize) -> usize {
+    len.div_ceil(chunk).max(1)
+}
+
+/// Zero-allocation ring all-reduce worker body (ISSUE 9 tentpole): reduces
+/// `buf` in place, staging incoming reduce-scatter segments in the
+/// caller-owned `scratch` (sized once to the largest segment; no heap
+/// traffic at steady state when `scratch` is reused across rounds).
+///
+/// Segments stream through the borrow-based [`MessageLinks::send_slice`] /
+/// [`MessageLinks::recv_into`] entry points in chunks of at most
+/// [`MessageLinks::chunk_elems`] elements, with chunk `c`'s send posted
+/// before chunk `c`'s receive is drained and each received chunk reduced
+/// (or, in the all-gather phase, decoded straight into its final position
+/// in `buf`) before the next chunk is awaited — the pipelining that lets
+/// reduce compute overlap wire transfer on a socket transport.
+///
+/// Bitwise identity with the unchunked algorithm holds because chunking
+/// never reorders anything: chunks of a segment are sent, received and
+/// reduced in ascending offset order over a FIFO link, and `reduce_slice`
+/// is elementwise, so the per-element fold order is exactly that of
+/// [`crate::ops::ring_all_reduce`]. Traffic is counted per segment (not per
+/// chunk), so `(sent, received)` match the channel transport exactly — the
+/// differential suite's accounting identity.
+pub fn ring_all_reduce_worker_into<T, O, L>(
+    links: &mut L,
+    buf: &mut [T],
+    op: &O,
+    bytes_per_elem: f64,
+    scratch: &mut Vec<T>,
+) -> Result<(u64, u64), CollectiveError>
+where
+    T: Clone,
+    O: ReduceOp<T>,
+    L: MessageLinks<T>,
+{
     let n = links.n();
     let i = links.rank();
     let len = buf.len();
     let mut sent = 0u64;
     let mut received = 0u64;
     if n == 1 || len == 0 {
-        return Ok((buf, 0, 0));
+        return Ok((0, 0));
     }
     let seg_bounds = |seg: usize| -> (usize, usize) {
         let base = len / n;
@@ -324,33 +419,59 @@ where
     };
     let next = (i + 1) % n;
     let prev = (i + n - 1) % n;
+    let chunk = links.chunk_elems().max(1);
+    // Size the staging buffer to the largest segment once; recv_into
+    // overwrites every element it covers, so stale contents are harmless.
+    let max_seg = len / n + usize::from(!len.is_multiple_of(n));
+    if scratch.len() < max_seg {
+        scratch.resize(max_seg, buf[0].clone());
+    }
 
     // Reduce-scatter.
     for k in 0..n - 1 {
-        let send_seg = (i + n - k) % n;
-        let (lo, hi) = seg_bounds(send_seg);
-        links.send(next, buf[lo..hi].to_vec())?;
-        sent += ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
-        let recv_seg = (prev + n - k) % n;
-        let data = links.recv(prev)?;
-        let (lo, hi) = seg_bounds(recv_seg);
-        received += ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
-        op.reduce_slice(&mut buf[lo..hi], &data);
+        let (slo, shi) = seg_bounds((i + n - k) % n);
+        let (rlo, rhi) = seg_bounds((prev + n - k) % n);
+        let (send_chunks, recv_chunks) =
+            (chunk_count(shi - slo, chunk), chunk_count(rhi - rlo, chunk));
+        for c in 0..send_chunks.max(recv_chunks) {
+            if c < send_chunks {
+                let lo = slo + c * chunk;
+                let hi = shi.min(lo.saturating_add(chunk));
+                links.send_slice(next, &buf[lo..hi])?;
+            }
+            if c < recv_chunks {
+                let o0 = c * chunk;
+                let o1 = (rhi - rlo).min(o0.saturating_add(chunk));
+                links.recv_into(prev, &mut scratch[o0..o1])?;
+                op.reduce_slice(&mut buf[rlo + o0..rlo + o1], &scratch[o0..o1]);
+            }
+        }
+        sent += ((shi - slo) as f64 * bytes_per_elem).ceil() as u64;
+        received += ((rhi - rlo) as f64 * bytes_per_elem).ceil() as u64;
     }
-    // All-gather.
+    // All-gather: received chunks decode straight into their final position.
     for k in 0..n - 1 {
-        let send_seg = (i + 1 + n - k) % n;
-        let (lo, hi) = seg_bounds(send_seg);
-        links.send(next, buf[lo..hi].to_vec())?;
-        sent += ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
-        let recv_seg = (prev + 1 + n - k) % n;
-        let data = links.recv(prev)?;
-        let (lo, hi) = seg_bounds(recv_seg);
-        received += ((hi - lo) as f64 * bytes_per_elem).ceil() as u64;
-        buf[lo..hi].clone_from_slice(&data);
+        let (slo, shi) = seg_bounds((i + 1 + n - k) % n);
+        let (rlo, rhi) = seg_bounds((prev + 1 + n - k) % n);
+        let (send_chunks, recv_chunks) =
+            (chunk_count(shi - slo, chunk), chunk_count(rhi - rlo, chunk));
+        for c in 0..send_chunks.max(recv_chunks) {
+            if c < send_chunks {
+                let lo = slo + c * chunk;
+                let hi = shi.min(lo.saturating_add(chunk));
+                links.send_slice(next, &buf[lo..hi])?;
+            }
+            if c < recv_chunks {
+                let lo = rlo + c * chunk;
+                let hi = rhi.min(lo.saturating_add(chunk));
+                links.recv_into(prev, &mut buf[lo..hi])?;
+            }
+        }
+        sent += ((shi - slo) as f64 * bytes_per_elem).ceil() as u64;
+        received += ((rhi - rlo) as f64 * bytes_per_elem).ceil() as u64;
     }
     links.flush()?;
-    Ok((buf, sent, received))
+    Ok((sent, received))
 }
 
 /// Broadcast executed by one worker: the root sends its buffer to every
@@ -377,7 +498,7 @@ where
     if i == root {
         for peer in 0..n {
             if peer != root {
-                links.send(peer, buf.clone())?;
+                links.send_slice(peer, &buf)?;
             }
         }
         links.flush()?;
@@ -414,7 +535,7 @@ where
     // fan-in across the mesh; delivery order per pair is what matters).
     for k in 1..n {
         let peer = (i + k) % n;
-        links.send(peer, buf.clone())?;
+        links.send_slice(peer, &buf)?;
         sent += own_bytes;
     }
     let mut parts: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();

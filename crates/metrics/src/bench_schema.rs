@@ -22,11 +22,17 @@
 //! telemetry plane end to end — shipped frame/byte totals, scrape payload
 //! size, merged-trace span count, worst clock-offset magnitude, the
 //! p50 cost of one ship versus one training round and their ratio, plus
-//! flight-recorder and membership-event counts):
+//! flight-recorder and membership-event counts; version 7 added the
+//! required `transport.pipeline` subsection characterizing the zero-copy
+//! chunked TCP data path — the active chunk size, steady-state per-round
+//! latency tails over a message-size sweep on a *persistent* mesh, the
+//! heap-allocation count of one steady-state round, and the speedup of a
+//! warm pipelined round over the stop-and-wait cold-cluster methodology
+//! the pre-v7 `tcp_ring_p50_ns` baseline was recorded with):
 //!
 //! ```json
 //! {
-//!   "schema_version": 6,
+//!   "schema_version": 7,
 //!   "id": "PR6",
 //!   "mode": "fast",
 //!   "dim": 16384,
@@ -62,7 +68,16 @@
 //!     "tcp_ring_p50_ns": 830000.0, "tcp_ring_p99_ns": 1400000.0,
 //!     "wire_bytes_total": 786432, "joins": 4, "reconnects": 0,
 //!     "identical": 1,
-//!     "fleet_first_metric": 2.31, "fleet_final_metric": 2.05
+//!     "fleet_first_metric": 2.31, "fleet_final_metric": 2.05,
+//!     "pipeline": {
+//!       "chunk_bytes": 65536,
+//!       "sizes": [
+//!         { "elems": 4096, "p50_ns": 200000.0, "p99_ns": 320000.0 },
+//!         { "elems": 65536, "p50_ns": 1700000.0, "p99_ns": 2400000.0 }
+//!       ],
+//!       "allocs_per_round": 0,
+//!       "speedup_vs_pr7": 14.2
+//!     }
 //!   },
 //!   "fleet_observability": {
 //!     "workers": 4, "frames_total": 28, "bytes_total": 61440,
@@ -85,7 +100,7 @@
 use crate::json::Json;
 
 /// Current artifact schema version.
-pub const SCHEMA_VERSION: f64 = 6.0;
+pub const SCHEMA_VERSION: f64 = 7.0;
 
 /// Top-level numeric fields every artifact must carry.
 const TOP_NUM_FIELDS: [&str; 4] = ["schema_version", "dim", "rounds", "workers"];
@@ -139,6 +154,11 @@ const TRANSPORT_NUM_FIELDS: [&str; 8] = [
 /// Nullable fleet-training metrics in the `transport` object: null when
 /// the run recorded no eval points (empty TTA curve).
 const TRANSPORT_NULLABLE_FIELDS: [&str; 2] = ["fleet_first_metric", "fleet_final_metric"];
+/// Required non-negative numerics in the `transport.pipeline` object
+/// (schema v7): the chunked steady-state data path.
+const PIPELINE_NUM_FIELDS: [&str; 3] = ["chunk_bytes", "allocs_per_round", "speedup_vs_pr7"];
+/// Required finite numerics per `transport.pipeline.sizes` row.
+const PIPELINE_SIZE_NUM_FIELDS: [&str; 3] = ["elems", "p50_ns", "p99_ns"];
 /// Required non-negative numerics in the `fleet_observability` object
 /// (schema v6): the telemetry plane measured end to end.
 const FLEET_OBS_NUM_FIELDS: [&str; 11] = [
@@ -300,6 +320,36 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    let pipeline = transport
+        .get("pipeline")
+        .ok_or("transport: missing \"pipeline\" subsection (schema v7)")?;
+    if pipeline.as_object().is_none() {
+        return Err("\"transport.pipeline\" must be a JSON object".to_string());
+    }
+    for field in PIPELINE_NUM_FIELDS {
+        let v = finite_num(pipeline, field).map_err(|e| format!("transport.pipeline: {e}"))?;
+        if v < 0.0 {
+            return Err(format!("transport.pipeline: {field} must be non-negative"));
+        }
+    }
+    let sizes = pipeline
+        .get("sizes")
+        .and_then(Json::as_array)
+        .ok_or("transport.pipeline: missing \"sizes\" array")?;
+    if sizes.is_empty() {
+        return Err("\"transport.pipeline.sizes\" must not be empty".to_string());
+    }
+    for (i, row) in sizes.iter().enumerate() {
+        for field in PIPELINE_SIZE_NUM_FIELDS {
+            let v = finite_num(row, field)
+                .map_err(|e| format!("transport.pipeline.sizes[{i}]: {e}"))?;
+            if v < 0.0 {
+                return Err(format!(
+                    "transport.pipeline.sizes[{i}]: {field} must be non-negative"
+                ));
+            }
+        }
+    }
 
     let fleet_obs = doc
         .get("fleet_observability")
@@ -338,7 +388,7 @@ mod tests {
     fn valid_doc() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 6, "id": "PR8", "mode": "fast",
+              "schema_version": 7, "id": "PR9", "mode": "fast",
               "dim": 16384, "rounds": 3, "workers": 4,
               "kernels": [
                 {"name": "topk", "throughput_elems_per_s": 1.0e8,
@@ -375,7 +425,16 @@ mod tests {
                 "tcp_ring_p50_ns": 830000.0, "tcp_ring_p99_ns": 1400000.0,
                 "wire_bytes_total": 786432, "joins": 4, "reconnects": 0,
                 "identical": 1,
-                "fleet_first_metric": 2.31, "fleet_final_metric": null
+                "fleet_first_metric": 2.31, "fleet_final_metric": null,
+                "pipeline": {
+                  "chunk_bytes": 65536,
+                  "sizes": [
+                    {"elems": 4096, "p50_ns": 200000.0, "p99_ns": 320000.0},
+                    {"elems": 65536, "p50_ns": 1700000.0, "p99_ns": 2400000.0}
+                  ],
+                  "allocs_per_round": 0,
+                  "speedup_vs_pr7": 14.2
+                }
               },
               "fleet_observability": {
                 "workers": 4, "frames_total": 28, "bytes_total": 61440,
@@ -449,6 +508,14 @@ mod tests {
             (&["transport"][..], "identical"),
             (&["transport"][..], "fleet_first_metric"),
             (&["transport"][..], "fleet_final_metric"),
+            (&["transport"][..], "pipeline"),
+            (&["transport", "pipeline"][..], "chunk_bytes"),
+            (&["transport", "pipeline"][..], "sizes"),
+            (&["transport", "pipeline"][..], "allocs_per_round"),
+            (&["transport", "pipeline"][..], "speedup_vs_pr7"),
+            (&["transport", "pipeline", "sizes"][..], "elems"),
+            (&["transport", "pipeline", "sizes"][..], "p50_ns"),
+            (&["transport", "pipeline", "sizes"][..], "p99_ns"),
             (&[][..], "fleet_observability"),
             (&["fleet_observability"][..], "frames_total"),
             (&["fleet_observability"][..], "scrape_bytes"),
@@ -492,11 +559,11 @@ mod tests {
             .render()
             .replace("\"mode\":\"fast\"", "\"mode\":\"warp\"");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
-        // Pre-observability version-5 artifacts are rejected by the v6
+        // Pre-pipeline version-6 artifacts are rejected by the v7
         // validator.
         let text = valid_doc()
             .render()
-            .replace("\"schema_version\":6", "\"schema_version\":5");
+            .replace("\"schema_version\":7", "\"schema_version\":6");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
     }
 
@@ -533,6 +600,23 @@ mod tests {
             "\"fleet_first_metric\":\"nan\"",
         );
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn pipeline_subsection_is_strictly_validated() {
+        // The size sweep must not be empty…
+        let text = valid_doc().render().replace(
+            "{\"elems\":4096,\"p50_ns\":200000,\"p99_ns\":320000},{\"elems\":65536,\"p50_ns\":1700000,\"p99_ns\":2400000}",
+            "",
+        );
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("sizes"), "{err}");
+        // …and a negative speedup is nonsense, not a regression marker.
+        let text = valid_doc()
+            .render()
+            .replace("\"speedup_vs_pr7\":14.2", "\"speedup_vs_pr7\":-1");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("speedup_vs_pr7"), "{err}");
     }
 
     #[test]

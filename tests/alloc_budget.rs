@@ -13,9 +13,12 @@
 //! design — pools are per-scheme, not per-thread.)
 
 use gcs_alloc::{counting_enabled, measure, CountingAlloc};
+use gradient_utility::collectives::tcp::{FleetWorker, Registry, TcpTimeouts};
 use gradient_utility::collectives::{
-    all_gather_into, broadcast_into, parameter_server_into, reduce_scatter_into,
-    ring_all_reduce_into, tree_all_reduce_into, F32Sum, RingScratch, Traffic,
+    all_gather_into, broadcast_into, double_tree_all_reduce_into,
+    hierarchical_ring_all_reduce_into, parameter_server_into, reduce_scatter_into,
+    ring_all_reduce_into, ring_all_reduce_worker_into, tree_all_reduce_into, F32Sum, RingScratch,
+    Traffic,
 };
 use gradient_utility::core::scheme::{AggregationOutcome, CompressionScheme, RoundContext};
 use gradient_utility::core::schemes::powersgd::PowerSgd;
@@ -129,6 +132,89 @@ fn broadcast_and_parameter_server_steady_state_are_allocation_free() {
         });
         assert_eq!(events, 0, "broadcast + parameter_server must not allocate");
     });
+}
+
+#[test]
+fn advanced_collectives_steady_state_are_allocation_free() {
+    // The double-tree and hierarchical-ring simulations used to stage every
+    // segment hop through a `to_vec()` clone; `reduce_lanes`/`copy_lanes`
+    // operate in place via split borrows (ISSUE 9 satellite).
+    with_threads(1, || {
+        let src = grads(N, D);
+        let mut bufs = src.clone();
+        let mut traffic = Traffic::default();
+        let events = steady_events(|| {
+            for (b, s) in bufs.iter_mut().zip(&src) {
+                b.clear();
+                b.extend_from_slice(s);
+            }
+            double_tree_all_reduce_into(&mut bufs, &F32Sum, 4.0, &mut traffic);
+        });
+        assert_eq!(
+            events, 0,
+            "double_tree_all_reduce must not allocate at steady state"
+        );
+        let events = steady_events(|| {
+            for (b, s) in bufs.iter_mut().zip(&src) {
+                b.clear();
+                b.extend_from_slice(s);
+            }
+            hierarchical_ring_all_reduce_into(&mut bufs, 2, &F32Sum, 4.0, &mut traffic);
+        });
+        assert_eq!(
+            events, 0,
+            "hierarchical_ring_all_reduce must not allocate at steady state"
+        );
+    });
+}
+
+#[test]
+fn tcp_ring_steady_state_is_allocation_free() {
+    // The ISSUE 9 acceptance bar: 0 heap events per round on the TCP
+    // steady-state path. Each worker measures on its *own* thread (the
+    // alloc counters are thread-local), over a persistent mesh: the send
+    // side encodes into the mesh's scratch and writes vectored frames, the
+    // receive side decodes in place out of the link's reassembly buffer,
+    // and the worker body stages segments in a caller-owned scratch — after
+    // two warm-up rounds, nothing on the round path touches the heap.
+    let registry = Registry::spawn(2).expect("registry");
+    let addr = registry.addr();
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut w = FleetWorker::join(addr, TcpTimeouts::fast_test()).expect("join");
+                let rs = w.next_round(0).expect("round");
+                let src: Vec<f32> = (0..D)
+                    .map(|i| ((rs.rank * D + i) as f32 * 0.37).sin())
+                    .collect();
+                let mut buf = src.clone();
+                let mut scratch = Vec::new();
+                let mut links = w.links::<f32>();
+                let mut round = || {
+                    buf.copy_from_slice(&src);
+                    ring_all_reduce_worker_into(&mut links, &mut buf, &F32Sum, 4.0, &mut scratch)
+                        .expect("healthy fleet");
+                };
+                round();
+                round();
+                let ((), stats) = measure(&mut round);
+                drop(links);
+                w.leave().expect("leave");
+                stats.total_events()
+            })
+        })
+        .collect();
+    let events: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("tcp worker thread"))
+        .collect();
+    registry.shutdown();
+    for (rank, e) in events.iter().enumerate() {
+        assert_eq!(
+            *e, 0,
+            "TCP ring steady state must not allocate (rank {rank})"
+        );
+    }
 }
 
 #[test]

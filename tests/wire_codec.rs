@@ -1,0 +1,118 @@
+//! Property tests for the TCP wire codec (ISSUE 9 satellite).
+//!
+//! The zero-copy data path rests on `encode_elems`/`decode_elems_into`
+//! being an exact inverse pair: every f32 bit pattern (NaN payloads
+//! included) must round-trip unchanged, the borrowing encoder must produce
+//! byte-identical output to the allocating one, and any payload that is
+//! not exactly `out.len()` elements wide must surface as a *typed*
+//! protocol error — never a short read, a panic, or silent truncation.
+
+use gradient_utility::collectives::tcp::{
+    decode_elems, decode_elems_into, encode_elems, encode_elems_into,
+};
+use gradient_utility::collectives::CollectiveError;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// f32 round-trip is bitwise exact, for the owned and in-place decode
+    /// paths alike — arbitrary u32 bit patterns cover NaNs, infinities,
+    /// subnormals and both zeros.
+    #[test]
+    fn f32_round_trip_preserves_every_bit_pattern(
+        bits in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let elems: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let bytes = encode_elems(&elems);
+        prop_assert_eq!(bytes.len(), elems.len() * 4);
+
+        // The borrowing encoder must agree byte-for-byte, including when
+        // its buffer carries stale capacity from a previous (larger) use.
+        let mut reused = vec![0xAAu8; 256];
+        encode_elems_into(&elems, &mut reused);
+        prop_assert_eq!(&bytes, &reused);
+
+        let owned: Vec<f32> = decode_elems(&bytes, 0).expect("aligned payload");
+        let owned_bits: Vec<u32> = owned.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&owned_bits, &bits);
+
+        let mut in_place = vec![0.0f32; elems.len()];
+        decode_elems_into(&bytes, &mut in_place, 0).expect("aligned payload");
+        let in_place_bits: Vec<u32> = in_place.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&in_place_bits, &bits);
+    }
+
+    /// Same exactness for the u32 wire element (compressed payload lanes).
+    #[test]
+    fn u32_round_trip_is_exact(values in prop::collection::vec(any::<u32>(), 0..64)) {
+        let bytes = encode_elems(&values);
+        let mut out = vec![0u32; values.len()];
+        decode_elems_into(&bytes, &mut out, 0).expect("aligned payload");
+        prop_assert_eq!(&out, &values);
+        let owned: Vec<u32> = decode_elems(&bytes, 0).expect("aligned payload");
+        prop_assert_eq!(&owned, &values);
+    }
+
+    /// A payload whose byte length is not a multiple of the element width
+    /// is a typed protocol error attributing the right peer, on both
+    /// decode paths.
+    #[test]
+    fn misaligned_payload_is_typed_protocol_error(
+        len in 1usize..256,
+        peer in 0usize..8,
+    ) {
+        let len = if len.is_multiple_of(4) { len + 1 } else { len };
+        let bytes = vec![0xCDu8; len];
+        match decode_elems::<f32>(&bytes, peer) {
+            Err(CollectiveError::Protocol { peer: p, detail }) => {
+                prop_assert_eq!(p, peer);
+                prop_assert!(detail.contains("multiple"), "detail {}", detail);
+            }
+            other => prop_assert!(false, "expected Protocol error, got {:?}", other),
+        }
+        let mut out = vec![0.0f32; len / 4 + 1];
+        match decode_elems_into(&bytes, &mut out, peer) {
+            Err(CollectiveError::Protocol { peer: p, .. }) => prop_assert_eq!(p, peer),
+            other => prop_assert!(false, "expected Protocol error, got {:?}", other),
+        }
+    }
+
+    /// An aligned payload carrying the wrong element *count* for the
+    /// caller's slice is also a typed protocol error — `decode_elems_into`
+    /// must never partially fill or overrun `out`.
+    #[test]
+    fn element_count_mismatch_is_typed_protocol_error(
+        n in 0usize..32,
+        delta in 1usize..5,
+        grow in any::<bool>(),
+    ) {
+        let elems = vec![1.5f32; n];
+        let bytes = encode_elems(&elems);
+        // Always a genuine mismatch: larger when growing (or when n = 0,
+        // where shrinking is impossible), strictly smaller otherwise.
+        let out_len = if grow || n == 0 { n + delta } else { n - delta.min(n) };
+        let sentinel = f32::from_bits(0xDEAD_BEEF);
+        let mut out = vec![sentinel; out_len];
+        match decode_elems_into(&bytes, &mut out, 2) {
+            Err(CollectiveError::Protocol { peer: 2, detail }) => {
+                prop_assert!(detail.contains("elements"), "detail {}", detail);
+            }
+            other => prop_assert!(false, "expected Protocol error, got {:?}", other),
+        }
+        // The output slice must be untouched on error.
+        prop_assert!(out.iter().all(|v| v.to_bits() == sentinel.to_bits()));
+    }
+
+    /// Zero-length payloads are valid frames, not errors: empty ring
+    /// segments cross the wire as empty messages.
+    #[test]
+    fn zero_length_round_trip(_x in any::<bool>()) {
+        let bytes = encode_elems::<f32>(&[]);
+        prop_assert!(bytes.is_empty());
+        let mut out: Vec<f32> = Vec::new();
+        decode_elems_into(&bytes, &mut out, 0).expect("empty payload is valid");
+        let owned: Vec<f32> = decode_elems(&bytes, 0).expect("empty payload is valid");
+        prop_assert!(owned.is_empty());
+    }
+}
