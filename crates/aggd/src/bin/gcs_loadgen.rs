@@ -1,0 +1,125 @@
+//! Open-loop tenant load generator for the aggregation daemon.
+//!
+//! ```text
+//! gcs_loadgen [--addr HOST:PORT] [--tenants N[,N...]] [--rounds R]
+//!             [--rate HZ] [--dims D,D,...] [--drivers N] [--fast]
+//! ```
+//!
+//! Without `--addr` an in-process daemon is spawned. `--tenants` takes a
+//! comma-separated sweep; each point prints one line of the capacity curve
+//! (tenants × round-rate vs p50/p99). Exits non-zero if any point failed
+//! to sustain its offered load (a round never completed or a stream never
+//! connected) — the CI smoke gate.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use gcs_aggd::daemon::{AggDaemon, AggdConfig};
+use gcs_aggd::loadgen::{capacity_sweep, LoadgenConfig};
+
+fn main() {
+    let mut sweep: Vec<usize> = vec![64];
+    let mut cfg = LoadgenConfig::default();
+    let mut addr: Option<SocketAddr> = None;
+    let mut shards = AggdConfig::default().shards;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => {
+                addr = Some(
+                    val("--addr")
+                        .parse()
+                        .unwrap_or_else(|_| die("--addr must be HOST:PORT")),
+                )
+            }
+            "--tenants" => sweep = parse_list(&val("--tenants")),
+            "--rounds" => cfg.rounds = parse_num(&val("--rounds")),
+            "--rate" => {
+                cfg.rate_hz = val("--rate")
+                    .parse()
+                    .unwrap_or_else(|_| die("--rate must be a number"))
+            }
+            "--dims" => cfg.dims = parse_list(&val("--dims")),
+            "--drivers" => cfg.drivers = parse_num(&val("--drivers")) as usize,
+            "--shards" => shards = parse_num(&val("--shards")) as usize,
+            "--fast" => {
+                cfg.rounds = 3;
+                cfg.rate_hz = 20.0;
+                cfg.dims = vec![32, 64, 128];
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: gcs_loadgen [--addr HOST:PORT] [--tenants N,N,...] [--rounds R] \
+                     [--rate HZ] [--dims D,D,...] [--drivers N] [--shards N] [--fast]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    cfg.deadline = Duration::from_secs(30);
+
+    // Self-hosted daemon unless a target was given.
+    let local = if addr.is_none() {
+        let daemon = AggDaemon::spawn(AggdConfig {
+            shards,
+            max_tenants: sweep.iter().copied().max().unwrap_or(64) * 2 + 64,
+            ..AggdConfig::default()
+        })
+        .unwrap_or_else(|e| die(&format!("daemon spawn failed: {e}")));
+        Some(daemon)
+    } else {
+        None
+    };
+    let target = addr.unwrap_or_else(|| local.as_ref().expect("local daemon").addr());
+
+    println!("# aggd capacity curve against {target}");
+    println!("# tenants rate_hz rounds completed rejects failed p50_ms p99_ms wall_s sustained");
+    let points = capacity_sweep(target, &sweep, &cfg);
+    let mut all_sustained = true;
+    for p in &points {
+        all_sustained &= p.sustained;
+        println!(
+            "{} {:.1} {} {} {} {} {:.3} {:.3} {:.2} {}",
+            p.tenants,
+            p.round_rate_hz,
+            p.rounds_per_tenant,
+            p.completed,
+            p.rejects,
+            p.failed,
+            p.p50_ns / 1e6,
+            p.p99_ns / 1e6,
+            p.wall_s,
+            p.sustained
+        );
+    }
+    if !all_sustained {
+        eprintln!("gcs_loadgen: offered load was not sustained");
+        std::process::exit(1);
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str) -> Vec<T> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad list element {t}")))
+        })
+        .collect()
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad number {s}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("gcs_loadgen: {msg}");
+    std::process::exit(2);
+}

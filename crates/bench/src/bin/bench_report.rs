@@ -24,14 +24,20 @@
 //! message-size sweep, the measured heap-event count of one warm round
 //! (summed over all ranks), and the speedup of a warm pipelined round
 //! over the cold-cluster stop-and-wait methodology that the pre-v7
-//! `tcp_ring_p50_ns` trajectory was recorded with — alongside the other
-//! two exporters — a Prometheus text-format snapshot and a JSONL
-//! time-series dump — of everything the run captured into the
-//! `gcs-metrics` registry.
+//! `tcp_ring_p50_ns` trajectory was recorded with (the cold baseline is
+//! raced once per invocation and memoized for every section that consults
+//! it), and — schema v8 — an `aggd` section driving an in-process
+//! multi-tenant aggregation daemon with the `gcs_loadgen` open-loop sweep:
+//! one capacity row per offered tenant count (round-latency tails,
+//! completed/reject/failure counts, a sustained flag), the largest
+//! sustained stream count, and a four-family daemon-vs-standalone bitwise
+//! conformance flag — alongside the other two exporters — a Prometheus
+//! text-format snapshot and a JSONL time-series dump — of everything the
+//! run captured into the `gcs-metrics` registry.
 //!
 //! Usage:
 //!   cargo run -p gcs-bench --release --bin bench_report -- [--fast]
-//!       [--id PR9] [--out path.json]
+//!       [--id PR10] [--out path.json]
 //!   cargo run -p gcs-bench --release --bin bench_report -- --validate path.json
 //!
 //! `--fast` shrinks the gradient dimension and round count for CI; the
@@ -76,7 +82,7 @@ struct Cli {
 fn parse_args() -> Cli {
     let mut cli = Cli {
         fast: false,
-        id: "PR9".to_string(),
+        id: "PR10".to_string(),
         out: None,
         validate: None,
     };
@@ -288,6 +294,60 @@ fn scheme_hotpath(
             make().aggregate_round(&g, &RoundContext::new(11, r));
         },
     )
+}
+
+/// The cold-cluster TCP ring baseline: registry + mesh spawned from
+/// scratch on every iteration (the stop-and-wait methodology the pre-v7
+/// `tcp_ring_p50_ns` trajectory was recorded with). Two sections consult
+/// it — the transport row and the pipeline's `speedup_vs_pr7` denominator
+/// — so it is memoized: one invocation races the cold cluster exactly
+/// once, however many callers ask.
+struct ColdTcp {
+    p50_ns: f64,
+    p99_ns: f64,
+    wire_bytes: f64,
+    joins: f64,
+    reconnects: f64,
+    out: Vec<Vec<f32>>,
+    reg: Registry,
+}
+
+fn cold_tcp_baseline(n: usize, len: usize, iters: u64) -> &'static ColdTcp {
+    use gcs_collectives::tcp::TcpCluster;
+    use gcs_collectives::transport::ring_all_reduce_worker;
+    use std::sync::OnceLock;
+    static COLD: OnceLock<ColdTcp> = OnceLock::new();
+    COLD.get_or_init(|| {
+        let mut tcp_ns = Histogram::new();
+        let mut tcp_out: Vec<Vec<f32>> = Vec::new();
+        let ((), reg) = gcs_metrics::with_capture(|| {
+            for i in 0..iters {
+                let bufs = grads(n, len, 500 + i);
+                let t0 = Instant::now();
+                tcp_out = TcpCluster::run(n, move |rank, links: &mut _| {
+                    ring_all_reduce_worker(links, bufs[rank].clone(), &F32Sum, 4.0)
+                        .expect("healthy tcp ring")
+                        .0
+                });
+                tcp_ns.record(t0.elapsed().as_nanos() as f64);
+            }
+        });
+        let counter = |name: &str| {
+            reg.counters()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        ColdTcp {
+            p50_ns: tcp_ns.p50().unwrap_or(f64::NAN),
+            p99_ns: tcp_ns.p99().unwrap_or(f64::NAN),
+            wire_bytes: counter("transport/tcp/wire_bytes_total"),
+            joins: counter("transport/tcp/joins_total"),
+            reconnects: counter("transport/tcp/reconnects_total"),
+            out: tcp_out,
+            reg,
+        }
+    })
 }
 
 fn validate_file(path: &Path) -> Result<(), String> {
@@ -614,7 +674,6 @@ fn main() {
     // quick training run through the nullable `TrainLog` accessors — a run
     // that records no evals lands as `null`, never as an abort.
     let transport = {
-        use gcs_collectives::tcp::TcpCluster;
         use gcs_collectives::transport::{ring_all_reduce_worker, ThreadedCluster};
 
         let iters = rounds;
@@ -631,32 +690,13 @@ fn main() {
             threaded_ns.record(t0.elapsed().as_nanos() as f64);
         }
 
-        let mut tcp_ns = Histogram::new();
-        let mut tcp_out: Vec<Vec<f32>> = Vec::new();
-        let ((), reg) = gcs_metrics::with_capture(|| {
-            for i in 0..iters {
-                let bufs = grads(n, len, 500 + i);
-                let t0 = Instant::now();
-                tcp_out = TcpCluster::run(n, move |rank, links: &mut _| {
-                    ring_all_reduce_worker(links, bufs[rank].clone(), &F32Sum, 4.0)
-                        .expect("healthy tcp ring")
-                        .0
-                });
-                tcp_ns.record(t0.elapsed().as_nanos() as f64);
-            }
-        });
-        let counter = |name: &str| {
-            reg.counters()
-                .find(|(k, _)| *k == name)
-                .map(|(_, v)| v)
-                .unwrap_or(0.0)
-        };
-        let wire_bytes = counter("transport/tcp/wire_bytes_total");
-        let joins = counter("transport/tcp/joins_total");
-        let reconnects = counter("transport/tcp/reconnects_total");
-        merged.merge(&reg);
-        let identical = threaded_out.len() == tcp_out.len()
-            && threaded_out.iter().zip(&tcp_out).all(|(a, b)| {
+        let cold = cold_tcp_baseline(n, len, iters);
+        let wire_bytes = cold.wire_bytes;
+        let joins = cold.joins;
+        let reconnects = cold.reconnects;
+        merged.merge(&cold.reg);
+        let identical = threaded_out.len() == cold.out.len()
+            && threaded_out.iter().zip(&cold.out).all(|(a, b)| {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
             });
 
@@ -786,7 +826,8 @@ fn main() {
                     ("p99_ns", Json::Num(p99)),
                 ]));
             }
-            let speedup = tcp_ns.p50().unwrap_or(f64::NAN) / std_p50;
+            // Second consult of the memoized cold baseline — no re-race.
+            let speedup = cold_tcp_baseline(n, len, iters).p50_ns / std_p50;
             println!(
                 "  pipeline chunk {chunk_bytes} B  speedup vs cold stop-and-wait {speedup:>6.1}x"
             );
@@ -816,7 +857,7 @@ fn main() {
         println!(
             "  transport ring p50 threaded {:>9.0} ns  tcp {:>9.0} ns  wire {wire_bytes:>10} B  identical {identical}",
             threaded_ns.p50().unwrap_or(f64::NAN),
-            tcp_ns.p50().unwrap_or(f64::NAN),
+            cold.p50_ns,
         );
         obj(vec![
             (
@@ -827,14 +868,8 @@ fn main() {
                 "threaded_ring_p99_ns",
                 Json::Num(threaded_ns.p99().unwrap_or(f64::NAN)),
             ),
-            (
-                "tcp_ring_p50_ns",
-                Json::Num(tcp_ns.p50().unwrap_or(f64::NAN)),
-            ),
-            (
-                "tcp_ring_p99_ns",
-                Json::Num(tcp_ns.p99().unwrap_or(f64::NAN)),
-            ),
+            ("tcp_ring_p50_ns", Json::Num(cold.p50_ns)),
+            ("tcp_ring_p99_ns", Json::Num(cold.p99_ns)),
             ("wire_bytes_total", Json::Num(wire_bytes)),
             ("joins", Json::Num(joins)),
             ("reconnects", Json::Num(reconnects)),
@@ -991,6 +1026,79 @@ fn main() {
         )
     };
 
+    // Aggregation-service section (ISSUE 10, schema v8): an in-process
+    // multi-tenant daemon under `gcs_loadgen`'s open-loop synthetic load.
+    // Each sweep point offers a strictly larger tenant-stream count (the
+    // capacity curve), and the conformance probe re-proves the headline
+    // property on every artifact: all four scheme families produce
+    // bitwise-identical estimates through the daemon and standalone. The
+    // daemon's per-tenant registries are scraped into `merged`, so the
+    // .prom artifact carries the tenant round-latency histograms too.
+    let aggd = {
+        use gcs_aggd::{capacity_sweep, conformance_probe, AggDaemon, AggdConfig, LoadgenConfig};
+        let shards = 2usize;
+        let daemon = AggDaemon::spawn(AggdConfig {
+            shards,
+            ..AggdConfig::default()
+        })
+        .expect("aggd daemon");
+        let sweep: Vec<usize> = if cli.fast {
+            vec![64, 256, 1024]
+        } else {
+            vec![64, 256, 1024, 2048]
+        };
+        let lg = LoadgenConfig {
+            deadline: std::time::Duration::from_secs(30),
+            ..LoadgenConfig::default()
+        };
+        let points = capacity_sweep(daemon.addr(), &sweep, &lg);
+        let conformant = conformance_probe(daemon.addr(), 32, 4);
+        merged.merge(&daemon.registry());
+        let max_sustained = points
+            .iter()
+            .filter(|p| p.sustained)
+            .map(|p| p.tenants)
+            .max()
+            .unwrap_or(0);
+        for p in &points {
+            println!(
+                "  aggd {:>5} tenants  completed {:>6}  rejects {:>5}  p50 {:>10.0} ns  p99 {:>10.0} ns  sustained {}",
+                p.tenants, p.completed, p.rejects, p.p50_ns, p.p99_ns, p.sustained
+            );
+        }
+        println!(
+            "  aggd conformance probe (4 families): {}",
+            if conformant {
+                "bitwise-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+        let capacity: Vec<Json> = points
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("tenants", Json::Num(p.tenants as f64)),
+                    ("round_rate_hz", Json::Num(p.round_rate_hz)),
+                    ("rounds_per_tenant", Json::Num(p.rounds_per_tenant as f64)),
+                    ("completed", Json::Num(p.completed as f64)),
+                    ("rejects", Json::Num(p.rejects as f64)),
+                    ("failed", Json::Num(p.failed as f64)),
+                    ("p50_ns", Json::Num(p.p50_ns)),
+                    ("p99_ns", Json::Num(p.p99_ns)),
+                    ("wall_s", Json::Num(p.wall_s)),
+                    ("sustained", Json::Num(if p.sustained { 1.0 } else { 0.0 })),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("shards", Json::Num(shards as f64)),
+            ("max_sustained_streams", Json::Num(max_sustained as f64)),
+            ("conformant", Json::Num(if conformant { 1.0 } else { 0.0 })),
+            ("capacity", Json::Array(capacity)),
+        ])
+    };
+
     let doc = obj(vec![
         ("schema_version", Json::Num(SCHEMA_VERSION)),
         ("id", Json::Str(cli.id.clone())),
@@ -1007,6 +1115,7 @@ fn main() {
         ("faults", faults),
         ("transport", transport),
         ("fleet_observability", fleet_obs),
+        ("aggd", aggd),
     ]);
 
     let out = cli.out.unwrap_or_else(|| {

@@ -62,8 +62,9 @@ pub use reduce::{
     WrappingIntSum,
 };
 pub use tcp::{
-    decode_elems, decode_elems_into, encode_elems, encode_elems_into, FleetWorker, Registry,
-    RoundStart, TcpCluster, TcpLinks, TcpMesh, TcpTimeouts, WireElem, DEFAULT_TCP_CHUNK_BYTES,
+    decode_elems, decode_elems_into, encode_elems, encode_elems_into, FleetWorker, FramedStream,
+    RecvFail, Registry, RoundStart, TcpCluster, TcpLinks, TcpMesh, TcpTimeouts, WireElem,
+    DEFAULT_TCP_CHUNK_BYTES,
 };
 pub use telemetry::{
     FleetEvent, TelemetryCollector, TelemetryConfig, TelemetryShipper, TELEMETRY_MAGIC,

@@ -183,7 +183,7 @@ pub fn decode_elems_into<T: WireElem>(
 
 /// Why a frame read ended without a frame.
 #[derive(Debug)]
-pub(crate) enum RecvFail {
+pub enum RecvFail {
     /// The peer closed the connection (process exit, SIGKILL, reset).
     Closed,
     /// Nothing (or an incomplete frame) arrived within the deadline.
@@ -194,13 +194,13 @@ pub(crate) enum RecvFail {
 
 /// A `TcpStream` carrying `u32`-length-prefixed frames, with a read-side
 /// reassembly buffer so bounded reads never lose partial frames.
-pub(crate) struct FramedStream {
+pub struct FramedStream {
     stream: TcpStream,
     rbuf: Vec<u8>,
 }
 
 impl FramedStream {
-    pub(crate) fn new(stream: TcpStream) -> FramedStream {
+    pub fn new(stream: TcpStream) -> FramedStream {
         let _ = stream.set_nodelay(true);
         FramedStream {
             stream,
@@ -213,7 +213,7 @@ impl FramedStream {
     /// framing). Partial writes resume at the exact byte offset across the
     /// logical `header ++ payload` sequence, so a short kernel write can
     /// never tear a frame.
-    pub(crate) fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+    pub fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
         use std::io::IoSlice;
         let header = (payload.len() as u32).to_le_bytes();
         let total = header.len() + payload.len();
@@ -261,7 +261,7 @@ impl FramedStream {
     }
 
     /// Pops a complete frame from the reassembly buffer, if one is there.
-    pub(crate) fn pop_frame(&mut self) -> Result<Option<Vec<u8>>, RecvFail> {
+    pub fn pop_frame(&mut self) -> Result<Option<Vec<u8>>, RecvFail> {
         match self.peek_frame_len()? {
             None => Ok(None),
             Some(len) => {
@@ -273,7 +273,7 @@ impl FramedStream {
     }
 
     /// Blocks for up to `deadline` assembling one frame.
-    pub(crate) fn recv_frame(&mut self, deadline: Duration) -> Result<Vec<u8>, RecvFail> {
+    pub fn recv_frame(&mut self, deadline: Duration) -> Result<Vec<u8>, RecvFail> {
         self.recv_frame_with(deadline, |payload| payload.to_vec())
     }
 
@@ -282,7 +282,7 @@ impl FramedStream {
     /// zero-allocation receive path (ISSUE 9): the payload bytes are
     /// decoded where they landed and drained afterwards, never copied into
     /// an owned `Vec`.
-    pub(crate) fn recv_frame_with<R>(
+    pub fn recv_frame_with<R>(
         &mut self,
         deadline: Duration,
         consume: impl FnOnce(&[u8]) -> R,
@@ -316,7 +316,7 @@ impl FramedStream {
 
     /// Non-blocking poll: drains whatever bytes are ready, then pops at most
     /// one frame.
-    pub(crate) fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, RecvFail> {
+    pub fn try_recv_frame(&mut self) -> Result<Option<Vec<u8>>, RecvFail> {
         let mut chunk = [0u8; 64 * 1024];
         let _ = self.stream.set_nonblocking(true);
         let drained = loop {

@@ -43,22 +43,59 @@ impl RetryPolicy {
 
     /// Ack wait before retransmission number `attempt` (0-based:
     /// `timeout(0)` follows the first transmission).
+    ///
+    /// Total for every input: the exponential `base * backoff^attempt` is
+    /// evaluated in `f64` and can overflow to infinity (or go NaN for a
+    /// zero base times an infinite scale) on pathological attempt counts —
+    /// any non-finite or negative product clamps to `max_timeout` instead
+    /// of panicking inside `Duration::from_secs_f64`.
     pub fn timeout(&self, attempt: u32) -> Duration {
-        let scaled = self.base_timeout.as_secs_f64() * self.backoff.powi(attempt as i32);
-        Duration::from_secs_f64(scaled.min(self.max_timeout.as_secs_f64()))
+        let scaled =
+            self.base_timeout.as_secs_f64() * self.backoff.powi(attempt.min(1 << 16) as i32);
+        // NaN and ±infinity clamp to the cap; comparing against the cap in
+        // f64 (instead of round-tripping through `from_secs_f64`) keeps the
+        // saturated wait bit-equal to `max_timeout`.
+        if !scaled.is_finite() || scaled >= self.max_timeout.as_secs_f64() {
+            return self.max_timeout;
+        }
+        if scaled <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(scaled)
     }
 
     /// Upper bound on the total time one frame may spend in retransmission
-    /// before the sender gives up.
+    /// before the sender gives up. Saturates at `Duration::MAX` — a
+    /// pathological `max_attempts` must not overflow the sum (the old
+    /// `Iterator::sum` panicked once `attempts * max_timeout` exceeded the
+    /// `Duration` range).
     pub fn send_budget(&self) -> Duration {
-        (0..self.max_attempts).map(|a| self.timeout(a)).sum()
+        // Past the saturation point every timeout equals `max_timeout`, so
+        // the tail is one multiply instead of up to `u32::MAX` iterations.
+        // Non-growing backoffs and very slow growers bound the tail by the
+        // current (respectively maximal) per-attempt wait the same way.
+        const EXACT_ATTEMPTS: u32 = 4096;
+        let mut total = Duration::ZERO;
+        for a in 0..self.max_attempts {
+            let t = self.timeout(a);
+            if t == self.max_timeout || self.backoff <= 1.0 {
+                return total.saturating_add(t.saturating_mul(self.max_attempts - a));
+            }
+            if a >= EXACT_ATTEMPTS {
+                let rest = self.max_timeout.saturating_mul(self.max_attempts - a);
+                return total.saturating_add(rest);
+            }
+            total = total.saturating_add(t);
+        }
+        total
     }
 
     /// How long a receiver waits for a data frame before concluding the
     /// sender is gone: the sender's full retry budget plus slack, so a
     /// receiver never gives up while its sender is still lawfully retrying.
     pub fn recv_budget(&self) -> Duration {
-        self.send_budget() + self.base_timeout * 2
+        self.send_budget()
+            .saturating_add(self.base_timeout.saturating_mul(2))
     }
 }
 
@@ -82,5 +119,50 @@ mod tests {
             assert!(p.recv_budget() > p.send_budget());
             assert!(p.send_budget() >= p.base_timeout * p.max_attempts);
         }
+    }
+
+    /// Regression: pathological policies used to overflow. `timeout()`
+    /// panicked in `Duration::from_secs_f64` once `backoff^attempt` hit
+    /// infinity, the budget sums panicked on `Duration` overflow, and a
+    /// huge attempt index wrapped negative through `as i32` (collapsing the
+    /// wait toward zero). All of them must clamp instead.
+    #[test]
+    fn pathological_policies_clamp_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_timeout: Duration::from_secs(u64::MAX / 2),
+            backoff: f64::MAX,
+            max_timeout: Duration::from_secs(u64::MAX / 2),
+        };
+        assert_eq!(p.timeout(0), p.max_timeout);
+        assert_eq!(p.timeout(u32::MAX), p.max_timeout);
+        assert_eq!(p.send_budget(), Duration::MAX);
+        assert_eq!(p.recv_budget(), Duration::MAX);
+
+        // Attempt indices past i32::MAX must not wrap the exponent negative.
+        let d = RetryPolicy::default();
+        assert_eq!(d.timeout(u32::MAX), d.max_timeout);
+
+        // Zero base times an infinite scale is NaN in f64; the wait clamps.
+        let z = RetryPolicy {
+            base_timeout: Duration::ZERO,
+            backoff: f64::INFINITY,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(z.timeout(1), z.max_timeout);
+
+        // Slow growers and non-growing backoffs stay O(1)-ish and bounded.
+        let slow = RetryPolicy {
+            max_attempts: u32::MAX,
+            backoff: 1.0 + 1e-9,
+            ..RetryPolicy::default()
+        };
+        assert!(slow.send_budget() <= slow.max_timeout.saturating_mul(u32::MAX));
+        let flat = RetryPolicy {
+            max_attempts: 1_000_000,
+            backoff: 1.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(flat.send_budget(), flat.base_timeout * 1_000_000);
     }
 }

@@ -7,7 +7,7 @@
 //! throughput, missing suite) fails the build rather than poisoning the
 //! trajectory.
 //!
-//! Schema (version 5 — version 2 added the required `hotpath` rows of
+//! Schema (version 8 — version 2 added the required `hotpath` rows of
 //! steady-state allocation counts and pooled-vs-unpooled throughput;
 //! version 3 added the required `faults` object summarizing a canned
 //! chaos run through the fault-injecting transport; version 4 restructured
@@ -28,11 +28,18 @@
 //! latency tails over a message-size sweep on a *persistent* mesh, the
 //! heap-allocation count of one steady-state round, and the speedup of a
 //! warm pipelined round over the stop-and-wait cold-cluster methodology
-//! the pre-v7 `tcp_ring_p50_ns` baseline was recorded with):
+//! the pre-v7 `tcp_ring_p50_ns` baseline was recorded with; version 8
+//! added the required `aggd` section: the multi-tenant aggregation
+//! daemon's synthetic-load capacity curve — one row per offered tenant
+//! count (strictly increasing), each with the open-loop round-latency
+//! tails, completed/reject/failure counts, and a 0/1 `sustained` flag —
+//! plus the daemon shard count, the largest sustained stream count, and a
+//! 0/1 `conformant` flag from the daemon-vs-standalone bitwise probe over
+//! all four scheme families):
 //!
 //! ```json
 //! {
-//!   "schema_version": 7,
+//!   "schema_version": 8,
 //!   "id": "PR6",
 //!   "mode": "fast",
 //!   "dim": 16384,
@@ -85,6 +92,15 @@
 //!     "clock_offset_max_abs_ns": 41000.0,
 //!     "ship_p50_ns": 180000.0, "round_p50_ns": 21000000.0,
 //!     "overhead_pct": 0.86, "flight_entries": 64, "membership_events": 5
+//!   },
+//!   "aggd": {
+//!     "shards": 2, "max_sustained_streams": 1024, "conformant": 1,
+//!     "capacity": [
+//!       { "tenants": 64, "round_rate_hz": 20.0, "rounds_per_tenant": 3,
+//!         "completed": 192, "rejects": 0, "failed": 0,
+//!         "p50_ns": 900000.0, "p99_ns": 1600000.0,
+//!         "wall_s": 0.21, "sustained": 1 }
+//!     ]
 //!   }
 //! }
 //! ```
@@ -100,7 +116,7 @@
 use crate::json::Json;
 
 /// Current artifact schema version.
-pub const SCHEMA_VERSION: f64 = 7.0;
+pub const SCHEMA_VERSION: f64 = 8.0;
 
 /// Top-level numeric fields every artifact must carry.
 const TOP_NUM_FIELDS: [&str; 4] = ["schema_version", "dim", "rounds", "workers"];
@@ -159,6 +175,23 @@ const TRANSPORT_NULLABLE_FIELDS: [&str; 2] = ["fleet_first_metric", "fleet_final
 const PIPELINE_NUM_FIELDS: [&str; 3] = ["chunk_bytes", "allocs_per_round", "speedup_vs_pr7"];
 /// Required finite numerics per `transport.pipeline.sizes` row.
 const PIPELINE_SIZE_NUM_FIELDS: [&str; 3] = ["elems", "p50_ns", "p99_ns"];
+/// Required non-negative numerics in the `aggd` object (schema v8): the
+/// multi-tenant aggregation-service capacity summary.
+const AGGD_NUM_FIELDS: [&str; 3] = ["shards", "max_sustained_streams", "conformant"];
+/// Required non-negative numerics per `aggd.capacity` row: one offered
+/// tenant count of the synthetic-load sweep.
+const AGGD_CAPACITY_NUM_FIELDS: [&str; 10] = [
+    "tenants",
+    "round_rate_hz",
+    "rounds_per_tenant",
+    "completed",
+    "rejects",
+    "failed",
+    "p50_ns",
+    "p99_ns",
+    "wall_s",
+    "sustained",
+];
 /// Required non-negative numerics in the `fleet_observability` object
 /// (schema v6): the telemetry plane measured end to end.
 const FLEET_OBS_NUM_FIELDS: [&str; 11] = [
@@ -363,6 +396,53 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             return Err(format!("fleet_observability: {field} must be non-negative"));
         }
     }
+
+    let aggd = doc
+        .get("aggd")
+        .ok_or("missing \"aggd\" object (schema v8)")?;
+    if aggd.as_object().is_none() {
+        return Err("\"aggd\" must be a JSON object".to_string());
+    }
+    for field in AGGD_NUM_FIELDS {
+        let v = finite_num(aggd, field).map_err(|e| format!("aggd: {e}"))?;
+        if v < 0.0 {
+            return Err(format!("aggd: {field} must be non-negative"));
+        }
+    }
+    let conformant = finite_num(aggd, "conformant")?;
+    if conformant != 0.0 && conformant != 1.0 {
+        return Err(format!("aggd: conformant must be 0 or 1, got {conformant}"));
+    }
+    let capacity = aggd
+        .get("capacity")
+        .and_then(Json::as_array)
+        .ok_or("aggd: missing \"capacity\" array")?;
+    if capacity.is_empty() {
+        return Err("\"aggd.capacity\" must not be empty".to_string());
+    }
+    let mut prev_tenants = 0.0;
+    for (i, row) in capacity.iter().enumerate() {
+        for field in AGGD_CAPACITY_NUM_FIELDS {
+            let v = finite_num(row, field).map_err(|e| format!("aggd.capacity[{i}]: {e}"))?;
+            if v < 0.0 {
+                return Err(format!("aggd.capacity[{i}]: {field} must be non-negative"));
+            }
+        }
+        let tenants = finite_num(row, "tenants")?;
+        if tenants <= prev_tenants {
+            return Err(format!(
+                "aggd.capacity[{i}]: tenants must be strictly increasing \
+                 ({tenants} after {prev_tenants})"
+            ));
+        }
+        prev_tenants = tenants;
+        let sustained = finite_num(row, "sustained")?;
+        if sustained != 0.0 && sustained != 1.0 {
+            return Err(format!(
+                "aggd.capacity[{i}]: sustained must be 0 or 1, got {sustained}"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -388,7 +468,7 @@ mod tests {
     fn valid_doc() -> Json {
         Json::parse(
             r#"{
-              "schema_version": 7, "id": "PR9", "mode": "fast",
+              "schema_version": 8, "id": "PR10", "mode": "fast",
               "dim": 16384, "rounds": 3, "workers": 4,
               "kernels": [
                 {"name": "topk", "throughput_elems_per_s": 1.0e8,
@@ -443,6 +523,19 @@ mod tests {
                 "ship_p50_ns": 180000.0, "round_p50_ns": 21000000.0,
                 "overhead_pct": 0.86, "flight_entries": 64,
                 "membership_events": 5
+              },
+              "aggd": {
+                "shards": 2, "max_sustained_streams": 1024, "conformant": 1,
+                "capacity": [
+                  {"tenants": 64, "round_rate_hz": 20.0, "rounds_per_tenant": 3,
+                   "completed": 192, "rejects": 0, "failed": 0,
+                   "p50_ns": 900000.0, "p99_ns": 1600000.0,
+                   "wall_s": 0.21, "sustained": 1},
+                  {"tenants": 1024, "round_rate_hz": 20.0, "rounds_per_tenant": 3,
+                   "completed": 3072, "rejects": 2, "failed": 0,
+                   "p50_ns": 4100000.0, "p99_ns": 9000000.0,
+                   "wall_s": 1.4, "sustained": 1}
+                ]
               }
             }"#,
         )
@@ -523,6 +616,16 @@ mod tests {
             (&["fleet_observability"][..], "overhead_pct"),
             (&["fleet_observability"][..], "flight_entries"),
             (&["fleet_observability"][..], "membership_events"),
+            (&[][..], "aggd"),
+            (&["aggd"][..], "shards"),
+            (&["aggd"][..], "max_sustained_streams"),
+            (&["aggd"][..], "conformant"),
+            (&["aggd"][..], "capacity"),
+            (&["aggd", "capacity"][..], "tenants"),
+            (&["aggd", "capacity"][..], "round_rate_hz"),
+            (&["aggd", "capacity"][..], "completed"),
+            (&["aggd", "capacity"][..], "p99_ns"),
+            (&["aggd", "capacity"][..], "sustained"),
         ] {
             let doc = without_field(&valid_doc(), path, field);
             assert!(
@@ -559,12 +662,34 @@ mod tests {
             .render()
             .replace("\"mode\":\"fast\"", "\"mode\":\"warp\"");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
-        // Pre-pipeline version-6 artifacts are rejected by the v7
-        // validator.
+        // Pre-aggd version-7 artifacts are rejected by the v8 validator.
         let text = valid_doc()
             .render()
-            .replace("\"schema_version\":7", "\"schema_version\":6");
+            .replace("\"schema_version\":8", "\"schema_version\":7");
         assert!(validate_bench_json(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn aggd_section_is_strictly_validated() {
+        // The conformance flag is boolean-valued…
+        let text = valid_doc()
+            .render()
+            .replace("\"conformant\":1", "\"conformant\":0.5");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("conformant"), "{err}");
+        // …so is each row's sustained flag…
+        let text = valid_doc()
+            .render()
+            .replace("\"sustained\":1}", "\"sustained\":2}");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("sustained"), "{err}");
+        // …and the capacity sweep's tenant counts must strictly increase
+        // (a shuffled or duplicated curve is a reporter bug, not data).
+        let text = valid_doc()
+            .render()
+            .replace("\"tenants\":1024", "\"tenants\":64");
+        let err = validate_bench_json(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
     }
 
     #[test]

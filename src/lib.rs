@@ -4,6 +4,7 @@
 //! this crate exists so that examples and integration tests have a single
 //! dependency surface.
 
+pub use gcs_aggd as aggd;
 pub use gcs_collectives as collectives;
 pub use gcs_core as core;
 pub use gcs_ddp as ddp;

@@ -319,6 +319,68 @@ fn optimizer_step_into_steady_state_is_allocation_free() {
 }
 
 #[test]
+fn aggd_tenant_round_steady_state_is_allocation_free() {
+    // The daemon steady state: one warm tenant round on a shard is
+    // `TenantState::submit` per rank (copy into a preallocated pending
+    // slot, fold through the pooled `aggregate_round_into` seam, copy into
+    // the result ring, metrics on pre-registered names) plus `fetch_into`
+    // (copy out of the ring). The clock is injected, so a fixed `Instant`
+    // makes the round latency 0 and the histogram records into its
+    // non-positive counter — no bucket insertion. Pinned for every pooled
+    // family; QSGD has no pooled override and allocates by design.
+    use gradient_utility::aggd::{
+        FetchVerdict, SchemeSpec, SubmitVerdict, TenantConfig, TenantState,
+    };
+    with_threads(1, || {
+        let specs = [
+            SchemeSpec::TopK {
+                bits_x100: 200,
+                error_feedback: true,
+            },
+            SchemeSpec::Thc { q: 4 },
+            SchemeSpec::PowerSgd {
+                rank: 2,
+                rows: 32,
+                cols: 32,
+            },
+        ];
+        for spec in specs {
+            let mut st = TenantState::new(TenantConfig {
+                tenant: 9,
+                model: 1,
+                dim: D,
+                n_workers: N,
+                experiment_seed: 42,
+                scheme: spec,
+                fault: None,
+            })
+            .expect("tenant state");
+            let g = grads(N, D);
+            let clock = std::time::Instant::now();
+            let mut out = Vec::new();
+            let mut round = 0u64;
+            let events = steady_events(|| {
+                for (rank, grad) in g.iter().enumerate() {
+                    match st.submit(round, rank, grad, clock) {
+                        SubmitVerdict::Accepted { .. } => {}
+                        v => panic!("round {round} rank {rank}: {v:?}"),
+                    }
+                }
+                match st.fetch_into(round, &mut out) {
+                    FetchVerdict::Ready => {}
+                    v => panic!("fetch round {round}: {v:?}"),
+                }
+                round += 1;
+            });
+            assert_eq!(
+                events, 0,
+                "aggd tenant round must not allocate at steady state ({spec:?})"
+            );
+        }
+    });
+}
+
+#[test]
 fn whole_model_collective_round_steady_state_is_allocation_free() {
     // The flat-arena payoff: a full model's gradient is ONE contiguous
     // slice, so a round is one pooled whole-model collective over
